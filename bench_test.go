@@ -1,0 +1,368 @@
+// Benchmarks regenerating the paper's tables and figures as testing.B
+// targets, plus ablations of the design choices DESIGN.md calls out.
+//
+// Each figure/table benchmark builds the corresponding deployment once per
+// sub-benchmark and measures control cycles, reporting phase latencies and
+// resource rates through b.ReportMetric. Node counts default to 1/20 of the
+// paper's (500 nodes instead of 10,000) so `go test -bench=.` completes in
+// minutes; set SDSCALE_BENCH_SCALE=1 to run the paper's sizes, or use
+// `cmd/sdsbench` which defaults to paper scale and prints the formatted
+// tables.
+package sdscale_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale"
+	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/experiment"
+	"github.com/dsrhaslab/sdscale/internal/top500"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+)
+
+// benchScale returns the node-count scale factor for benchmarks.
+func benchScale() float64 {
+	if s := os.Getenv("SDSCALE_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 && v <= 1 {
+			return v
+		}
+	}
+	return 0.05
+}
+
+// scaled applies the benchmark scale to a paper node count.
+func scaled(n int) int {
+	s := int(float64(n) * benchScale())
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// buildBench constructs a deployment for benchmarking.
+func buildBench(b *testing.B, cfg cluster.Config) *cluster.Cluster {
+	b.Helper()
+	if cfg.Net.ProcTime == 0 && cfg.Net.ProcPerByte == 0 {
+		cfg.Net = experiment.DefaultNet()
+	}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return c
+}
+
+// runCycles measures b.N control cycles on a built cluster and reports
+// phase latencies (ms) and network rates (MB/s) as benchmark metrics.
+func runCycles(b *testing.B, c *cluster.Cluster) {
+	b.Helper()
+	ctx := context.Background()
+	// Warmup.
+	if _, err := c.RunControlCycle(ctx); err != nil {
+		b.Fatal(err)
+	}
+	c.Recorder().Reset()
+	uc := cluster.NewUsageCollector(c)
+
+	b.ResetTimer()
+	uc.Start()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunControlCycle(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	global, agg, _ := uc.Stop()
+	b.StopTimer()
+
+	s := c.Recorder().Summarize()
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	b.ReportMetric(msOf(s.Collect.Mean), "collect-ms")
+	b.ReportMetric(msOf(s.Compute.Mean), "compute-ms")
+	b.ReportMetric(msOf(s.Enforce.Mean), "enforce-ms")
+	b.ReportMetric(msOf(s.Total.Mean), "cycle-ms")
+	b.ReportMetric(global.TxMBps, "global-tx-MBps")
+	b.ReportMetric(global.RxMBps, "global-rx-MBps")
+	if len(c.Aggregators) > 0 || len(c.Peers) > 0 {
+		b.ReportMetric(agg.TxMBps, "agg-tx-MBps")
+		b.ReportMetric(agg.CPUPercent, "agg-cpu-pct")
+	}
+	b.ReportMetric(global.CPUPercent, "global-cpu-pct")
+	b.ReportMetric(global.MemGB(), "global-mem-GB")
+}
+
+// BenchmarkTable1 regenerates the paper's Table I (a formatting benchmark:
+// the dataset is static).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(top500.Table()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig4Flat regenerates Fig. 4: flat-design control-cycle latency
+// by node count. One sub-benchmark per x-axis point.
+func BenchmarkFig4Flat(b *testing.B) {
+	for _, nodes := range experiment.FlatNodeCounts {
+		n := scaled(nodes)
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: n})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkTable2FlatResources regenerates Table II: the flat global
+// controller's resource utilization (reported as benchmark metrics).
+func BenchmarkTable2FlatResources(b *testing.B) {
+	n := scaled(2500)
+	b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+		c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: n})
+		runCycles(b, c)
+	})
+}
+
+// BenchmarkFig5Hierarchical regenerates Fig. 5: hierarchical latency at the
+// paper's 10,000-node scale (scaled) by aggregator count.
+func BenchmarkFig5Hierarchical(b *testing.B) {
+	nodes := scaled(experiment.HierNodes)
+	for _, aggs := range experiment.HierAggregatorCounts {
+		b.Run(fmt.Sprintf("nodes=%d/aggs=%d", nodes, aggs), func(b *testing.B) {
+			c := buildBench(b, cluster.Config{Topology: cluster.Hierarchical, Stages: nodes, Aggregators: aggs})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkTable3HierResources regenerates Table III: per-role resource
+// utilization in the hierarchy (metrics: global-*, agg-*).
+func BenchmarkTable3HierResources(b *testing.B) {
+	nodes := scaled(experiment.HierNodes)
+	for _, aggs := range []int{4, 20} {
+		b.Run(fmt.Sprintf("aggs=%d", aggs), func(b *testing.B) {
+			c := buildBench(b, cluster.Config{Topology: cluster.Hierarchical, Stages: nodes, Aggregators: aggs, Jobs: 4})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkFig6FlatVsHier regenerates Fig. 6: flat vs single-aggregator
+// hierarchy at 2,500 (scaled) nodes.
+func BenchmarkFig6FlatVsHier(b *testing.B) {
+	nodes := scaled(experiment.CrossoverNodes)
+	b.Run(fmt.Sprintf("flat/nodes=%d", nodes), func(b *testing.B) {
+		c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: nodes})
+		runCycles(b, c)
+	})
+	b.Run(fmt.Sprintf("hier-1agg/nodes=%d", nodes), func(b *testing.B) {
+		c := buildBench(b, cluster.Config{Topology: cluster.Hierarchical, Stages: nodes, Aggregators: 1})
+		runCycles(b, c)
+	})
+}
+
+// BenchmarkTable4FlatVsHierResources regenerates Table IV: per-role
+// resource utilization for both designs at 2,500 (scaled) nodes.
+func BenchmarkTable4FlatVsHierResources(b *testing.B) {
+	nodes := scaled(experiment.CrossoverNodes)
+	b.Run("flat", func(b *testing.B) {
+		c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: nodes, Jobs: 4})
+		runCycles(b, c)
+	})
+	b.Run("hier-1agg", func(b *testing.B) {
+		c := buildBench(b, cluster.Config{Topology: cluster.Hierarchical, Stages: nodes, Aggregators: 1, Jobs: 4})
+		runCycles(b, c)
+	})
+}
+
+// BenchmarkConnLimit regenerates the §IV-A observation: building a flat
+// control plane right at the connection limit succeeds, and the failure
+// past it is immediate. ns/op is the cost of a full at-limit build+teardown.
+func BenchmarkConnLimit(b *testing.B) {
+	const limit = 50
+	net := experiment.DefaultNet()
+	net.MaxConnsPerHost = limit
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.Build(cluster.Config{Topology: cluster.Flat, Stages: limit, Net: net})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Close()
+		if _, err := cluster.Build(cluster.Config{Topology: cluster.Flat, Stages: limit + 1, Net: net}); err == nil {
+			b.Fatal("build past the connection limit succeeded")
+		}
+	}
+}
+
+// BenchmarkAblationParallelFanout isolates DESIGN.md decision #1: the
+// bounded fan-out pool at the global controller. Wider pools shorten the
+// collect/enforce phases until the per-host processing model (or the
+// machine) saturates.
+func BenchmarkAblationParallelFanout(b *testing.B) {
+	nodes := scaled(2500)
+	for _, fanout := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: nodes, FanOut: fanout})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkAblationAggregation isolates DESIGN.md decision #2: aggregators
+// pre-aggregating per-job metrics versus forwarding raw per-stage reports.
+// Compare global-rx-MBps and global-cpu-pct between the two modes.
+func BenchmarkAblationAggregation(b *testing.B) {
+	nodes := scaled(experiment.HierNodes)
+	for _, raw := range []bool{false, true} {
+		name := "preaggregate"
+		if raw {
+			name = "forward-raw"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := buildBench(b, cluster.Config{
+				Topology:    cluster.Hierarchical,
+				Stages:      nodes,
+				Aggregators: 4,
+				Jobs:        4,
+				ForwardRaw:  raw,
+			})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkAblationDelegation isolates the §VI delegated hierarchy: the
+// global ships O(jobs) budgets instead of O(stages) rules and aggregators
+// compute the rules locally. Compare global-tx-MBps and global-cpu-pct.
+func BenchmarkAblationDelegation(b *testing.B) {
+	nodes := scaled(experiment.HierNodes)
+	for _, delegated := range []bool{false, true} {
+		name := "central-rules"
+		if delegated {
+			name = "delegated-budgets"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := buildBench(b, cluster.Config{
+				Topology:    cluster.Hierarchical,
+				Stages:      nodes,
+				Aggregators: 4,
+				Jobs:        4,
+				Delegated:   delegated,
+			})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkAblationAlgorithms compares control algorithms end to end
+// (DESIGN.md decision #3): cycle latency is dominated by collect/enforce,
+// so this shows algorithm choice is not the scalability bottleneck — the
+// paper's premise for studying the control plane's structure instead.
+func BenchmarkAblationAlgorithms(b *testing.B) {
+	nodes := scaled(1250)
+	for _, name := range []string{"psfa", "uniform", "weighted-static", "maxmin", "strict-priority"} {
+		b.Run(name, func(b *testing.B) {
+			alg, err := sdscale.NewAlgorithm(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: nodes, Algorithm: alg})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkAblationProcModel quantifies what the per-host processing model
+// adds over raw in-process execution (DESIGN.md §1 substitution table).
+func BenchmarkAblationProcModel(b *testing.B) {
+	nodes := scaled(2500)
+	for _, model := range []struct {
+		name string
+		net  simnet.Config
+	}{
+		{"modeled", experiment.DefaultNet()},
+		{"raw", simnet.Config{PropDelay: -1}},
+	} {
+		b.Run(model.name, func(b *testing.B) {
+			c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: nodes, Net: model.net})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkRegistrationChurn measures dynamic membership: one stage
+// registering with a live control plane per iteration (the HPC job churn
+// the paper's §II motivates).
+func BenchmarkRegistrationChurn(b *testing.B) {
+	net := simnet.New(simnet.Config{})
+	// The controller keeps one dialed connection per registered stage;
+	// lift its connection limit so b.N can exceed 2,500 registrations
+	// (this bench measures registration cost, not the §IV-A limit).
+	net.Host("global").SetMaxConns(-1)
+	g, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+		Network:    net.Host("global"),
+		ListenAddr: ":0",
+		Capacity:   sdscale.Rates{1e6, 1e5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		host := net.Host(fmt.Sprintf("stage-%d", i))
+		v, err := sdscale.StartVirtualStage(sdscale.StageConfig{
+			ID: uint64(i + 1), JobID: uint64(i%8 + 1), Weight: 1, Network: host,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := stageRegister(ctx, host, g.Addr(), v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// stageRegister adapts the façade types to the stage registration helper.
+func stageRegister(ctx context.Context, network transport.Network, addr string, v *sdscale.VirtualStage) error {
+	return sdscale.RegisterStage(ctx, network, addr, v.Info())
+}
+
+// BenchmarkFutureCoordinatedFlat measures the paper's §VI future-work
+// design — a coordinated flat control plane with peer controllers — at the
+// 10,000-node (scaled) size, for comparison with BenchmarkFig5Hierarchical.
+func BenchmarkFutureCoordinatedFlat(b *testing.B) {
+	nodes := scaled(experiment.HierNodes)
+	for _, peers := range []int{4, 20} {
+		b.Run(fmt.Sprintf("nodes=%d/peers=%d", nodes, peers), func(b *testing.B) {
+			c := buildBench(b, cluster.Config{Topology: cluster.Coordinated, Stages: nodes, Aggregators: peers})
+			runCycles(b, c)
+		})
+	}
+}
+
+// BenchmarkAblationDeltaEnforcement quantifies skipping unchanged rules:
+// under the stress workload demand never changes, so after the first cycle
+// delta mode eliminates the enforce fan-out entirely — a bound on what the
+// optimization saves for stable workloads (and exactly the behavior the
+// paper's stress methodology intentionally avoids).
+func BenchmarkAblationDeltaEnforcement(b *testing.B) {
+	nodes := scaled(2500)
+	for _, delta := range []bool{false, true} {
+		name := "full-enforce"
+		if delta {
+			name = "delta-enforce"
+		}
+		b.Run(name, func(b *testing.B) {
+			c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: nodes, DeltaEnforcement: delta})
+			runCycles(b, c)
+		})
+	}
+}

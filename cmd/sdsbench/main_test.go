@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/experiment"
+)
+
+// tinyOptions shrinks experiments to smoke-test size.
+func tinyOptions(out *strings.Builder) experiment.Options {
+	return experiment.Options{
+		Scale:       0.01,
+		Warmup:      1,
+		MinCycles:   2,
+		MinDuration: 50 * time.Millisecond,
+		MaxDuration: 30 * time.Second,
+		Out:         out,
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(context.Background(), tinyOptions(&out), "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var out strings.Builder
+	results, err := run(context.Background(), tinyOptions(&out), "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("table1 produced %d measured results", len(results))
+	}
+	if !strings.Contains(out.String(), "Frontier") {
+		t.Error("table1 output missing dataset")
+	}
+}
+
+func TestRunFig4CollectsResults(t *testing.T) {
+	var out strings.Builder
+	results, err := run(context.Background(), tinyOptions(&out), "fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(experiment.FlatNodeCounts) {
+		t.Fatalf("results = %d, want %d", len(results), len(experiment.FlatNodeCounts))
+	}
+	o := out.String()
+	if !strings.Contains(o, "Fig. 4") || !strings.Contains(o, "SHAPE CHECK fig4") {
+		t.Errorf("fig4 output incomplete:\n%s", o)
+	}
+	// CSV rows derived from these results must parse to the header width.
+	csv := experiment.ResultsCSV(results)
+	for _, line := range strings.Split(strings.TrimSpace(csv), "\n") {
+		if got, want := len(strings.Split(line, ",")), len(strings.Split(experiment.ResultsCSVHeader, ",")); got != want {
+			t.Errorf("csv row width %d != header %d", got, want)
+		}
+	}
+}
+
+func TestRunConnLimit(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(context.Background(), tinyOptions(&out), "connlimit"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "ErrConnLimit") {
+		t.Error("connlimit output incomplete")
+	}
+}

@@ -1,0 +1,370 @@
+// Command sdsctl runs sdscale control-plane components over real TCP, one
+// process per role, for multi-host deployments — the same controllers and
+// stages the simulated experiments use, on a real network.
+//
+// Roles:
+//
+//	sdsctl global -listen :7000 -capacity 1000000,100000 [-algorithm psfa] [-interval 1s]
+//	    Run the global controller. Stages register at the listen address;
+//	    the controller dials them back and runs control cycles, printing a
+//	    latency summary on SIGINT.
+//
+//	sdsctl aggregator -listen :7001 [-fanout 8]
+//	    Run an aggregator controller. Stages register at the listen
+//	    address. Attach it to a global controller manually (the in-process
+//	    harness does this automatically; over TCP the global currently
+//	    manages stages directly or via pre-attached aggregators).
+//
+//	sdsctl peer -listen :7002 -id 1 [-peers 2=host2:7002,...]
+//	    Run one controller of the coordinated flat design (paper §VI
+//	    future work). Stages register at the listen address; peers
+//	    exchange per-job aggregates and auto-mesh from one-sided
+//	    configuration.
+//
+//	sdsctl stages -parent host:7000 -count 50 -job 1 -weight 1 [-workload stress]
+//	    Run a fleet of virtual stages in this process (the paper runs 50
+//	    per compute node) and register each with the parent controller.
+//
+//	sdsctl top500
+//	    Print the paper's Table I and the control-plane sizing it implies.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/top500"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/transport/tcpnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+	"github.com/dsrhaslab/sdscale/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var err error
+	switch os.Args[1] {
+	case "global":
+		err = runGlobal(ctx, os.Args[2:])
+	case "aggregator":
+		err = runAggregator(ctx, os.Args[2:])
+	case "peer":
+		err = runPeer(ctx, os.Args[2:])
+	case "stages":
+		err = runStages(ctx, os.Args[2:])
+	case "top500":
+		fmt.Print(top500.Table())
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: sdsctl <global|aggregator|peer|stages|top500> [flags]
+run "sdsctl <role> -h" for role-specific flags`)
+}
+
+// parseRates parses "data,meta" operation rates.
+func parseRates(s string) (wire.Rates, error) {
+	var r wire.Rates
+	parts := strings.Split(s, ",")
+	if len(parts) != int(wire.NumClasses) {
+		return r, fmt.Errorf("want %d comma-separated rates, got %q", wire.NumClasses, s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return r, fmt.Errorf("bad rate %q: %v", p, err)
+		}
+		r[i] = v
+	}
+	return r, nil
+}
+
+func runGlobal(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("global", flag.ExitOnError)
+	listen := fs.String("listen", ":7000", "registration listen address")
+	capacity := fs.String("capacity", "1000000,100000", "PFS capacity as data,meta ops/s")
+	algorithm := fs.String("algorithm", "psfa", "control algorithm (psfa, uniform, weighted-static, maxmin, strict-priority)")
+	interval := fs.Duration("interval", time.Second, "control cycle interval (0 = stress, back-to-back)")
+	fanout := fs.Int("fanout", controller.DefaultFanOut, "fan-out parallelism")
+	report := fs.Duration("report", 10*time.Second, "status report interval")
+	aggregators := fs.String("aggregators", "", "comma-separated aggregator addresses to attach (hierarchical mode)")
+	samplesPath := fs.String("samples", "", "write a REMORA-style resource time series to this CSV file on exit")
+	sampleEvery := fs.Duration("sample-interval", time.Second, "resource sampling interval")
+	fs.Parse(args)
+
+	cap, err := parseRates(*capacity)
+	if err != nil {
+		return err
+	}
+	alg, err := controlalg.New(*algorithm)
+	if err != nil {
+		return err
+	}
+
+	var meter transport.Meter
+	var cpu monitor.CPUMeter
+	g, err := controller.NewGlobal(controller.GlobalConfig{
+		Network:    tcpnet.New(),
+		ListenAddr: *listen,
+		Algorithm:  alg,
+		Capacity:   cap,
+		FanOut:     *fanout,
+		Meter:      &meter,
+		CPU:        &cpu,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	fmt.Printf("global controller listening on %s (algorithm %s, capacity %v)\n", g.Addr(), alg.Name(), cap)
+
+	if *aggregators != "" {
+		for i, addr := range strings.Split(*aggregators, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if err := g.AttachAggregator(ctx, uint64(1_000_000+i), addr); err != nil {
+				return fmt.Errorf("attach aggregator %s: %w", addr, err)
+			}
+			fmt.Printf("attached aggregator %s\n", addr)
+		}
+	}
+
+	var pm monitor.ProcessMonitor
+	pm.Start()
+	var sampler *monitor.Sampler
+	if *samplesPath != "" {
+		sampler = monitor.StartSampler(*sampleEvery, &meter)
+	}
+	go func() {
+		t := time.NewTicker(*report)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s := g.Recorder().Summarize()
+				fmt.Printf("children=%d stages=%d cycles=%d mean=%v rel-std=%.1f%%\n",
+					g.NumChildren(), g.NumStages(), s.Cycles,
+					s.Total.Mean.Round(time.Microsecond), 100*s.RelStddev())
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	err = g.Run(ctx, *interval)
+	printFinalReport(g, &pm, &meter)
+	if sampler != nil {
+		samples := sampler.Stop()
+		data := monitor.SamplesCSVHeader + "\n" + monitor.SamplesCSV(samples)
+		if werr := os.WriteFile(*samplesPath, []byte(data), 0o644); werr != nil {
+			fmt.Fprintln(os.Stderr, "sdsctl: write samples:", werr)
+		} else {
+			fmt.Printf("wrote %d resource samples to %s\n", len(samples), *samplesPath)
+		}
+	}
+	if ctx.Err() != nil {
+		return nil // clean shutdown on signal
+	}
+	return err
+}
+
+func printFinalReport(g *controller.Global, pm *monitor.ProcessMonitor, meter *transport.Meter) {
+	u := pm.Stop()
+	s := g.Recorder().Summarize()
+	fmt.Println("\n--- final report ---")
+	fmt.Print(s.String())
+	tx, rx := meter.Snapshot()
+	fmt.Printf("process: cpu %.2f%%, rss %.2f GB, tx %.2f MB, rx %.2f MB over %v\n",
+		u.CPUPercent, u.MemGB(), float64(tx)/1e6, float64(rx)/1e6, u.Elapsed.Round(time.Second))
+}
+
+func runAggregator(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("aggregator", flag.ExitOnError)
+	listen := fs.String("listen", ":7001", "listen address (global controller and stage registrations)")
+	id := fs.Uint64("id", 1, "aggregator ID")
+	fanout := fs.Int("fanout", controller.DefaultFanOut, "fan-out parallelism")
+	fs.Parse(args)
+
+	var meter transport.Meter
+	var cpu monitor.CPUMeter
+	a, err := controller.StartAggregator(controller.AggregatorConfig{
+		ID:      *id,
+		Network: tcpnet.New(),
+
+		ListenAddr: *listen,
+		FanOut:     *fanout,
+		Meter:      &meter,
+		CPU:        &cpu,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	fmt.Printf("aggregator %d listening on %s\n", a.ID(), a.Addr())
+	<-ctx.Done()
+	tx, rx := meter.Snapshot()
+	fmt.Printf("\naggregator served %d stages; tx %.2f MB rx %.2f MB\n",
+		a.NumStages(), float64(tx)/1e6, float64(rx)/1e6)
+	return nil
+}
+
+// runPeer runs one controller of the coordinated flat design: stages
+// register with it, and it exchanges per-job aggregates with the other
+// peers listed on the command line.
+func runPeer(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("peer", flag.ExitOnError)
+	listen := fs.String("listen", ":7002", "listen address (stage registrations and peer exchange)")
+	id := fs.Uint64("id", 1, "peer ID (unique across the control plane)")
+	capacity := fs.String("capacity", "1000000,100000", "full PFS capacity as data,meta ops/s (same at every peer)")
+	algorithm := fs.String("algorithm", "psfa", "control algorithm")
+	interval := fs.Duration("interval", time.Second, "control cycle interval (0 = stress)")
+	peersList := fs.String("peers", "", "comma-separated id=addr fellow peers, e.g. 2=host2:7002,3=host3:7002")
+	fs.Parse(args)
+
+	cap, err := parseRates(*capacity)
+	if err != nil {
+		return err
+	}
+	alg, err := controlalg.New(*algorithm)
+	if err != nil {
+		return err
+	}
+	p, err := controller.StartPeer(controller.PeerConfig{
+		ID:        *id,
+		Network:   tcpnet.New(),
+		Algorithm: alg,
+
+		ListenAddr: *listen,
+		Capacity:   cap,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	fmt.Printf("peer %d listening on %s\n", p.ID(), p.Addr())
+
+	if *peersList != "" {
+		for _, entry := range strings.Split(*peersList, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			idStr, addr, ok := strings.Cut(entry, "=")
+			if !ok {
+				return fmt.Errorf("peer: bad -peers entry %q (want id=addr)", entry)
+			}
+			pid, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				return fmt.Errorf("peer: bad peer id %q: %v", idStr, err)
+			}
+			if err := p.AddPeer(ctx, pid, addr); err != nil {
+				return err
+			}
+			fmt.Printf("meshed with peer %d at %s\n", pid, addr)
+		}
+	}
+
+	err = p.Run(ctx, *interval)
+	s := p.Recorder().Summarize()
+	fmt.Println("\n--- final report ---")
+	fmt.Print(s.String())
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+func runStages(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("stages", flag.ExitOnError)
+	parent := fs.String("parent", "", "parent controller registration address (required)")
+	count := fs.Int("count", 50, "number of virtual stages in this process")
+	baseID := fs.Uint64("base-id", 0, "first stage ID (0 derives from PID)")
+	job := fs.Uint64("job", 1, "job ID the stages serve")
+	weight := fs.Float64("weight", 1, "job QoS weight")
+	spec := fs.String("workload", "stress", "workload spec (see workload.Parse)")
+	listenHost := fs.String("host", "", "advertised host for stage listeners (default: OS-chosen)")
+	fs.Parse(args)
+
+	if *parent == "" {
+		return fmt.Errorf("stages: -parent is required")
+	}
+	gen, err := workload.Parse(*spec)
+	if err != nil {
+		return err
+	}
+	base := *baseID
+	if base == 0 {
+		base = uint64(os.Getpid()) * 1_000_000
+	}
+
+	network := tcpnet.New()
+	var stages []*stage.Virtual
+	defer func() {
+		for _, v := range stages {
+			v.Close()
+		}
+	}()
+	for i := 0; i < *count; i++ {
+		v, err := stage.StartVirtual(stage.Config{
+			ID:         base + uint64(i),
+			JobID:      *job,
+			Weight:     *weight,
+			Generator:  gen,
+			Network:    network,
+			ListenAddr: *listenHost + ":0",
+		})
+		if err != nil {
+			return fmt.Errorf("stage %d: %w", i, err)
+		}
+		stages = append(stages, v)
+		if err := stage.Register(ctx, network, *parent, v.Info()); err != nil {
+			return fmt.Errorf("register stage %d: %w", i, err)
+		}
+	}
+	fmt.Printf("%d virtual stages registered with %s (job %d, weight %g, workload %s)\n",
+		len(stages), *parent, *job, *weight, *spec)
+	<-ctx.Done()
+
+	var collects, enforces uint64
+	for _, v := range stages {
+		c, e := v.Counters()
+		collects += c
+		enforces += e
+	}
+	fmt.Printf("\nstages served %d collects, %d enforces\n", collects, enforces)
+	return nil
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}

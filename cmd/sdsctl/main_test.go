@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+func TestParseRates(t *testing.T) {
+	cases := []struct {
+		in   string
+		want wire.Rates
+		ok   bool
+	}{
+		{"1000,100", wire.Rates{1000, 100}, true},
+		{" 1.5 , 0.5 ", wire.Rates{1.5, 0.5}, true},
+		{"0,0", wire.Rates{}, true},
+		{"1000", wire.Rates{}, false},
+		{"1,2,3", wire.Rates{}, false},
+		{"x,1", wire.Rates{}, false},
+		{"", wire.Rates{}, false},
+	}
+	for _, tc := range cases {
+		got, err := parseRates(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("parseRates(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("parseRates(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Burst: PSFA adapting to a bursty workload — the dynamic behavior behind
+// the paper's Observation #4 (low-latency control cycles matter for bursty
+// I/O).
+//
+// Two jobs share a PFS capacity of 2,000 data IOPS through virtual stages:
+//
+//   - job 1 is steady: it always demands 1,500 IOPS;
+//   - job 2 is bursty: it alternates between 1,500 IOPS (2 s on) and
+//     nearly idle (2 s off).
+//
+// A control loop runs every 100 ms. While job 2 bursts, PSFA splits the
+// capacity evenly (both saturated, equal weights). While job 2 is idle,
+// PSFA reassigns the leftover to job 1 — no false allocation. The program
+// prints the allocation timeline so the adaptation is visible.
+//
+// Run with:
+//
+//	go run ./examples/burst
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/dsrhaslab/sdscale"
+)
+
+func main() {
+	net := sdscale.NewSimNet(sdscale.SimNetConfig{})
+	ctx := context.Background()
+
+	steady, err := sdscale.StartVirtualStage(sdscale.StageConfig{
+		ID: 1, JobID: 1, Weight: 1,
+		Generator: sdscale.ConstantWorkload{Rates: sdscale.Rates{1500, 50}},
+		Network:   net.Host("stage-steady"),
+	})
+	if err != nil {
+		log.Fatalf("steady stage: %v", err)
+	}
+	defer steady.Close()
+
+	bursty, err := sdscale.StartVirtualStage(sdscale.StageConfig{
+		ID: 2, JobID: 2, Weight: 1,
+		Generator: sdscale.BurstyWorkload{
+			On:   2 * time.Second,
+			Off:  2 * time.Second,
+			High: sdscale.Rates{1500, 50},
+			Low:  sdscale.Rates{10, 1},
+		},
+		Network: net.Host("stage-bursty"),
+	})
+	if err != nil {
+		log.Fatalf("bursty stage: %v", err)
+	}
+	defer bursty.Close()
+
+	global, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+		Network:  net.Host("controller"),
+		Capacity: sdscale.Rates{2000, 100},
+	})
+	if err != nil {
+		log.Fatalf("controller: %v", err)
+	}
+	defer global.Close()
+	for _, st := range []*sdscale.VirtualStage{steady, bursty} {
+		if err := global.AddStage(ctx, st.Info()); err != nil {
+			log.Fatalf("attach: %v", err)
+		}
+	}
+
+	loopCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	go global.Run(loopCtx, 100*time.Millisecond)
+
+	fmt.Println("capacity 2000 data IOPS; job 1 steady at 1500, job 2 bursting 1500/idle every 2s")
+	fmt.Printf("%6s %18s %18s\n", "t", "job1 limit (IOPS)", "job2 limit (IOPS)")
+
+	start := time.Now()
+	var burstAlloc, idleAlloc float64
+	for time.Since(start) < 8*time.Second {
+		time.Sleep(500 * time.Millisecond)
+		r1, ok1 := steady.LastRule()
+		r2, ok2 := bursty.LastRule()
+		if !ok1 || !ok2 {
+			continue
+		}
+		l1 := r1.Limit[sdscale.ClassData]
+		l2 := r2.Limit[sdscale.ClassData]
+		fmt.Printf("%6s %18.0f %18.0f\n", time.Since(start).Round(100*time.Millisecond), l1, l2)
+		if l2 > 500 {
+			burstAlloc = l1 // job 2 bursting: job 1's contended share
+		} else {
+			idleAlloc = l1 // job 2 idle: job 1 absorbs the leftover
+		}
+	}
+
+	fmt.Printf("\njob 1's limit while job 2 bursts: ~%.0f IOPS (fair half)\n", burstAlloc)
+	fmt.Printf("job 1's limit while job 2 idles:  ~%.0f IOPS (leftover reassigned)\n", idleAlloc)
+	if idleAlloc > burstAlloc {
+		fmt.Println("PSFA reassigned idle capacity within one control cycle — no false allocation.")
+	}
+}

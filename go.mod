@@ -1,0 +1,3 @@
+module github.com/dsrhaslab/sdscale
+
+go 1.22

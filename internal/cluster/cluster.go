@@ -1,0 +1,507 @@
+// Package cluster assembles complete in-process control-plane deployments:
+// a simulated network, a fleet of virtual stages (one per simulated compute
+// node, as the paper's experiments assume), optional aggregator tiers, and
+// an instrumented global controller.
+//
+// It is the harness behind every reproduction experiment: "build a flat
+// control plane over 2,500 nodes" or "build a hierarchy of 4 aggregators
+// over 10,000 nodes" is one Build call.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+	"github.com/dsrhaslab/sdscale/internal/workload"
+)
+
+// Topology selects the control-plane design under test.
+type Topology int
+
+// The two designs the paper studies, plus the coordinated flat design its
+// §VI proposes as future work.
+const (
+	// Flat is the single global controller design (paper Fig. 2).
+	Flat Topology = iota
+	// Hierarchical adds a tier of aggregator controllers (paper Fig. 3).
+	Hierarchical
+	// Coordinated is the future-work flat design with multiple peer
+	// controllers that exchange per-job aggregates to keep global
+	// visibility without a hierarchy (paper §VI).
+	Coordinated
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	switch t {
+	case Flat:
+		return "flat"
+	case Hierarchical:
+		return "hierarchical"
+	case Coordinated:
+		return "coordinated"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// Config describes a deployment to build.
+type Config struct {
+	// Topology selects flat or hierarchical.
+	Topology Topology
+	// Stages is the number of virtual stages — "compute nodes" in the
+	// paper's terminology, since each node runs exactly one stage (§III-B).
+	Stages int
+	// Jobs is the number of distinct jobs the stages are spread over.
+	// Zero selects 16.
+	Jobs int
+	// Aggregators is the mid-tier controller count: aggregators for the
+	// Hierarchical topology, peer controllers for the Coordinated one.
+	// Zero selects ceil(Stages/2500), the minimum imposed by the
+	// connection limit (§IV-B).
+	Aggregators int
+	// Workload generates per-stage demand. Nil selects the paper's stress
+	// workload.
+	Workload workload.Generator
+	// Capacity is the administrator-configured PFS operation-rate maximum.
+	// Zero selects Stages×{500, 50} (half the stress demand, keeping PSFA
+	// in its saturated regime).
+	Capacity wire.Rates
+	// Algorithm is the control algorithm. Nil selects PSFA.
+	Algorithm controlalg.Algorithm
+	// FanOut bounds every controller's dispatch parallelism. Zero selects
+	// the controller default.
+	FanOut int
+	// ForwardRaw disables metric pre-aggregation at aggregators
+	// (hierarchical only); see controller.AggregatorConfig.ForwardRaw.
+	// Used by ablation benchmarks.
+	ForwardRaw bool
+	// Delegated enables the delegated hierarchy (paper §VI): the global
+	// controller ships per-job budgets and aggregators compute per-stage
+	// rules locally. Hierarchical only.
+	Delegated bool
+	// DeltaEnforcement makes the global controller skip enforce messages
+	// whose rules did not change; see controller.GlobalConfig. Used by
+	// ablation benchmarks (the paper's stress workload re-enforces
+	// everything every cycle).
+	DeltaEnforcement bool
+	// Net parameterizes the simulated network.
+	Net simnet.Config
+	// CallTimeout bounds child RPCs. Zero selects the controller default.
+	CallTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 16
+	}
+	if c.Jobs > c.Stages && c.Stages > 0 {
+		c.Jobs = c.Stages
+	}
+	if c.Workload == nil {
+		c.Workload = workload.Stress()
+	}
+	if c.Capacity.IsZero() {
+		c.Capacity = wire.Rates{500, 50}.Scale(float64(c.Stages))
+	}
+	if (c.Topology == Hierarchical || c.Topology == Coordinated) && c.Aggregators <= 0 {
+		c.Aggregators = (c.Stages + simnet.DefaultMaxConns - 1) / simnet.DefaultMaxConns
+		if c.Aggregators < 1 {
+			c.Aggregators = 1
+		}
+	}
+	return c
+}
+
+// Roles groups the instrumentation of one controller role.
+type Roles struct {
+	// Meter accounts the role's network traffic.
+	Meter *transport.Meter
+	// CPU accounts the role's busy time.
+	CPU *monitor.CPUMeter
+}
+
+// Cluster is a built deployment.
+type Cluster struct {
+	cfg Config
+
+	// Net is the simulated network everything runs on.
+	Net *simnet.Net
+	// Global is the top-level controller (nil for Coordinated).
+	Global *controller.Global
+	// Aggregators is the mid tier (Hierarchical only).
+	Aggregators []*controller.Aggregator
+	// Peers is the controller set of the Coordinated topology.
+	Peers []*controller.Peer
+	// Stages is the virtual-stage fleet.
+	Stages []*stage.Virtual
+
+	// GlobalRole instruments the global controller.
+	GlobalRole Roles
+	// AggregatorRoles instruments each aggregator, index-aligned with
+	// Aggregators.
+	AggregatorRoles []Roles
+	// PeerRoles instruments each coordinated peer, index-aligned with
+	// Peers.
+	PeerRoles []Roles
+
+	// recorder accumulates round latency for Coordinated clusters (flat
+	// and hierarchical clusters use the global controller's recorder).
+	recorder *telemetry.CycleRecorder
+}
+
+// Build assembles and connects a deployment. On error, everything already
+// started is torn down.
+func Build(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Stages <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one stage, got %d", cfg.Stages)
+	}
+	c := &Cluster{cfg: cfg, Net: simnet.New(cfg.Net)}
+	if err := c.build(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) build() error {
+	cfg := c.cfg
+	ctx := context.Background()
+	c.recorder = telemetry.NewCycleRecorder()
+
+	// One simulated host per stage: the paper deploys 50 virtual stages
+	// per physical node but treats each as its own compute node (§III-D).
+	for i := 0; i < cfg.Stages; i++ {
+		v, err := stage.StartVirtual(stage.Config{
+			ID:        uint64(i + 1),
+			JobID:     uint64(i%cfg.Jobs + 1),
+			Weight:    1,
+			Generator: cfg.Workload,
+			Network:   c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
+		}
+		c.Stages = append(c.Stages, v)
+	}
+
+	if cfg.Topology == Coordinated {
+		return c.buildCoordinated(ctx)
+	}
+
+	c.GlobalRole = Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+	gcfg := controller.GlobalConfig{
+		Network:          c.Net.Host("global"),
+		Capacity:         cfg.Capacity,
+		Algorithm:        cfg.Algorithm,
+		FanOut:           cfg.FanOut,
+		CallTimeout:      cfg.CallTimeout,
+		Delegated:        cfg.Delegated,
+		DeltaEnforcement: cfg.DeltaEnforcement,
+		Meter:            c.GlobalRole.Meter,
+		CPU:              c.GlobalRole.CPU,
+	}
+	g, err := controller.NewGlobal(gcfg)
+	if err != nil {
+		return err
+	}
+	c.Global = g
+
+	switch cfg.Topology {
+	case Flat:
+		for _, v := range c.Stages {
+			if err := g.AddStage(ctx, v.Info()); err != nil {
+				return fmt.Errorf("cluster: flat attach: %w", err)
+			}
+		}
+	case Hierarchical:
+		// Partition stages into contiguous disjoint sets, as the paper
+		// does (each aggregator owns Stages/Aggregators nodes).
+		per := (cfg.Stages + cfg.Aggregators - 1) / cfg.Aggregators
+		for a := 0; a < cfg.Aggregators; a++ {
+			role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+			agg, err := controller.StartAggregator(controller.AggregatorConfig{
+				ID:           uint64(1_000_000 + a),
+				Network:      c.Net.Host(fmt.Sprintf("agg-%d", a+1)),
+				FanOut:       cfg.FanOut,
+				CallTimeout:  cfg.CallTimeout,
+				ForwardRaw:   cfg.ForwardRaw,
+				LocalControl: cfg.Delegated,
+				Meter:        role.Meter,
+				CPU:          role.CPU,
+			})
+			if err != nil {
+				return fmt.Errorf("cluster: aggregator %d: %w", a, err)
+			}
+			c.Aggregators = append(c.Aggregators, agg)
+			c.AggregatorRoles = append(c.AggregatorRoles, role)
+
+			lo := a * per
+			hi := lo + per
+			if hi > cfg.Stages {
+				hi = cfg.Stages
+			}
+			for _, v := range c.Stages[lo:hi] {
+				if err := agg.AddStage(ctx, v.Info()); err != nil {
+					return fmt.Errorf("cluster: aggregator %d attach: %w", a, err)
+				}
+			}
+			if err := g.AddAggregator(ctx, agg.ID(), agg.Addr(), agg.Stages()); err != nil {
+				return fmt.Errorf("cluster: attach aggregator %d: %w", a, err)
+			}
+		}
+	default:
+		return fmt.Errorf("cluster: unknown topology %v", cfg.Topology)
+	}
+	return nil
+}
+
+// buildCoordinated wires the future-work design: a full mesh of peer
+// controllers, each owning a disjoint partition of the stages.
+func (c *Cluster) buildCoordinated(ctx context.Context) error {
+	cfg := c.cfg
+	per := (cfg.Stages + cfg.Aggregators - 1) / cfg.Aggregators
+	for i := 0; i < cfg.Aggregators; i++ {
+		role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+		p, err := controller.StartPeer(controller.PeerConfig{
+			ID:          uint64(2_000_000 + i),
+			Network:     c.Net.Host(fmt.Sprintf("peer-%d", i+1)),
+			Algorithm:   cfg.Algorithm,
+			Capacity:    cfg.Capacity,
+			FanOut:      cfg.FanOut,
+			CallTimeout: cfg.CallTimeout,
+			Meter:       role.Meter,
+			CPU:         role.CPU,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: peer %d: %w", i, err)
+		}
+		c.Peers = append(c.Peers, p)
+		c.PeerRoles = append(c.PeerRoles, role)
+
+		lo := i * per
+		hi := lo + per
+		if hi > cfg.Stages {
+			hi = cfg.Stages
+		}
+		for _, v := range c.Stages[lo:hi] {
+			if err := p.AddStage(ctx, v.Info()); err != nil {
+				return fmt.Errorf("cluster: peer %d attach: %w", i, err)
+			}
+		}
+	}
+	// Full mesh.
+	for _, p := range c.Peers {
+		for _, q := range c.Peers {
+			if p.ID() == q.ID() {
+				continue
+			}
+			if err := p.AddPeer(ctx, q.ID(), q.Addr()); err != nil {
+				return fmt.Errorf("cluster: mesh: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Config returns the (defaulted) configuration the cluster was built from.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// RunControlCycle executes one control round across the whole deployment:
+// the global controller's cycle (Flat/Hierarchical), or one concurrent
+// cycle on every peer (Coordinated). For coordinated clusters the mean of
+// the peers' phase breakdowns is recorded as the round's latency.
+func (c *Cluster) RunControlCycle(ctx context.Context) (telemetry.Breakdown, error) {
+	if c.Global != nil {
+		return c.Global.RunCycle(ctx)
+	}
+	n := len(c.Peers)
+	if n == 0 {
+		return telemetry.Breakdown{}, controller.ErrNoChildren
+	}
+	breakdowns := make([]telemetry.Breakdown, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, p := range c.Peers {
+		wg.Add(1)
+		go func(i int, p *controller.Peer) {
+			defer wg.Done()
+			breakdowns[i], errs[i] = p.RunCycle(ctx)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return telemetry.Breakdown{}, err
+		}
+	}
+	var mean telemetry.Breakdown
+	for _, b := range breakdowns {
+		mean.Collect += b.Collect
+		mean.Compute += b.Compute
+		mean.Enforce += b.Enforce
+		mean.Total += b.Total
+	}
+	mean.Collect /= time.Duration(n)
+	mean.Compute /= time.Duration(n)
+	mean.Enforce /= time.Duration(n)
+	mean.Total /= time.Duration(n)
+	c.recorder.Record(mean)
+	return mean, nil
+}
+
+// Recorder returns the deployment's control-round latency recorder.
+func (c *Cluster) Recorder() *telemetry.CycleRecorder {
+	if c.Global != nil {
+		return c.Global.Recorder()
+	}
+	return c.recorder
+}
+
+// Close tears the whole deployment down.
+func (c *Cluster) Close() {
+	if c.Global != nil {
+		c.Global.Close()
+	}
+	for _, a := range c.Aggregators {
+		a.Close()
+	}
+	for _, p := range c.Peers {
+		p.Close()
+	}
+	for _, v := range c.Stages {
+		v.Close()
+	}
+}
+
+// RoleUsage is one controller role's resource consumption over a window —
+// one row block of the paper's Tables II-IV.
+type RoleUsage struct {
+	// CPUPercent is busy time over the window (100 = one core).
+	CPUPercent float64
+	// MemBytes is the role's estimated state size.
+	MemBytes uint64
+	// TxMBps and RxMBps are average send/receive rates in MB/s.
+	TxMBps, RxMBps float64
+}
+
+// MemGB returns memory in decimal gigabytes.
+func (u RoleUsage) MemGB() float64 { return float64(u.MemBytes) / 1e9 }
+
+// UsageCollector measures role resource usage between Start and Stop.
+type UsageCollector struct {
+	cluster *Cluster
+	start   time.Time
+
+	gTx, gRx   uint64
+	gBusy      time.Duration
+	aTx, aRx   []uint64
+	aBusy      []time.Duration
+	stagesMem  uint64
+	collecting bool
+}
+
+// NewUsageCollector creates a collector for the cluster.
+func NewUsageCollector(c *Cluster) *UsageCollector {
+	return &UsageCollector{cluster: c}
+}
+
+// midTier returns the cluster's mid-tier roles and their memory reporters:
+// aggregators for Hierarchical, peer controllers for Coordinated.
+func (c *Cluster) midTier() ([]Roles, []monitor.MemoryReporter) {
+	if len(c.Peers) > 0 {
+		reporters := make([]monitor.MemoryReporter, len(c.Peers))
+		for i, p := range c.Peers {
+			reporters[i] = p
+		}
+		return c.PeerRoles, reporters
+	}
+	reporters := make([]monitor.MemoryReporter, len(c.Aggregators))
+	for i, a := range c.Aggregators {
+		reporters[i] = a
+	}
+	return c.AggregatorRoles, reporters
+}
+
+// Start snapshots all meters, opening the measurement window.
+func (u *UsageCollector) Start() {
+	c := u.cluster
+	u.start = time.Now()
+	if c.Global != nil {
+		u.gTx, u.gRx = c.GlobalRole.Meter.Snapshot()
+		u.gBusy = c.GlobalRole.CPU.Busy()
+	}
+	u.aTx = u.aTx[:0]
+	u.aRx = u.aRx[:0]
+	u.aBusy = u.aBusy[:0]
+	roles, _ := c.midTier()
+	for _, r := range roles {
+		tx, rx := r.Meter.Snapshot()
+		u.aTx = append(u.aTx, tx)
+		u.aRx = append(u.aRx, rx)
+		u.aBusy = append(u.aBusy, r.CPU.Busy())
+	}
+	u.collecting = true
+}
+
+// Stop closes the window and reports the global controller's usage (zero
+// for Coordinated clusters, which have none) plus the mean per-mid-tier
+// controller usage, matching the paper's table layout ("average resource
+// consumption per aggregator controller").
+func (u *UsageCollector) Stop() (global RoleUsage, aggregator RoleUsage, elapsed time.Duration) {
+	if !u.collecting {
+		return RoleUsage{}, RoleUsage{}, 0
+	}
+	u.collecting = false
+	c := u.cluster
+	elapsed = time.Since(u.start)
+
+	if c.Global != nil {
+		tx, rx := c.GlobalRole.Meter.Snapshot()
+		global = RoleUsage{
+			CPUPercent: pct(c.GlobalRole.CPU.Busy()-u.gBusy, elapsed),
+			MemBytes:   c.Global.MemoryFootprint(),
+			TxMBps:     transport.Rate(tx-u.gTx, elapsed),
+			RxMBps:     transport.Rate(rx-u.gRx, elapsed),
+		}
+	}
+
+	roles, reporters := c.midTier()
+	n := len(roles)
+	if n == 0 {
+		return global, RoleUsage{}, elapsed
+	}
+	for i, r := range roles {
+		atx, arx := r.Meter.Snapshot()
+		aggregator.CPUPercent += pct(r.CPU.Busy()-u.aBusy[i], elapsed)
+		aggregator.MemBytes += reporters[i].MemoryFootprint()
+		aggregator.TxMBps += transport.Rate(atx-u.aTx[i], elapsed)
+		aggregator.RxMBps += transport.Rate(arx-u.aRx[i], elapsed)
+	}
+	aggregator.CPUPercent /= float64(n)
+	aggregator.MemBytes /= uint64(n)
+	aggregator.TxMBps /= float64(n)
+	aggregator.RxMBps /= float64(n)
+	return global, aggregator, elapsed
+}
+
+func pct(busy, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	p := 100 * float64(busy) / float64(elapsed)
+	if p < 0 {
+		return 0
+	}
+	return p
+}

@@ -1,0 +1,465 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// fastNet removes simulated latency for logic tests.
+func fastNet() simnet.Config { return simnet.Config{PropDelay: -1} }
+
+func TestBuildFlat(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 20, Jobs: 4, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if len(c.Stages) != 20 {
+		t.Errorf("stages = %d", len(c.Stages))
+	}
+	if len(c.Aggregators) != 0 {
+		t.Errorf("aggregators = %d, want 0 for flat", len(c.Aggregators))
+	}
+	if c.Global.NumChildren() != 20 {
+		t.Errorf("global children = %d", c.Global.NumChildren())
+	}
+	if c.Global.NumStages() != 20 {
+		t.Errorf("global stages = %d", c.Global.NumStages())
+	}
+	if _, err := c.Global.RunCycle(context.Background()); err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+	for i, v := range c.Stages {
+		if _, ok := v.LastRule(); !ok {
+			t.Fatalf("stage %d got no rule", i)
+		}
+	}
+}
+
+func TestBuildHierarchical(t *testing.T) {
+	c, err := Build(Config{Topology: Hierarchical, Stages: 24, Jobs: 4, Aggregators: 3, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if len(c.Aggregators) != 3 {
+		t.Fatalf("aggregators = %d", len(c.Aggregators))
+	}
+	for i, a := range c.Aggregators {
+		if a.NumStages() != 8 {
+			t.Errorf("aggregator %d stages = %d, want 8", i, a.NumStages())
+		}
+	}
+	if c.Global.NumChildren() != 3 || c.Global.NumStages() != 24 {
+		t.Errorf("global children/stages = %d/%d", c.Global.NumChildren(), c.Global.NumStages())
+	}
+	if _, err := c.Global.RunCycle(context.Background()); err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+	for i, v := range c.Stages {
+		if _, ok := v.LastRule(); !ok {
+			t.Fatalf("stage %d got no rule", i)
+		}
+	}
+}
+
+func TestBuildHierarchicalUnevenPartition(t *testing.T) {
+	c, err := Build(Config{Topology: Hierarchical, Stages: 10, Aggregators: 3, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	total := 0
+	for _, a := range c.Aggregators {
+		total += a.NumStages()
+	}
+	if total != 10 {
+		t.Errorf("partitioned stages = %d, want 10", total)
+	}
+	if _, err := c.Global.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultAggregatorCount(t *testing.T) {
+	cfg := Config{Topology: Hierarchical, Stages: 6000}.withDefaults()
+	// 6000 stages need ceil(6000/2500) = 3 aggregators.
+	if cfg.Aggregators != 3 {
+		t.Errorf("default aggregators = %d, want 3", cfg.Aggregators)
+	}
+}
+
+func TestDefaultCapacityScalesWithStages(t *testing.T) {
+	cfg := Config{Topology: Flat, Stages: 100}.withDefaults()
+	if cfg.Capacity[wire.ClassData] != 50000 {
+		t.Errorf("default data capacity = %g", cfg.Capacity[wire.ClassData])
+	}
+}
+
+func TestBuildRejectsZeroStages(t *testing.T) {
+	if _, err := Build(Config{Topology: Flat, Stages: 0}); err == nil {
+		t.Fatal("Build with 0 stages succeeded")
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if Flat.String() != "flat" || Hierarchical.String() != "hierarchical" {
+		t.Error("topology names wrong")
+	}
+	if !strings.Contains(Topology(9).String(), "9") {
+		t.Error("unknown topology name")
+	}
+}
+
+func TestFlatConnectionLimit(t *testing.T) {
+	// With the paper's 2,500-connection limit scaled down to 10, a flat
+	// build over 11 stages must fail — the §IV-A scalability cliff.
+	_, err := Build(Config{
+		Topology: Flat,
+		Stages:   11,
+		Net:      simnet.Config{PropDelay: -1, MaxConnsPerHost: 10},
+	})
+	if err == nil {
+		t.Fatal("flat build beyond the connection limit succeeded")
+	}
+}
+
+func TestHierarchicalEscapesConnectionLimit(t *testing.T) {
+	// Same limit, but 2 aggregators of 6 connections each fit, proving the
+	// hierarchy's reason to exist.
+	c, err := Build(Config{
+		Topology:    Hierarchical,
+		Stages:      11,
+		Aggregators: 2,
+		Net:         simnet.Config{PropDelay: -1, MaxConnsPerHost: 10},
+	})
+	if err != nil {
+		t.Fatalf("hierarchical build under the same limit failed: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Global.RunCycle(context.Background()); err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+}
+
+func TestBuildCoordinated(t *testing.T) {
+	c, err := Build(Config{Topology: Coordinated, Stages: 12, Jobs: 3, Aggregators: 3, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if c.Global != nil {
+		t.Error("coordinated cluster has a global controller")
+	}
+	if len(c.Peers) != 3 {
+		t.Fatalf("peers = %d", len(c.Peers))
+	}
+	for i, p := range c.Peers {
+		if p.NumStages() != 4 {
+			t.Errorf("peer %d stages = %d, want 4", i, p.NumStages())
+		}
+		if p.NumPeers() != 2 {
+			t.Errorf("peer %d mesh = %d, want 2", i, p.NumPeers())
+		}
+	}
+
+	ctx := context.Background()
+	// Two rounds: aggregates propagate in round 1, so round 2 computes
+	// with global visibility everywhere.
+	for round := 0; round < 2; round++ {
+		if _, err := c.RunControlCycle(ctx); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// Default capacity = 12 × 500 data; global view has 12 stages: each
+	// stage's limit must equal 500, same as the other topologies.
+	for i, v := range c.Stages {
+		rule, ok := v.LastRule()
+		if !ok {
+			t.Fatalf("stage %d got no rule", i)
+		}
+		if rule.Limit[wire.ClassData] != 500 {
+			t.Errorf("stage %d limit = %g, want 500", i, rule.Limit[wire.ClassData])
+		}
+	}
+	if c.Recorder().Cycles() != 2 {
+		t.Errorf("recorded rounds = %d", c.Recorder().Cycles())
+	}
+}
+
+func TestCoordinatedEscapesConnectionLimit(t *testing.T) {
+	// Same 10-connection limit as the flat/hierarchical tests: 11 stages
+	// need at least 2 peers.
+	c, err := Build(Config{
+		Topology:    Coordinated,
+		Stages:      11,
+		Aggregators: 2,
+		Net:         simnet.Config{PropDelay: -1, MaxConnsPerHost: 10},
+	})
+	if err != nil {
+		t.Fatalf("coordinated build under the limit failed: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.RunControlCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatedUsageCollector(t *testing.T) {
+	c, err := Build(Config{Topology: Coordinated, Stages: 8, Aggregators: 2, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	uc := NewUsageCollector(c)
+	uc.Start()
+	for i := 0; i < 3; i++ {
+		if _, err := c.RunControlCycle(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	global, peer, elapsed := uc.Stop()
+	if elapsed <= 0 {
+		t.Fatal("no window")
+	}
+	if global.TxMBps != 0 || global.CPUPercent != 0 {
+		t.Errorf("coordinated global usage = %+v, want zero (no global controller)", global)
+	}
+	if peer.TxMBps <= 0 || peer.RxMBps <= 0 || peer.MemBytes == 0 {
+		t.Errorf("per-peer usage = %+v, want nonzero", peer)
+	}
+}
+
+func TestUsageCollector(t *testing.T) {
+	c, err := Build(Config{Topology: Hierarchical, Stages: 12, Aggregators: 2, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	uc := NewUsageCollector(c)
+	uc.Start()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Global.RunCycle(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	global, agg, elapsed := uc.Stop()
+	if elapsed <= 0 {
+		t.Fatal("elapsed <= 0")
+	}
+	if global.TxMBps <= 0 || global.RxMBps <= 0 {
+		t.Errorf("global network = %g/%g MB/s, want > 0", global.TxMBps, global.RxMBps)
+	}
+	if agg.TxMBps <= 0 || agg.RxMBps <= 0 {
+		t.Errorf("aggregator network = %g/%g MB/s, want > 0", agg.TxMBps, agg.RxMBps)
+	}
+	if global.MemBytes == 0 || agg.MemBytes == 0 {
+		t.Error("memory footprints are zero")
+	}
+	if global.CPUPercent < 0 || agg.CPUPercent < 0 {
+		t.Error("negative CPU percent")
+	}
+}
+
+func TestUsageCollectorStopWithoutStart(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 2, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	uc := NewUsageCollector(c)
+	g, a, elapsed := uc.Stop()
+	if elapsed != 0 || g.TxMBps != 0 || a.TxMBps != 0 {
+		t.Error("Stop without Start returned data")
+	}
+}
+
+func TestRoleUsageMemGB(t *testing.T) {
+	u := RoleUsage{MemBytes: 2_500_000_000}
+	if u.MemGB() != 2.5 {
+		t.Errorf("MemGB = %g", u.MemGB())
+	}
+}
+
+// TestDependabilityControllerRestart exercises the paper's §VI
+// dependability observation: when the controller fails, stages keep
+// enforcing their last rules (no storage unavailability), and a restarted
+// controller re-adopts the fleet and resumes QoS control.
+func TestDependabilityControllerRestart(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 6, Jobs: 2, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Global.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot the enforced rules, then kill the controller.
+	rules := make([]wire.Rule, len(c.Stages))
+	for i, v := range c.Stages {
+		r, ok := v.LastRule()
+		if !ok {
+			t.Fatalf("stage %d unruled before failure", i)
+		}
+		rules[i] = r
+	}
+	c.Global.Close()
+
+	// The data plane keeps enforcing the last rules: the stages' state is
+	// untouched by the controller's death.
+	for i, v := range c.Stages {
+		r, ok := v.LastRule()
+		if !ok || r != rules[i] {
+			t.Errorf("stage %d lost its rule after controller failure", i)
+		}
+	}
+
+	// A replacement controller adopts the same stages and resumes control.
+	replacement, err := controller.NewGlobal(controller.GlobalConfig{
+		Network:  c.Net.Host("global-2"),
+		Capacity: wire.Rates{1200, 120}, // different capacity: rules must change
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replacement.Close()
+	for _, v := range c.Stages {
+		if err := replacement.AddStage(ctx, v.Info()); err != nil {
+			t.Fatalf("re-adopt: %v", err)
+		}
+	}
+	if _, err := replacement.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c.Stages {
+		r, _ := v.LastRule()
+		if r == rules[i] {
+			t.Errorf("stage %d rule unchanged after takeover", i)
+		}
+		if r.Limit[wire.ClassData] != 200 { // 1200 over 6 stages
+			t.Errorf("stage %d new limit = %g, want 200", i, r.Limit[wire.ClassData])
+		}
+	}
+}
+
+// TestDependabilityAggregatorLoss: losing one aggregator must not stop the
+// control plane — the remaining partitions keep being managed.
+func TestDependabilityAggregatorLoss(t *testing.T) {
+	c, err := Build(Config{Topology: Hierarchical, Stages: 12, Jobs: 2, Aggregators: 3, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Global.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Aggregators[1].Close()
+	// Survivors keep receiving rules; the dead partition's stages keep
+	// their last rules. Run enough cycles to also trigger eviction.
+	var before [12]uint64
+	for i, v := range c.Stages {
+		before[i], _ = v.Counters()
+	}
+	for i := 0; i < 4; i++ {
+		c.Global.RunCycle(ctx)
+	}
+	if got := c.Global.NumChildren(); got != 2 {
+		t.Errorf("children after aggregator loss = %d, want 2", got)
+	}
+	for i, v := range c.Stages {
+		after, _ := v.Counters()
+		inDeadPartition := i >= 4 && i < 8 // aggregator 1's contiguous slice
+		if inDeadPartition {
+			if _, ok := v.LastRule(); !ok {
+				t.Errorf("orphaned stage %d lost its rule", i)
+			}
+		} else if after <= before[i] {
+			t.Errorf("surviving stage %d no longer collected", i)
+		}
+	}
+}
+
+// TestDependabilityNetworkPartition injects a network partition (rather
+// than a clean shutdown): the aggregator's host becomes unreachable, its
+// established connections are severed mid-flight, and the control plane
+// must evict it and keep serving the reachable partitions.
+func TestDependabilityNetworkPartition(t *testing.T) {
+	c, err := Build(Config{
+		Topology: Hierarchical, Stages: 9, Jobs: 3, Aggregators: 3,
+		Net:         fastNet(),
+		CallTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Global.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition aggregator 1's host: dials fail and existing connections
+	// die, including the global's connection to it and its connections to
+	// its stages.
+	c.Net.Host("agg-2").SetPartitioned(true)
+
+	for i := 0; i < 4; i++ {
+		if _, err := c.Global.RunCycle(ctx); err != nil {
+			t.Fatalf("cycle during partition: %v", err)
+		}
+	}
+	if got := c.Global.NumChildren(); got != 2 {
+		t.Errorf("children after partition = %d, want 2", got)
+	}
+	if c.Global.CallErrors() == 0 {
+		t.Error("no call errors recorded despite partition")
+	}
+	// Reachable stages keep being managed.
+	before := make([]uint64, len(c.Stages))
+	for i, v := range c.Stages {
+		before[i], _ = v.Counters()
+	}
+	if _, err := c.Global.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c.Stages {
+		after, _ := v.Counters()
+		inPartition := i >= 3 && i < 6 // agg-2's contiguous slice
+		if !inPartition && after <= before[i] {
+			t.Errorf("reachable stage %d no longer collected", i)
+		}
+	}
+}
+
+func TestStressCyclesAccumulate(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 10, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	c.Global.Run(ctx, 0)
+	if c.Global.Recorder().Cycles() < 5 {
+		t.Errorf("stress run completed %d cycles", c.Global.Recorder().Cycles())
+	}
+	s := c.Global.Recorder().Summarize()
+	if s.Total.Mean <= 0 {
+		t.Error("mean cycle latency is zero")
+	}
+}

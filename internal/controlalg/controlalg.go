@@ -1,0 +1,354 @@
+// Package controlalg implements the control algorithms the global
+// controller runs in the compute phase of every control cycle.
+//
+// The paper's study runs PSFA — proportional sharing without false
+// allocation (from the Cheferd work) — which assigns each job a weighted
+// share of the PFS's administrator-configured maximum operation rate while
+// (a) never allocating capacity a job is not demanding ("no false
+// allocation") and (b) proportionally redistributing leftover capacity to
+// active jobs ("no under-provisioning"). Baseline algorithms with the
+// classic flaws are included for comparison benchmarks.
+package controlalg
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// JobInput is one job's state as seen by the algorithm: its QoS weight and
+// its cluster-wide aggregated demand.
+type JobInput struct {
+	// JobID identifies the job.
+	JobID uint64
+	// Weight is the job's QoS weight; higher weights receive
+	// proportionally more capacity under saturation. Non-positive weights
+	// are treated as 1.
+	Weight float64
+	// Demand is the job's aggregate attempted operation rate per class.
+	Demand wire.Rates
+	// Stages is the number of data-plane stages serving the job.
+	Stages uint32
+}
+
+// JobAllocation is the algorithm's output for one job: the cluster-wide
+// per-class rate the job may be admitted at.
+type JobAllocation struct {
+	// JobID identifies the job.
+	JobID uint64
+	// Limit is the allocated rate ceiling per class.
+	Limit wire.Rates
+}
+
+// Algorithm computes per-job allocations from per-job demands and the
+// administrator-configured capacity of the shared PFS.
+type Algorithm interface {
+	// Name returns the algorithm's registry name.
+	Name() string
+	// Allocate distributes capacity over jobs. Implementations must return
+	// one allocation per input job, in the same order.
+	Allocate(jobs []JobInput, capacity wire.Rates) []JobAllocation
+}
+
+// weight returns the sanitized weight of a job.
+func weight(j JobInput) float64 {
+	if j.Weight <= 0 {
+		return 1
+	}
+	return j.Weight
+}
+
+// PSFA is proportional sharing without false allocation: a demand-aware,
+// weighted water-filling allocator.
+//
+// Per operation class, with capacity C, demands d_i and weights w_i:
+//
+//   - If Σd ≤ C (under-load): every job gets its demand plus a weighted
+//     share of the leftover C-Σd, distributed across active jobs (d_i > 0),
+//     so capacity is never left stranded.
+//   - If Σd > C (saturation): allocations are min(d_i, λ·w_i) with λ chosen
+//     so Σ alloc = C — jobs demanding less than their fair share keep only
+//     their demand (no false allocation) and the residue raises everyone
+//     else's water level proportionally to weight.
+type PSFA struct{}
+
+// Name implements Algorithm.
+func (PSFA) Name() string { return "psfa" }
+
+// Allocate implements Algorithm.
+func (PSFA) Allocate(jobs []JobInput, capacity wire.Rates) []JobAllocation {
+	out := newAllocations(jobs)
+	for c := 0; c < int(wire.NumClasses); c++ {
+		allocateClass(jobs, out, wire.OpClass(c), capacity[c])
+	}
+	return out
+}
+
+// allocateClass runs PSFA for one operation class, writing into out.
+func allocateClass(jobs []JobInput, out []JobAllocation, class wire.OpClass, capacity float64) {
+	if capacity <= 0 || len(jobs) == 0 {
+		return
+	}
+	var totalDemand, activeWeight float64
+	for i := range jobs {
+		totalDemand += jobs[i].Demand[class]
+		if jobs[i].Demand[class] > 0 {
+			activeWeight += weight(jobs[i])
+		}
+	}
+
+	if totalDemand <= capacity {
+		// Under-load: satisfy all demand, spread leftover over active jobs
+		// by weight. With no active jobs, leave allocations at zero demand
+		// plus an equal-weight split so newly arriving work can start.
+		leftover := capacity - totalDemand
+		if activeWeight > 0 {
+			for i := range jobs {
+				alloc := jobs[i].Demand[class]
+				if jobs[i].Demand[class] > 0 {
+					alloc += leftover * weight(jobs[i]) / activeWeight
+				}
+				out[i].Limit[class] = alloc
+			}
+			return
+		}
+		var totalWeight float64
+		for i := range jobs {
+			totalWeight += weight(jobs[i])
+		}
+		for i := range jobs {
+			out[i].Limit[class] = capacity * weight(jobs[i]) / totalWeight
+		}
+		return
+	}
+
+	// Saturation: weighted water-filling with demand caps.
+	idx := make([]int, len(jobs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ja, jb := jobs[idx[a]], jobs[idx[b]]
+		return ja.Demand[class]/weight(ja) < jb.Demand[class]/weight(jb)
+	})
+
+	remaining := capacity
+	remainingWeight := 0.0
+	for i := range jobs {
+		remainingWeight += weight(jobs[i])
+	}
+	for _, i := range idx {
+		w := weight(jobs[i])
+		fair := remaining * w / remainingWeight
+		alloc := jobs[i].Demand[class]
+		if alloc > fair {
+			alloc = fair
+		}
+		out[i].Limit[class] = alloc
+		remaining -= alloc
+		remainingWeight -= w
+		if remainingWeight <= 0 {
+			break
+		}
+	}
+}
+
+// Uniform is the naive baseline: capacity split equally across jobs,
+// ignoring both demand and weights. It exhibits classic false allocation —
+// idle jobs hold capacity hostage.
+type Uniform struct{}
+
+// Name implements Algorithm.
+func (Uniform) Name() string { return "uniform" }
+
+// Allocate implements Algorithm.
+func (Uniform) Allocate(jobs []JobInput, capacity wire.Rates) []JobAllocation {
+	out := newAllocations(jobs)
+	if len(jobs) == 0 {
+		return out
+	}
+	n := float64(len(jobs))
+	for i := range out {
+		for c := range out[i].Limit {
+			out[i].Limit[c] = capacity[c] / n
+		}
+	}
+	return out
+}
+
+// WeightedStatic is proportional sharing WITH false allocation: each job
+// receives its weighted share of capacity regardless of demand. It honors
+// priorities but strands the capacity of under-demanding jobs.
+type WeightedStatic struct{}
+
+// Name implements Algorithm.
+func (WeightedStatic) Name() string { return "weighted-static" }
+
+// Allocate implements Algorithm.
+func (WeightedStatic) Allocate(jobs []JobInput, capacity wire.Rates) []JobAllocation {
+	out := newAllocations(jobs)
+	var totalWeight float64
+	for i := range jobs {
+		totalWeight += weight(jobs[i])
+	}
+	if totalWeight == 0 {
+		return out
+	}
+	for i := range out {
+		share := weight(jobs[i]) / totalWeight
+		for c := range out[i].Limit {
+			out[i].Limit[c] = capacity[c] * share
+		}
+	}
+	return out
+}
+
+// MaxMin is unweighted demand-aware max-min fairness: PSFA with all weights
+// forced to 1. Included to isolate the effect of weights in ablations.
+type MaxMin struct{}
+
+// Name implements Algorithm.
+func (MaxMin) Name() string { return "maxmin" }
+
+// Allocate implements Algorithm.
+func (MaxMin) Allocate(jobs []JobInput, capacity wire.Rates) []JobAllocation {
+	unweighted := make([]JobInput, len(jobs))
+	copy(unweighted, jobs)
+	for i := range unweighted {
+		unweighted[i].Weight = 1
+	}
+	return PSFA{}.Allocate(unweighted, capacity)
+}
+
+// StrictPriority serves jobs in descending weight order: a job's demand is
+// satisfied in full (capacity permitting) before any lower-weight job
+// receives anything; ties share their level's remainder by demand-aware
+// equal-weight water-filling. It models the hard I/O-prioritization
+// policies of systems like PriorityMeister — effective for the top job,
+// starvation-prone for the rest, which is why the paper's study uses the
+// fairness-preserving PSFA instead.
+type StrictPriority struct{}
+
+// Name implements Algorithm.
+func (StrictPriority) Name() string { return "strict-priority" }
+
+// Allocate implements Algorithm.
+func (StrictPriority) Allocate(jobs []JobInput, capacity wire.Rates) []JobAllocation {
+	out := newAllocations(jobs)
+	// Group job indices by weight, descending.
+	byWeight := make(map[float64][]int)
+	weights := make([]float64, 0, len(jobs))
+	for i := range jobs {
+		w := weight(jobs[i])
+		if _, ok := byWeight[w]; !ok {
+			weights = append(weights, w)
+		}
+		byWeight[w] = append(byWeight[w], i)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(weights)))
+
+	for c := 0; c < int(wire.NumClasses); c++ {
+		remaining := capacity[c]
+		for _, w := range weights {
+			if remaining <= 0 {
+				break
+			}
+			level := byWeight[w]
+			var levelDemand float64
+			for _, i := range level {
+				levelDemand += jobs[i].Demand[wire.OpClass(c)]
+			}
+			if levelDemand <= remaining {
+				// The whole level fits; leftover cascades down.
+				for _, i := range level {
+					out[i].Limit[c] = jobs[i].Demand[wire.OpClass(c)]
+				}
+				remaining -= levelDemand
+				continue
+			}
+			// The level saturates the residue: equal-weight water-fill
+			// within it, then stop.
+			levelJobs := make([]JobInput, len(level))
+			for k, i := range level {
+				levelJobs[k] = jobs[i]
+				levelJobs[k].Weight = 1
+			}
+			levelOut := make([]JobAllocation, len(level))
+			for k := range levelOut {
+				levelOut[k].JobID = levelJobs[k].JobID
+			}
+			allocateClass(levelJobs, levelOut, wire.OpClass(c), remaining)
+			for k, i := range level {
+				out[i].Limit[c] = levelOut[k].Limit[c]
+			}
+			remaining = 0
+		}
+	}
+	return out
+}
+
+// newAllocations pre-sizes the output slice with job IDs filled in.
+func newAllocations(jobs []JobInput) []JobAllocation {
+	out := make([]JobAllocation, len(jobs))
+	for i := range jobs {
+		out[i].JobID = jobs[i].JobID
+	}
+	return out
+}
+
+// New returns the named algorithm, or an error listing the known names.
+func New(name string) (Algorithm, error) {
+	switch name {
+	case "psfa":
+		return PSFA{}, nil
+	case "uniform":
+		return Uniform{}, nil
+	case "weighted-static":
+		return WeightedStatic{}, nil
+	case "maxmin":
+		return MaxMin{}, nil
+	case "strict-priority":
+		return StrictPriority{}, nil
+	}
+	return nil, fmt.Errorf("controlalg: unknown algorithm %q (known: psfa, uniform, weighted-static, maxmin, strict-priority)", name)
+}
+
+// SplitProportional divides a job's cluster-wide allocation into per-stage
+// limits proportional to each stage's observed demand, falling back to an
+// even split for classes with no demand anywhere. Used by the flat design,
+// where the controller sees every stage's report.
+func SplitProportional(alloc wire.Rates, stageDemands []wire.Rates) []wire.Rates {
+	n := len(stageDemands)
+	if n == 0 {
+		return nil
+	}
+	var total wire.Rates
+	for _, d := range stageDemands {
+		total = total.Add(d)
+	}
+	out := make([]wire.Rates, n)
+	for c := 0; c < int(wire.NumClasses); c++ {
+		if total[c] > 0 {
+			for i, d := range stageDemands {
+				out[i][c] = alloc[c] * d[c] / total[c]
+			}
+		} else {
+			for i := range out {
+				out[i][c] = alloc[c] / float64(n)
+			}
+		}
+	}
+	return out
+}
+
+// SplitUniform divides a job's cluster-wide allocation evenly across its
+// stages. Used by the hierarchical design, where the global controller only
+// sees pre-aggregated per-job metrics (paper §III-B) and therefore cannot
+// weight stages individually.
+func SplitUniform(alloc wire.Rates, stages int) wire.Rates {
+	if stages <= 0 {
+		return wire.Rates{}
+	}
+	return alloc.Scale(1 / float64(stages))
+}

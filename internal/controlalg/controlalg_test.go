@@ -1,0 +1,464 @@
+package controlalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+const eps = 1e-6
+
+func sumAlloc(allocs []JobAllocation, c wire.OpClass) float64 {
+	var s float64
+	for _, a := range allocs {
+		s += a.Limit[c]
+	}
+	return s
+}
+
+func TestPSFAUnderLoadSatisfiesDemandAndRedistributes(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1, Demand: wire.Rates{100, 0}},
+		{JobID: 2, Weight: 3, Demand: wire.Rates{200, 0}},
+		{JobID: 3, Weight: 1, Demand: wire.Rates{0, 0}}, // idle
+	}
+	allocs := PSFA{}.Allocate(jobs, wire.Rates{1000, 0})
+
+	// Active jobs get demand + weighted leftover (700 split 1:3).
+	if got := allocs[0].Limit[wire.ClassData]; math.Abs(got-(100+700*0.25)) > eps {
+		t.Errorf("job 1 alloc = %g, want 275", got)
+	}
+	if got := allocs[1].Limit[wire.ClassData]; math.Abs(got-(200+700*0.75)) > eps {
+		t.Errorf("job 2 alloc = %g, want 725", got)
+	}
+	// Idle job gets nothing: no false allocation.
+	if got := allocs[2].Limit[wire.ClassData]; got != 0 {
+		t.Errorf("idle job alloc = %g, want 0", got)
+	}
+	if got := sumAlloc(allocs, wire.ClassData); math.Abs(got-1000) > eps {
+		t.Errorf("total = %g, want 1000 (work conservation)", got)
+	}
+}
+
+func TestPSFASaturationWeightedWaterfill(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1, Demand: wire.Rates{1000, 0}},
+		{JobID: 2, Weight: 1, Demand: wire.Rates{1000, 0}},
+		{JobID: 3, Weight: 2, Demand: wire.Rates{1000, 0}},
+	}
+	allocs := PSFA{}.Allocate(jobs, wire.Rates{800, 0})
+	// All saturated: allocations follow weights 1:1:2 over 800 = 200/200/400.
+	if got := allocs[0].Limit[wire.ClassData]; math.Abs(got-200) > eps {
+		t.Errorf("job 1 = %g, want 200", got)
+	}
+	if got := allocs[2].Limit[wire.ClassData]; math.Abs(got-400) > eps {
+		t.Errorf("job 3 = %g, want 400", got)
+	}
+}
+
+func TestPSFASaturationNoFalseAllocation(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1, Demand: wire.Rates{50, 0}},   // tiny demand
+		{JobID: 2, Weight: 1, Demand: wire.Rates{2000, 0}}, // big demand
+	}
+	allocs := PSFA{}.Allocate(jobs, wire.Rates{1000, 0})
+	// Job 1 keeps only its 50 (fair share would be 500); job 2 takes 950.
+	if got := allocs[0].Limit[wire.ClassData]; math.Abs(got-50) > eps {
+		t.Errorf("small job = %g, want its demand 50", got)
+	}
+	if got := allocs[1].Limit[wire.ClassData]; math.Abs(got-950) > eps {
+		t.Errorf("big job = %g, want 950", got)
+	}
+}
+
+func TestPSFAClassesIndependent(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1, Demand: wire.Rates{100, 500}},
+		{JobID: 2, Weight: 1, Demand: wire.Rates{100, 0}},
+	}
+	allocs := PSFA{}.Allocate(jobs, wire.Rates{1000, 300})
+	// Meta is saturated only for job 1 (demand 500 > cap 300).
+	if got := allocs[0].Limit[wire.ClassMeta]; math.Abs(got-300) > eps {
+		t.Errorf("job 1 meta = %g, want 300", got)
+	}
+	if got := allocs[1].Limit[wire.ClassMeta]; got != 0 {
+		t.Errorf("job 2 meta = %g, want 0", got)
+	}
+	// Data is under-loaded; both active jobs share the leftover.
+	if got := sumAlloc(allocs, wire.ClassData); math.Abs(got-1000) > eps {
+		t.Errorf("data total = %g, want 1000", got)
+	}
+}
+
+func TestPSFANoJobs(t *testing.T) {
+	if got := (PSFA{}).Allocate(nil, wire.Rates{1000, 100}); len(got) != 0 {
+		t.Errorf("Allocate(nil) = %v", got)
+	}
+}
+
+func TestPSFAZeroCapacity(t *testing.T) {
+	jobs := []JobInput{{JobID: 1, Weight: 1, Demand: wire.Rates{100, 100}}}
+	allocs := PSFA{}.Allocate(jobs, wire.Rates{})
+	if !allocs[0].Limit.IsZero() {
+		t.Errorf("alloc with zero capacity = %v", allocs[0].Limit)
+	}
+}
+
+func TestPSFAAllIdleSplitsByWeight(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1},
+		{JobID: 2, Weight: 3},
+	}
+	allocs := PSFA{}.Allocate(jobs, wire.Rates{400, 0})
+	if got := allocs[0].Limit[wire.ClassData]; math.Abs(got-100) > eps {
+		t.Errorf("idle job 1 = %g, want 100", got)
+	}
+	if got := allocs[1].Limit[wire.ClassData]; math.Abs(got-300) > eps {
+		t.Errorf("idle job 2 = %g, want 300", got)
+	}
+}
+
+func TestPSFANonPositiveWeightsTreatedAsOne(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 0, Demand: wire.Rates{1000, 0}},
+		{JobID: 2, Weight: -5, Demand: wire.Rates{1000, 0}},
+	}
+	allocs := PSFA{}.Allocate(jobs, wire.Rates{600, 0})
+	if math.Abs(allocs[0].Limit[wire.ClassData]-300) > eps ||
+		math.Abs(allocs[1].Limit[wire.ClassData]-300) > eps {
+		t.Errorf("allocs = %v, %v; want 300 each", allocs[0].Limit, allocs[1].Limit)
+	}
+}
+
+// randomJobs builds a random job set for property tests.
+func randomJobs(rng *rand.Rand, n int) []JobInput {
+	jobs := make([]JobInput, n)
+	for i := range jobs {
+		jobs[i] = JobInput{
+			JobID:  uint64(i + 1),
+			Weight: float64(rng.Intn(8) + 1),
+			Demand: wire.Rates{
+				float64(rng.Intn(2000)),
+				float64(rng.Intn(200)),
+			},
+			Stages: uint32(rng.Intn(10) + 1),
+		}
+	}
+	return jobs
+}
+
+// TestPSFAInvariantsProperty checks the three defining properties over
+// random inputs: work conservation (Σ alloc = capacity whenever any
+// capacity exists and jobs exist), no false allocation under saturation
+// (alloc ≤ demand), and demand satisfaction under under-load.
+func TestPSFAInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, capData, capMeta uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%20 + 1
+		jobs := randomJobs(rng, n)
+		capacity := wire.Rates{float64(capData) + 1, float64(capMeta) + 1}
+		allocs := PSFA{}.Allocate(jobs, capacity)
+		if len(allocs) != n {
+			return false
+		}
+		for c := wire.OpClass(0); c < wire.NumClasses; c++ {
+			var totalDemand float64
+			for i := range jobs {
+				totalDemand += jobs[i].Demand[c]
+			}
+			total := sumAlloc(allocs, c)
+			// Work conservation: full capacity always distributed.
+			if math.Abs(total-capacity[c]) > 1e-6*math.Max(1, capacity[c]) {
+				return false
+			}
+			saturated := totalDemand > capacity[c]
+			for i := range jobs {
+				a := allocs[i].Limit[c]
+				if a < -eps {
+					return false
+				}
+				if saturated && a > jobs[i].Demand[c]+eps {
+					return false // false allocation
+				}
+				if !saturated && a < jobs[i].Demand[c]-eps {
+					return false // demand not satisfied under under-load
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPSFAWeightedFairnessProperty: under saturation, any two jobs whose
+// allocations are both strictly below their demands (i.e. both limited by
+// the water level) receive capacity proportional to their weights.
+func TestPSFAWeightedFairnessProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%10 + 2
+		jobs := randomJobs(rng, n)
+		var totalDemand float64
+		for i := range jobs {
+			totalDemand += jobs[i].Demand[wire.ClassData]
+		}
+		capacity := wire.Rates{totalDemand / 2, 1}
+		if capacity[wire.ClassData] <= 0 {
+			return true
+		}
+		allocs := PSFA{}.Allocate(jobs, capacity)
+		for i := range jobs {
+			for j := range jobs {
+				ai, aj := allocs[i].Limit[wire.ClassData], allocs[j].Limit[wire.ClassData]
+				di, dj := jobs[i].Demand[wire.ClassData], jobs[j].Demand[wire.ClassData]
+				if ai < di-eps && aj < dj-eps && ai > eps && aj > eps {
+					ri := ai / weight(jobs[i])
+					rj := aj / weight(jobs[j])
+					if math.Abs(ri-rj) > 1e-3*math.Max(ri, rj) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformBaseline(t *testing.T) {
+	jobs := randomJobs(rand.New(rand.NewSource(1)), 4)
+	allocs := Uniform{}.Allocate(jobs, wire.Rates{1000, 100})
+	for i, a := range allocs {
+		if math.Abs(a.Limit[wire.ClassData]-250) > eps {
+			t.Errorf("job %d data = %g, want 250", i, a.Limit[wire.ClassData])
+		}
+		if math.Abs(a.Limit[wire.ClassMeta]-25) > eps {
+			t.Errorf("job %d meta = %g, want 25", i, a.Limit[wire.ClassMeta])
+		}
+	}
+	if got := (Uniform{}).Allocate(nil, wire.Rates{1000, 0}); len(got) != 0 {
+		t.Error("Uniform with no jobs")
+	}
+}
+
+func TestWeightedStaticBaseline(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1, Demand: wire.Rates{0, 0}}, // idle but still allocated!
+		{JobID: 2, Weight: 3, Demand: wire.Rates{900, 0}},
+	}
+	allocs := WeightedStatic{}.Allocate(jobs, wire.Rates{1000, 0})
+	// The defining flaw: the idle job holds 250 hostage.
+	if got := allocs[0].Limit[wire.ClassData]; math.Abs(got-250) > eps {
+		t.Errorf("idle job static share = %g, want 250 (false allocation)", got)
+	}
+	if got := allocs[1].Limit[wire.ClassData]; math.Abs(got-750) > eps {
+		t.Errorf("busy job static share = %g, want 750", got)
+	}
+}
+
+func TestMaxMinIgnoresWeights(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 10, Demand: wire.Rates{1000, 0}},
+		{JobID: 2, Weight: 1, Demand: wire.Rates{1000, 0}},
+	}
+	allocs := MaxMin{}.Allocate(jobs, wire.Rates{600, 0})
+	if math.Abs(allocs[0].Limit[wire.ClassData]-300) > eps ||
+		math.Abs(allocs[1].Limit[wire.ClassData]-300) > eps {
+		t.Errorf("maxmin allocs = %v / %v, want 300 each", allocs[0].Limit, allocs[1].Limit)
+	}
+}
+
+func TestMaxMinDoesNotMutateInput(t *testing.T) {
+	jobs := []JobInput{{JobID: 1, Weight: 10, Demand: wire.Rates{100, 0}}}
+	MaxMin{}.Allocate(jobs, wire.Rates{600, 0})
+	if jobs[0].Weight != 10 {
+		t.Errorf("MaxMin mutated input weight to %g", jobs[0].Weight)
+	}
+}
+
+func TestStrictPriorityOrdering(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1, Demand: wire.Rates{1000, 0}}, // low priority
+		{JobID: 2, Weight: 5, Demand: wire.Rates{800, 0}},  // high priority
+		{JobID: 3, Weight: 3, Demand: wire.Rates{500, 0}},  // middle
+	}
+	allocs := StrictPriority{}.Allocate(jobs, wire.Rates{1000, 0})
+	// Priority order: job 2 (800, fully), then job 3 (200 of 500), job 1
+	// starves.
+	if got := allocs[1].Limit[wire.ClassData]; math.Abs(got-800) > eps {
+		t.Errorf("high-priority job = %g, want 800 (full demand)", got)
+	}
+	if got := allocs[2].Limit[wire.ClassData]; math.Abs(got-200) > eps {
+		t.Errorf("middle job = %g, want the 200 residue", got)
+	}
+	if got := allocs[0].Limit[wire.ClassData]; got != 0 {
+		t.Errorf("low-priority job = %g, want 0 (starved)", got)
+	}
+}
+
+func TestStrictPriorityUnderLoadSatisfiesAll(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 1, Demand: wire.Rates{100, 10}},
+		{JobID: 2, Weight: 9, Demand: wire.Rates{100, 10}},
+	}
+	allocs := StrictPriority{}.Allocate(jobs, wire.Rates{1000, 100})
+	for i, a := range allocs {
+		if a.Limit != jobs[i].Demand {
+			t.Errorf("job %d = %v, want its demand %v", i, a.Limit, jobs[i].Demand)
+		}
+	}
+}
+
+func TestStrictPriorityEqualWeightsShareFairly(t *testing.T) {
+	jobs := []JobInput{
+		{JobID: 1, Weight: 2, Demand: wire.Rates{600, 0}},
+		{JobID: 2, Weight: 2, Demand: wire.Rates{600, 0}},
+	}
+	allocs := StrictPriority{}.Allocate(jobs, wire.Rates{800, 0})
+	if math.Abs(allocs[0].Limit[wire.ClassData]-400) > eps ||
+		math.Abs(allocs[1].Limit[wire.ClassData]-400) > eps {
+		t.Errorf("tie level = %v / %v, want 400 each", allocs[0].Limit, allocs[1].Limit)
+	}
+}
+
+// TestStrictPriorityInvariantsProperty: never exceeds capacity, never
+// exceeds a job's demand, and a higher-weight job is never allocated less
+// than a lower-weight job whose demand it exceeds while unsatisfied.
+func TestStrictPriorityInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, capData uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%10 + 1
+		jobs := randomJobs(rng, n)
+		capacity := wire.Rates{float64(capData) + 1, 100}
+		allocs := StrictPriority{}.Allocate(jobs, capacity)
+		var total float64
+		for i := range allocs {
+			a := allocs[i].Limit[wire.ClassData]
+			if a < -eps || a > jobs[i].Demand[wire.ClassData]+eps {
+				return false
+			}
+			total += a
+		}
+		if total > capacity[wire.ClassData]+eps {
+			return false
+		}
+		// Priority dominance: if a job received anything, every strictly
+		// higher-weight job must be fully satisfied — capacity never
+		// flows past an unsatisfied higher level.
+		for i := range jobs {
+			if allocs[i].Limit[wire.ClassData] > eps {
+				for j := range jobs {
+					if weight(jobs[j]) > weight(jobs[i]) &&
+						allocs[j].Limit[wire.ClassData] < jobs[j].Demand[wire.ClassData]-eps {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"psfa", "uniform", "weighted-static", "maxmin", "strict-priority"} {
+		alg, err := New(name)
+		if err != nil {
+			t.Errorf("New(%q): %v", name, err)
+			continue
+		}
+		if alg.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, alg.Name())
+		}
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("New accepted unknown algorithm")
+	}
+}
+
+func TestSplitProportional(t *testing.T) {
+	stages := []wire.Rates{
+		{300, 0},
+		{100, 0},
+	}
+	split := SplitProportional(wire.Rates{200, 40}, stages)
+	if math.Abs(split[0][wire.ClassData]-150) > eps {
+		t.Errorf("stage 0 data = %g, want 150", split[0][wire.ClassData])
+	}
+	if math.Abs(split[1][wire.ClassData]-50) > eps {
+		t.Errorf("stage 1 data = %g, want 50", split[1][wire.ClassData])
+	}
+	// Meta has no demand anywhere: even split.
+	if math.Abs(split[0][wire.ClassMeta]-20) > eps {
+		t.Errorf("stage 0 meta = %g, want 20", split[0][wire.ClassMeta])
+	}
+	if got := SplitProportional(wire.Rates{100, 0}, nil); got != nil {
+		t.Error("SplitProportional with no stages")
+	}
+}
+
+// TestSplitProportionalConservesProperty: per-stage limits sum to the job's
+// allocation.
+func TestSplitProportionalConservesProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, alloc uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%20 + 1
+		demands := make([]wire.Rates, n)
+		for i := range demands {
+			demands[i] = wire.Rates{float64(rng.Intn(100)), float64(rng.Intn(10))}
+		}
+		a := wire.Rates{float64(alloc), float64(alloc) / 10}
+		split := SplitProportional(a, demands)
+		var sum wire.Rates
+		for _, s := range split {
+			for c := range s {
+				if s[c] < -eps {
+					return false
+				}
+			}
+			sum = sum.Add(s)
+		}
+		return math.Abs(sum[0]-a[0]) < 1e-6*math.Max(1, a[0]) &&
+			math.Abs(sum[1]-a[1]) < 1e-6*math.Max(1, a[1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitUniform(t *testing.T) {
+	got := SplitUniform(wire.Rates{100, 10}, 4)
+	if got != (wire.Rates{25, 2.5}) {
+		t.Errorf("SplitUniform = %v", got)
+	}
+	if got := SplitUniform(wire.Rates{100, 10}, 0); !got.IsZero() {
+		t.Errorf("SplitUniform(0 stages) = %v", got)
+	}
+}
+
+func BenchmarkPSFA16Jobs(b *testing.B) {
+	jobs := randomJobs(rand.New(rand.NewSource(1)), 16)
+	capacity := wire.Rates{10000, 1000}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PSFA{}.Allocate(jobs, capacity)
+	}
+}
+
+func BenchmarkPSFA1000Jobs(b *testing.B) {
+	jobs := randomJobs(rand.New(rand.NewSource(1)), 1000)
+	capacity := wire.Rates{1e6, 1e5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PSFA{}.Allocate(jobs, capacity)
+	}
+}

@@ -1,0 +1,338 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/metrics"
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// AggregatorConfig configures an aggregator controller.
+type AggregatorConfig struct {
+	// ID is the aggregator's cluster-unique identifier.
+	ID uint64
+	// Network is the transport used to listen (for the global controller)
+	// and to dial stages.
+	Network transport.Network
+	// ListenAddr is the address the global controller reaches the
+	// aggregator at (":0" auto-assigns).
+	ListenAddr string
+	// FanOut bounds the aggregator's dispatch parallelism toward its
+	// stages. Zero selects DefaultFanOut.
+	FanOut int
+	// CallTimeout bounds each stage RPC. Zero selects 10 seconds.
+	CallTimeout time.Duration
+	// MaxFailures is the consecutive-failure eviction threshold. Zero
+	// selects DefaultMaxFailures.
+	MaxFailures int
+	// ForwardRaw disables metric pre-aggregation: the aggregator relays
+	// every stage's raw report to the global controller instead of per-job
+	// sums. This exists for the ablation benchmarks that quantify what
+	// pre-aggregation buys (the paper's Table III network asymmetry and
+	// Table IV CPU migration); production deployments leave it false.
+	ForwardRaw bool
+	// LocalControl enables delegated enforcement (paper §VI future work):
+	// the global controller sends per-job capacity budgets (O(jobs)
+	// payload) and this aggregator computes per-stage rules itself from
+	// its latest per-stage demand view. The global controller must run
+	// with GlobalConfig.Delegated.
+	LocalControl bool
+	// Meter, if non-nil, is charged with all the aggregator's traffic.
+	Meter *transport.Meter
+	// CPU, if non-nil, is charged with the aggregator's busy time
+	// (aggregation compute and send-path marshaling).
+	CPU *monitor.CPUMeter
+	// Logf, if non-nil, receives operational logs.
+	Logf func(format string, args ...any)
+}
+
+func (c AggregatorConfig) withDefaults() AggregatorConfig {
+	if c.ListenAddr == "" {
+		c.ListenAddr = ":0"
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = DefaultFanOut
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = DefaultMaxFailures
+	}
+	return c
+}
+
+// Aggregator is the mid-tier controller of the hierarchical design (paper
+// Fig. 3): it disseminates the global controller's requests to its disjoint
+// set of stages, pre-aggregates their metrics per job, and fans enforcement
+// rules back out.
+type Aggregator struct {
+	cfg     AggregatorConfig
+	server  *rpc.Server
+	members *memberSet
+
+	// mu guards the delegated-control state.
+	mu          sync.Mutex
+	lastReports []wire.StageReport // most recent per-stage view (LocalControl)
+}
+
+// StartAggregator launches an aggregator's RPC server. Stages are attached
+// afterwards with AddStage.
+func StartAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	cfg = cfg.withDefaults()
+	a := &Aggregator{cfg: cfg, members: newMemberSet()}
+	// The server deliberately gets no CPU meter: its handler blocks on the
+	// stage fan-out, so handler wall time is not aggregator CPU. Busy time
+	// is charged explicitly around aggregation and via the stage clients'
+	// send paths.
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(a.serve), rpc.ServerOptions{
+		Meter: cfg.Meter,
+		Logf:  cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("aggregator %d: %w", cfg.ID, err)
+	}
+	a.server = srv
+	return a, nil
+}
+
+// ID returns the aggregator's identifier.
+func (a *Aggregator) ID() uint64 { return a.cfg.ID }
+
+// Addr returns the aggregator's listen address.
+func (a *Aggregator) Addr() string { return a.server.Addr().String() }
+
+// NumStages returns the number of stages the aggregator manages.
+func (a *Aggregator) NumStages() int { return a.members.size() }
+
+// Stages returns the managed stages' identities.
+func (a *Aggregator) Stages() []stage.Info {
+	children := a.members.snapshot()
+	out := make([]stage.Info, len(children))
+	for i, c := range children {
+		out[i] = c.info
+	}
+	return out
+}
+
+// AddStage connects the aggregator to a stage it will manage.
+func (a *Aggregator) AddStage(ctx context.Context, info stage.Info) error {
+	cli, err := rpc.Dial(ctx, a.cfg.Network, info.Addr, rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU})
+	if err != nil {
+		return fmt.Errorf("aggregator %d: dial stage %d at %s: %w", a.cfg.ID, info.ID, info.Addr, err)
+	}
+	c := &child{info: info, role: wire.RoleStage, cli: cli}
+	if !a.members.add(c) {
+		cli.Close()
+		return fmt.Errorf("aggregator %d: duplicate stage ID %d", a.cfg.ID, info.ID)
+	}
+	return nil
+}
+
+// serve handles requests from the global controller (and dynamic stage
+// registrations).
+func (a *Aggregator) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
+	switch m := req.(type) {
+	case *wire.Collect:
+		return a.collect(m)
+	case *wire.Enforce:
+		return a.enforce(m)
+	case *wire.Delegate:
+		return a.delegate(m)
+	case *wire.Heartbeat:
+		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
+	case *wire.StageList:
+		children := a.members.snapshot()
+		reply := &wire.StageListReply{Stages: make([]wire.StageEntry, len(children))}
+		for i, c := range children {
+			reply.Stages[i] = wire.StageEntry{ID: c.info.ID, JobID: c.info.JobID, Weight: c.info.Weight, Addr: c.info.Addr}
+		}
+		return reply, nil
+	case *wire.Register:
+		if m.Role != wire.RoleStage {
+			return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register with an aggregator"}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), a.cfg.CallTimeout)
+		defer cancel()
+		if err := a.AddStage(ctx, stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}); err != nil {
+			return nil, err
+		}
+		return &wire.RegisterAck{ID: m.ID, Epoch: a.members.currentEpoch()}, nil
+	}
+	return nil, fmt.Errorf("aggregator %d: unexpected %s", a.cfg.ID, req.Type())
+}
+
+// callStage performs one stage RPC with timeout and failure accounting.
+func (a *Aggregator) callStage(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
+	cctx, cancel := context.WithTimeout(ctx, a.cfg.CallTimeout)
+	resp, err := c.cli.Call(cctx, req)
+	cancel()
+	if c.recordResult(err, a.cfg.MaxFailures) {
+		if a.members.remove(c.info.ID) != nil {
+			c.cli.Close()
+			if a.cfg.Logf != nil {
+				a.cfg.Logf("aggregator %d: evicted stage %d", a.cfg.ID, c.info.ID)
+			}
+		}
+	}
+	return resp, err
+}
+
+// collect fans the request out to all stages and returns per-job
+// aggregates (or, with ForwardRaw, the concatenated raw reports).
+// Aggregation is the CPU-heavy step the paper observes moving from the
+// global controller to the aggregators (Table IV).
+func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
+	children := a.members.snapshot()
+	n := len(children)
+	replies := make([]*wire.CollectReply, n)
+	ctx := context.Background()
+	rpc.Scatter(n, a.cfg.FanOut, func(i int) {
+		resp, err := a.callStage(ctx, children[i], m)
+		if err != nil {
+			return
+		}
+		if r, ok := resp.(*wire.CollectReply); ok {
+			replies[i] = r
+		}
+	})
+
+	var untrack func()
+	if a.cfg.CPU != nil {
+		untrack = a.cfg.CPU.Track()
+	}
+	reports := make([]wire.StageReport, 0, n)
+	for _, r := range replies {
+		if r != nil {
+			reports = append(reports, r.Reports...)
+		}
+	}
+	if a.cfg.LocalControl {
+		a.mu.Lock()
+		a.lastReports = reports
+		a.mu.Unlock()
+	}
+	if a.cfg.ForwardRaw {
+		if untrack != nil {
+			untrack()
+		}
+		return &wire.CollectReply{Cycle: m.Cycle, Reports: reports}, nil
+	}
+	jobs := metrics.AggregateByJob(reports)
+	if untrack != nil {
+		untrack()
+	}
+	return &wire.CollectAggReply{Cycle: m.Cycle, AggregatorID: a.cfg.ID, Jobs: jobs}, nil
+}
+
+// enforce routes each rule in the batch to its stage.
+func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
+	children := a.members.snapshot()
+
+	var untrack func()
+	if a.cfg.CPU != nil {
+		untrack = a.cfg.CPU.Track()
+	}
+	byStage := make(map[uint64][]wire.Rule, len(m.Rules))
+	for _, r := range m.Rules {
+		byStage[r.StageID] = append(byStage[r.StageID], r)
+	}
+	if untrack != nil {
+		untrack()
+	}
+
+	var applied atomic.Uint32
+	ctx := context.Background()
+	rpc.Scatter(len(children), a.cfg.FanOut, func(i int) {
+		rules := byStage[children[i].info.ID]
+		if len(rules) == 0 {
+			return
+		}
+		resp, err := a.callStage(ctx, children[i], &wire.Enforce{Cycle: m.Cycle, Rules: rules})
+		if err != nil {
+			return
+		}
+		if ack, ok := resp.(*wire.EnforceAck); ok {
+			applied.Add(ack.Applied)
+		}
+	})
+	return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied.Load()}, nil
+}
+
+// delegate computes per-stage rules from per-job budgets — the offloaded
+// enforcement path of the delegated hierarchy. Each job's budget is split
+// over the job's stages proportionally to the demand observed in the last
+// collect, then fanned out like a normal enforce.
+func (a *Aggregator) delegate(m *wire.Delegate) (*wire.EnforceAck, error) {
+	if !a.cfg.LocalControl {
+		return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "aggregator not configured for local control"}
+	}
+	a.mu.Lock()
+	reports := a.lastReports
+	a.mu.Unlock()
+
+	var untrack func()
+	if a.cfg.CPU != nil {
+		untrack = a.cfg.CPU.Track()
+	}
+	byJob := make(map[uint64][]int, len(m.Budgets))
+	for i := range reports {
+		byJob[reports[i].JobID] = append(byJob[reports[i].JobID], i)
+	}
+	rules := make([]wire.Rule, 0, len(reports))
+	for _, budget := range m.Budgets {
+		idxs := byJob[budget.JobID]
+		if len(idxs) == 0 {
+			continue
+		}
+		demands := make([]wire.Rates, len(idxs))
+		for k, i := range idxs {
+			demands[k] = reports[i].Demand
+		}
+		split := controlalg.SplitProportional(budget.Limit, demands)
+		for k, i := range idxs {
+			rules = append(rules, wire.Rule{
+				StageID: reports[i].StageID,
+				JobID:   budget.JobID,
+				Action:  wire.ActionSetLimit,
+				Limit:   split[k],
+			})
+		}
+	}
+	if untrack != nil {
+		untrack()
+	}
+	return a.enforce(&wire.Enforce{Cycle: m.Cycle, Rules: rules})
+}
+
+// HealthCheck heartbeats every managed stage and reports liveness and RTT
+// statistics without affecting membership.
+func (a *Aggregator) HealthCheck(ctx context.Context) Health {
+	return sweepHealth(ctx, a.members.snapshot(), a.cfg.FanOut, a.cfg.CallTimeout)
+}
+
+// MemoryFootprint estimates the aggregator's state size in bytes. It
+// implements monitor.MemoryReporter.
+func (a *Aggregator) MemoryFootprint() uint64 {
+	const perChild = 24 << 10 // see Global.MemoryFootprint
+	var total uint64
+	for _, c := range a.members.snapshot() {
+		total += perChild + uint64(len(c.info.Addr))
+	}
+	return total
+}
+
+// Close severs stage connections and stops the server.
+func (a *Aggregator) Close() error {
+	a.members.closeAll()
+	return a.server.Close()
+}

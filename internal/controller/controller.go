@@ -1,0 +1,172 @@
+// Package controller implements the sdscale control plane: the global
+// controller that runs the control cycle (collect → compute → enforce,
+// paper §II-B) and the aggregator controllers that form the extra level of
+// the hierarchical design (paper Fig. 3).
+//
+// Topologies:
+//
+//   - Flat (paper Fig. 2): one Global whose children are data-plane stages.
+//     It collects every stage's report, runs the control algorithm, and
+//     enforces one rule per stage. The controller holds one long-lived
+//     connection per stage, which is exactly why the design hits the
+//     per-node connection limit (§IV-A).
+//   - Hierarchical (paper Fig. 3): one Global whose children are
+//     Aggregators, each owning a disjoint set of stages. Aggregators fan
+//     collections out, pre-aggregate per-job metrics (shrinking the
+//     global's inbound traffic), and fan enforcement rules back down. The
+//     global still computes rules for every stage (§IV-B, Table III).
+//
+// Resource accounting: each controller role owns a transport.Meter (bytes)
+// and a monitor.CPUMeter (busy time on compute sections and send-path
+// marshaling), which the experiment harness turns into the rows of the
+// paper's Tables II–IV.
+package controller
+
+import (
+	"sync"
+
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// DefaultFanOut is the bounded parallelism controllers use when fanning
+// requests out to children. It models the fixed handler pool of the
+// paper's gRPC-based prototype: per-child work beyond the pool width
+// accumulates, which is what makes control-cycle latency grow with the
+// number of children (Fig. 4).
+const DefaultFanOut = 8
+
+// DefaultMaxFailures is how many consecutive call failures a controller
+// tolerates before evicting a child from the control plane.
+const DefaultMaxFailures = 3
+
+// child is a controller's handle to one downstream component (a stage or an
+// aggregator), with its long-lived RPC connection.
+type child struct {
+	info stage.Info
+	role wire.Role
+	cli  *rpc.Client
+	// stages lists the stages behind an aggregator child; nil for stages.
+	stages []stage.Info
+
+	mu    sync.Mutex
+	fails int
+	// lastRules caches the most recently enforced rule per stage for
+	// delta enforcement (skip sends when nothing changed).
+	lastRules map[uint64]wire.Rule
+}
+
+// filterChanged returns only the rules that differ from what was last sent
+// to this child, updating the cache. With deterministic demand (the stress
+// workload) allocations repeat bit-for-bit, so exact comparison suffices.
+func (c *child) filterChanged(rules []wire.Rule) []wire.Rule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastRules == nil {
+		c.lastRules = make(map[uint64]wire.Rule, len(rules))
+	}
+	changed := rules[:0:0]
+	for _, r := range rules {
+		if prev, ok := c.lastRules[r.StageID]; !ok || prev != r {
+			changed = append(changed, r)
+			c.lastRules[r.StageID] = r
+		}
+	}
+	return changed
+}
+
+// recordResult updates the child's consecutive-failure count and reports
+// whether the child should be evicted.
+func (c *child) recordResult(err error, maxFailures int) (evict bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err == nil {
+		c.fails = 0
+		return false
+	}
+	c.fails++
+	return c.fails >= maxFailures
+}
+
+// memberSet tracks a controller's children with cheap snapshotting: the
+// control cycle iterates a point-in-time slice while registrations proceed
+// concurrently.
+type memberSet struct {
+	mu    sync.Mutex
+	byID  map[uint64]*child
+	order []*child
+	epoch uint64
+}
+
+func newMemberSet() *memberSet {
+	return &memberSet{byID: make(map[uint64]*child)}
+}
+
+// add inserts c; it reports false if the ID is already present.
+func (m *memberSet) add(c *child) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.byID[c.info.ID]; dup {
+		return false
+	}
+	m.byID[c.info.ID] = c
+	m.order = append(m.order, c)
+	m.epoch++
+	return true
+}
+
+// remove deletes the child by ID and returns it (nil if absent).
+func (m *memberSet) remove(id uint64) *child {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.byID[id]
+	if !ok {
+		return nil
+	}
+	delete(m.byID, id)
+	for i, o := range m.order {
+		if o == c {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.epoch++
+	return c
+}
+
+// snapshot returns the current children. The slice is fresh; the children
+// are shared.
+func (m *memberSet) snapshot() []*child {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*child, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// size returns the current child count.
+func (m *memberSet) size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.order)
+}
+
+// currentEpoch returns the membership epoch (bumped on every change).
+func (m *memberSet) currentEpoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// closeAll severs every child connection and empties the set.
+func (m *memberSet) closeAll() {
+	m.mu.Lock()
+	children := m.order
+	m.order = nil
+	m.byID = make(map[uint64]*child)
+	m.mu.Unlock()
+	for _, c := range children {
+		c.cli.Close()
+	}
+}

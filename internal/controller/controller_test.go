@@ -1,0 +1,875 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+	"github.com/dsrhaslab/sdscale/internal/workload"
+)
+
+func fastNet() *simnet.Net { return simnet.New(simnet.Config{PropDelay: -1}) }
+
+// startStages launches n virtual stages spread over nJobs jobs with the
+// given per-stage demand.
+func startStages(t *testing.T, n *simnet.Net, count, nJobs int, demand wire.Rates) []*stage.Virtual {
+	t.Helper()
+	stages := make([]*stage.Virtual, count)
+	for i := range stages {
+		v, err := stage.StartVirtual(stage.Config{
+			ID:        uint64(i + 1),
+			JobID:     uint64(i%nJobs + 1),
+			Weight:    1,
+			Generator: workload.Constant{Rates: demand},
+			Network:   n.Host(fmt.Sprintf("stage-%d", i+1)),
+		})
+		if err != nil {
+			t.Fatalf("start stage %d: %v", i, err)
+		}
+		stages[i] = v
+	}
+	t.Cleanup(func() {
+		for _, v := range stages {
+			v.Close()
+		}
+	})
+	return stages
+}
+
+// buildFlat wires a global controller directly to the stages.
+func buildFlat(t *testing.T, n *simnet.Net, stages []*stage.Virtual, cfg GlobalConfig) *Global {
+	t.Helper()
+	cfg.Network = n.Host("global")
+	g, err := NewGlobal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	ctx := context.Background()
+	for _, v := range stages {
+		if err := g.AddStage(ctx, v.Info()); err != nil {
+			t.Fatalf("AddStage: %v", err)
+		}
+	}
+	return g
+}
+
+// buildHierarchy wires global -> aggregators -> stages, partitioning stages
+// evenly.
+func buildHierarchy(t *testing.T, n *simnet.Net, stages []*stage.Virtual, nAggs int, cfg GlobalConfig) (*Global, []*Aggregator) {
+	t.Helper()
+	ctx := context.Background()
+	aggs := make([]*Aggregator, nAggs)
+	for i := range aggs {
+		a, err := StartAggregator(AggregatorConfig{
+			ID:      uint64(1000 + i),
+			Network: n.Host(fmt.Sprintf("agg-%d", i)),
+		})
+		if err != nil {
+			t.Fatalf("start aggregator %d: %v", i, err)
+		}
+		aggs[i] = a
+	}
+	t.Cleanup(func() {
+		for _, a := range aggs {
+			a.Close()
+		}
+	})
+	for i, v := range stages {
+		if err := aggs[i%nAggs].AddStage(ctx, v.Info()); err != nil {
+			t.Fatalf("agg AddStage: %v", err)
+		}
+	}
+
+	cfg.Network = n.Host("global")
+	g, err := NewGlobal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	for _, a := range aggs {
+		if err := g.AddAggregator(ctx, a.ID(), a.Addr(), a.Stages()); err != nil {
+			t.Fatalf("AddAggregator: %v", err)
+		}
+	}
+	return g, aggs
+}
+
+func TestFlatCycleEndToEnd(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 8, 2, wire.Rates{1000, 100})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{4000, 400}})
+
+	b, err := g.RunCycle(context.Background())
+	if err != nil {
+		t.Fatalf("RunCycle: %v", err)
+	}
+	if b.Total <= 0 || b.Collect <= 0 || b.Enforce <= 0 {
+		t.Errorf("breakdown = %+v, want positive phases", b)
+	}
+
+	// Every stage must have received a rule; total demand 8000 > cap 4000,
+	// so each stage's limit is 4000/8 = 500 data ops.
+	for i, v := range stages {
+		rule, ok := v.LastRule()
+		if !ok {
+			t.Fatalf("stage %d got no rule", i)
+		}
+		if rule.Action != wire.ActionSetLimit {
+			t.Errorf("stage %d action = %v", i, rule.Action)
+		}
+		if math.Abs(rule.Limit[wire.ClassData]-500) > 1e-6 {
+			t.Errorf("stage %d data limit = %g, want 500", i, rule.Limit[wire.ClassData])
+		}
+		if math.Abs(rule.Limit[wire.ClassMeta]-50) > 1e-6 {
+			t.Errorf("stage %d meta limit = %g, want 50", i, rule.Limit[wire.ClassMeta])
+		}
+	}
+	if g.Recorder().Cycles() != 1 {
+		t.Errorf("recorded cycles = %d", g.Recorder().Cycles())
+	}
+	if g.NumStages() != 8 {
+		t.Errorf("NumStages = %d", g.NumStages())
+	}
+}
+
+func TestFlatWeightedAllocation(t *testing.T) {
+	n := fastNet()
+	// Two jobs, one stage each; job 2 has triple weight.
+	v1, err := stage.StartVirtual(stage.Config{
+		ID: 1, JobID: 1, Weight: 1,
+		Generator: workload.Constant{Rates: wire.Rates{10000, 0}},
+		Network:   n.Host("stage-1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	v2, err := stage.StartVirtual(stage.Config{
+		ID: 2, JobID: 2, Weight: 3,
+		Generator: workload.Constant{Rates: wire.Rates{10000, 0}},
+		Network:   n.Host("stage-2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+
+	g := buildFlat(t, n, []*stage.Virtual{v1, v2}, GlobalConfig{Capacity: wire.Rates{4000, 0}})
+	if _, err := g.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := v1.LastRule()
+	r2, _ := v2.LastRule()
+	if math.Abs(r1.Limit[wire.ClassData]-1000) > 1e-6 {
+		t.Errorf("job 1 limit = %g, want 1000 (weight 1 of 4)", r1.Limit[wire.ClassData])
+	}
+	if math.Abs(r2.Limit[wire.ClassData]-3000) > 1e-6 {
+		t.Errorf("job 2 limit = %g, want 3000 (weight 3 of 4)", r2.Limit[wire.ClassData])
+	}
+}
+
+func TestHierarchicalCycleEndToEnd(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 12, 3, wire.Rates{1000, 100})
+	g, aggs := buildHierarchy(t, n, stages, 3, GlobalConfig{Capacity: wire.Rates{6000, 600}})
+
+	b, err := g.RunCycle(context.Background())
+	if err != nil {
+		t.Fatalf("RunCycle: %v", err)
+	}
+	if b.Total <= 0 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if g.Mode() != wire.RoleAggregator {
+		t.Errorf("Mode = %v", g.Mode())
+	}
+	if g.NumChildren() != 3 || g.NumStages() != 12 {
+		t.Errorf("children/stages = %d/%d", g.NumChildren(), g.NumStages())
+	}
+	for _, a := range aggs {
+		if a.NumStages() != 4 {
+			t.Errorf("aggregator %d stages = %d", a.ID(), a.NumStages())
+		}
+	}
+
+	// Demand 12000 > cap 6000; 3 jobs each with 4 stages; per-job alloc
+	// 2000, per-stage 500.
+	for i, v := range stages {
+		rule, ok := v.LastRule()
+		if !ok {
+			t.Fatalf("stage %d got no rule", i)
+		}
+		if math.Abs(rule.Limit[wire.ClassData]-500) > 1e-6 {
+			t.Errorf("stage %d limit = %g, want 500", i, rule.Limit[wire.ClassData])
+		}
+	}
+}
+
+func TestFlatAndHierAllocationsAgree(t *testing.T) {
+	// With uniform demand the flat (proportional split) and hierarchical
+	// (uniform split) designs must produce identical per-stage limits.
+	nFlat := fastNet()
+	sFlat := startStages(t, nFlat, 6, 2, wire.Rates{900, 90})
+	gFlat := buildFlat(t, nFlat, sFlat, GlobalConfig{Capacity: wire.Rates{1800, 180}})
+	if _, err := gFlat.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	nHier := fastNet()
+	sHier := startStages(t, nHier, 6, 2, wire.Rates{900, 90})
+	gHier, _ := buildHierarchy(t, nHier, sHier, 2, GlobalConfig{Capacity: wire.Rates{1800, 180}})
+	if _, err := gHier.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range sFlat {
+		rf, _ := sFlat[i].LastRule()
+		rh, _ := sHier[i].LastRule()
+		for c := range rf.Limit {
+			if math.Abs(rf.Limit[c]-rh.Limit[c]) > 1e-6 {
+				t.Errorf("stage %d class %d: flat %g vs hier %g", i, c, rf.Limit[c], rh.Limit[c])
+			}
+		}
+	}
+}
+
+func TestModeMixingRejected(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 1, 1, wire.Rates{1, 1})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{100, 10}})
+	err := g.AddAggregator(context.Background(), 99, "agg:1", nil)
+	if err == nil {
+		t.Fatal("mixing stage and aggregator children succeeded")
+	}
+}
+
+func TestDuplicateChildRejected(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 1, 1, wire.Rates{1, 1})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{100, 10}})
+	if err := g.AddStage(context.Background(), stages[0].Info()); err == nil {
+		t.Fatal("duplicate stage ID accepted")
+	}
+}
+
+func TestRunCycleNoChildren(t *testing.T) {
+	n := fastNet()
+	g, err := NewGlobal(GlobalConfig{Network: n.Host("global"), Capacity: wire.Rates{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.RunCycle(context.Background()); !errors.Is(err, ErrNoChildren) {
+		t.Fatalf("RunCycle = %v, want ErrNoChildren", err)
+	}
+}
+
+func TestEvictionAfterStageDeath(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 3, 1, wire.Rates{100, 10})
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity:    wire.Rates{300, 30},
+		CallTimeout: 200 * time.Millisecond,
+		MaxFailures: 2,
+	})
+	ctx := context.Background()
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one stage; after MaxFailures failed cycles it must be evicted,
+	// and the control plane keeps serving the others.
+	stages[1].Close()
+	for i := 0; i < 4; i++ {
+		g.RunCycle(ctx)
+	}
+	if g.NumChildren() != 2 {
+		t.Fatalf("children after death = %d, want 2", g.NumChildren())
+	}
+	if g.Evictions() != 1 {
+		t.Errorf("Evictions = %d, want 1", g.Evictions())
+	}
+	if g.CallErrors() == 0 {
+		t.Error("CallErrors = 0, want > 0")
+	}
+	// Survivors still receive rules.
+	before, _ := stages[0].Counters()
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := stages[0].Counters()
+	if after <= before {
+		t.Error("surviving stage no longer collected")
+	}
+}
+
+func TestDynamicRegistration(t *testing.T) {
+	n := fastNet()
+	g, err := NewGlobal(GlobalConfig{
+		Network:    n.Host("global"),
+		ListenAddr: ":0",
+		Capacity:   wire.Rates{1000, 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Addr() == "" {
+		t.Fatal("no registration address")
+	}
+
+	v, err := stage.StartVirtual(stage.Config{ID: 1, JobID: 1, Weight: 1, Network: n.Host("stage-1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if err := stage.Register(context.Background(), n.Host("stage-1"), g.Addr(), v.Info()); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if g.NumChildren() != 1 {
+		t.Fatalf("children after registration = %d", g.NumChildren())
+	}
+	if _, err := g.RunCycle(context.Background()); err != nil {
+		t.Fatalf("cycle after registration: %v", err)
+	}
+	if _, ok := v.LastRule(); !ok {
+		t.Error("registered stage got no rule")
+	}
+}
+
+func TestRegistrationRejectsAggregators(t *testing.T) {
+	n := fastNet()
+	g, err := NewGlobal(GlobalConfig{Network: n.Host("global"), ListenAddr: ":0", Capacity: wire.Rates{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	cli, err := rpc.Dial(context.Background(), n.Host("rogue"), g.Addr(), rpc.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.Call(context.Background(), &wire.Register{Role: wire.RoleAggregator, ID: 9})
+	if err == nil {
+		t.Error("aggregator dynamic registration accepted")
+	}
+}
+
+func TestRemoveChild(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 2, 1, wire.Rates{1, 1})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{100, 10}})
+	if !g.RemoveChild(1) {
+		t.Error("RemoveChild(1) = false")
+	}
+	if g.RemoveChild(1) {
+		t.Error("second RemoveChild(1) = true")
+	}
+	if g.NumChildren() != 1 {
+		t.Errorf("children = %d", g.NumChildren())
+	}
+}
+
+func TestRunStressLoop(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 4, 2, wire.Rates{100, 10})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{200, 20}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	err := g.Run(ctx, 0) // stress: back-to-back cycles
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v", err)
+	}
+	if g.Recorder().Cycles() < 3 {
+		t.Errorf("stress loop completed only %d cycles", g.Recorder().Cycles())
+	}
+}
+
+func TestRunPeriodicInterval(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 2, 1, wire.Rates{10, 1})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{100, 10}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 350*time.Millisecond)
+	defer cancel()
+	g.Run(ctx, 100*time.Millisecond)
+	// ~3-4 cycles fit in 350ms at 100ms intervals.
+	if c := g.Recorder().Cycles(); c < 2 || c > 6 {
+		t.Errorf("periodic loop completed %d cycles, want ~3", c)
+	}
+}
+
+func TestBaselineAlgorithmWiring(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 2, 2, wire.Rates{10, 1})
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity:  wire.Rates{1000, 100},
+		Algorithm: controlalg.Uniform{},
+	})
+	if _, err := g.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := stages[0].LastRule()
+	if math.Abs(r.Limit[wire.ClassData]-500) > 1e-6 {
+		t.Errorf("uniform limit = %g, want 500", r.Limit[wire.ClassData])
+	}
+}
+
+func TestJobStatuses(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 6, 3, wire.Rates{900, 90})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{2700, 270}})
+
+	if got := g.JobStatuses(); len(got) != 0 {
+		t.Fatalf("statuses before first cycle = %d", len(got))
+	}
+	if _, err := g.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	statuses := g.JobStatuses()
+	if len(statuses) != 3 {
+		t.Fatalf("statuses = %d, want 3 jobs", len(statuses))
+	}
+	for i, s := range statuses {
+		if s.JobID != uint64(i+1) {
+			t.Errorf("statuses not sorted: [%d] = job %d", i, s.JobID)
+		}
+		if s.Stages != 2 {
+			t.Errorf("job %d stages = %d, want 2", s.JobID, s.Stages)
+		}
+		if s.Demand[wire.ClassData] != 1800 {
+			t.Errorf("job %d demand = %v", s.JobID, s.Demand)
+		}
+		// Saturated 2:1 with equal weights: each job gets 900.
+		if math.Abs(s.Allocated[wire.ClassData]-900) > 1e-6 {
+			t.Errorf("job %d allocated = %v, want 900", s.JobID, s.Allocated)
+		}
+	}
+}
+
+func TestJobStatusesHierarchical(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 6, 2, wire.Rates{900, 90})
+	g, _ := buildHierarchy(t, n, stages, 2, GlobalConfig{Capacity: wire.Rates{1800, 180}})
+	if _, err := g.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	statuses := g.JobStatuses()
+	if len(statuses) != 2 {
+		t.Fatalf("statuses = %d", len(statuses))
+	}
+	if statuses[0].Stages != 3 || statuses[0].Demand[wire.ClassData] != 2700 {
+		t.Errorf("job 1 status = %+v", statuses[0])
+	}
+}
+
+func TestDeltaEnforcementSkipsUnchangedRules(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 4, 2, wire.Rates{1000, 100}) // constant demand
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity:         wire.Rates{2000, 200},
+		DeltaEnforcement: true,
+	})
+	ctx := context.Background()
+
+	// Cycle 1 establishes rules, cycle 2 may still adjust (usage feedback
+	// settles), cycle 3+ must be quiescent.
+	for i := 0; i < 3; i++ {
+		if _, err := g.RunCycle(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var before [4]uint64
+	for i, v := range stages {
+		_, before[i] = v.Counters()
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := g.RunCycle(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range stages {
+		_, after := v.Counters()
+		if after != before[i] {
+			t.Errorf("stage %d received %d enforces during quiescence", i, after-before[i])
+		}
+		// The rule itself must still be in force.
+		if _, ok := v.LastRule(); !ok {
+			t.Errorf("stage %d has no rule", i)
+		}
+	}
+
+	// A demand change re-triggers enforcement... the constant generator
+	// cannot change, so instead verify the inverse: without delta mode the
+	// same quiescent cycles DO send enforces.
+	g2 := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{2000, 200}})
+	_, b0 := stages[0].Counters()
+	for i := 0; i < 2; i++ {
+		if _, err := g2.RunCycle(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, b1 := stages[0].Counters(); b1 != b0+2 {
+		t.Errorf("non-delta controller sent %d enforces, want 2", b1-b0)
+	}
+}
+
+func TestHealthCheck(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 5, 2, wire.Rates{1, 1})
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity:    wire.Rates{100, 10},
+		CallTimeout: 300 * time.Millisecond,
+	})
+
+	h := g.HealthCheck(context.Background())
+	if h.Responsive != 5 || h.Unresponsive != 0 {
+		t.Fatalf("health = %+v, want 5 responsive", h)
+	}
+	if h.MeanRTT <= 0 || h.MinRTT <= 0 || h.MaxRTT < h.MinRTT {
+		t.Errorf("RTT stats = %+v", h)
+	}
+
+	// Kill two stages: they become unresponsive but are NOT evicted.
+	stages[0].Close()
+	stages[1].Close()
+	h = g.HealthCheck(context.Background())
+	if h.Responsive != 3 || h.Unresponsive != 2 {
+		t.Fatalf("health after deaths = %+v, want 3/2", h)
+	}
+	if g.NumChildren() != 5 {
+		t.Errorf("HealthCheck evicted children: %d left", g.NumChildren())
+	}
+}
+
+func TestAggregatorHealthCheck(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 3, 1, wire.Rates{1, 1})
+	a, err := StartAggregator(AggregatorConfig{ID: 1, Network: n.Host("agg"), CallTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for _, v := range stages {
+		a.AddStage(context.Background(), v.Info())
+	}
+	h := a.HealthCheck(context.Background())
+	if h.Responsive != 3 {
+		t.Fatalf("aggregator health = %+v", h)
+	}
+}
+
+func TestMetersCharged(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 4, 2, wire.Rates{100, 10})
+	var meter transport.Meter
+	var cpu monitor.CPUMeter
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity: wire.Rates{200, 20},
+		Meter:    &meter,
+		CPU:      &cpu,
+	})
+	if _, err := g.RunCycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Tx() == 0 || meter.Rx() == 0 {
+		t.Errorf("meter = %d/%d, want nonzero", meter.Tx(), meter.Rx())
+	}
+	if cpu.Busy() <= 0 {
+		t.Error("CPU meter not charged")
+	}
+}
+
+func TestMemoryFootprintGrowsWithChildren(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 10, 2, wire.Rates{1, 1})
+	g := buildFlat(t, n, stages[:2], GlobalConfig{Capacity: wire.Rates{10, 1}})
+	small := g.MemoryFootprint()
+	for _, v := range stages[2:] {
+		if err := g.AddStage(context.Background(), v.Info()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	large := g.MemoryFootprint()
+	if large <= small {
+		t.Errorf("footprint did not grow: %d -> %d", small, large)
+	}
+	var _ monitor.MemoryReporter = g
+}
+
+func TestAggregatorMemoryFootprint(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 4, 1, wire.Rates{1, 1})
+	a, err := StartAggregator(AggregatorConfig{ID: 1, Network: n.Host("agg")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	empty := a.MemoryFootprint()
+	for _, v := range stages {
+		a.AddStage(context.Background(), v.Info())
+	}
+	if a.MemoryFootprint() <= empty {
+		t.Error("aggregator footprint did not grow")
+	}
+	var _ monitor.MemoryReporter = a
+}
+
+func TestAttachAggregatorDiscoversStages(t *testing.T) {
+	// AttachAggregator queries the aggregator for its stage list — the
+	// multi-host path where the global cannot know the stages up front.
+	n := fastNet()
+	stages := startStages(t, n, 5, 2, wire.Rates{100, 10})
+	ctx := context.Background()
+
+	a, err := StartAggregator(AggregatorConfig{ID: 77, Network: n.Host("agg")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for _, v := range stages {
+		if err := a.AddStage(ctx, v.Info()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g, err := NewGlobal(GlobalConfig{Network: n.Host("global"), Capacity: wire.Rates{250, 25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.AttachAggregator(ctx, 77, a.Addr()); err != nil {
+		t.Fatalf("AttachAggregator: %v", err)
+	}
+	if g.NumStages() != 5 {
+		t.Fatalf("NumStages after attach = %d, want 5", g.NumStages())
+	}
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range stages {
+		if _, ok := v.LastRule(); !ok {
+			t.Errorf("stage %d got no rule after attach", i)
+		}
+	}
+}
+
+func TestAttachAggregatorErrors(t *testing.T) {
+	n := fastNet()
+	g, err := NewGlobal(GlobalConfig{Network: n.Host("global"), Capacity: wire.Rates{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.AttachAggregator(context.Background(), 1, "nowhere:1"); err == nil {
+		t.Error("AttachAggregator to nowhere succeeded")
+	}
+	// A stage is not an aggregator: StageList must be rejected.
+	v, err := stage.StartVirtual(stage.Config{ID: 1, Network: n.Host("s")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if err := g.AttachAggregator(context.Background(), 1, v.Info().Addr); err == nil {
+		t.Error("AttachAggregator to a stage succeeded")
+	}
+}
+
+func TestForwardRawAblation(t *testing.T) {
+	// An aggregator in ForwardRaw mode relays raw per-stage reports; the
+	// global controller must aggregate them itself and still produce the
+	// same rules as the pre-aggregating path.
+	n := fastNet()
+	stages := startStages(t, n, 6, 2, wire.Rates{900, 90})
+	ctx := context.Background()
+
+	a, err := StartAggregator(AggregatorConfig{
+		ID:         1000,
+		Network:    n.Host("agg"),
+		ForwardRaw: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for _, v := range stages {
+		if err := a.AddStage(ctx, v.Info()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g, err := NewGlobal(GlobalConfig{Network: n.Host("global"), Capacity: wire.Rates{1800, 180}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.AddAggregator(ctx, a.ID(), a.Addr(), a.Stages()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Demand 5400 > cap 1800; 2 jobs × 3 stages: per-stage 300 data.
+	for i, v := range stages {
+		rule, ok := v.LastRule()
+		if !ok {
+			t.Fatalf("stage %d got no rule in ForwardRaw mode", i)
+		}
+		if math.Abs(rule.Limit[wire.ClassData]-300) > 1e-6 {
+			t.Errorf("stage %d limit = %g, want 300", i, rule.Limit[wire.ClassData])
+		}
+	}
+}
+
+func TestDelegatedHierarchyMatchesPlainAllocations(t *testing.T) {
+	// The §VI delegated hierarchy: global sends per-job budgets and the
+	// aggregator computes per-stage rules locally. With uniform demand the
+	// resulting limits must equal the plain hierarchy's.
+	n := fastNet()
+	stages := startStages(t, n, 6, 2, wire.Rates{900, 90})
+	ctx := context.Background()
+
+	a, err := StartAggregator(AggregatorConfig{
+		ID:           1000,
+		Network:      n.Host("agg"),
+		LocalControl: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for _, v := range stages {
+		if err := a.AddStage(ctx, v.Info()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	g, err := NewGlobal(GlobalConfig{
+		Network:   n.Host("global"),
+		Capacity:  wire.Rates{1800, 180},
+		Delegated: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.AddAggregator(ctx, a.ID(), a.Addr(), a.Stages()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Demand 5400 > cap 1800; 2 jobs × 3 stages; per-stage 300 data.
+	for i, v := range stages {
+		rule, ok := v.LastRule()
+		if !ok {
+			t.Fatalf("stage %d got no rule via delegation", i)
+		}
+		if math.Abs(rule.Limit[wire.ClassData]-300) > 1e-6 {
+			t.Errorf("stage %d limit = %g, want 300", i, rule.Limit[wire.ClassData])
+		}
+		if math.Abs(rule.Limit[wire.ClassMeta]-30) > 1e-6 {
+			t.Errorf("stage %d meta limit = %g, want 30", i, rule.Limit[wire.ClassMeta])
+		}
+	}
+}
+
+func TestDelegatedSplitsProportionallyToLocalDemand(t *testing.T) {
+	// Unequal demand within one job: the aggregator's local split must
+	// weight stages by their observed demand — finer than what the plain
+	// hierarchy (uniform split at the global) can do.
+	n := fastNet()
+	ctx := context.Background()
+	mk := func(id uint64, rate float64) *stage.Virtual {
+		v, err := stage.StartVirtual(stage.Config{
+			ID: id, JobID: 1, Weight: 1,
+			Generator: workload.Constant{Rates: wire.Rates{rate, 0}},
+			Network:   n.Host(fmt.Sprintf("stage-%d", id)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { v.Close() })
+		return v
+	}
+	heavy := mk(1, 3000)
+	light := mk(2, 1000)
+
+	a, err := StartAggregator(AggregatorConfig{ID: 1000, Network: n.Host("agg"), LocalControl: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.AddStage(ctx, heavy.Info())
+	a.AddStage(ctx, light.Info())
+
+	g, err := NewGlobal(GlobalConfig{Network: n.Host("global"), Capacity: wire.Rates{2000, 0}, Delegated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.AddAggregator(ctx, a.ID(), a.Addr(), a.Stages())
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rh, _ := heavy.LastRule()
+	rl, _ := light.LastRule()
+	// Job budget = 2000; demand split 3:1 -> 1500 / 500.
+	if math.Abs(rh.Limit[wire.ClassData]-1500) > 1e-6 {
+		t.Errorf("heavy stage = %g, want 1500", rh.Limit[wire.ClassData])
+	}
+	if math.Abs(rl.Limit[wire.ClassData]-500) > 1e-6 {
+		t.Errorf("light stage = %g, want 500", rl.Limit[wire.ClassData])
+	}
+}
+
+func TestDelegateRejectedWithoutLocalControl(t *testing.T) {
+	n := fastNet()
+	a, err := StartAggregator(AggregatorConfig{ID: 1, Network: n.Host("agg")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	cli, err := rpc.Dial(context.Background(), n.Host("probe"), a.Addr(), rpc.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), &wire.Delegate{Cycle: 1}); err == nil {
+		t.Error("Delegate accepted without LocalControl")
+	}
+}
+
+func TestAggregatorDynamicStageRegistration(t *testing.T) {
+	n := fastNet()
+	a, err := StartAggregator(AggregatorConfig{ID: 1, Network: n.Host("agg")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	v, err := stage.StartVirtual(stage.Config{ID: 1, JobID: 1, Network: n.Host("stage-1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if err := stage.Register(context.Background(), n.Host("stage-1"), a.Addr(), v.Info()); err != nil {
+		t.Fatalf("Register with aggregator: %v", err)
+	}
+	if a.NumStages() != 1 {
+		t.Errorf("aggregator stages = %d", a.NumStages())
+	}
+}

@@ -1,0 +1,781 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/metrics"
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// ErrNoChildren is returned by RunCycle when the controller manages nothing.
+var ErrNoChildren = errors.New("controller: no children to manage")
+
+// GlobalConfig configures a global controller.
+type GlobalConfig struct {
+	// Network is the transport used to dial children (and to listen for
+	// registrations when ListenAddr is set).
+	Network transport.Network
+	// ListenAddr, if non-empty, starts a registration endpoint where
+	// stages announce themselves for dynamic membership (flat design).
+	ListenAddr string
+	// Algorithm is the control algorithm run in the compute phase. Nil
+	// selects PSFA.
+	Algorithm controlalg.Algorithm
+	// Capacity is the administrator-configured maximum operation rate of
+	// the shared PFS, per class (paper §III-C).
+	Capacity wire.Rates
+	// FanOut bounds the controller's request-dispatch parallelism. Zero
+	// selects DefaultFanOut.
+	FanOut int
+	// CallTimeout bounds each child RPC. Zero selects 10 seconds.
+	CallTimeout time.Duration
+	// MaxFailures is the consecutive-failure eviction threshold. Zero
+	// selects DefaultMaxFailures.
+	MaxFailures int
+	// DeltaEnforcement skips the enforce message to a child whose rules
+	// did not change since the last cycle. The paper's stress workload
+	// deliberately re-enforces everything every cycle (§III-C), so the
+	// reproduction experiments leave this off; the ablation benchmarks
+	// quantify what delta enforcement would save for stable workloads.
+	DeltaEnforcement bool
+	// Delegated enables the §VI delegated hierarchy: instead of computing
+	// and shipping per-stage rules, the controller ships per-job capacity
+	// budgets to each aggregator (payload O(jobs) instead of O(stages))
+	// and the aggregators — which must run with
+	// AggregatorConfig.LocalControl — compute the per-stage rules
+	// themselves. Hierarchical topologies only.
+	Delegated bool
+	// Meter, if non-nil, is charged with all the controller's traffic.
+	Meter *transport.Meter
+	// CPU, if non-nil, is charged with the controller's busy time.
+	CPU *monitor.CPUMeter
+	// Logf, if non-nil, receives operational logs.
+	Logf func(format string, args ...any)
+}
+
+func (c GlobalConfig) withDefaults() GlobalConfig {
+	if c.Algorithm == nil {
+		c.Algorithm = controlalg.PSFA{}
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = DefaultFanOut
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = DefaultMaxFailures
+	}
+	return c
+}
+
+// Global is the top-level controller. Its children are either stages (flat
+// design) or aggregators (hierarchical design); mixing is rejected.
+type Global struct {
+	cfg      GlobalConfig
+	members  *memberSet
+	recorder *telemetry.CycleRecorder
+	regSrv   *rpc.Server
+
+	mu         sync.Mutex
+	cycle      uint64
+	jobWeights map[uint64]float64
+	lastJobs   []JobStatus
+	mode       wire.Role // RoleStage or RoleAggregator once first child added
+	evictions  uint64
+	callErrors uint64
+}
+
+// NewGlobal creates a global controller. If cfg.ListenAddr is set, a
+// registration endpoint is started immediately.
+func NewGlobal(cfg GlobalConfig) (*Global, error) {
+	cfg = cfg.withDefaults()
+	g := &Global{
+		cfg:        cfg,
+		members:    newMemberSet(),
+		recorder:   telemetry.NewCycleRecorder(),
+		jobWeights: make(map[uint64]float64),
+	}
+	if cfg.ListenAddr != "" {
+		srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(g.serveRegistration), rpc.ServerOptions{
+			Meter: cfg.Meter,
+			Logf:  cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("controller: registration endpoint: %w", err)
+		}
+		g.regSrv = srv
+	}
+	return g, nil
+}
+
+// Addr returns the registration endpoint address, or "" if none.
+func (g *Global) Addr() string {
+	if g.regSrv == nil {
+		return ""
+	}
+	return g.regSrv.Addr().String()
+}
+
+// Recorder returns the controller's cycle-latency recorder.
+func (g *Global) Recorder() *telemetry.CycleRecorder { return g.recorder }
+
+// NumChildren returns the number of directly managed children.
+func (g *Global) NumChildren() int { return g.members.size() }
+
+// NumStages returns the number of stages managed across the whole control
+// plane (directly in flat mode, through aggregators in hierarchical mode).
+func (g *Global) NumStages() int {
+	var n int
+	for _, c := range g.members.snapshot() {
+		if c.role == wire.RoleStage {
+			n++
+		} else {
+			n += len(c.stages)
+		}
+	}
+	return n
+}
+
+// Evictions returns how many children were evicted after repeated failures.
+func (g *Global) Evictions() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.evictions
+}
+
+// CallErrors returns the cumulative count of failed child calls.
+func (g *Global) CallErrors() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.callErrors
+}
+
+func (g *Global) logf(format string, args ...any) {
+	if g.cfg.Logf != nil {
+		g.cfg.Logf(format, args...)
+	}
+}
+
+// setMode fixes the topology kind on first use and rejects mixing.
+func (g *Global) setMode(role wire.Role) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.mode == 0 {
+		g.mode = role
+		return nil
+	}
+	if g.mode != role {
+		return fmt.Errorf("controller: cannot mix %s and %s children", g.mode, role)
+	}
+	return nil
+}
+
+// Mode returns the topology kind (RoleStage for flat, RoleAggregator for
+// hierarchical), or 0 before any child is added.
+func (g *Global) Mode() wire.Role {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.mode
+}
+
+// noteJob records a job's weight from a stage registration.
+func (g *Global) noteJob(jobID uint64, weight float64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	g.mu.Lock()
+	g.jobWeights[jobID] = weight
+	g.mu.Unlock()
+}
+
+// AddStage connects the controller to a data-plane stage (flat design).
+func (g *Global) AddStage(ctx context.Context, info stage.Info) error {
+	if err := g.setMode(wire.RoleStage); err != nil {
+		return err
+	}
+	cli, err := rpc.Dial(ctx, g.cfg.Network, info.Addr, rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU})
+	if err != nil {
+		return fmt.Errorf("controller: dial stage %d at %s: %w", info.ID, info.Addr, err)
+	}
+	c := &child{info: info, role: wire.RoleStage, cli: cli}
+	if !g.members.add(c) {
+		cli.Close()
+		return fmt.Errorf("controller: duplicate stage ID %d", info.ID)
+	}
+	g.noteJob(info.JobID, info.Weight)
+	return nil
+}
+
+// AddAggregator connects the controller to an aggregator (hierarchical
+// design). stages lists the stages the aggregator manages; the global
+// controller needs them because it computes rules for every stage (paper
+// §IV-B) and must know each job's stage population.
+func (g *Global) AddAggregator(ctx context.Context, id uint64, addr string, stages []stage.Info) error {
+	if err := g.setMode(wire.RoleAggregator); err != nil {
+		return err
+	}
+	cli, err := rpc.Dial(ctx, g.cfg.Network, addr, rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU})
+	if err != nil {
+		return fmt.Errorf("controller: dial aggregator %d at %s: %w", id, addr, err)
+	}
+	c := &child{
+		info:   stage.Info{ID: id, Addr: addr},
+		role:   wire.RoleAggregator,
+		cli:    cli,
+		stages: append([]stage.Info(nil), stages...),
+	}
+	if !g.members.add(c) {
+		cli.Close()
+		return fmt.Errorf("controller: duplicate aggregator ID %d", id)
+	}
+	for _, s := range stages {
+		g.noteJob(s.JobID, s.Weight)
+	}
+	return nil
+}
+
+// AttachAggregator connects to a remotely deployed aggregator, queries the
+// stages it manages, and adds it to the hierarchical control plane. It is
+// the multi-host (sdsctl) counterpart of AddAggregator, which requires the
+// stage list up front.
+func (g *Global) AttachAggregator(ctx context.Context, id uint64, addr string) error {
+	cli, err := rpc.Dial(ctx, g.cfg.Network, addr, rpc.DialOptions{Meter: g.cfg.Meter})
+	if err != nil {
+		return fmt.Errorf("controller: probe aggregator at %s: %w", addr, err)
+	}
+	resp, err := cli.Call(ctx, &wire.StageList{})
+	cli.Close()
+	if err != nil {
+		return fmt.Errorf("controller: stage list from %s: %w", addr, err)
+	}
+	list, ok := resp.(*wire.StageListReply)
+	if !ok {
+		return fmt.Errorf("controller: unexpected %s from %s", resp.Type(), addr)
+	}
+	stages := make([]stage.Info, len(list.Stages))
+	for i, s := range list.Stages {
+		stages[i] = stage.Info{ID: s.ID, JobID: s.JobID, Weight: s.Weight, Addr: s.Addr}
+	}
+	return g.AddAggregator(ctx, id, addr, stages)
+}
+
+// RemoveChild evicts a child by ID, closing its connection.
+func (g *Global) RemoveChild(id uint64) bool {
+	c := g.members.remove(id)
+	if c == nil {
+		return false
+	}
+	c.cli.Close()
+	return true
+}
+
+// serveRegistration handles the dynamic-membership endpoint: a stage
+// registers, the controller dials it back and adds it to the flat control
+// plane.
+func (g *Global) serveRegistration(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
+	switch m := req.(type) {
+	case *wire.Register:
+		if m.Role != wire.RoleStage {
+			return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register dynamically"}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.CallTimeout)
+		defer cancel()
+		info := stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}
+		if err := g.AddStage(ctx, info); err != nil {
+			return nil, err
+		}
+		g.logf("controller: stage %d registered from %s", m.ID, m.Addr)
+		return &wire.RegisterAck{ID: m.ID, Epoch: g.members.currentEpoch()}, nil
+	case *wire.Heartbeat:
+		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
+	}
+	return nil, fmt.Errorf("controller: unexpected %s", req.Type())
+}
+
+// callChild performs one child RPC with the configured timeout and failure
+// accounting, evicting children that fail repeatedly.
+func (g *Global) callChild(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
+	cctx, cancel := context.WithTimeout(ctx, g.cfg.CallTimeout)
+	resp, err := c.cli.Call(cctx, req)
+	cancel()
+	if err != nil {
+		g.mu.Lock()
+		g.callErrors++
+		g.mu.Unlock()
+	}
+	if c.recordResult(err, g.cfg.MaxFailures) {
+		if g.members.remove(c.info.ID) != nil {
+			c.cli.Close()
+			g.mu.Lock()
+			g.evictions++
+			g.mu.Unlock()
+			g.logf("controller: evicted child %d after %d failures", c.info.ID, g.cfg.MaxFailures)
+		}
+	}
+	return resp, err
+}
+
+// JobStatus is one job's state as of the controller's most recent cycle.
+type JobStatus struct {
+	// JobID identifies the job.
+	JobID uint64
+	// Weight is the job's QoS weight.
+	Weight float64
+	// Stages is the job's stage population seen in the last collect.
+	Stages uint32
+	// Demand is the job's aggregate demand from the last collect.
+	Demand wire.Rates
+	// Allocated is the cluster-wide limit the last compute granted.
+	Allocated wire.Rates
+}
+
+// JobStatuses returns the per-job view of the most recent control cycle,
+// sorted by job ID — the operator-facing answer to "who is getting what".
+// It is empty before the first cycle completes.
+func (g *Global) JobStatuses() []JobStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]JobStatus, len(g.lastJobs))
+	copy(out, g.lastJobs)
+	return out
+}
+
+// recordJobStatuses stores the cycle's per-job view. Inputs arrive in the
+// algorithm's input order; allocs is index-aligned.
+func (g *Global) recordJobStatuses(inputs []controlalg.JobInput, allocs []controlalg.JobAllocation) {
+	statuses := make([]JobStatus, len(inputs))
+	for i := range inputs {
+		statuses[i] = JobStatus{
+			JobID:     inputs[i].JobID,
+			Weight:    inputs[i].Weight,
+			Stages:    inputs[i].Stages,
+			Demand:    inputs[i].Demand,
+			Allocated: allocs[i].Limit,
+		}
+	}
+	sort.Slice(statuses, func(a, b int) bool { return statuses[a].JobID < statuses[b].JobID })
+	g.mu.Lock()
+	g.lastJobs = statuses
+	g.mu.Unlock()
+}
+
+// Health is the outcome of a heartbeat sweep over a controller's children.
+type Health struct {
+	// Responsive and Unresponsive count children by heartbeat outcome.
+	Responsive, Unresponsive int
+	// MinRTT, MeanRTT and MaxRTT summarize responsive children's
+	// round-trip times.
+	MinRTT, MeanRTT, MaxRTT time.Duration
+}
+
+// HealthCheck heartbeats every child concurrently and reports liveness and
+// round-trip statistics. It does not evict: operators use it to inspect the
+// control plane between cycles without affecting membership.
+func (g *Global) HealthCheck(ctx context.Context) Health {
+	children := g.members.snapshot()
+	return sweepHealth(ctx, children, g.cfg.FanOut, g.cfg.CallTimeout)
+}
+
+// sweepHealth heartbeats the given children with bounded parallelism.
+func sweepHealth(ctx context.Context, children []*child, fanOut int, timeout time.Duration) Health {
+	rtts := make([]time.Duration, len(children))
+	ok := make([]bool, len(children))
+	rpc.Scatter(len(children), fanOut, func(i int) {
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		start := time.Now()
+		resp, err := children[i].cli.Call(cctx, &wire.Heartbeat{SentUnixMicros: start.UnixMicro()})
+		if err != nil {
+			return
+		}
+		if _, isAck := resp.(*wire.HeartbeatAck); isAck {
+			rtts[i] = time.Since(start)
+			ok[i] = true
+		}
+	})
+	var h Health
+	var sum time.Duration
+	for i := range children {
+		if !ok[i] {
+			h.Unresponsive++
+			continue
+		}
+		h.Responsive++
+		sum += rtts[i]
+		if h.MinRTT == 0 || rtts[i] < h.MinRTT {
+			h.MinRTT = rtts[i]
+		}
+		if rtts[i] > h.MaxRTT {
+			h.MaxRTT = rtts[i]
+		}
+	}
+	if h.Responsive > 0 {
+		h.MeanRTT = sum / time.Duration(h.Responsive)
+	}
+	return h
+}
+
+// RunCycle executes one complete control cycle and returns its phase
+// breakdown. It is the unit the paper's latency figures measure.
+func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
+	children := g.members.snapshot()
+	if len(children) == 0 {
+		return telemetry.Breakdown{}, ErrNoChildren
+	}
+	g.mu.Lock()
+	g.cycle++
+	cycle := g.cycle
+	mode := g.mode
+	g.mu.Unlock()
+
+	start := time.Now()
+	var b telemetry.Breakdown
+	var err error
+	if mode == wire.RoleAggregator {
+		b, err = g.runHierarchicalCycle(ctx, cycle, children)
+	} else {
+		b, err = g.runFlatCycle(ctx, cycle, children)
+	}
+	if err != nil {
+		return b, err
+	}
+	b.Total = time.Since(start)
+	g.recorder.Record(b)
+	return b, nil
+}
+
+// runFlatCycle: collect from every stage, compute, enforce per stage.
+func (g *Global) runFlatCycle(ctx context.Context, cycle uint64, children []*child) (telemetry.Breakdown, error) {
+	var b telemetry.Breakdown
+	n := len(children)
+
+	// Phase 1: collect.
+	collectStart := time.Now()
+	replies := make([]*wire.CollectReply, n)
+	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000}
+	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
+		resp, err := g.callChild(ctx, children[i], req)
+		if err != nil {
+			return
+		}
+		if r, ok := resp.(*wire.CollectReply); ok {
+			replies[i] = r
+		}
+	})
+	b.Collect = time.Since(collectStart)
+	if ctx.Err() != nil {
+		return b, ctx.Err()
+	}
+
+	// Phase 2: compute.
+	computeStart := time.Now()
+	var untrack func()
+	if g.cfg.CPU != nil {
+		untrack = g.cfg.CPU.Track()
+	}
+	reports := make([]wire.StageReport, 0, n)
+	for _, r := range replies {
+		if r != nil {
+			reports = append(reports, r.Reports...)
+		}
+	}
+	rules := g.computeFlatRules(reports)
+	if untrack != nil {
+		untrack()
+	}
+	b.Compute = time.Since(computeStart)
+
+	// Phase 3: enforce, one rule per responsive stage.
+	enforceStart := time.Now()
+	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
+		rule, ok := rules[children[i].info.ID]
+		if !ok {
+			return // stage did not report this cycle
+		}
+		batch := []wire.Rule{rule}
+		if g.cfg.DeltaEnforcement {
+			if batch = children[i].filterChanged(batch); len(batch) == 0 {
+				return
+			}
+		}
+		g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch})
+	})
+	b.Enforce = time.Since(enforceStart)
+	return b, ctx.Err()
+}
+
+// computeFlatRules runs the control algorithm over raw stage reports and
+// splits each job's allocation across its stages proportionally to their
+// observed demand.
+func (g *Global) computeFlatRules(reports []wire.StageReport) map[uint64]wire.Rule {
+	jobs := metrics.AggregateByJob(reports)
+	inputs := make([]controlalg.JobInput, len(jobs))
+	g.mu.Lock()
+	for i, j := range jobs {
+		inputs[i] = controlalg.JobInput{
+			JobID:  j.JobID,
+			Weight: g.jobWeights[j.JobID],
+			Demand: j.Demand,
+			Stages: j.Stages,
+		}
+	}
+	g.mu.Unlock()
+	allocs := g.cfg.Algorithm.Allocate(inputs, g.cfg.Capacity)
+	g.recordJobStatuses(inputs, allocs)
+
+	allocByJob := make(map[uint64]wire.Rates, len(allocs))
+	for _, a := range allocs {
+		allocByJob[a.JobID] = a.Limit
+	}
+
+	// Group the job's stages (stable order) to split allocations.
+	stagesByJob := make(map[uint64][]int)
+	for i := range reports {
+		stagesByJob[reports[i].JobID] = append(stagesByJob[reports[i].JobID], i)
+	}
+	jobIDs := make([]uint64, 0, len(stagesByJob))
+	for id := range stagesByJob {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Slice(jobIDs, func(a, b int) bool { return jobIDs[a] < jobIDs[b] })
+
+	rules := make(map[uint64]wire.Rule, len(reports))
+	for _, jobID := range jobIDs {
+		idxs := stagesByJob[jobID]
+		demands := make([]wire.Rates, len(idxs))
+		for k, i := range idxs {
+			demands[k] = reports[i].Demand
+		}
+		split := controlalg.SplitProportional(allocByJob[jobID], demands)
+		for k, i := range idxs {
+			rules[reports[i].StageID] = wire.Rule{
+				StageID: reports[i].StageID,
+				JobID:   jobID,
+				Action:  wire.ActionSetLimit,
+				Limit:   split[k],
+			}
+		}
+	}
+	return rules
+}
+
+// runHierarchicalCycle: collect pre-aggregated reports from aggregators,
+// compute, push per-stage rule batches back through the aggregators.
+func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, children []*child) (telemetry.Breakdown, error) {
+	var b telemetry.Breakdown
+	n := len(children)
+
+	// Phase 1: collect.
+	collectStart := time.Now()
+	replies := make([]wire.Message, n)
+	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000}
+	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
+		resp, err := g.callChild(ctx, children[i], req)
+		if err != nil {
+			return
+		}
+		switch resp.(type) {
+		case *wire.CollectAggReply, *wire.CollectReply:
+			replies[i] = resp
+		}
+	})
+	b.Collect = time.Since(collectStart)
+	if ctx.Err() != nil {
+		return b, ctx.Err()
+	}
+
+	// Phase 2: compute. The global normally sees per-job aggregates
+	// (paper §III-B), so allocations are split uniformly across each
+	// job's stages; the per-aggregator rule batches cover every stage.
+	// Raw per-stage replies (aggregators in ForwardRaw ablation mode) are
+	// aggregated here instead, charging this controller's CPU.
+	computeStart := time.Now()
+	var untrack func()
+	if g.cfg.CPU != nil {
+		untrack = g.cfg.CPU.Track()
+	}
+	groups := make([][]wire.JobReport, 0, n)
+	responded := make([]bool, n)
+	for i, r := range replies {
+		switch r := r.(type) {
+		case *wire.CollectAggReply:
+			groups = append(groups, r.Jobs)
+			responded[i] = true
+		case *wire.CollectReply:
+			groups = append(groups, metrics.AggregateByJob(r.Reports))
+			responded[i] = true
+		}
+	}
+	merged := metrics.MergeJobReports(groups...)
+	inputs := make([]controlalg.JobInput, len(merged))
+	g.mu.Lock()
+	for i, j := range merged {
+		inputs[i] = controlalg.JobInput{
+			JobID:  j.JobID,
+			Weight: g.jobWeights[j.JobID],
+			Demand: j.Demand,
+			Stages: j.Stages,
+		}
+	}
+	g.mu.Unlock()
+	allocs := g.cfg.Algorithm.Allocate(inputs, g.cfg.Capacity)
+	g.recordJobStatuses(inputs, allocs)
+
+	perStage := make(map[uint64]wire.Rates, len(allocs))
+	for i, a := range allocs {
+		perStage[a.JobID] = controlalg.SplitUniform(a.Limit, int(merged[i].Stages))
+	}
+
+	// Build each aggregator's enforcement payload: per-stage rule batches
+	// normally, or per-job budgets in delegated mode (§VI), where the
+	// aggregators split budgets over stages themselves.
+	batches := make([][]wire.Rule, n)
+	budgets := make([][]wire.JobBudget, n)
+	for i, c := range children {
+		if !responded[i] {
+			continue // skip unresponsive aggregators this cycle
+		}
+		if g.cfg.Delegated {
+			counts := make(map[uint64]int)
+			for _, s := range c.stages {
+				counts[s.JobID]++
+			}
+			budget := make([]wire.JobBudget, 0, len(counts))
+			for _, a := range allocs {
+				cnt := counts[a.JobID]
+				if cnt == 0 {
+					continue
+				}
+				budget = append(budget, wire.JobBudget{
+					JobID: a.JobID,
+					Limit: perStage[a.JobID].Scale(float64(cnt)),
+				})
+			}
+			budgets[i] = budget
+			continue
+		}
+		batch := make([]wire.Rule, 0, len(c.stages))
+		for _, s := range c.stages {
+			limit, ok := perStage[s.JobID]
+			if !ok {
+				continue
+			}
+			batch = append(batch, wire.Rule{
+				StageID: s.ID,
+				JobID:   s.JobID,
+				Action:  wire.ActionSetLimit,
+				Limit:   limit,
+			})
+		}
+		batches[i] = batch
+	}
+	if untrack != nil {
+		untrack()
+	}
+	b.Compute = time.Since(computeStart)
+
+	// Phase 3: enforce via aggregators.
+	enforceStart := time.Now()
+	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
+		switch {
+		case g.cfg.Delegated:
+			if len(budgets[i]) == 0 {
+				return
+			}
+			g.callChild(ctx, children[i], &wire.Delegate{Cycle: cycle, Budgets: budgets[i]})
+		default:
+			batch := batches[i]
+			if g.cfg.DeltaEnforcement {
+				batch = children[i].filterChanged(batch)
+			}
+			if len(batch) == 0 {
+				return
+			}
+			g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch})
+		}
+	})
+	b.Enforce = time.Since(enforceStart)
+	return b, ctx.Err()
+}
+
+// Run executes control cycles until ctx ends. A zero interval runs the
+// paper's stress workload (back-to-back cycles); otherwise each cycle
+// starts interval after the previous one started.
+func (g *Global) Run(ctx context.Context, interval time.Duration) error {
+	for {
+		cycleStart := time.Now()
+		if _, err := g.RunCycle(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, ErrNoChildren) {
+				// An empty control plane idles rather than spinning.
+				select {
+				case <-time.After(10 * time.Millisecond):
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return err
+		}
+		if interval > 0 {
+			sleep := interval - time.Since(cycleStart)
+			if sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// MemoryFootprint estimates the controller's state size in bytes: the
+// membership table, per-child connection buffers, job table, and rule
+// scratch space. It implements monitor.MemoryReporter for per-role memory
+// attribution in single-process simulations.
+func (g *Global) MemoryFootprint() uint64 {
+	// perChild reflects the measured in-process heap cost of one managed
+	// connection (RPC client, pending map, frame buffers, simulated-conn
+	// queues): ~24 KiB of the ~39 KiB a stage+connection pair costs.
+	const (
+		perChild = 24 << 10
+		perStage = 160 // stage.Info + rule scratch
+		perJob   = 96  // weights and aggregation entries
+	)
+	var total uint64
+	for _, c := range g.members.snapshot() {
+		total += perChild + uint64(len(c.info.Addr))
+		total += uint64(len(c.stages)+1) * perStage
+	}
+	g.mu.Lock()
+	total += uint64(len(g.jobWeights)) * perJob
+	g.mu.Unlock()
+	return total
+}
+
+// Close severs all child connections and stops the registration endpoint.
+func (g *Global) Close() error {
+	g.members.closeAll()
+	if g.regSrv != nil {
+		return g.regSrv.Close()
+	}
+	return nil
+}

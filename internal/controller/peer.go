@@ -1,0 +1,462 @@
+package controller
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/metrics"
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// PeerConfig configures one controller of the coordinated flat design.
+type PeerConfig struct {
+	// ID is the peer's cluster-unique identifier.
+	ID uint64
+	// Network is the transport used to listen and dial.
+	Network transport.Network
+	// ListenAddr is where other peers (and registering stages) reach this
+	// controller (":0" auto-assigns).
+	ListenAddr string
+	// Algorithm is the control algorithm; every peer must run the same
+	// one. Nil selects PSFA.
+	Algorithm controlalg.Algorithm
+	// Capacity is the full shared-PFS capacity; every peer must be
+	// configured with the same value.
+	Capacity wire.Rates
+	// FanOut bounds stage-dispatch parallelism. Zero selects DefaultFanOut.
+	FanOut int
+	// CallTimeout bounds each RPC. Zero selects 10 seconds.
+	CallTimeout time.Duration
+	// MaxFailures is the stage eviction threshold. Zero selects
+	// DefaultMaxFailures.
+	MaxFailures int
+	// StaleAfter discards a peer's shared aggregates when they have not
+	// been refreshed for this long, so a dead peer's stale demand stops
+	// influencing allocations. Zero selects 10 seconds.
+	StaleAfter time.Duration
+	// Meter, if non-nil, is charged with the peer's traffic.
+	Meter *transport.Meter
+	// CPU, if non-nil, is charged with the peer's busy time.
+	CPU *monitor.CPUMeter
+	// Logf, if non-nil, receives operational logs.
+	Logf func(format string, args ...any)
+}
+
+func (c PeerConfig) withDefaults() PeerConfig {
+	if c.Algorithm == nil {
+		c.Algorithm = controlalg.PSFA{}
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = ":0"
+	}
+	if c.FanOut <= 0 {
+		c.FanOut = DefaultFanOut
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = DefaultMaxFailures
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 10 * time.Second
+	}
+	return c
+}
+
+// remoteView is the latest aggregate state received from one peer.
+type remoteView struct {
+	cycle uint64
+	jobs  []wire.JobReport
+	when  time.Time
+}
+
+// Peer is one controller of the coordinated flat design the paper's §VI
+// proposes as future work: several flat controllers, each owning a disjoint
+// partition of the data-plane stages, that coordinate by exchanging per-job
+// demand aggregates every cycle. Each peer therefore keeps global
+// visibility — its allocation input covers every job in the cluster — while
+// holding only its own partition's connections, escaping the per-node
+// connection limit without adding a hierarchy level to the critical path.
+//
+// Coordination is asynchronous: a cycle pushes this peer's fresh aggregates
+// to every other peer and computes with the newest aggregates it holds from
+// them (at most one cycle stale), rather than blocking on a barrier. A
+// failed peer's aggregates age out after StaleAfter, and the stages it
+// managed keep enforcing their last rules — availability degrades softly,
+// exactly the dependability behavior §VI describes.
+type Peer struct {
+	cfg      PeerConfig
+	server   *rpc.Server
+	members  *memberSet // own stages
+	recorder *telemetry.CycleRecorder
+
+	mu         sync.Mutex
+	peers      map[uint64]*child // fellow controllers
+	remote     map[uint64]remoteView
+	jobWeights map[uint64]float64
+	cycle      uint64
+}
+
+// StartPeer launches a coordinated-flat peer controller.
+func StartPeer(cfg PeerConfig) (*Peer, error) {
+	cfg = cfg.withDefaults()
+	p := &Peer{
+		cfg:        cfg,
+		members:    newMemberSet(),
+		recorder:   telemetry.NewCycleRecorder(),
+		peers:      make(map[uint64]*child),
+		remote:     make(map[uint64]remoteView),
+		jobWeights: make(map[uint64]float64),
+	}
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(p.serve), rpc.ServerOptions{
+		Meter: cfg.Meter,
+		Logf:  cfg.Logf,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("peer %d: %w", cfg.ID, err)
+	}
+	p.server = srv
+	return p, nil
+}
+
+// ID returns the peer's identifier.
+func (p *Peer) ID() uint64 { return p.cfg.ID }
+
+// Addr returns the peer's listen address.
+func (p *Peer) Addr() string { return p.server.Addr().String() }
+
+// Recorder returns the peer's cycle-latency recorder.
+func (p *Peer) Recorder() *telemetry.CycleRecorder { return p.recorder }
+
+// NumStages returns the number of stages this peer manages.
+func (p *Peer) NumStages() int { return p.members.size() }
+
+// NumPeers returns the number of fellow controllers this peer exchanges
+// aggregates with.
+func (p *Peer) NumPeers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.peers)
+}
+
+func (p *Peer) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}
+
+// AddStage connects the peer to a stage in its partition.
+func (p *Peer) AddStage(ctx context.Context, info stage.Info) error {
+	cli, err := rpc.Dial(ctx, p.cfg.Network, info.Addr, rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU})
+	if err != nil {
+		return fmt.Errorf("peer %d: dial stage %d: %w", p.cfg.ID, info.ID, err)
+	}
+	c := &child{info: info, role: wire.RoleStage, cli: cli}
+	if !p.members.add(c) {
+		cli.Close()
+		return fmt.Errorf("peer %d: duplicate stage ID %d", p.cfg.ID, info.ID)
+	}
+	w := info.Weight
+	if w <= 0 {
+		w = 1
+	}
+	p.mu.Lock()
+	p.jobWeights[info.JobID] = w
+	p.mu.Unlock()
+	return nil
+}
+
+// AddPeer connects this controller to a fellow peer for aggregate exchange.
+func (p *Peer) AddPeer(ctx context.Context, id uint64, addr string) error {
+	if id == p.cfg.ID {
+		return fmt.Errorf("peer %d: cannot peer with itself", id)
+	}
+	cli, err := rpc.Dial(ctx, p.cfg.Network, addr, rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU})
+	if err != nil {
+		return fmt.Errorf("peer %d: dial peer %d at %s: %w", p.cfg.ID, id, addr, err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, dup := p.peers[id]; dup {
+		cli.Close()
+		return fmt.Errorf("peer %d: duplicate peer ID %d", p.cfg.ID, id)
+	}
+	p.peers[id] = &child{info: stage.Info{ID: id, Addr: addr}, role: wire.RoleGlobal, cli: cli}
+	return nil
+}
+
+// serve handles stage registrations and fellow peers' exchanges.
+func (p *Peer) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
+	switch m := req.(type) {
+	case *wire.PeerExchange:
+		p.mu.Lock()
+		prev := p.remote[m.PeerID]
+		if m.Cycle >= prev.cycle {
+			p.remote[m.PeerID] = remoteView{cycle: m.Cycle, jobs: m.Jobs, when: time.Now()}
+		}
+		_, known := p.peers[m.PeerID]
+		p.mu.Unlock()
+		if !known && m.Addr != "" && m.PeerID != p.cfg.ID {
+			// Auto-mesh: a one-sidedly configured peer announced itself;
+			// dial back so our aggregates reach it too.
+			ctx, cancel := context.WithTimeout(context.Background(), p.cfg.CallTimeout)
+			if err := p.AddPeer(ctx, m.PeerID, m.Addr); err != nil {
+				p.logf("peer %d: auto-mesh with %d at %s: %v", p.cfg.ID, m.PeerID, m.Addr, err)
+			} else {
+				p.logf("peer %d: auto-meshed with peer %d at %s", p.cfg.ID, m.PeerID, m.Addr)
+			}
+			cancel()
+		}
+		return &wire.PeerExchangeAck{Cycle: m.Cycle, PeerID: p.cfg.ID}, nil
+	case *wire.Register:
+		if m.Role != wire.RoleStage {
+			return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register with a peer controller"}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.CallTimeout)
+		defer cancel()
+		if err := p.AddStage(ctx, stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}); err != nil {
+			return nil, err
+		}
+		return &wire.RegisterAck{ID: m.ID, Epoch: p.members.currentEpoch()}, nil
+	case *wire.StageList:
+		children := p.members.snapshot()
+		reply := &wire.StageListReply{Stages: make([]wire.StageEntry, len(children))}
+		for i, c := range children {
+			reply.Stages[i] = wire.StageEntry{ID: c.info.ID, JobID: c.info.JobID, Weight: c.info.Weight, Addr: c.info.Addr}
+		}
+		return reply, nil
+	case *wire.Heartbeat:
+		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
+	}
+	return nil, fmt.Errorf("peer %d: unexpected %s", p.cfg.ID, req.Type())
+}
+
+// callChild performs one stage RPC with failure accounting.
+func (p *Peer) callChild(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
+	cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
+	resp, err := c.cli.Call(cctx, req)
+	cancel()
+	if c.recordResult(err, p.cfg.MaxFailures) {
+		if p.members.remove(c.info.ID) != nil {
+			c.cli.Close()
+			p.logf("peer %d: evicted stage %d", p.cfg.ID, c.info.ID)
+		}
+	}
+	return resp, err
+}
+
+// RunCycle executes one coordinated control cycle: collect own partition,
+// exchange aggregates with peers, compute over the merged global view,
+// enforce own partition.
+func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
+	children := p.members.snapshot()
+	if len(children) == 0 {
+		return telemetry.Breakdown{}, ErrNoChildren
+	}
+	p.mu.Lock()
+	p.cycle++
+	cycle := p.cycle
+	p.mu.Unlock()
+
+	start := time.Now()
+	var b telemetry.Breakdown
+
+	// Phase 1: collect own stages, aggregate, and exchange with peers.
+	collectStart := time.Now()
+	n := len(children)
+	replies := make([]*wire.CollectReply, n)
+	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000}
+	rpc.Scatter(n, p.cfg.FanOut, func(i int) {
+		resp, err := p.callChild(ctx, children[i], req)
+		if err != nil {
+			return
+		}
+		if r, ok := resp.(*wire.CollectReply); ok {
+			replies[i] = r
+		}
+	})
+
+	var untrack func()
+	if p.cfg.CPU != nil {
+		untrack = p.cfg.CPU.Track()
+	}
+	reports := make([]wire.StageReport, 0, n)
+	for _, r := range replies {
+		if r != nil {
+			reports = append(reports, r.Reports...)
+		}
+	}
+	ownJobs := metrics.AggregateByJob(reports)
+	if untrack != nil {
+		untrack()
+	}
+
+	// Push fresh aggregates to every peer; their cycles will pick them up.
+	p.mu.Lock()
+	fellows := make([]*child, 0, len(p.peers))
+	for _, c := range p.peers {
+		fellows = append(fellows, c)
+	}
+	p.mu.Unlock()
+	exchange := &wire.PeerExchange{Cycle: cycle, PeerID: p.cfg.ID, Addr: p.Addr(), Jobs: ownJobs}
+	rpc.Scatter(len(fellows), p.cfg.FanOut, func(i int) {
+		cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
+		fellows[i].cli.Call(cctx, exchange)
+		cancel()
+	})
+	b.Collect = time.Since(collectStart)
+	if ctx.Err() != nil {
+		return b, ctx.Err()
+	}
+
+	// Phase 2: compute over the merged global view.
+	computeStart := time.Now()
+	if p.cfg.CPU != nil {
+		untrack = p.cfg.CPU.Track()
+	}
+	groups := [][]wire.JobReport{ownJobs}
+	now := time.Now()
+	p.mu.Lock()
+	for id, v := range p.remote {
+		if now.Sub(v.when) > p.cfg.StaleAfter {
+			delete(p.remote, id) // dead peer: let its demand age out
+			continue
+		}
+		groups = append(groups, v.jobs)
+	}
+	merged := metrics.MergeJobReports(groups...)
+	inputs := make([]controlalg.JobInput, len(merged))
+	for i, j := range merged {
+		w := p.jobWeights[j.JobID]
+		inputs[i] = controlalg.JobInput{JobID: j.JobID, Weight: w, Demand: j.Demand, Stages: j.Stages}
+	}
+	p.mu.Unlock()
+	allocs := p.cfg.Algorithm.Allocate(inputs, p.cfg.Capacity)
+
+	// Each job's global allocation is split uniformly across its global
+	// stage population; this peer enforces the slice covering its own
+	// stages, weighted by their observed demand.
+	perStageAlloc := make(map[uint64]wire.Rates, len(allocs))
+	for i, a := range allocs {
+		perStageAlloc[a.JobID] = controlalg.SplitUniform(a.Limit, int(merged[i].Stages))
+	}
+	ownStagesByJob := make(map[uint64][]int)
+	for i := range reports {
+		ownStagesByJob[reports[i].JobID] = append(ownStagesByJob[reports[i].JobID], i)
+	}
+	jobIDs := make([]uint64, 0, len(ownStagesByJob))
+	for id := range ownStagesByJob {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Slice(jobIDs, func(a, b int) bool { return jobIDs[a] < jobIDs[b] })
+
+	rules := make(map[uint64]wire.Rule, len(reports))
+	for _, jobID := range jobIDs {
+		idxs := ownStagesByJob[jobID]
+		perStage := perStageAlloc[jobID]
+		share := perStage.Scale(float64(len(idxs)))
+		demands := make([]wire.Rates, len(idxs))
+		for k, i := range idxs {
+			demands[k] = reports[i].Demand
+		}
+		split := controlalg.SplitProportional(share, demands)
+		for k, i := range idxs {
+			rules[reports[i].StageID] = wire.Rule{
+				StageID: reports[i].StageID,
+				JobID:   jobID,
+				Action:  wire.ActionSetLimit,
+				Limit:   split[k],
+			}
+		}
+	}
+	if untrack != nil {
+		untrack()
+	}
+	b.Compute = time.Since(computeStart)
+
+	// Phase 3: enforce own partition.
+	enforceStart := time.Now()
+	rpc.Scatter(n, p.cfg.FanOut, func(i int) {
+		rule, ok := rules[children[i].info.ID]
+		if !ok {
+			return
+		}
+		p.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: []wire.Rule{rule}})
+	})
+	b.Enforce = time.Since(enforceStart)
+
+	b.Total = time.Since(start)
+	p.recorder.Record(b)
+	return b, ctx.Err()
+}
+
+// Run executes control cycles until ctx ends, like Global.Run.
+func (p *Peer) Run(ctx context.Context, interval time.Duration) error {
+	for {
+		cycleStart := time.Now()
+		if _, err := p.RunCycle(ctx); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if err == ErrNoChildren {
+				select {
+				case <-time.After(10 * time.Millisecond):
+					continue
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+			return err
+		}
+		if interval > 0 {
+			if sleep := interval - time.Since(cycleStart); sleep > 0 {
+				select {
+				case <-time.After(sleep):
+				case <-ctx.Done():
+					return ctx.Err()
+				}
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// MemoryFootprint implements monitor.MemoryReporter.
+func (p *Peer) MemoryFootprint() uint64 {
+	const perChild = 24 << 10 // see Global.MemoryFootprint
+	var total uint64
+	for _, c := range p.members.snapshot() {
+		total += perChild + uint64(len(c.info.Addr))
+	}
+	p.mu.Lock()
+	total += uint64(len(p.peers)) * perChild
+	for _, v := range p.remote {
+		total += uint64(len(v.jobs)) * 96
+	}
+	p.mu.Unlock()
+	return total
+}
+
+// Close severs all connections and stops the server.
+func (p *Peer) Close() error {
+	p.members.closeAll()
+	p.mu.Lock()
+	for _, c := range p.peers {
+		c.cli.Close()
+	}
+	p.peers = make(map[uint64]*child)
+	p.mu.Unlock()
+	return p.server.Close()
+}

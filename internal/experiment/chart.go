@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Chart glyphs for the three control-cycle phases, matching the paper's
+// stacked-bar figures.
+const (
+	glyphCollect = '█'
+	glyphCompute = '▚'
+	glyphEnforce = '░'
+)
+
+// chartRow is one bar of a latency chart.
+type chartRow struct {
+	label                     string
+	collect, compute, enforce time.Duration
+}
+
+// renderLatencyChart draws horizontal stacked bars of per-phase latency,
+// the ASCII analogue of the paper's Figures 4-6. Bars are scaled to the
+// largest total; each phase's share is rounded to whole cells, so tiny
+// phases (compute, typically) may not be visible — the tables carry the
+// exact numbers.
+func renderLatencyChart(rows []chartRow, width int) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 56
+	}
+	var maxTotal time.Duration
+	labelWidth := 0
+	for _, r := range rows {
+		if t := r.collect + r.compute + r.enforce; t > maxTotal {
+			maxTotal = t
+		}
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	if maxTotal <= 0 {
+		return ""
+	}
+
+	var b strings.Builder
+	for _, r := range rows {
+		total := r.collect + r.compute + r.enforce
+		cells := func(d time.Duration) int {
+			return int(float64(d) / float64(maxTotal) * float64(width))
+		}
+		nCollect := cells(r.collect)
+		nCompute := cells(r.compute)
+		nEnforce := cells(r.enforce)
+		fmt.Fprintf(&b, "  %-*s |%s%s%s %s\n",
+			labelWidth, r.label,
+			strings.Repeat(string(glyphCollect), nCollect),
+			strings.Repeat(string(glyphCompute), nCompute),
+			strings.Repeat(string(glyphEnforce), nEnforce),
+			total.Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(&b, "  %-*s  %c collect  %c compute  %c enforce\n",
+		labelWidth, "", glyphCollect, glyphCompute, glyphEnforce)
+	return b.String()
+}
+
+// latencyRows converts results into chart rows labeled by fn.
+func latencyRows(results []Result, label func(Result) string) []chartRow {
+	rows := make([]chartRow, len(results))
+	for i, r := range results {
+		rows[i] = chartRow{
+			label:   label(r),
+			collect: r.Latency.Collect.Mean,
+			compute: r.Latency.Compute.Mean,
+			enforce: r.Latency.Enforce.Mean,
+		}
+	}
+	return rows
+}

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ResultsCSVHeader is the header row matching ResultsCSV.
+const ResultsCSVHeader = "name,topology,nodes,aggregators,cycles," +
+	"collect_ms,compute_ms,enforce_ms,total_ms,total_p50_ms,total_p95_ms,rel_std_pct," +
+	"global_cpu_pct,global_mem_gb,global_tx_mbps,global_rx_mbps," +
+	"agg_cpu_pct,agg_mem_gb,agg_tx_mbps,agg_rx_mbps,elapsed_s"
+
+// ResultsCSV renders results as CSV rows (without header), one per
+// configuration, for plotting pipelines.
+func ResultsCSV(results []Result) string {
+	var b strings.Builder
+	msF := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.4f,%.6f,%.4f,%.4f,%.4f,%.6f,%.4f,%.4f,%.2f\n",
+			r.Name, r.Topology, r.Nodes, r.Aggregators, r.Latency.Cycles,
+			msF(r.Latency.Collect.Mean), msF(r.Latency.Compute.Mean),
+			msF(r.Latency.Enforce.Mean), msF(r.Latency.Total.Mean),
+			msF(r.Latency.Total.P50), msF(r.Latency.Total.P95),
+			100*r.Latency.RelStddev(),
+			r.Global.CPUPercent, r.Global.MemGB(), r.Global.TxMBps, r.Global.RxMBps,
+			r.Aggregator.CPUPercent, r.Aggregator.MemGB(), r.Aggregator.TxMBps, r.Aggregator.RxMBps,
+			r.Elapsed.Seconds())
+	}
+	return b.String()
+}

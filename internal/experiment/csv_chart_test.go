@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+)
+
+func sampleResults() []Result {
+	mk := func(name string, topo cluster.Topology, nodes, aggs int, collect, compute, enforce time.Duration) Result {
+		var s telemetry.Summary
+		s.Cycles = 10
+		s.Collect.Mean = collect
+		s.Compute.Mean = compute
+		s.Enforce.Mean = enforce
+		s.Total.Mean = collect + compute + enforce
+		s.Total.P50 = s.Total.Mean
+		s.Total.P95 = s.Total.Mean
+		return Result{
+			Name: name, Topology: topo, Nodes: nodes, Aggregators: aggs,
+			Latency: s,
+			Global:  cluster.RoleUsage{CPUPercent: 1.5, MemBytes: 1 << 20, TxMBps: 0.5, RxMBps: 0.25},
+			Elapsed: 2 * time.Second,
+		}
+	}
+	return []Result{
+		mk("flat-50", cluster.Flat, 50, 0, 5*time.Millisecond, 40*time.Microsecond, 5*time.Millisecond),
+		mk("flat-2500", cluster.Flat, 2500, 0, 250*time.Millisecond, 500*time.Microsecond, 260*time.Millisecond),
+	}
+}
+
+func TestResultsCSV(t *testing.T) {
+	rows := ResultsCSV(sampleResults())
+	lines := strings.Split(strings.TrimSpace(rows), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("rows = %d, want 2", len(lines))
+	}
+	headerFields := strings.Split(ResultsCSVHeader, ",")
+	for i, line := range lines {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(headerFields) {
+			t.Errorf("row %d has %d fields, header has %d", i, len(fields), len(headerFields))
+		}
+	}
+	if !strings.HasPrefix(lines[0], "flat-50,flat,50,0,10,5.000,") {
+		t.Errorf("row 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",2500,0,") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+}
+
+func TestResultsCSVEmpty(t *testing.T) {
+	if got := ResultsCSV(nil); got != "" {
+		t.Errorf("ResultsCSV(nil) = %q", got)
+	}
+}
+
+func TestRenderLatencyChart(t *testing.T) {
+	rows := latencyRows(sampleResults(), func(r Result) string { return r.Name })
+	out := renderLatencyChart(rows, 40)
+	if out == "" {
+		t.Fatal("empty chart")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 { // two bars + legend
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	// The larger configuration's bar must be longer.
+	small := strings.Count(lines[0], string(glyphCollect)) + strings.Count(lines[0], string(glyphEnforce))
+	large := strings.Count(lines[1], string(glyphCollect)) + strings.Count(lines[1], string(glyphEnforce))
+	if large <= small {
+		t.Errorf("bar lengths not proportional: %d vs %d", small, large)
+	}
+	if large > 40+1 {
+		t.Errorf("bar exceeds width: %d cells", large)
+	}
+	if !strings.Contains(lines[2], "collect") || !strings.Contains(lines[2], "enforce") {
+		t.Errorf("legend missing: %q", lines[2])
+	}
+}
+
+func TestRenderLatencyChartDegenerate(t *testing.T) {
+	if got := renderLatencyChart(nil, 40); got != "" {
+		t.Errorf("chart of nothing = %q", got)
+	}
+	zero := []chartRow{{label: "x"}}
+	if got := renderLatencyChart(zero, 40); got != "" {
+		t.Errorf("chart of zero durations = %q", got)
+	}
+}

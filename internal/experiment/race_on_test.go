@@ -1,0 +1,9 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports that the race detector is active: its 5-20x slowdown
+// of instrumented code distorts the timing shapes the experiments assert,
+// so shape checks are skipped (the runners still execute fully, which is
+// what the race detector needs to see).
+const raceEnabled = true

@@ -1,0 +1,146 @@
+// Package jobsim drives enforcing data-plane stages with realistic HPC job
+// I/O patterns.
+//
+// The paper motivates SDS control with data-centric HPC workloads — long
+// running jobs issuing "consecutive data and metadata accesses to the PFS"
+// (§I). jobsim reproduces the two canonical shapes:
+//
+//   - checkpoint-style jobs: compute for a while, then burst-write large
+//     files (one metadata open/close pair around many data operations);
+//   - metadata-intensive jobs: create swarms of small files, where opens
+//     and closes dominate — the pattern Cheferd targets.
+//
+// Jobs run as a set of parallel ranks (like MPI processes), all pushing
+// through the job's data-plane stage, so the control plane's per-class
+// rate limits shape exactly what reaches the PFS.
+package jobsim
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// Pattern describes a job's I/O behaviour.
+type Pattern struct {
+	// Ranks is the number of parallel workers (MPI-rank analogue). Zero
+	// selects 4.
+	Ranks int
+	// ComputeTime is the pause between I/O bursts, per rank. Zero means
+	// the job is I/O-bound and bursts back-to-back.
+	ComputeTime time.Duration
+	// FilesPerBurst is how many files each burst touches. Zero selects 1.
+	FilesPerBurst int
+	// OpsPerFile is the data operations per file between its open and
+	// close. Zero makes the job purely metadata-bound (create/close).
+	OpsPerFile int
+}
+
+func (p Pattern) withDefaults() Pattern {
+	if p.Ranks <= 0 {
+		p.Ranks = 4
+	}
+	if p.FilesPerBurst <= 0 {
+		p.FilesPerBurst = 1
+	}
+	return p
+}
+
+// Checkpoint returns the classic checkpoint/restart pattern: compute, then
+// burst ops data operations into one file.
+func Checkpoint(compute time.Duration, ops int) Pattern {
+	return Pattern{Ranks: 4, ComputeTime: compute, FilesPerBurst: 1, OpsPerFile: ops}
+}
+
+// MetadataHeavy returns a file-swarm pattern: files small files per burst
+// with a single data operation each, so metadata ops dominate 2:1.
+func MetadataHeavy(files int) Pattern {
+	return Pattern{Ranks: 4, FilesPerBurst: files, OpsPerFile: 1}
+}
+
+// Stats is a snapshot of a job's progress.
+type Stats struct {
+	// Bursts is the number of completed I/O bursts across all ranks.
+	Bursts uint64
+	// DataOps and MetaOps count completed operations by class.
+	DataOps, MetaOps uint64
+}
+
+// Job is a running simulated job.
+type Job struct {
+	pattern Pattern
+	stage   *stage.Enforcing
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	bursts  atomic.Uint64
+	dataOps atomic.Uint64
+	metaOps atomic.Uint64
+}
+
+// Start launches the job's ranks against st. Stop the job to release them.
+func Start(ctx context.Context, st *stage.Enforcing, p Pattern) *Job {
+	p = p.withDefaults()
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{pattern: p, stage: st, cancel: cancel}
+	for r := 0; r < p.Ranks; r++ {
+		j.wg.Add(1)
+		go j.rank(jctx)
+	}
+	return j
+}
+
+// rank runs one worker's compute/burst loop.
+func (j *Job) rank(ctx context.Context) {
+	defer j.wg.Done()
+	for ctx.Err() == nil {
+		if j.pattern.ComputeTime > 0 {
+			t := time.NewTimer(j.pattern.ComputeTime)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return
+			}
+		}
+		for f := 0; f < j.pattern.FilesPerBurst; f++ {
+			// open
+			if j.stage.Submit(ctx, wire.ClassMeta) != nil {
+				return
+			}
+			j.metaOps.Add(1)
+			for op := 0; op < j.pattern.OpsPerFile; op++ {
+				if j.stage.Submit(ctx, wire.ClassData) != nil {
+					return
+				}
+				j.dataOps.Add(1)
+			}
+			// close
+			if j.stage.Submit(ctx, wire.ClassMeta) != nil {
+				return
+			}
+			j.metaOps.Add(1)
+		}
+		j.bursts.Add(1)
+	}
+}
+
+// Stats returns the job's progress so far.
+func (j *Job) Stats() Stats {
+	return Stats{
+		Bursts:  j.bursts.Load(),
+		DataOps: j.dataOps.Load(),
+		MetaOps: j.metaOps.Load(),
+	}
+}
+
+// Stop ends the job and waits for its ranks to exit.
+func (j *Job) Stop() Stats {
+	j.cancel()
+	j.wg.Wait()
+	return j.Stats()
+}

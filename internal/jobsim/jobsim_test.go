@@ -1,0 +1,145 @@
+package jobsim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/pfs"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// newStage starts an enforcing stage without a PFS (ops complete
+// instantly), returning the stage and the simulated network it lives on.
+func newStage(t *testing.T) (*stage.Enforcing, *simnet.Net) {
+	t.Helper()
+	n := simnet.New(simnet.Config{PropDelay: -1})
+	e, err := stage.StartEnforcing(stage.EnforcingConfig{ID: 1, JobID: 1, Network: n.Host("s")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, n
+}
+
+// applyRule pushes a rule to the stage through its real RPC surface, the
+// way a controller would.
+func applyRule(t *testing.T, n *simnet.Net, e *stage.Enforcing, r wire.Rule) {
+	t.Helper()
+	cli, err := rpc.Dial(context.Background(), n.Host("controller"), e.Info().Addr, rpc.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), &wire.Enforce{Cycle: 1, Rules: []wire.Rule{r}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobOpRatios(t *testing.T) {
+	e, _ := newStage(t)
+	// 3 files per burst, 5 data ops each: meta:data = 6:15 per burst.
+	j := Start(context.Background(), e, Pattern{Ranks: 2, FilesPerBurst: 3, OpsPerFile: 5})
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Stats().Bursts < 10 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := j.Stop()
+	if s.Bursts < 10 {
+		t.Fatalf("completed only %d bursts", s.Bursts)
+	}
+	// Per completed burst: 6 meta, 15 data. In-flight bursts may add a
+	// partial tail, so check the ratio over completed work with slack.
+	ratio := float64(s.DataOps) / float64(s.MetaOps)
+	if ratio < 2.0 || ratio > 3.0 {
+		t.Errorf("data:meta ratio = %.2f (%d/%d), want ~2.5", ratio, s.DataOps, s.MetaOps)
+	}
+}
+
+func TestMetadataHeavyPattern(t *testing.T) {
+	e, _ := newStage(t)
+	j := Start(context.Background(), e, MetadataHeavy(10))
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Stats().Bursts < 5 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := j.Stop()
+	if s.MetaOps <= s.DataOps {
+		t.Errorf("metadata-heavy job did more data (%d) than meta (%d) ops", s.DataOps, s.MetaOps)
+	}
+}
+
+func TestCheckpointComputePhases(t *testing.T) {
+	e, _ := newStage(t)
+	// 50ms compute between bursts: in ~300ms each rank completes ~6 bursts.
+	j := Start(context.Background(), e, Checkpoint(50*time.Millisecond, 10))
+	time.Sleep(300 * time.Millisecond)
+	s := j.Stop()
+	if s.Bursts == 0 {
+		t.Fatal("no bursts completed")
+	}
+	// 4 ranks over 300ms at 50ms+burst each: well under 40 bursts.
+	if s.Bursts > 40 {
+		t.Errorf("bursts = %d, compute pauses apparently skipped", s.Bursts)
+	}
+}
+
+func TestJobRespectsRateLimits(t *testing.T) {
+	e, n := newStage(t)
+	// Throttle data hard; the job's data throughput must follow.
+	limited := wire.Rule{StageID: 1, JobID: 1, Action: wire.ActionSetLimit, Limit: wire.Rates{100, 1000}}
+	applyRule(t, n, e, limited)
+
+	j := Start(context.Background(), e, Pattern{Ranks: 4, FilesPerBurst: 1, OpsPerFile: 20})
+	time.Sleep(500 * time.Millisecond)
+	s := j.Stop()
+	// 100 data ops/s for 0.5s plus ~100 burst tokens: at most ~250.
+	if s.DataOps > 400 {
+		t.Errorf("data ops under 100/s limit = %d in 0.5s", s.DataOps)
+	}
+}
+
+func TestJobStopsWithContext(t *testing.T) {
+	e, _ := newStage(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	j := Start(ctx, e, Pattern{Ranks: 2, OpsPerFile: 1})
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		j.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job did not stop with its context")
+	}
+}
+
+func TestJobAgainstPFS(t *testing.T) {
+	n := simnet.New(simnet.Config{PropDelay: -1})
+	fs := pfs.New(pfs.Config{OSTs: 2, OSTCapacity: 1e5, MDSCapacity: 1e5})
+	e, err := stage.StartEnforcing(stage.EnforcingConfig{ID: 1, JobID: 7, Network: n.Host("s"), FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	j := Start(context.Background(), e, Pattern{Ranks: 2, FilesPerBurst: 1, OpsPerFile: 3})
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Stats().Bursts < 4 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := j.Stop()
+	ops := fs.ClientOps(7)
+	if uint64(ops[wire.ClassData]) != s.DataOps {
+		t.Errorf("PFS data ops %v != job %d", ops[wire.ClassData], s.DataOps)
+	}
+	if uint64(ops[wire.ClassMeta]) != s.MetaOps {
+		t.Errorf("PFS meta ops %v != job %d", ops[wire.ClassMeta], s.MetaOps)
+	}
+}

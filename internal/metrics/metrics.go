@@ -1,0 +1,227 @@
+// Package metrics provides the measurement primitives data-plane stages and
+// controllers use: sliding-window rate counters, exponentially weighted
+// moving averages, and the report-aggregation functions that implement the
+// "aggregate metrics" role of aggregator controllers (paper §III-B).
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// RateCounter measures an event rate over a sliding window using a ring of
+// fixed-width buckets. It is safe for concurrent use and allocation-free on
+// the Add path, since enforcing stages call it on every intercepted I/O
+// operation.
+type RateCounter struct {
+	mu       sync.Mutex
+	buckets  []float64
+	width    time.Duration
+	lastTick time.Time
+	cur      int
+}
+
+// NewRateCounter creates a counter with the given window split into n
+// buckets. Resolution is window/n; shorter windows react faster, longer
+// windows smooth bursts.
+func NewRateCounter(window time.Duration, n int) *RateCounter {
+	if n <= 0 {
+		n = 10
+	}
+	if window <= 0 {
+		window = time.Second
+	}
+	return &RateCounter{
+		buckets:  make([]float64, n),
+		width:    window / time.Duration(n),
+		lastTick: time.Now(),
+	}
+}
+
+// advance rotates the ring forward to now, zeroing expired buckets.
+// Callers must hold mu.
+func (c *RateCounter) advance(now time.Time) {
+	elapsed := now.Sub(c.lastTick)
+	if elapsed < c.width {
+		return
+	}
+	steps := int(elapsed / c.width)
+	if steps >= len(c.buckets) {
+		for i := range c.buckets {
+			c.buckets[i] = 0
+		}
+		c.cur = 0
+		c.lastTick = now
+		return
+	}
+	for i := 0; i < steps; i++ {
+		c.cur = (c.cur + 1) % len(c.buckets)
+		c.buckets[c.cur] = 0
+	}
+	c.lastTick = c.lastTick.Add(time.Duration(steps) * c.width)
+}
+
+// Add records n events at time now.
+func (c *RateCounter) Add(now time.Time, n float64) {
+	c.mu.Lock()
+	c.advance(now)
+	c.buckets[c.cur] += n
+	c.mu.Unlock()
+}
+
+// Rate returns the average event rate per second over the window ending at
+// now.
+func (c *RateCounter) Rate(now time.Time) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(now)
+	var total float64
+	for _, b := range c.buckets {
+		total += b
+	}
+	window := c.width * time.Duration(len(c.buckets))
+	return total / window.Seconds()
+}
+
+// Total returns the raw event count currently inside the window.
+func (c *RateCounter) Total(now time.Time) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advance(now)
+	var total float64
+	for _, b := range c.buckets {
+		total += b
+	}
+	return total
+}
+
+// EWMA is an exponentially weighted moving average with a configurable time
+// constant. Controllers use it to smooth per-job demand so the PSFA
+// algorithm doesn't chase single-cycle noise.
+type EWMA struct {
+	mu       sync.Mutex
+	tau      time.Duration
+	value    float64
+	lastSeen time.Time
+	primed   bool
+}
+
+// NewEWMA creates an average with time constant tau: a step change in input
+// reaches ~63% of its final value after tau.
+func NewEWMA(tau time.Duration) *EWMA {
+	if tau <= 0 {
+		tau = time.Second
+	}
+	return &EWMA{tau: tau}
+}
+
+// Update folds a new sample observed at now into the average.
+func (e *EWMA) Update(now time.Time, sample float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.primed {
+		e.value = sample
+		e.primed = true
+		e.lastSeen = now
+		return
+	}
+	dt := now.Sub(e.lastSeen)
+	if dt <= 0 {
+		// Same-instant samples average in with a nominal small weight.
+		e.value += (sample - e.value) * 0.1
+		return
+	}
+	// alpha = 1 - exp(-dt/tau), approximated by dt/(dt+tau) to stay in
+	// (0,1) without importing math for Exp on the hot path.
+	alpha := float64(dt) / float64(dt+e.tau)
+	e.value += (sample - e.value) * alpha
+	e.lastSeen = now
+}
+
+// Value returns the current average (zero before the first sample).
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value
+}
+
+// Primed reports whether at least one sample has been folded in.
+func (e *EWMA) Primed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.primed
+}
+
+// AggregateByJob sums per-stage reports into per-job aggregates, the
+// transformation an aggregator controller applies before replying to the
+// global controller. The result is sorted by JobID so payloads are
+// deterministic.
+func AggregateByJob(reports []wire.StageReport) []wire.JobReport {
+	if len(reports) == 0 {
+		return nil
+	}
+	byJob := make(map[uint64]*wire.JobReport)
+	for i := range reports {
+		r := &reports[i]
+		j, ok := byJob[r.JobID]
+		if !ok {
+			j = &wire.JobReport{JobID: r.JobID}
+			byJob[r.JobID] = j
+		}
+		j.Stages++
+		j.Demand = j.Demand.Add(r.Demand)
+		j.Usage = j.Usage.Add(r.Usage)
+	}
+	out := make([]wire.JobReport, 0, len(byJob))
+	for _, j := range byJob {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].JobID < out[b].JobID })
+	return out
+}
+
+// MergeJobReports folds per-job aggregates from multiple aggregators into
+// one per-job view, the global controller's input to the control algorithm.
+func MergeJobReports(groups ...[]wire.JobReport) []wire.JobReport {
+	byJob := make(map[uint64]*wire.JobReport)
+	for _, g := range groups {
+		for i := range g {
+			r := &g[i]
+			j, ok := byJob[r.JobID]
+			if !ok {
+				j = &wire.JobReport{JobID: r.JobID}
+				byJob[r.JobID] = j
+			}
+			j.Stages += r.Stages
+			j.Demand = j.Demand.Add(r.Demand)
+			j.Usage = j.Usage.Add(r.Usage)
+		}
+	}
+	out := make([]wire.JobReport, 0, len(byJob))
+	for _, j := range byJob {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].JobID < out[b].JobID })
+	return out
+}
+
+// TotalDemand sums demand across a set of job reports.
+func TotalDemand(jobs []wire.JobReport) wire.Rates {
+	var t wire.Rates
+	for i := range jobs {
+		t = t.Add(jobs[i].Demand)
+	}
+	return t
+}
+
+// TotalUsage sums usage across a set of job reports.
+func TotalUsage(jobs []wire.JobReport) wire.Rates {
+	var t wire.Rates
+	for i := range jobs {
+		t = t.Add(jobs[i].Usage)
+	}
+	return t
+}

@@ -1,0 +1,283 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+func TestRateCounterBasic(t *testing.T) {
+	base := time.Now()
+	c := NewRateCounter(time.Second, 10)
+	// 100 events inside the window -> 100 ops/s.
+	for i := 0; i < 100; i++ {
+		c.Add(base.Add(time.Duration(i)*5*time.Millisecond), 1)
+	}
+	rate := c.Rate(base.Add(500 * time.Millisecond))
+	if math.Abs(rate-100) > 1e-9 {
+		t.Errorf("rate = %g, want 100", rate)
+	}
+}
+
+func TestRateCounterExpiry(t *testing.T) {
+	base := time.Now()
+	c := NewRateCounter(time.Second, 10)
+	c.Add(base, 50)
+	// After more than a full window, everything expires.
+	if rate := c.Rate(base.Add(2 * time.Second)); rate != 0 {
+		t.Errorf("rate after expiry = %g, want 0", rate)
+	}
+	if total := c.Total(base.Add(2 * time.Second)); total != 0 {
+		t.Errorf("total after expiry = %g, want 0", total)
+	}
+}
+
+func TestRateCounterPartialExpiry(t *testing.T) {
+	base := time.Now()
+	c := NewRateCounter(time.Second, 10)
+	c.Add(base, 10)                           // bucket at t=0
+	c.Add(base.Add(600*time.Millisecond), 20) // bucket at t=0.6
+	// At t=1.05 the first bucket (age > 1s) has expired, second remains.
+	total := c.Total(base.Add(1050 * time.Millisecond))
+	if total != 20 {
+		t.Errorf("total = %g, want 20", total)
+	}
+}
+
+func TestRateCounterDefaults(t *testing.T) {
+	c := NewRateCounter(0, 0) // both defaulted, must not panic
+	now := time.Now()
+	c.Add(now, 5)
+	if c.Total(now) != 5 {
+		t.Error("defaulted counter lost events")
+	}
+}
+
+func TestRateCounterConcurrent(t *testing.T) {
+	c := NewRateCounter(time.Second, 10)
+	now := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(now, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Total(now); got != 8000 {
+		t.Errorf("concurrent total = %g, want 8000", got)
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	e := NewEWMA(time.Second)
+	base := time.Now()
+	e.Update(base, 0)
+	// Feed a constant 100 for many time constants; must converge.
+	for i := 1; i <= 100; i++ {
+		e.Update(base.Add(time.Duration(i)*200*time.Millisecond), 100)
+	}
+	if v := e.Value(); math.Abs(v-100) > 1 {
+		t.Errorf("EWMA = %g, want ~100", v)
+	}
+}
+
+func TestEWMAFirstSamplePrimes(t *testing.T) {
+	e := NewEWMA(time.Second)
+	if e.Primed() {
+		t.Error("new EWMA reports primed")
+	}
+	e.Update(time.Now(), 42)
+	if !e.Primed() {
+		t.Error("EWMA not primed after first sample")
+	}
+	if v := e.Value(); v != 42 {
+		t.Errorf("first sample = %g, want 42", v)
+	}
+}
+
+func TestEWMASameInstant(t *testing.T) {
+	e := NewEWMA(time.Second)
+	now := time.Now()
+	e.Update(now, 0)
+	e.Update(now, 100) // dt == 0 must not divide by zero or jump fully
+	v := e.Value()
+	if v <= 0 || v >= 100 {
+		t.Errorf("same-instant update = %g, want in (0, 100)", v)
+	}
+}
+
+func TestEWMABoundedProperty(t *testing.T) {
+	// The average always stays within the min/max of its inputs.
+	f := func(samples []float64) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		e := NewEWMA(time.Second)
+		now := time.Now()
+		for i, s := range samples {
+			if math.IsNaN(s) || math.Abs(s) > 1e100 {
+				return true // skip degenerate inputs where FP rounding dominates
+			}
+			lo = math.Min(lo, s)
+			hi = math.Max(hi, s)
+			e.Update(now.Add(time.Duration(i)*time.Millisecond), s)
+		}
+		v := e.Value()
+		return v >= lo-1e-9 && v <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateByJob(t *testing.T) {
+	reports := []wire.StageReport{
+		{StageID: 1, JobID: 10, Demand: wire.Rates{100, 10}, Usage: wire.Rates{90, 9}},
+		{StageID: 2, JobID: 20, Demand: wire.Rates{50, 5}, Usage: wire.Rates{50, 5}},
+		{StageID: 3, JobID: 10, Demand: wire.Rates{200, 20}, Usage: wire.Rates{110, 11}},
+	}
+	jobs := AggregateByJob(reports)
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(jobs))
+	}
+	if jobs[0].JobID != 10 || jobs[1].JobID != 20 {
+		t.Fatalf("jobs not sorted: %+v", jobs)
+	}
+	j10 := jobs[0]
+	if j10.Stages != 2 {
+		t.Errorf("job 10 stages = %d, want 2", j10.Stages)
+	}
+	if j10.Demand != (wire.Rates{300, 30}) {
+		t.Errorf("job 10 demand = %v", j10.Demand)
+	}
+	if j10.Usage != (wire.Rates{200, 20}) {
+		t.Errorf("job 10 usage = %v", j10.Usage)
+	}
+}
+
+func TestAggregateByJobEmpty(t *testing.T) {
+	if got := AggregateByJob(nil); got != nil {
+		t.Errorf("AggregateByJob(nil) = %v, want nil", got)
+	}
+}
+
+func TestMergeJobReports(t *testing.T) {
+	a := []wire.JobReport{
+		{JobID: 1, Stages: 2, Demand: wire.Rates{10, 1}, Usage: wire.Rates{8, 1}},
+		{JobID: 2, Stages: 1, Demand: wire.Rates{5, 0}, Usage: wire.Rates{5, 0}},
+	}
+	b := []wire.JobReport{
+		{JobID: 1, Stages: 3, Demand: wire.Rates{20, 2}, Usage: wire.Rates{15, 2}},
+	}
+	merged := MergeJobReports(a, b)
+	if len(merged) != 2 {
+		t.Fatalf("merged = %d jobs, want 2", len(merged))
+	}
+	if merged[0].JobID != 1 || merged[0].Stages != 5 {
+		t.Errorf("job 1 = %+v", merged[0])
+	}
+	if merged[0].Demand != (wire.Rates{30, 3}) {
+		t.Errorf("job 1 demand = %v", merged[0].Demand)
+	}
+}
+
+// TestAggregationConservesTotalsProperty: aggregation must neither create
+// nor destroy demand — the invariant that makes pre-aggregation at
+// aggregators transparent to the control algorithm.
+func TestAggregationConservesTotalsProperty(t *testing.T) {
+	f := func(stageIDs []uint16, seed int64) bool {
+		reports := make([]wire.StageReport, len(stageIDs))
+		var wantDemand, wantUsage wire.Rates
+		for i, id := range stageIDs {
+			r := wire.StageReport{
+				StageID: uint64(i),
+				JobID:   uint64(id % 7),
+				Demand:  wire.Rates{float64(id), float64(id % 13)},
+				Usage:   wire.Rates{float64(id) / 2, float64(id%13) / 2},
+			}
+			reports[i] = r
+			wantDemand = wantDemand.Add(r.Demand)
+			wantUsage = wantUsage.Add(r.Usage)
+		}
+		jobs := AggregateByJob(reports)
+		gotDemand := TotalDemand(jobs)
+		gotUsage := TotalUsage(jobs)
+		var stages uint32
+		for _, j := range jobs {
+			stages += j.Stages
+		}
+		const eps = 1e-6
+		return math.Abs(gotDemand[0]-wantDemand[0]) < eps &&
+			math.Abs(gotDemand[1]-wantDemand[1]) < eps &&
+			math.Abs(gotUsage[0]-wantUsage[0]) < eps &&
+			math.Abs(gotUsage[1]-wantUsage[1]) < eps &&
+			int(stages) == len(reports)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeEquivalentToFlatAggregation: splitting reports across aggregators
+// and merging must equal aggregating them all at once — the correctness
+// argument for the hierarchical design's collect phase.
+func TestMergeEquivalentToFlatAggregation(t *testing.T) {
+	f := func(n uint8, split uint8, seed int64) bool {
+		count := int(n)%50 + 2
+		reports := make([]wire.StageReport, count)
+		for i := range reports {
+			reports[i] = wire.StageReport{
+				StageID: uint64(i),
+				JobID:   uint64((int(seed) + i*7) % 5),
+				Demand:  wire.Rates{float64(i * 3), float64(i)},
+				Usage:   wire.Rates{float64(i * 2), float64(i) / 2},
+			}
+		}
+		cut := int(split) % count
+		flat := AggregateByJob(reports)
+		merged := MergeJobReports(AggregateByJob(reports[:cut]), AggregateByJob(reports[cut:]))
+		if len(flat) != len(merged) {
+			return false
+		}
+		for i := range flat {
+			if flat[i].JobID != merged[i].JobID || flat[i].Stages != merged[i].Stages {
+				return false
+			}
+			d := flat[i].Demand.Sub(merged[i].Demand)
+			u := flat[i].Usage.Sub(merged[i].Usage)
+			if math.Abs(d[0]) > 1e-6 || math.Abs(d[1]) > 1e-6 || math.Abs(u[0]) > 1e-6 || math.Abs(u[1]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAggregateByJob2500(b *testing.B) {
+	reports := make([]wire.StageReport, 2500)
+	for i := range reports {
+		reports[i] = wire.StageReport{
+			StageID: uint64(i),
+			JobID:   uint64(i % 16),
+			Demand:  wire.Rates{1000, 100},
+			Usage:   wire.Rates{900, 90},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AggregateByJob(reports)
+	}
+}

@@ -1,0 +1,115 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestReadProcStat(t *testing.T) {
+	st := ReadProcStat()
+	if st.RSSBytes == 0 {
+		t.Error("RSSBytes = 0; even the fallback should report heap usage")
+	}
+	if st.When.IsZero() {
+		t.Error("When is zero")
+	}
+}
+
+func TestProcStatCPUAdvances(t *testing.T) {
+	a := ReadProcStat()
+	// Burn CPU long enough for at least one 10ms kernel tick.
+	deadline := time.Now().Add(50 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x += i * i
+		}
+	}
+	_ = x
+	b := ReadProcStat()
+	if b.CPUTime < a.CPUTime {
+		t.Errorf("CPU time went backwards: %v -> %v", a.CPUTime, b.CPUTime)
+	}
+}
+
+func TestProcessMonitor(t *testing.T) {
+	var m ProcessMonitor
+	m.Start()
+	deadline := time.Now().Add(60 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1000; i++ {
+			x += i * i
+		}
+	}
+	_ = x
+	u := m.Stop()
+	if u.Elapsed < 50*time.Millisecond {
+		t.Errorf("Elapsed = %v, want >= ~60ms", u.Elapsed)
+	}
+	if u.MemBytes == 0 {
+		t.Error("MemBytes = 0")
+	}
+	if u.CPUPercent < 0 {
+		t.Errorf("CPUPercent = %g", u.CPUPercent)
+	}
+}
+
+func TestUsageMemGB(t *testing.T) {
+	u := Usage{MemBytes: 3_520_000_000}
+	if got := u.MemGB(); got != 3.52 {
+		t.Errorf("MemGB = %g, want 3.52", got)
+	}
+}
+
+func TestCPUMeterTrack(t *testing.T) {
+	var c CPUMeter
+	stop := c.Track()
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	if b := c.Busy(); b < 15*time.Millisecond {
+		t.Errorf("Busy = %v, want >= ~20ms", b)
+	}
+}
+
+func TestCPUMeterPercent(t *testing.T) {
+	var c CPUMeter
+	c.Add(50 * time.Millisecond)
+	if got := c.Percent(100 * time.Millisecond); got != 50 {
+		t.Errorf("Percent = %g, want 50", got)
+	}
+	if got := c.Percent(0); got != 0 {
+		t.Errorf("Percent(0) = %g, want 0", got)
+	}
+	if got := c.Percent(-time.Second); got != 0 {
+		t.Errorf("Percent(<0) = %g, want 0", got)
+	}
+}
+
+func TestCPUMeterReset(t *testing.T) {
+	var c CPUMeter
+	c.Add(time.Second)
+	c.Reset()
+	if c.Busy() != 0 {
+		t.Error("Reset did not clear busy time")
+	}
+}
+
+func TestCPUMeterConcurrent(t *testing.T) {
+	var c CPUMeter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Busy(); got != 800*time.Millisecond {
+		t.Errorf("Busy = %v, want 800ms", got)
+	}
+}

@@ -1,0 +1,128 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/transport"
+)
+
+// Sample is one point of a resource-usage time series.
+type Sample struct {
+	// When is the sampling instant.
+	When time.Time
+	// CPUPercent is CPU utilization since the previous sample (100 = one
+	// busy core).
+	CPUPercent float64
+	// RSSBytes is the resident set size at the sampling instant.
+	RSSBytes uint64
+	// TxMBps and RxMBps are network rates since the previous sample.
+	TxMBps, RxMBps float64
+}
+
+// Sampler periodically records process resource usage, REMORA-style: the
+// paper's experiments attach one to every controller node and keep the
+// series for post-hoc analysis. Samples are CPU-cheap (one /proc read and
+// two atomic loads each).
+type Sampler struct {
+	interval time.Duration
+	meter    *transport.Meter
+
+	mu      sync.Mutex
+	samples []Sample
+	stopped bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSampler begins sampling every interval. meter may be nil (network
+// columns stay zero). Stop the sampler to retrieve the series.
+func StartSampler(interval time.Duration, meter *transport.Meter) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sampler{
+		interval: interval,
+		meter:    meter,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+
+	prev := ReadProcStat()
+	var prevTx, prevRx uint64
+	if s.meter != nil {
+		prevTx, prevRx = s.meter.Snapshot()
+	}
+	for {
+		select {
+		case <-ticker.C:
+			cur := ReadProcStat()
+			elapsed := cur.When.Sub(prev.When)
+			sample := Sample{When: cur.When, RSSBytes: cur.RSSBytes}
+			if elapsed > 0 {
+				sample.CPUPercent = 100 * float64(cur.CPUTime-prev.CPUTime) / float64(elapsed)
+				if sample.CPUPercent < 0 {
+					sample.CPUPercent = 0
+				}
+				if s.meter != nil {
+					tx, rx := s.meter.Snapshot()
+					sample.TxMBps = transport.Rate(tx-prevTx, elapsed)
+					sample.RxMBps = transport.Rate(rx-prevRx, elapsed)
+					prevTx, prevRx = tx, rx
+				}
+			}
+			prev = cur
+			s.mu.Lock()
+			s.samples = append(s.samples, sample)
+			s.mu.Unlock()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Samples returns a snapshot of the series collected so far.
+func (s *Sampler) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Stop ends sampling and returns the complete series. Safe to call more
+// than once.
+func (s *Sampler) Stop() []Sample {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.Samples()
+}
+
+// SamplesCSVHeader is the header row matching SamplesCSV.
+const SamplesCSVHeader = "unix_ms,cpu_pct,rss_bytes,tx_mbps,rx_mbps"
+
+// SamplesCSV renders a series as CSV rows (without header).
+func SamplesCSV(samples []Sample) string {
+	var b strings.Builder
+	for _, s := range samples {
+		fmt.Fprintf(&b, "%d,%.2f,%d,%.4f,%.4f\n",
+			s.When.UnixMilli(), s.CPUPercent, s.RSSBytes, s.TxMBps, s.RxMBps)
+	}
+	return b.String()
+}

@@ -1,0 +1,201 @@
+package pfs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+func TestCapacity(t *testing.T) {
+	fs := New(Config{OSTs: 4, OSTCapacity: 1000, MDSCapacity: 500})
+	cap := fs.Capacity()
+	if cap[wire.ClassData] != 4000 {
+		t.Errorf("data capacity = %g, want 4000", cap[wire.ClassData])
+	}
+	if cap[wire.ClassMeta] != 500 {
+		t.Errorf("meta capacity = %g, want 500", cap[wire.ClassMeta])
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	fs := New(Config{})
+	cap := fs.Capacity()
+	if cap[wire.ClassData] <= 0 || cap[wire.ClassMeta] <= 0 {
+		t.Errorf("defaulted capacity = %v", cap)
+	}
+}
+
+func TestSubmitCompletes(t *testing.T) {
+	fs := New(Config{OSTs: 1, OSTCapacity: 100000, MDSCapacity: 100000})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if _, err := fs.Submit(ctx, 1, wire.ClassData); err != nil {
+			t.Fatalf("Submit data: %v", err)
+		}
+		if _, err := fs.Submit(ctx, 1, wire.ClassMeta); err != nil {
+			t.Fatalf("Submit meta: %v", err)
+		}
+	}
+	ops := fs.ClientOps(1)
+	if ops[wire.ClassData] != 10 || ops[wire.ClassMeta] != 10 {
+		t.Errorf("client ops = %v, want {10, 10}", ops)
+	}
+	total := fs.TotalOps()
+	if total[wire.ClassData] != 10 || total[wire.ClassMeta] != 10 {
+		t.Errorf("total ops = %v", total)
+	}
+}
+
+func TestThroughputBoundedByCapacity(t *testing.T) {
+	// One OST at 1000 IOPS: 50 back-to-back ops should take ~50ms.
+	fs := New(Config{OSTs: 1, OSTCapacity: 1000, MDSCapacity: 1000})
+	ctx := context.Background()
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		if _, err := fs.Submit(ctx, 1, wire.ClassData); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < 40*time.Millisecond {
+		t.Errorf("50 ops at 1000 IOPS took %v, want >= ~50ms", elapsed)
+	}
+}
+
+func TestContentionGrowsLatency(t *testing.T) {
+	// Two clients hammering one slow OST: later ops must see queueing.
+	fs := New(Config{OSTs: 1, OSTCapacity: 500, MDSCapacity: 500})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for c := uint64(1); c <= 2; c++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				fs.Submit(ctx, id, wire.ClassData)
+			}
+		}(c)
+	}
+	wg.Wait()
+	lat1 := fs.ClientMeanLatency(1)[wire.ClassData]
+	// Service time alone is 2ms; with two competing clients the mean wait
+	// must exceed it.
+	if lat1 <= 2*time.Millisecond {
+		t.Errorf("mean latency under contention = %v, want > 2ms", lat1)
+	}
+}
+
+func TestStripingAcrossOSTs(t *testing.T) {
+	// With N OSTs, a single client's data ops spread out, so aggregate
+	// throughput exceeds a single OST's capacity.
+	fs := New(Config{OSTs: 4, OSTCapacity: 500, MDSCapacity: 500})
+	ctx := context.Background()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				fs.Submit(ctx, 7, wire.ClassData)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// 100 ops at aggregate 2000 IOPS ≈ 50ms; at single-OST 500 IOPS it
+	// would be 200ms. Allow generous slack but require better than serial.
+	if elapsed > 150*time.Millisecond {
+		t.Errorf("striped ops took %v, want well under single-OST 200ms", elapsed)
+	}
+}
+
+func TestSubmitContextCancel(t *testing.T) {
+	fs := New(Config{OSTs: 1, OSTCapacity: 1, MDSCapacity: 1}) // 1s service time
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// Queue a couple of ops; the second waits >1s and must be canceled.
+	go fs.Submit(context.Background(), 1, wire.ClassData)
+	time.Sleep(5 * time.Millisecond)
+	_, err := fs.Submit(ctx, 2, wire.ClassData)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Submit = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestQueueOverflow(t *testing.T) {
+	fs := New(Config{OSTs: 1, OSTCapacity: 1, MDSCapacity: 1, MaxQueue: 3})
+	ctx := context.Background()
+	// Fill the queue without waiting for completions.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+			defer cancel()
+			fs.Submit(cctx, id, wire.ClassData)
+		}(uint64(i))
+	}
+	time.Sleep(20 * time.Millisecond)
+	_, err := fs.Submit(ctx, 99, wire.ClassData)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Submit over MaxQueue = %v, want ErrOverloaded", err)
+	}
+	wg.Wait()
+}
+
+func TestQueueDepths(t *testing.T) {
+	fs := New(Config{OSTs: 2, OSTCapacity: 10, MDSCapacity: 10})
+	mds, osts := fs.QueueDepths()
+	if mds != 0 || osts != 0 {
+		t.Errorf("idle depths = %d/%d", mds, osts)
+	}
+	done := make(chan struct{})
+	go func() {
+		fs.Submit(context.Background(), 1, wire.ClassMeta)
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	mds, _ = fs.QueueDepths()
+	if mds != 1 {
+		t.Errorf("mds depth with one inflight op = %d, want 1", mds)
+	}
+	<-done
+}
+
+func TestClientsSorted(t *testing.T) {
+	fs := New(Config{OSTs: 1, OSTCapacity: 1e6, MDSCapacity: 1e6})
+	ctx := context.Background()
+	for _, id := range []uint64{5, 1, 9} {
+		fs.Submit(ctx, id, wire.ClassData)
+	}
+	ids := fs.Clients()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 5 || ids[2] != 9 {
+		t.Errorf("Clients = %v", ids)
+	}
+}
+
+func TestUnknownClientStats(t *testing.T) {
+	fs := New(Config{})
+	if ops := fs.ClientOps(42); !ops.IsZero() {
+		t.Errorf("unknown client ops = %v", ops)
+	}
+	lat := fs.ClientMeanLatency(42)
+	if lat[wire.ClassData] != 0 || lat[wire.ClassMeta] != 0 {
+		t.Errorf("unknown client latency = %v", lat)
+	}
+}
+
+func BenchmarkSubmitUncontended(b *testing.B) {
+	fs := New(Config{OSTs: 8, OSTCapacity: 1e9, MDSCapacity: 1e9})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs.Submit(ctx, uint64(i%4), wire.ClassData)
+	}
+}

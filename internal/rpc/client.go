@@ -1,0 +1,227 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// ErrClientClosed is returned by calls on a closed client.
+var ErrClientClosed = errors.New("rpc: client closed")
+
+// Client is one end of a multiplexed RPC connection. It is safe for
+// concurrent use: many calls may be in flight at once over the single
+// underlying connection.
+type Client struct {
+	conn net.Conn
+	cpu  *monitor.CPUMeter // optional; charged with marshal/write time
+
+	wmu  sync.Mutex // serializes frame writes
+	wbuf []byte
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan result
+	err     error // set once the read loop dies
+	closed  bool
+
+	done chan struct{}
+}
+
+type result struct {
+	msg wire.Message
+	err error
+}
+
+// DialOptions configures Dial.
+type DialOptions struct {
+	// Meter, if non-nil, is charged with the connection's traffic.
+	Meter *transport.Meter
+	// CPU, if non-nil, is charged with local marshal and write time, the
+	// client-side share of per-message processing cost.
+	CPU *monitor.CPUMeter
+}
+
+// Dial connects to an RPC server at addr over network.
+func Dial(ctx context.Context, network transport.Network, addr string, opts DialOptions) (*Client, error) {
+	conn, err := network.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := NewClient(transport.WithMeter(conn, opts.Meter))
+	c.cpu = opts.CPU
+	return c, nil
+}
+
+// NewClient wraps an established connection as an RPC client and starts its
+// read loop. The client takes ownership of conn.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan result),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// RemoteAddr returns the server's address.
+func (c *Client) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// readLoop dispatches responses to pending calls until the connection dies.
+func (c *Client) readLoop() {
+	var buf []byte
+	for {
+		var (
+			h   frameHeader
+			m   wire.Message
+			err error
+		)
+		h, m, buf, err = readFrame(c.conn, buf)
+		if err != nil {
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
+		}
+		if h.kind != kindResponse {
+			continue // clients only issue requests; ignore anything else
+		}
+		c.mu.Lock()
+		ch := c.pending[h.id]
+		delete(c.pending, h.id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- result{msg: m}
+		}
+	}
+}
+
+// fail poisons the client: all pending and future calls return err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan result)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+}
+
+// Call sends req and waits for the matching response, honoring ctx. A
+// remote handler failure is returned as *wire.ErrorReply.
+func (c *Client) Call(ctx context.Context, req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan result, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.send(frameHeader{id: id, kind: kindRequest}, req); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if er, ok := r.msg.(*wire.ErrorReply); ok {
+			return nil, er
+		}
+		return r.msg, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	case <-c.done:
+		return nil, ErrClientClosed
+	}
+}
+
+// send writes one frame, serialized against other senders.
+func (c *Client) send(h frameHeader, m wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.cpu != nil {
+		defer c.cpu.Track()()
+	}
+	c.wbuf = appendFrame(c.wbuf[:0], h, m)
+	_, err := c.conn.Write(c.wbuf)
+	return err
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	err := c.conn.Close()
+	c.fail(ErrClientClosed)
+	return err
+}
+
+// Scatter invokes fn for indexes [0, n) using at most par concurrent
+// workers, in roughly increasing index order. It is the fan-out primitive
+// used by the collect and enforce phases: par models the bounded handler
+// pool of the paper's controller (gRPC server threads), which is what makes
+// per-child work accumulate linearly with the number of children.
+func Scatter(n, par int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if par <= 0 {
+		par = 1
+	}
+	if par > n {
+		par = n
+	}
+	if par == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

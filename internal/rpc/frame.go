@@ -1,0 +1,94 @@
+// Package rpc implements the request/response protocol the sdscale control
+// plane speaks between controllers and data-plane stages.
+//
+// The paper's prototype uses gRPC; rpc provides the equivalent semantics on
+// top of any transport.Network with the standard library only:
+//
+//   - length-prefixed frames carrying wire messages;
+//   - request multiplexing: one connection carries many in-flight calls,
+//     correlated by request ID, so a controller keeps exactly one connection
+//     per child regardless of cycle concurrency;
+//   - per-connection ordered request handling on the server (like a gRPC
+//     stream), with concurrency across connections;
+//   - deadline and cancellation propagation;
+//   - a scatter-gather helper with bounded parallelism, the primitive the
+//     control cycle's collect and enforce phases are built from.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// MaxFrameSize bounds a single frame; larger announcements are treated as
+// protocol corruption. 64 MiB comfortably fits an Enforce batch for a full
+// 10,000-stage cluster.
+const MaxFrameSize = 64 << 20
+
+// frame kinds.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+)
+
+// ErrFrameTooLarge reports an oversized frame announcement.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// frameHeader is the fixed metadata carried by every frame.
+type frameHeader struct {
+	id   uint64 // request correlation ID
+	kind byte   // kindRequest or kindResponse
+}
+
+// appendFrame encodes a complete frame (length prefix, header, message) into
+// buf and returns the extended slice.
+func appendFrame(buf []byte, h frameHeader, m wire.Message) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = binary.AppendUvarint(buf, h.id)
+	buf = append(buf, h.kind)
+	buf = wire.Encode(buf, m)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// readFrame reads one frame from r into buf (which is grown as needed) and
+// decodes it. The returned message does not alias buf.
+func readFrame(r io.Reader, buf []byte) (frameHeader, wire.Message, []byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return frameHeader{}, nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n > MaxFrameSize {
+		return frameHeader{}, nil, buf, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frameHeader{}, nil, buf, err
+	}
+
+	id, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return frameHeader{}, nil, buf, errors.New("rpc: bad frame header")
+	}
+	if sz >= len(buf) {
+		return frameHeader{}, nil, buf, errors.New("rpc: truncated frame header")
+	}
+	h := frameHeader{id: id, kind: buf[sz]}
+	m, err := wire.Decode(buf[sz+1:])
+	if err != nil {
+		return frameHeader{}, nil, buf, err
+	}
+	return h, m, buf, nil
+}

@@ -1,0 +1,371 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// echoHandler answers heartbeats and collects, and errors on enforce.
+type echoHandler struct {
+	collects atomic.Int64
+}
+
+func (h *echoHandler) Serve(peer *Peer, req wire.Message) (wire.Message, error) {
+	switch m := req.(type) {
+	case *wire.Heartbeat:
+		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
+	case *wire.Collect:
+		h.collects.Add(1)
+		return &wire.CollectReply{Cycle: m.Cycle}, nil
+	case *wire.Enforce:
+		return nil, errors.New("enforce rejected")
+	case *wire.Register:
+		peer.SetAttachment(m.ID)
+		return &wire.RegisterAck{ID: m.ID}, nil
+	}
+	return nil, fmt.Errorf("unexpected %s", req.Type())
+}
+
+// testSetup builds a simnet, a server on "server", and a client on "client".
+func testSetup(t *testing.T, h Handler) (*simnet.Net, *Server, *Client) {
+	t.Helper()
+	n := simnet.New(simnet.Config{PropDelay: -1})
+	srv, err := Serve(n.Host("server"), ":0", h, ServerOptions{})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(context.Background(), n.Host("client"), srv.Addr().String(), DialOptions{})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return n, srv, cli
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	_, _, cli := testSetup(t, &echoHandler{})
+	resp, err := cli.Call(context.Background(), &wire.Heartbeat{SentUnixMicros: 77})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	ack, ok := resp.(*wire.HeartbeatAck)
+	if !ok {
+		t.Fatalf("response type = %T", resp)
+	}
+	if ack.EchoUnixMicros != 77 {
+		t.Errorf("echo = %d, want 77", ack.EchoUnixMicros)
+	}
+}
+
+func TestCallRemoteError(t *testing.T) {
+	_, _, cli := testSetup(t, &echoHandler{})
+	_, err := cli.Call(context.Background(), &wire.Enforce{Cycle: 1})
+	var er *wire.ErrorReply
+	if !errors.As(err, &er) {
+		t.Fatalf("Call error = %v, want *wire.ErrorReply", err)
+	}
+	if er.Text != "enforce rejected" {
+		t.Errorf("error text = %q", er.Text)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	_, _, cli := testSetup(t, &echoHandler{})
+	const calls = 100
+	var wg sync.WaitGroup
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := cli.Call(context.Background(), &wire.Heartbeat{SentUnixMicros: int64(i)})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if got := resp.(*wire.HeartbeatAck).EchoUnixMicros; got != int64(i) {
+				t.Errorf("call %d echoed %d", i, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestCallContextTimeout(t *testing.T) {
+	// A handler that blocks until the server closes.
+	block := make(chan struct{})
+	h := HandlerFunc(func(peer *Peer, req wire.Message) (wire.Message, error) {
+		<-block
+		return &wire.HeartbeatAck{}, nil
+	})
+	_, _, cli := testSetup(t, h)
+	defer close(block)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := cli.Call(ctx, &wire.Heartbeat{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Call = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestPendingCallsFailOnDisconnect(t *testing.T) {
+	block := make(chan struct{})
+	h := HandlerFunc(func(peer *Peer, req wire.Message) (wire.Message, error) {
+		<-block
+		return &wire.HeartbeatAck{}, nil
+	})
+	_, srv, cli := testSetup(t, h)
+	defer close(block)
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(context.Background(), &wire.Heartbeat{})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("pending call succeeded after server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call hung after server close")
+	}
+}
+
+func TestCallsAfterClientClose(t *testing.T) {
+	_, _, cli := testSetup(t, &echoHandler{})
+	cli.Close()
+	if _, err := cli.Call(context.Background(), &wire.Heartbeat{}); err == nil {
+		t.Fatal("Call on closed client succeeded")
+	}
+}
+
+func TestPeerAttachment(t *testing.T) {
+	var got atomic.Value
+	h := HandlerFunc(func(peer *Peer, req wire.Message) (wire.Message, error) {
+		switch m := req.(type) {
+		case *wire.Register:
+			peer.SetAttachment(m.ID)
+			return &wire.RegisterAck{ID: m.ID}, nil
+		case *wire.Heartbeat:
+			got.Store(peer.Attachment())
+			return &wire.HeartbeatAck{}, nil
+		}
+		return nil, errors.New("bad")
+	})
+	_, _, cli := testSetup(t, h)
+	if _, err := cli.Call(context.Background(), &wire.Register{ID: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(context.Background(), &wire.Heartbeat{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := got.Load().(uint64); v != 42 {
+		t.Errorf("attachment seen by second request = %v, want 42", got.Load())
+	}
+}
+
+func TestHandlerPanicIsolated(t *testing.T) {
+	h := HandlerFunc(func(peer *Peer, req wire.Message) (wire.Message, error) {
+		if _, ok := req.(*wire.Collect); ok {
+			panic("boom")
+		}
+		return &wire.HeartbeatAck{}, nil
+	})
+	_, _, cli := testSetup(t, h)
+	_, err := cli.Call(context.Background(), &wire.Collect{})
+	var er *wire.ErrorReply
+	if !errors.As(err, &er) || er.Code != wire.CodeInternal {
+		t.Fatalf("panicking handler returned %v", err)
+	}
+	// The connection must survive the panic.
+	if _, err := cli.Call(context.Background(), &wire.Heartbeat{}); err != nil {
+		t.Fatalf("call after panic: %v", err)
+	}
+}
+
+func TestNilResponseBecomesError(t *testing.T) {
+	h := HandlerFunc(func(peer *Peer, req wire.Message) (wire.Message, error) {
+		return nil, nil
+	})
+	_, _, cli := testSetup(t, h)
+	_, err := cli.Call(context.Background(), &wire.Heartbeat{})
+	var er *wire.ErrorReply
+	if !errors.As(err, &er) {
+		t.Fatalf("nil handler response returned %v", err)
+	}
+}
+
+func TestServerNumPeersAndOnDisconnect(t *testing.T) {
+	n := simnet.New(simnet.Config{PropDelay: -1})
+	disconnected := make(chan *Peer, 1)
+	srv, err := Serve(n.Host("server"), ":0", &echoHandler{}, ServerOptions{
+		OnDisconnect: func(p *Peer) { disconnected <- p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(context.Background(), n.Host("client"), srv.Addr().String(), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Call(context.Background(), &wire.Heartbeat{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.NumPeers(); got != 1 {
+		t.Errorf("NumPeers = %d, want 1", got)
+	}
+	cli.Close()
+	select {
+	case <-disconnected:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDisconnect not invoked")
+	}
+}
+
+func TestMetersChargedBothSides(t *testing.T) {
+	n := simnet.New(simnet.Config{PropDelay: -1})
+	var smeter, cmeter transport.Meter
+	srv, err := Serve(n.Host("server"), ":0", &echoHandler{}, ServerOptions{Meter: &smeter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(context.Background(), n.Host("client"), srv.Addr().String(), DialOptions{Meter: &cmeter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), &wire.Heartbeat{SentUnixMicros: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if cmeter.Tx() == 0 || cmeter.Rx() == 0 {
+		t.Errorf("client meter = %d/%d, want nonzero", cmeter.Tx(), cmeter.Rx())
+	}
+	if smeter.Tx() == 0 || smeter.Rx() == 0 {
+		t.Errorf("server meter = %d/%d, want nonzero", smeter.Tx(), smeter.Rx())
+	}
+	if cmeter.Tx() != smeter.Rx() || cmeter.Rx() != smeter.Tx() {
+		t.Errorf("meters disagree: client %d/%d server %d/%d",
+			cmeter.Tx(), cmeter.Rx(), smeter.Tx(), smeter.Rx())
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(id uint64, cycle uint64, text string) bool {
+		var buf bytes.Buffer
+		frame := appendFrame(nil, frameHeader{id: id, kind: kindRequest}, &wire.Collect{Cycle: cycle})
+		buf.Write(frame)
+		frame2 := appendFrame(nil, frameHeader{id: id + 1, kind: kindResponse}, &wire.ErrorReply{Code: 1, Text: text})
+		buf.Write(frame2)
+
+		h1, m1, rb, err := readFrame(&buf, nil)
+		if err != nil || h1.id != id || h1.kind != kindRequest {
+			return false
+		}
+		if c, ok := m1.(*wire.Collect); !ok || c.Cycle != cycle {
+			return false
+		}
+		h2, m2, _, err := readFrame(&buf, rb)
+		if err != nil || h2.id != id+1 || h2.kind != kindResponse {
+			return false
+		}
+		er, ok := m2.(*wire.ErrorReply)
+		return ok && er.Text == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, _, _, err := readFrame(&buf, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("readFrame = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	full := appendFrame(nil, frameHeader{id: 1, kind: kindRequest}, &wire.Heartbeat{SentUnixMicros: 5})
+	for i := 1; i < len(full); i++ {
+		buf := bytes.NewReader(full[:i])
+		if _, _, _, err := readFrame(buf, nil); err == nil {
+			t.Errorf("readFrame accepted %d/%d byte prefix", i, len(full))
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	for _, par := range []int{0, 1, 4, 100} {
+		var count atomic.Int64
+		seen := make([]atomic.Bool, 37)
+		Scatter(37, par, func(i int) {
+			count.Add(1)
+			if seen[i].Swap(true) {
+				t.Errorf("par=%d: index %d visited twice", par, i)
+			}
+		})
+		if count.Load() != 37 {
+			t.Errorf("par=%d: visited %d, want 37", par, count.Load())
+		}
+	}
+	// n <= 0 must be a no-op.
+	Scatter(0, 4, func(int) { t.Error("fn called for n=0") })
+	Scatter(-3, 4, func(int) { t.Error("fn called for n<0") })
+}
+
+func TestScatterBoundedParallelism(t *testing.T) {
+	var cur, peak atomic.Int64
+	Scatter(64, 4, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > 4 {
+		t.Errorf("observed parallelism %d > 4", p)
+	}
+}
+
+func BenchmarkCallLatency(b *testing.B) {
+	n := simnet.New(simnet.Config{PropDelay: -1})
+	srv, err := Serve(n.Host("server"), ":0", &echoHandler{}, ServerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(context.Background(), n.Host("client"), srv.Addr().String(), DialOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(ctx, &wire.Heartbeat{SentUnixMicros: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"sync"
+
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// Handler processes one request and returns the response message. Returning
+// an error sends a wire.ErrorReply to the caller. Requests arriving on the
+// same connection are handled in order; distinct connections are concurrent.
+type Handler interface {
+	Serve(peer *Peer, req wire.Message) (wire.Message, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(peer *Peer, req wire.Message) (wire.Message, error)
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(peer *Peer, req wire.Message) (wire.Message, error) {
+	return f(peer, req)
+}
+
+// Peer represents one client connection as seen by server handlers. It
+// carries an attachment slot so a handler can associate state (e.g. the
+// registered member identity) with the connection across requests.
+type Peer struct {
+	conn net.Conn
+
+	mu         sync.Mutex
+	attachment any
+}
+
+// RemoteAddr returns the peer's address.
+func (p *Peer) RemoteAddr() net.Addr { return p.conn.RemoteAddr() }
+
+// SetAttachment associates v with the connection.
+func (p *Peer) SetAttachment(v any) {
+	p.mu.Lock()
+	p.attachment = v
+	p.mu.Unlock()
+}
+
+// Attachment returns the value set by SetAttachment, or nil.
+func (p *Peer) Attachment() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.attachment
+}
+
+// Close severs the peer's connection. Used by servers to evict members.
+func (p *Peer) Close() error { return p.conn.Close() }
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Meter, if non-nil, is charged with all accepted connections' traffic.
+	Meter *transport.Meter
+	// CPU, if non-nil, is charged with request handling and response
+	// marshal/write time (but not with time blocked waiting for requests).
+	CPU *monitor.CPUMeter
+	// Logf, if non-nil, receives connection-level error logs.
+	Logf func(format string, args ...any)
+	// OnDisconnect, if non-nil, runs when a peer's connection ends.
+	OnDisconnect func(peer *Peer)
+}
+
+// Server accepts RPC connections and dispatches requests to a Handler.
+type Server struct {
+	l       net.Listener
+	handler Handler
+	opts    ServerOptions
+
+	mu     sync.Mutex
+	peers  map[*Peer]struct{}
+	closed bool
+
+	acceptWG sync.WaitGroup // the accept loop
+	connWG   sync.WaitGroup // per-connection handler goroutines
+}
+
+// Serve starts a server listening on addr over network. It returns once the
+// listener is active; request handling proceeds in background goroutines.
+func Serve(network transport.Network, addr string, h Handler, opts ServerOptions) (*Server, error) {
+	l, err := network.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{l: l, handler: h, opts: opts, peers: make(map[*Peer]struct{})}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// NumPeers returns the number of currently connected peers.
+func (s *Server) NumPeers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peers)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				s.logf("rpc: accept: %v", err)
+			}
+			return
+		}
+		peer := &Peer{conn: transport.WithMeter(conn, s.opts.Meter)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.peers[peer] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.serveConn(peer)
+	}
+}
+
+// serveConn handles one connection's requests in order until it dies.
+func (s *Server) serveConn(peer *Peer) {
+	defer s.connWG.Done()
+	defer func() {
+		peer.conn.Close()
+		s.mu.Lock()
+		delete(s.peers, peer)
+		s.mu.Unlock()
+		if s.opts.OnDisconnect != nil {
+			s.opts.OnDisconnect(peer)
+		}
+	}()
+
+	var rbuf, wbuf []byte
+	for {
+		h, req, nbuf, err := readFrame(peer.conn, rbuf)
+		rbuf = nbuf
+		if err != nil {
+			return // EOF or broken conn; cleanup in defer
+		}
+		if h.kind != kindRequest {
+			continue
+		}
+		var untrack func()
+		if s.opts.CPU != nil {
+			untrack = s.opts.CPU.Track()
+		}
+		resp := s.dispatch(peer, req)
+		wbuf = appendFrame(wbuf[:0], frameHeader{id: h.id, kind: kindResponse}, resp)
+		_, err = peer.conn.Write(wbuf)
+		if untrack != nil {
+			untrack()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// dispatch runs the handler, converting errors and panics to ErrorReply so
+// one bad request never kills the connection, let alone the controller.
+func (s *Server) dispatch(peer *Peer, req wire.Message) (resp wire.Message) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("rpc: handler panic: %v", r)
+			resp = &wire.ErrorReply{Code: wire.CodeInternal, Text: "handler panic"}
+		}
+	}()
+	resp, err := s.handler.Serve(peer, req)
+	if err != nil {
+		var er *wire.ErrorReply
+		if errors.As(err, &er) {
+			return er
+		}
+		return &wire.ErrorReply{Code: wire.CodeInternal, Text: err.Error()}
+	}
+	if resp == nil {
+		return &wire.ErrorReply{Code: wire.CodeInternal, Text: "handler returned no response"}
+	}
+	return resp
+}
+
+// Close stops accepting and severs all connections. Like net/http's
+// Close, it does not wait for in-flight handlers — their response writes
+// fail once the connection is gone. Use Wait to block for full drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.acceptWG.Wait()
+		return nil
+	}
+	s.closed = true
+	peers := make([]*Peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+
+	err := s.l.Close()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	s.acceptWG.Wait()
+	return err
+}
+
+// Wait blocks until every per-connection handler goroutine has exited.
+// Call it after Close when full quiescence matters (e.g. before asserting
+// on shared state in tests).
+func (s *Server) Wait() {
+	s.acceptWG.Wait()
+	s.connWG.Wait()
+}

@@ -1,0 +1,356 @@
+// Package stage implements the data-plane side of the SDS architecture:
+// the per-node components that sit between applications and the PFS client
+// (paper Fig. 1), answer the control plane's metric collections, and apply
+// its enforcement rules.
+//
+// Two stage kinds are provided:
+//
+//   - Virtual stages reproduce the paper's methodology (§III-C): they hold
+//     no application I/O, synthesize their metrics from a workload
+//     generator, and acknowledge enforcement rules. Thousands of them run
+//     in one process to simulate large infrastructures.
+//   - Enforcing stages are functional: applications push operations
+//     through Submit, a multi-class token bucket admits them at the
+//     control plane's current limits, and admitted operations proceed to
+//     the (simulated) PFS. They power the end-to-end QoS examples.
+//
+// Stages are RPC servers; controllers dial them. This mirrors the paper's
+// deployment, where the controller maintains the connection pool to all
+// stages — and is therefore the endpoint that hits the per-node connection
+// limit (§IV-A).
+package stage
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/metrics"
+	"github.com/dsrhaslab/sdscale/internal/pfs"
+	"github.com/dsrhaslab/sdscale/internal/ratelimit"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+	"github.com/dsrhaslab/sdscale/internal/workload"
+)
+
+// Info identifies a stage to the control plane.
+type Info struct {
+	// ID is the cluster-unique stage identifier.
+	ID uint64
+	// JobID is the job this stage serves.
+	JobID uint64
+	// Weight is the job's QoS weight.
+	Weight float64
+	// Addr is the stage's RPC listen address.
+	Addr string
+}
+
+// Config configures a virtual stage.
+type Config struct {
+	// ID is the cluster-unique stage identifier.
+	ID uint64
+	// JobID is the job this stage serves.
+	JobID uint64
+	// Weight is the job's QoS weight.
+	Weight float64
+	// Generator drives the stage's synthetic demand. Nil selects the
+	// paper's stress workload.
+	Generator workload.Generator
+	// Network is the transport to listen on.
+	Network transport.Network
+	// ListenAddr is the address to listen on (":0" auto-assigns).
+	ListenAddr string
+}
+
+// Virtual is the paper's lightweight stage: it answers collections with
+// generator-driven metrics and records enforcement rules.
+type Virtual struct {
+	cfg    Config
+	server *rpc.Server
+	start  time.Time
+
+	mu        sync.Mutex
+	rule      wire.Rule
+	haveRule  bool
+	collects  uint64
+	enforces  uint64
+	lastCycle uint64
+}
+
+// StartVirtual launches a virtual stage's RPC server.
+func StartVirtual(cfg Config) (*Virtual, error) {
+	if cfg.Generator == nil {
+		cfg.Generator = workload.Stress()
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = ":0"
+	}
+	v := &Virtual{cfg: cfg, start: time.Now()}
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(v.serve), rpc.ServerOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
+	}
+	v.server = srv
+	return v, nil
+}
+
+// Info returns the stage's identity, including its bound address.
+func (v *Virtual) Info() Info {
+	return Info{ID: v.cfg.ID, JobID: v.cfg.JobID, Weight: v.cfg.Weight, Addr: v.server.Addr().String()}
+}
+
+// Close stops the stage.
+func (v *Virtual) Close() error { return v.server.Close() }
+
+// serve handles control-plane requests.
+func (v *Virtual) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
+	switch m := req.(type) {
+	case *wire.Collect:
+		return v.collect(m), nil
+	case *wire.Enforce:
+		return v.enforce(m), nil
+	case *wire.Heartbeat:
+		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
+	}
+	return nil, fmt.Errorf("stage %d: unexpected %s", v.cfg.ID, req.Type())
+}
+
+// collect synthesizes the stage's report. Usage reflects the currently
+// enforced limit, so the control loop observes the effect of its own rules
+// — the feedback the PSFA algorithm relies on.
+func (v *Virtual) collect(m *wire.Collect) *wire.CollectReply {
+	demand := v.cfg.Generator.Demand(time.Since(v.start))
+
+	v.mu.Lock()
+	v.collects++
+	v.lastCycle = m.Cycle
+	usage := demand
+	if v.haveRule {
+		switch v.rule.Action {
+		case wire.ActionSetLimit:
+			for c := range usage {
+				if usage[c] > v.rule.Limit[c] {
+					usage[c] = v.rule.Limit[c]
+				}
+			}
+		case wire.ActionPause:
+			usage = wire.Rates{}
+		}
+	}
+	v.mu.Unlock()
+
+	return &wire.CollectReply{
+		Cycle: m.Cycle,
+		Reports: []wire.StageReport{{
+			StageID: v.cfg.ID,
+			JobID:   v.cfg.JobID,
+			Demand:  demand,
+			Usage:   usage,
+		}},
+	}
+}
+
+// enforce applies the rules addressed to this stage.
+func (v *Virtual) enforce(m *wire.Enforce) *wire.EnforceAck {
+	var applied uint32
+	v.mu.Lock()
+	for i := range m.Rules {
+		if m.Rules[i].StageID == v.cfg.ID {
+			v.rule = m.Rules[i]
+			v.haveRule = true
+			v.enforces++
+			applied++
+		}
+	}
+	v.mu.Unlock()
+	return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied}
+}
+
+// LastRule returns the most recently applied rule, if any.
+func (v *Virtual) LastRule() (wire.Rule, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.rule, v.haveRule
+}
+
+// Counters returns how many collect and enforce requests the stage served.
+func (v *Virtual) Counters() (collects, enforces uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.collects, v.enforces
+}
+
+// EnforcingConfig configures an enforcing stage.
+type EnforcingConfig struct {
+	// ID is the cluster-unique stage identifier.
+	ID uint64
+	// JobID is the job this stage serves.
+	JobID uint64
+	// Weight is the job's QoS weight.
+	Weight float64
+	// Network is the transport to listen on.
+	Network transport.Network
+	// ListenAddr is the address to listen on (":0" auto-assigns).
+	ListenAddr string
+	// FS is the shared file system admitted operations are submitted to.
+	// It may be nil, in which case admitted operations complete instantly
+	// (useful in tests).
+	FS *pfs.FileSystem
+	// Window is the metric measurement window. Zero selects one second.
+	Window time.Duration
+}
+
+// Enforcing is a functional stage: it rate limits application operations
+// according to control-plane rules and reports measured demand and usage.
+type Enforcing struct {
+	cfg     EnforcingConfig
+	server  *rpc.Server
+	limiter *ratelimit.MultiBucket
+
+	demand [wire.NumClasses]*metrics.RateCounter
+	usage  [wire.NumClasses]*metrics.RateCounter
+}
+
+// StartEnforcing launches an enforcing stage.
+func StartEnforcing(cfg EnforcingConfig) (*Enforcing, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = ":0"
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = time.Second
+	}
+	e := &Enforcing{cfg: cfg, limiter: ratelimit.NewUnlimited()}
+	for c := range e.demand {
+		e.demand[c] = metrics.NewRateCounter(cfg.Window, 10)
+		e.usage[c] = metrics.NewRateCounter(cfg.Window, 10)
+	}
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(e.serve), rpc.ServerOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
+	}
+	e.server = srv
+	return e, nil
+}
+
+// Info returns the stage's identity, including its bound address.
+func (e *Enforcing) Info() Info {
+	return Info{ID: e.cfg.ID, JobID: e.cfg.JobID, Weight: e.cfg.Weight, Addr: e.server.Addr().String()}
+}
+
+// Close stops the stage.
+func (e *Enforcing) Close() error { return e.server.Close() }
+
+// Submit is the application-facing entry point: one I/O operation of the
+// given class. It counts toward demand immediately, blocks until the
+// control plane's current limit admits it, and then proceeds to the PFS.
+func (e *Enforcing) Submit(ctx context.Context, class wire.OpClass) error {
+	e.demand[class].Add(time.Now(), 1)
+	if err := e.limiter.Admit(ctx, class); err != nil {
+		return err
+	}
+	if e.cfg.FS != nil {
+		if _, err := e.cfg.FS.Submit(ctx, e.cfg.JobID, class); err != nil {
+			return err
+		}
+	}
+	e.usage[class].Add(time.Now(), 1)
+	return nil
+}
+
+// Limits exposes the currently enforced limits (for observability).
+func (e *Enforcing) Limits() (wire.Rates, bool) { return e.limiter.Limits() }
+
+// Demand-probing parameters: a stage whose measured rate sits within
+// saturationFraction of its enforced limit is throttle-bound — its callers
+// are blocked inside Submit, so their real appetite is invisible. The
+// stage then reports probeGrowth times the limit as demand, letting the
+// control algorithm discover how much the job actually wants: a genuinely
+// satisfied job stops growing, a contended one keeps bidding until PSFA's
+// weighted water level caps it.
+const (
+	saturationFraction = 0.9
+	probeGrowth        = 1.25
+)
+
+// probeDemand inflates reported demand for classes saturated at their
+// enforced limit.
+func (e *Enforcing) probeDemand(d, u wire.Rates) wire.Rates {
+	limit, unlimited := e.limiter.Limits()
+	if unlimited {
+		return d
+	}
+	for c := range d {
+		if limit[c] <= 0 {
+			continue
+		}
+		if d[c] >= limit[c]*saturationFraction || u[c] >= limit[c]*saturationFraction {
+			if probe := limit[c] * probeGrowth; probe > d[c] {
+				d[c] = probe
+			}
+		}
+	}
+	return d
+}
+
+// serve handles control-plane requests.
+func (e *Enforcing) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
+	switch m := req.(type) {
+	case *wire.Collect:
+		now := time.Now()
+		var d, u wire.Rates
+		for c := range d {
+			d[c] = e.demand[c].Rate(now)
+			u[c] = e.usage[c].Rate(now)
+		}
+		d = e.probeDemand(d, u)
+		return &wire.CollectReply{
+			Cycle: m.Cycle,
+			Reports: []wire.StageReport{{
+				StageID: e.cfg.ID,
+				JobID:   e.cfg.JobID,
+				Demand:  d,
+				Usage:   u,
+			}},
+		}, nil
+	case *wire.Enforce:
+		var applied uint32
+		for i := range m.Rules {
+			if m.Rules[i].StageID == e.cfg.ID {
+				e.limiter.ApplyRule(m.Rules[i])
+				applied++
+			}
+		}
+		return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied}, nil
+	case *wire.Heartbeat:
+		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
+	}
+	return nil, fmt.Errorf("stage %d: unexpected %s", e.cfg.ID, req.Type())
+}
+
+// Register announces a stage to a parent controller by dialing it, sending
+// one Register message, and closing the connection. The transient
+// connection mirrors real deployments, where registration must not consume
+// one of the controller's scarce long-lived connection slots.
+func Register(ctx context.Context, network transport.Network, parentAddr string, info Info) error {
+	cli, err := rpc.Dial(ctx, network, parentAddr, rpc.DialOptions{})
+	if err != nil {
+		return fmt.Errorf("stage %d: register dial: %w", info.ID, err)
+	}
+	defer cli.Close()
+	resp, err := cli.Call(ctx, &wire.Register{
+		Role:   wire.RoleStage,
+		ID:     info.ID,
+		JobID:  info.JobID,
+		Weight: info.Weight,
+		Addr:   info.Addr,
+	})
+	if err != nil {
+		return fmt.Errorf("stage %d: register: %w", info.ID, err)
+	}
+	if _, ok := resp.(*wire.RegisterAck); !ok {
+		return fmt.Errorf("stage %d: register: unexpected %s", info.ID, resp.Type())
+	}
+	return nil
+}

@@ -1,0 +1,446 @@
+package simnet
+
+import (
+	"container/heap"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// stream is one direction of a connection: an unbounded queue of payloads
+// from writer to reader. Latency modeling happens at write time — each
+// payload gets an arrival deadline from the hosts' processors and the
+// network config — and the Net's central scheduler moves due payloads into
+// the readable queue. A single scheduler goroutine serves the whole
+// network, so timer-granularity overshoot is amortized across every
+// in-flight message instead of being paid per message.
+type stream struct {
+	net    *Net
+	txHost *Host // the writing host (meter and processor charged)
+	rxHost *Host // the reading host (meter and processor charged)
+
+	mu          sync.Mutex
+	queue       [][]byte // delivered, readable payloads
+	pending     []byte   // partially consumed head payload
+	inflight    int      // scheduled but not yet delivered payloads
+	wclosed     bool
+	lastSendEnd time.Time
+
+	ready chan struct{} // 1-buffered wakeup for the reader
+	wdone chan struct{} // closed when the writer side is closed
+	rdone chan struct{} // closed when the reader side is gone
+	wonce sync.Once
+	ronce sync.Once
+}
+
+func newStream(n *Net, tx, rx *Host) *stream {
+	return &stream{
+		net:    n,
+		txHost: tx,
+		rxHost: rx,
+		ready:  make(chan struct{}, 1),
+		wdone:  make(chan struct{}),
+		rdone:  make(chan struct{}),
+	}
+}
+
+// closeWrite signals EOF to the reader once in-flight payloads drain.
+func (s *stream) closeWrite() {
+	s.wonce.Do(func() {
+		s.mu.Lock()
+		s.wclosed = true
+		s.mu.Unlock()
+		close(s.wdone)
+		s.wake()
+	})
+}
+
+// closeRead tells the writer its peer is gone; pending writes fail.
+func (s *stream) closeRead() {
+	s.ronce.Do(func() { close(s.rdone) })
+}
+
+// wake nudges a blocked reader.
+func (s *stream) wake() {
+	select {
+	case s.ready <- struct{}{}:
+	default:
+	}
+}
+
+// arrival computes when data written now becomes readable: sender
+// processing, per-connection bandwidth serialization, propagation, and
+// receiver processing. Callers hold mu.
+func (s *stream) arrival(n int, now time.Time) time.Time {
+	cfg := &s.net.cfg
+	start := s.txHost.proc.schedule(now, n, cfg)
+	if s.lastSendEnd.After(start) {
+		start = s.lastSendEnd
+	}
+	if cfg.Bandwidth > 0 {
+		start = start.Add(time.Duration(float64(n) / cfg.Bandwidth * float64(time.Second)))
+	}
+	s.lastSendEnd = start
+	arrive := start.Add(cfg.PropDelay + s.net.jitter())
+	return s.rxHost.proc.schedule(arrive, n, cfg)
+}
+
+// deliver moves a payload into the readable queue (scheduler callback).
+func (s *stream) deliver(data []byte, scheduled bool) {
+	s.mu.Lock()
+	s.queue = append(s.queue, data)
+	if scheduled {
+		s.inflight--
+	}
+	s.mu.Unlock()
+	s.wake()
+}
+
+// write enqueues a copy of p with its computed arrival time. It never
+// blocks on queue capacity; backpressure in the control plane comes from
+// the request/response protocol above, not the pipe.
+func (s *stream) write(p []byte, deadline, cancel <-chan struct{}) (int, error) {
+	select {
+	case <-deadline:
+		return 0, os.ErrDeadlineExceeded
+	case <-s.rdone:
+		return 0, io.ErrClosedPipe
+	case <-cancel:
+		return 0, net.ErrClosed
+	default:
+	}
+
+	data := append([]byte(nil), p...)
+	now := time.Now()
+	s.mu.Lock()
+	if s.wclosed {
+		s.mu.Unlock()
+		return 0, io.ErrClosedPipe
+	}
+	due := s.arrival(len(p), now)
+	if !due.After(now) {
+		s.queue = append(s.queue, data)
+		s.mu.Unlock()
+		s.wake()
+	} else {
+		s.inflight++
+		s.mu.Unlock()
+		s.net.sched.add(delivery{due: due, s: s, data: data})
+	}
+	s.txHost.meter.AddTx(len(p))
+	s.rxHost.meter.AddRx(len(p))
+	return len(p), nil
+}
+
+// read copies readable bytes into p. cancel aborts the read (connection
+// closed locally); deadline is the reader's deadline channel.
+func (s *stream) read(p []byte, deadline, cancel <-chan struct{}) (int, error) {
+	for {
+		s.mu.Lock()
+		if len(s.pending) == 0 && len(s.queue) > 0 {
+			s.pending = s.queue[0]
+			s.queue = s.queue[1:]
+		}
+		if len(s.pending) > 0 {
+			n := copy(p, s.pending)
+			s.pending = s.pending[n:]
+			s.mu.Unlock()
+			return n, nil
+		}
+		drained := s.wclosed && s.inflight == 0 && len(s.queue) == 0
+		s.mu.Unlock()
+		if drained {
+			return 0, io.EOF
+		}
+
+		select {
+		case <-s.ready:
+		case <-s.wdone:
+			// Re-check: in-flight payloads may still be delivering.
+			s.mu.Lock()
+			drained := s.inflight == 0 && len(s.queue) == 0 && len(s.pending) == 0
+			s.mu.Unlock()
+			if drained {
+				return 0, io.EOF
+			}
+			// Wait for the scheduler to deliver the rest.
+			select {
+			case <-s.ready:
+			case <-cancel:
+				return 0, net.ErrClosed
+			case <-deadline:
+				return 0, os.ErrDeadlineExceeded
+			}
+		case <-cancel:
+			return 0, net.ErrClosed
+		case <-deadline:
+			return 0, os.ErrDeadlineExceeded
+		}
+	}
+}
+
+// delivery is one scheduled payload hand-off.
+type delivery struct {
+	due  time.Time
+	s    *stream
+	data []byte
+}
+
+// deliveryHeap is a min-heap of deliveries by due time.
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int           { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool { return h[i].due.Before(h[j].due) }
+func (h deliveryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)        { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any          { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
+func (h deliveryHeap) peek() delivery     { return h[0] }
+
+// scheduler delivers scheduled payloads when they come due. One goroutine
+// serves the whole simulated network; it parks itself when idle.
+type scheduler struct {
+	mu      sync.Mutex
+	heap    deliveryHeap
+	running bool
+	kick    chan struct{}
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{kick: make(chan struct{}, 1)}
+}
+
+// add schedules one delivery, starting or kicking the loop as needed.
+func (sc *scheduler) add(d delivery) {
+	sc.mu.Lock()
+	newEarliest := len(sc.heap) == 0 || d.due.Before(sc.heap.peek().due)
+	heap.Push(&sc.heap, d)
+	start := !sc.running
+	if start {
+		sc.running = true
+	}
+	sc.mu.Unlock()
+	if start {
+		go sc.loop()
+	} else if newEarliest {
+		select {
+		case sc.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// spinThreshold is the wait below which the scheduler yields rather than
+// arming a timer. Operating-system timer wakeups have roughly millisecond
+// granularity when a process is otherwise idle, which would quantize the
+// microsecond-scale message timing the latency model depends on; yielding
+// keeps delivery precise while still ceding the CPU to runnable work.
+const spinThreshold = 2 * time.Millisecond
+
+// loop delivers due payloads in batches and exits when the heap drains.
+func (sc *scheduler) loop() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		sc.mu.Lock()
+		now := time.Now()
+		// Deliver everything due.
+		var batch []delivery
+		for len(sc.heap) > 0 && !sc.heap.peek().due.After(now) {
+			batch = append(batch, heap.Pop(&sc.heap).(delivery))
+		}
+		var wait time.Duration
+		if len(sc.heap) > 0 {
+			wait = time.Until(sc.heap.peek().due)
+		} else if len(batch) == 0 {
+			sc.running = false
+			sc.mu.Unlock()
+			return
+		}
+		sc.mu.Unlock()
+
+		for _, d := range batch {
+			d.s.deliver(d.data, true)
+		}
+		switch {
+		case wait <= 0:
+			continue
+		case wait < spinThreshold:
+			runtime.Gosched()
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-sc.kick:
+		}
+	}
+}
+
+// connDeadline implements net.Conn deadline semantics: setting a deadline
+// wakes blocked operations when it expires, and clearing it re-arms them.
+// It follows the same pattern as net.Pipe's internal pipeDeadline.
+type connDeadline struct {
+	mu     sync.Mutex
+	timer  *time.Timer
+	cancel chan struct{}
+}
+
+func makeConnDeadline() connDeadline {
+	return connDeadline{cancel: make(chan struct{})}
+}
+
+// set arms the deadline at t; the zero time disarms it.
+func (d *connDeadline) set(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	if d.timer != nil && !d.timer.Stop() {
+		<-d.cancel // the timer fired; drain is safe because we re-make below
+	}
+	d.timer = nil
+
+	// Determine state: closed channel means "expired".
+	closed := isClosedChan(d.cancel)
+
+	if t.IsZero() {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		return
+	}
+
+	if dur := time.Until(t); dur > 0 {
+		if closed {
+			d.cancel = make(chan struct{})
+		}
+		cancel := d.cancel
+		d.timer = time.AfterFunc(dur, func() { close(cancel) })
+		return
+	}
+
+	// Deadline already passed.
+	if !closed {
+		close(d.cancel)
+	}
+}
+
+// wait returns a channel that is closed while the deadline is expired.
+func (d *connDeadline) wait() chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cancel
+}
+
+func isClosedChan(c <-chan struct{}) bool {
+	select {
+	case <-c:
+		return true
+	default:
+		return false
+	}
+}
+
+// conn is one endpoint of a simulated connection.
+type conn struct {
+	localHost  *Host
+	remoteHost *Host
+	localAddr  Addr
+	remoteAddr Addr
+
+	rd *stream // incoming: peer writes, we read
+	wr *stream // outgoing: we write, peer reads
+
+	peer      *conn
+	initiator bool // true on the dialing side (counts toward the limit)
+
+	readDeadline  connDeadline
+	writeDeadline connDeadline
+
+	done chan struct{}
+	once sync.Once
+}
+
+var _ net.Conn = (*conn)(nil)
+
+func newConn(local, remote *Host, laddr, raddr Addr, rd, wr *stream) *conn {
+	return &conn{
+		localHost:     local,
+		remoteHost:    remote,
+		localAddr:     laddr,
+		remoteAddr:    raddr,
+		rd:            rd,
+		wr:            wr,
+		readDeadline:  makeConnDeadline(),
+		writeDeadline: makeConnDeadline(),
+		done:          make(chan struct{}),
+	}
+}
+
+// Read implements net.Conn.
+func (c *conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	n, err := c.rd.read(p, c.readDeadline.wait(), c.done)
+	if err != nil && err != io.EOF && err != os.ErrDeadlineExceeded {
+		err = &net.OpError{Op: "read", Net: "sim", Addr: c.remoteAddr, Err: err}
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *conn) Write(p []byte) (int, error) {
+	n, err := c.wr.write(p, c.writeDeadline.wait(), c.done)
+	if err != nil && err != os.ErrDeadlineExceeded {
+		err = &net.OpError{Op: "write", Net: "sim", Addr: c.remoteAddr, Err: err}
+	}
+	return n, err
+}
+
+// Close implements net.Conn. Data already written remains readable by the
+// peer (followed by EOF), as with a TCP FIN.
+func (c *conn) Close() error {
+	c.once.Do(func() {
+		close(c.done)
+		c.wr.closeWrite() // peer sees EOF after draining buffered data
+		c.rd.closeRead()  // peer writes fail fast
+		// Either side closing frees the connection slot on both hosts.
+		c.localHost.dropConn(c)
+		c.remoteHost.dropConn(c.peer)
+	})
+	return nil
+}
+
+// LocalAddr implements net.Conn.
+func (c *conn) LocalAddr() net.Addr { return c.localAddr }
+
+// RemoteAddr implements net.Conn.
+func (c *conn) RemoteAddr() net.Addr { return c.remoteAddr }
+
+// SetDeadline implements net.Conn.
+func (c *conn) SetDeadline(t time.Time) error {
+	c.readDeadline.set(t)
+	c.writeDeadline.set(t)
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.readDeadline.set(t)
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.writeDeadline.set(t)
+	return nil
+}

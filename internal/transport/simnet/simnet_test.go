@@ -1,0 +1,710 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/transport"
+)
+
+// fastCfg removes simulated latency so logic tests run instantly.
+func fastCfg() Config { return Config{PropDelay: -1} }
+
+// pair dials a connection between two hosts and returns both ends.
+func pair(t *testing.T, n *Net) (client, server net.Conn) {
+	t.Helper()
+	srv := n.Host("server")
+	l, err := srv.Listen(":0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	cli := n.Host("client")
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := cli.Dial(context.Background(), l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	s := <-accepted
+	t.Cleanup(func() { c.Close(); s.Close() })
+	return c, s
+}
+
+func TestEcho(t *testing.T) {
+	n := New(fastCfg())
+	c, s := pair(t, n)
+
+	go func() {
+		buf := make([]byte, 64)
+		rn, err := s.Read(buf)
+		if err != nil {
+			t.Errorf("server read: %v", err)
+			return
+		}
+		if _, err := s.Write(buf[:rn]); err != nil {
+			t.Errorf("server write: %v", err)
+		}
+	}()
+
+	msg := []byte("hello control plane")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("echo = %q, want %q", got, msg)
+	}
+}
+
+func TestLargeTransfer(t *testing.T) {
+	n := New(fastCfg())
+	c, s := pair(t, n)
+
+	payload := make([]byte, 1<<20)
+	rand.New(rand.NewSource(7)).Read(payload)
+
+	go func() {
+		// Write in uneven slabs to exercise chunk boundaries.
+		for off := 0; off < len(payload); {
+			end := off + 1 + rand.Intn(8192)
+			if end > len(payload) {
+				end = len(payload)
+			}
+			if _, err := c.Write(payload[off:end]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			off = end
+		}
+		c.Close()
+	}()
+
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("transfer corrupted: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestCloseDrainsThenEOF(t *testing.T) {
+	n := New(fastCfg())
+	c, s := pair(t, n)
+
+	if _, err := c.Write([]byte("tail")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	c.Close()
+
+	got, err := io.ReadAll(s)
+	if err != nil {
+		t.Fatalf("ReadAll after peer close: %v", err)
+	}
+	if string(got) != "tail" {
+		t.Errorf("drained %q, want %q", got, "tail")
+	}
+}
+
+func TestWriteAfterPeerClose(t *testing.T) {
+	n := New(fastCfg())
+	c, s := pair(t, n)
+	s.Close()
+	// The peer reader is gone; writes must fail rather than hang.
+	deadline := time.Now().Add(2 * time.Second)
+	c.SetWriteDeadline(deadline)
+	var err error
+	for i := 0; i < 100; i++ {
+		if _, err = c.Write([]byte("x")); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Fatal("writes to closed peer kept succeeding")
+	}
+}
+
+func TestLocalCloseFailsOps(t *testing.T) {
+	n := New(fastCfg())
+	c, _ := pair(t, n)
+	c.Close()
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Error("Read after Close succeeded")
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Error("Write after Close succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	n := New(fastCfg())
+	c, _ := pair(t, n)
+	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("deadline fired far too late")
+	}
+}
+
+func TestDeadlineWakesBlockedRead(t *testing.T) {
+	n := New(fastCfg())
+	c, _ := pair(t, n)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the read block
+	c.SetReadDeadline(time.Now())     // wake it
+	select {
+	case err := <-errc:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("Read = %v, want deadline exceeded", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked read was not woken by deadline")
+	}
+}
+
+func TestClearingDeadlineRearms(t *testing.T) {
+	n := New(fastCfg())
+	c, s := pair(t, n)
+	c.SetReadDeadline(time.Now().Add(-time.Second))
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("Read = %v, want deadline exceeded", err)
+	}
+	c.SetReadDeadline(time.Time{}) // clear
+	go s.Write([]byte("k"))
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("Read after clearing deadline: %v", err)
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	const delay = 5 * time.Millisecond
+	n := New(Config{PropDelay: delay})
+	c, s := pair(t, n)
+
+	go func() {
+		buf := make([]byte, 8)
+		rn, _ := s.Read(buf)
+		s.Write(buf[:rn])
+	}()
+
+	start := time.Now()
+	c.Write([]byte("ping"))
+	io.ReadFull(c, make([]byte, 4))
+	rtt := time.Since(start)
+	if rtt < 2*delay {
+		t.Errorf("RTT = %v, want >= %v", rtt, 2*delay)
+	}
+}
+
+func TestHostProcessingSerializes(t *testing.T) {
+	// 20 one-byte messages through one receiving host at 5ms per message
+	// must take >= ~100ms, even though they come from 20 parallel senders.
+	n := New(Config{ProcTime: 5 * time.Millisecond})
+	srv := n.Host("server")
+	l, err := srv.Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	received := make(chan time.Time, 20)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 1)
+				if _, err := io.ReadFull(c, buf); err == nil {
+					received <- time.Now()
+				}
+			}(c)
+		}
+	}()
+
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		go func(i int) {
+			h := n.Host(fmt.Sprintf("client-%d", i))
+			c, err := h.Dial(context.Background(), l.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			c.Write([]byte{1})
+		}(i)
+	}
+	var last time.Time
+	for i := 0; i < 20; i++ {
+		last = <-received
+	}
+	// Each message pays 5ms at its own sender (parallel) + 5ms at the
+	// shared receiver (serialized): >= 20×5ms total at the receiver.
+	if got := last.Sub(start); got < 95*time.Millisecond {
+		t.Errorf("20 messages through a 5ms/msg host took %v, want >= ~100ms", got)
+	}
+}
+
+func TestHostProcessingParallelAcrossHosts(t *testing.T) {
+	// The same load spread over 20 receiving hosts must take ~10ms (one
+	// send + one receive service), far less than the serialized case.
+	n := New(Config{ProcTime: 5 * time.Millisecond})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		srv := n.Host(fmt.Sprintf("server-%d", i))
+		l, err := srv.Listen(":0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		wg.Add(1)
+		go func(l net.Listener) {
+			defer wg.Done()
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			io.ReadFull(c, make([]byte, 1))
+		}(l)
+		go func(i int, addr string) {
+			h := n.Host(fmt.Sprintf("c-%d", i))
+			c, err := h.Dial(context.Background(), addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			c.Write([]byte{1})
+		}(i, l.Addr().String())
+	}
+	wg.Wait()
+	if got := time.Since(start); got > 80*time.Millisecond {
+		t.Errorf("parallel hosts took %v, want ~10ms (well under the 100ms serial case)", got)
+	}
+}
+
+func TestProcPerByteChargesLargeMessages(t *testing.T) {
+	n := New(Config{ProcPerByte: 10 * time.Microsecond}) // 10µs per byte
+	c, s := pair(t, n)
+	go c.Write(make([]byte, 1000)) // 10ms at sender + 10ms at receiver
+	start := time.Now()
+	if _, err := io.ReadFull(s, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 15*time.Millisecond {
+		t.Errorf("1000B at 10µs/B arrived in %v, want >= ~20ms", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	// 1 MB at 10 MB/s should take >= 100ms to arrive.
+	n := New(Config{PropDelay: -1, Bandwidth: 10e6, Queue: 1024})
+	c, s := pair(t, n)
+
+	go func() {
+		buf := make([]byte, 1<<20)
+		c.Write(buf)
+	}()
+
+	start := time.Now()
+	if _, err := io.ReadFull(s, make([]byte, 1<<20)); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got := time.Since(start); got < 90*time.Millisecond {
+		t.Errorf("1MB at 10MB/s arrived in %v, want >= ~100ms", got)
+	}
+}
+
+func TestConnLimit(t *testing.T) {
+	n := New(fastCfg())
+	srv := n.Host("server")
+	l, err := srv.Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	cli := n.Host("client")
+	cli.SetMaxConns(3)
+	var conns []net.Conn
+	for i := 0; i < 3; i++ {
+		c, err := cli.Dial(context.Background(), l.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		conns = append(conns, c)
+	}
+	if got := cli.OutConnCount(); got != 3 {
+		t.Fatalf("OutConnCount = %d, want 3", got)
+	}
+	if _, err := cli.Dial(context.Background(), l.Addr().String()); !errors.Is(err, transport.ErrConnLimit) {
+		t.Fatalf("dial over limit = %v, want ErrConnLimit", err)
+	}
+
+	// Closing a connection frees a slot.
+	conns[0].Close()
+	waitFor(t, func() bool { return cli.OutConnCount() < 3 })
+	c, err := cli.Dial(context.Background(), l.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after close: %v", err)
+	}
+	c.Close()
+}
+
+func TestInboundConnsNotLimited(t *testing.T) {
+	// The limit models the dialer's pool (paper §IV-A): a host at its
+	// limit must still accept inbound connections — an aggregator with
+	// 2,500 stages can still be reached by the global controller.
+	n := New(fastCfg())
+	srv := n.Host("server")
+	srv.SetMaxConns(0) // server may dial nothing...
+	l, _ := srv.Listen(":0")
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	cli := n.Host("client")
+	if _, err := cli.Dial(context.Background(), l.Addr().String()); err != nil {
+		t.Fatalf("inbound dial to limited host failed: %v", err)
+	}
+}
+
+func TestDialerConnLimit(t *testing.T) {
+	n := New(fastCfg())
+	srv := n.Host("server")
+	l, _ := srv.Listen(":0")
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	cli := n.Host("client")
+	cli.SetMaxConns(1)
+	if _, err := cli.Dial(context.Background(), l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Dial(context.Background(), l.Addr().String()); !errors.Is(err, transport.ErrConnLimit) {
+		t.Fatalf("second dial = %v, want ErrConnLimit", err)
+	}
+}
+
+func TestDefaultConnLimitIs2500(t *testing.T) {
+	n := New(Config{})
+	h := n.Host("x")
+	h.mu.Lock()
+	max := h.maxConns
+	h.mu.Unlock()
+	if max != DefaultMaxConns || DefaultMaxConns != 2500 {
+		t.Errorf("default max conns = %d, want 2500", max)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(fastCfg())
+	c, s := pair(t, n)
+	srv := n.lookup("server")
+
+	srv.SetPartitioned(true)
+	if !srv.Partitioned() {
+		t.Fatal("host not marked partitioned")
+	}
+
+	// Existing connections are severed.
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Error("read from severed conn succeeded")
+	}
+	_ = s
+
+	// New dials fail in both directions.
+	cli := n.Host("client")
+	if _, err := cli.Dial(context.Background(), "server:40000"); !errors.Is(err, ErrHostPartitioned) {
+		t.Errorf("dial to partitioned = %v, want ErrHostPartitioned", err)
+	}
+
+	// Healing restores connectivity.
+	srv.SetPartitioned(false)
+	l, err := srv.Listen(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go l.Accept()
+	if _, err := cli.Dial(context.Background(), l.Addr().String()); err != nil {
+		t.Errorf("dial after heal: %v", err)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	n := New(fastCfg())
+	c, s := pair(t, n)
+	cli, srv := n.lookup("client"), n.lookup("server")
+
+	msg := make([]byte, 1000)
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(s, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+
+	if tx := cli.Meter().Tx(); tx != 1000 {
+		t.Errorf("client tx = %d, want 1000", tx)
+	}
+	if rx := srv.Meter().Rx(); rx != 1000 {
+		t.Errorf("server rx = %d, want 1000", rx)
+	}
+	if rx := cli.Meter().Rx(); rx != 0 {
+		t.Errorf("client rx = %d, want 0", rx)
+	}
+}
+
+func TestDialNoListener(t *testing.T) {
+	n := New(fastCfg())
+	cli := n.Host("client")
+	if _, err := cli.Dial(context.Background(), "nowhere:1"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial = %v, want ErrConnRefused", err)
+	}
+	n.Host("there")
+	if _, err := cli.Dial(context.Background(), "there:1"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestDialContextCanceled(t *testing.T) {
+	n := New(fastCfg())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	srv := n.Host("server")
+	l, _ := srv.Listen(":0")
+	defer l.Close()
+	// Fill the backlog is hard; canceled context is checked at handoff, so
+	// an immediate cancel may still win the race. Accept either outcome but
+	// never a hang.
+	done := make(chan struct{})
+	go func() {
+		n.Host("client").Dial(ctx, l.Addr().String())
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Dial hung on canceled context")
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	n := New(fastCfg())
+	srv := n.Host("server")
+	l, _ := srv.Listen(":0")
+	addr := l.Addr().String()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errc <- err
+	}()
+	l.Close()
+	if err := <-errc; !errors.Is(err, net.ErrClosed) {
+		t.Errorf("Accept after close = %v, want net.ErrClosed", err)
+	}
+	if _, err := n.Host("client").Dial(context.Background(), addr); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("dial closed listener = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestListenErrors(t *testing.T) {
+	n := New(fastCfg())
+	h := n.Host("h")
+	if _, err := h.Listen("noport"); err == nil {
+		t.Error("Listen without port succeeded")
+	}
+	if _, err := h.Listen("other:1"); err == nil {
+		t.Error("Listen on foreign host succeeded")
+	}
+	if _, err := h.Listen(":bad"); err == nil {
+		t.Error("Listen with non-numeric port succeeded")
+	}
+	l, err := h.Listen(":777")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := h.Listen(":777"); err == nil {
+		t.Error("double Listen on same port succeeded")
+	}
+}
+
+func TestAddrStrings(t *testing.T) {
+	a := Addr{Host: "h", Port: 9}
+	if a.Network() != "sim" || a.String() != "h:9" {
+		t.Errorf("Addr = %s/%s", a.Network(), a.String())
+	}
+	e := Addr{Host: "h", Port: -1}
+	if e.String() != "h:ephemeral" {
+		t.Errorf("ephemeral Addr = %s", e.String())
+	}
+}
+
+func TestHostsSnapshot(t *testing.T) {
+	n := New(fastCfg())
+	n.Host("a")
+	n.Host("b")
+	n.Host("a") // idempotent
+	if got := len(n.Hosts()); got != 2 {
+		t.Errorf("Hosts = %d, want 2", got)
+	}
+}
+
+func TestConcurrentConns(t *testing.T) {
+	n := New(fastCfg())
+	srv := n.Host("server")
+	srv.SetMaxConns(-1)
+	l, _ := srv.Listen(":0")
+	defer l.Close()
+
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c) // echo
+			}(c)
+		}
+	}()
+
+	const workers = 50
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			h := n.Host("client")
+			c, err := h.Dial(context.Background(), l.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			msg := []byte{byte(id), byte(id >> 8), 1, 2, 3}
+			if _, err := c.Write(msg); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			got := make([]byte, len(msg))
+			if _, err := io.ReadFull(c, got); err != nil {
+				t.Errorf("read: %v", err)
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				t.Errorf("echo mismatch for worker %d", id)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestStreamOrderProperty checks the byte stream is preserved across
+// arbitrary write sizings.
+func TestStreamOrderProperty(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) > 32 {
+			sizes = sizes[:32]
+		}
+		n := New(fastCfg())
+		srv := n.Host("s")
+		l, _ := srv.Listen(":0")
+		defer l.Close()
+		got := make(chan []byte, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				got <- nil
+				return
+			}
+			b, _ := io.ReadAll(c)
+			got <- b
+		}()
+		c, err := n.Host("c").Dial(context.Background(), l.Addr().String())
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var sent bytes.Buffer
+		for _, sz := range sizes {
+			buf := make([]byte, int(sz)%1024)
+			rng.Read(buf)
+			sent.Write(buf)
+			if _, err := c.Write(buf); err != nil {
+				return false
+			}
+		}
+		c.Close()
+		return bytes.Equal(<-got, sent.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,49 @@
+// Package tcpnet implements transport.Network over real TCP.
+//
+// It is the transport used by cmd/sdsctl for multi-host deployments: the
+// same controllers and stages that run the paper's experiments over simnet
+// run unmodified over TCP across a real cluster.
+package tcpnet
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/transport"
+)
+
+// Network dials and listens on the host's real TCP stack.
+type Network struct {
+	// DialTimeout bounds connection establishment when the caller's
+	// context has no deadline. Zero means 10 seconds.
+	DialTimeout time.Duration
+	// KeepAlive configures TCP keep-alive probes on dialed connections.
+	// Zero selects the net package default; negative disables them.
+	KeepAlive time.Duration
+}
+
+var _ transport.Network = (*Network)(nil)
+
+// New returns a TCP transport with default settings.
+func New() *Network { return &Network{} }
+
+// Listen implements transport.Network.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// Dial implements transport.Network.
+func (n *Network) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	d := net.Dialer{KeepAlive: n.KeepAlive}
+	if _, ok := ctx.Deadline(); !ok {
+		timeout := n.DialTimeout
+		if timeout == 0 {
+			timeout = 10 * time.Second
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return d.DialContext(ctx, "tcp", addr)
+}

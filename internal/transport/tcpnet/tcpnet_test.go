@@ -1,0 +1,67 @@
+package tcpnet
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestLoopbackEcho(t *testing.T) {
+	n := New()
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c)
+	}()
+
+	c, err := n.Dial(context.Background(), l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	msg := []byte("over real tcp")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("echo = %q, want %q", got, msg)
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	n := &Network{DialTimeout: 50 * time.Millisecond}
+	// RFC 5737 TEST-NET-1 address: unroutable, so the dial must time out.
+	start := time.Now()
+	_, err := n.Dial(context.Background(), "192.0.2.1:9")
+	if err == nil {
+		t.Skip("unroutable address unexpectedly reachable in this environment")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dial took %v despite 50ms timeout", elapsed)
+	}
+}
+
+func TestDialRespectsContext(t *testing.T) {
+	n := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := n.Dial(ctx, "192.0.2.1:9"); err == nil {
+		t.Error("Dial with canceled context succeeded")
+	}
+}

@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the wire decoder: it must never
+// panic, never over-allocate, and anything it accepts must re-encode to a
+// decodable message of the same type (decode/encode/decode consistency).
+func FuzzDecode(f *testing.F) {
+	// Seed with every message type's encoding.
+	seeds := []Message{
+		&Register{Role: RoleStage, ID: 1, JobID: 2, Weight: 1.5, Addr: "a:1"},
+		&RegisterAck{ID: 1, Epoch: 2},
+		&Collect{Cycle: 3, WindowMicros: 1e6},
+		&CollectReply{Cycle: 3, Reports: []StageReport{{StageID: 1, JobID: 2, Demand: Rates{3, 4}, Usage: Rates{5, 6}}}},
+		&CollectAggReply{Cycle: 3, AggregatorID: 9, Jobs: []JobReport{{JobID: 1, Stages: 10, Demand: Rates{1, 2}}}},
+		&Enforce{Cycle: 4, Rules: []Rule{{StageID: 1, JobID: 2, Action: ActionSetLimit, Limit: Rates{7, 8}}}},
+		&EnforceAck{Cycle: 4, Applied: 1},
+		&Heartbeat{SentUnixMicros: 5},
+		&HeartbeatAck{EchoUnixMicros: 5},
+		&ErrorReply{Code: CodeOverload, Text: "x"},
+		&StageList{},
+		&StageListReply{Stages: []StageEntry{{ID: 1, JobID: 2, Weight: 3, Addr: "b:2"}}},
+		&PeerExchange{Cycle: 1, PeerID: 2, Addr: "p:1", Jobs: []JobReport{{JobID: 1}}},
+		&PeerExchangeAck{Cycle: 1, PeerID: 2},
+		&Delegate{Cycle: 2, Budgets: []JobBudget{{JobID: 1, Limit: Rates{9, 10}}}},
+	}
+	for _, m := range seeds {
+		f.Add(Encode(nil, m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		re := Encode(nil, m)
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if m2.Type() != m.Type() {
+			t.Fatalf("type changed across round trip: %v -> %v", m.Type(), m2.Type())
+		}
+		// A second encode must be byte-identical (canonical encoding).
+		if re2 := Encode(nil, m2); !bytes.Equal(re, re2) {
+			t.Fatalf("encoding not canonical:\n%x\n%x", re, re2)
+		}
+	})
+}
+
+// FuzzDecoderPrimitives exercises the primitive decoders on raw input.
+func FuzzDecoderPrimitives(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDecoder(data)
+		_ = d.Uint64()
+		_ = d.Int64()
+		_ = d.Float64()
+		_ = d.Bytes16()
+		_ = d.String()
+		_ = d.Bool()
+		_ = d.Finish()
+	})
+}

@@ -1,0 +1,831 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// MsgType identifies a control-plane message on the wire.
+type MsgType uint8
+
+// Control-plane message types. The numbering is part of the wire protocol;
+// append only.
+const (
+	// TRegister is sent by a stage or aggregator to its parent controller
+	// when it joins the control plane.
+	TRegister MsgType = iota + 1
+	// TRegisterAck confirms a registration.
+	TRegisterAck
+	// TCollect asks a child for its current metrics (phase 1 of a cycle).
+	TCollect
+	// TCollectReply carries per-stage metric reports back up.
+	TCollectReply
+	// TCollectAggReply carries pre-aggregated per-job reports from an
+	// aggregator controller back to the global controller.
+	TCollectAggReply
+	// TEnforce pushes enforcement rules down (phase 3 of a cycle).
+	TEnforce
+	// TEnforceAck confirms rule application.
+	TEnforceAck
+	// THeartbeat is a liveness probe.
+	THeartbeat
+	// THeartbeatAck answers a liveness probe.
+	THeartbeatAck
+	// TError reports a remote failure for a request.
+	TError
+	// TStageList asks a controller for the stages it manages (used when a
+	// global controller attaches to a remotely deployed aggregator).
+	TStageList
+	// TStageListReply carries the managed stages.
+	TStageListReply
+	// TPeerExchange shares a coordinated-flat peer controller's per-job
+	// aggregates with another peer (paper §VI future work: flat designs
+	// with multiple coordinating controllers).
+	TPeerExchange
+	// TPeerExchangeAck confirms a peer exchange.
+	TPeerExchangeAck
+	// TDelegate pushes per-job capacity budgets to an aggregator that
+	// computes per-stage rules itself (paper §VI future work: offloading
+	// processing logic to aggregator nodes).
+	TDelegate
+)
+
+// String returns the mnemonic name of the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TRegister:
+		return "Register"
+	case TRegisterAck:
+		return "RegisterAck"
+	case TCollect:
+		return "Collect"
+	case TCollectReply:
+		return "CollectReply"
+	case TCollectAggReply:
+		return "CollectAggReply"
+	case TEnforce:
+		return "Enforce"
+	case TEnforceAck:
+		return "EnforceAck"
+	case THeartbeat:
+		return "Heartbeat"
+	case THeartbeatAck:
+		return "HeartbeatAck"
+	case TError:
+		return "Error"
+	case TStageList:
+		return "StageList"
+	case TStageListReply:
+		return "StageListReply"
+	case TPeerExchange:
+		return "PeerExchange"
+	case TPeerExchangeAck:
+		return "PeerExchangeAck"
+	case TDelegate:
+		return "Delegate"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// OpClass distinguishes the I/O operation classes the control plane manages
+// independently, mirroring the paper's "IOPS for data and metadata
+// operations".
+type OpClass uint8
+
+// The operation classes tracked per stage.
+const (
+	// ClassData covers data-path operations (read/write IOPS).
+	ClassData OpClass = iota
+	// ClassMeta covers metadata operations (open, close, stat, ...) whose
+	// PFS cost profile differs from the data path.
+	ClassMeta
+	// NumClasses is the number of operation classes.
+	NumClasses
+)
+
+// String returns the mnemonic name of the operation class.
+func (c OpClass) String() string {
+	switch c {
+	case ClassData:
+		return "data"
+	case ClassMeta:
+		return "meta"
+	}
+	return fmt.Sprintf("OpClass(%d)", uint8(c))
+}
+
+// Rates holds one value per operation class, in operations per second.
+type Rates [NumClasses]float64
+
+// Add returns the element-wise sum r + o.
+func (r Rates) Add(o Rates) Rates {
+	for i := range r {
+		r[i] += o[i]
+	}
+	return r
+}
+
+// Sub returns the element-wise difference r - o.
+func (r Rates) Sub(o Rates) Rates {
+	for i := range r {
+		r[i] -= o[i]
+	}
+	return r
+}
+
+// Scale returns r with every class multiplied by f.
+func (r Rates) Scale(f float64) Rates {
+	for i := range r {
+		r[i] *= f
+	}
+	return r
+}
+
+// Total returns the sum across classes.
+func (r Rates) Total() float64 {
+	var t float64
+	for _, v := range r {
+		t += v
+	}
+	return t
+}
+
+// IsZero reports whether every class is exactly zero.
+func (r Rates) IsZero() bool {
+	for _, v := range r {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Encoder) rates(r Rates) {
+	for _, v := range r {
+		e.Float64(v)
+	}
+}
+
+func (d *Decoder) rates() Rates {
+	var r Rates
+	for i := range r {
+		r[i] = d.Float64()
+	}
+	return r
+}
+
+// Message is implemented by every control-plane message.
+type Message interface {
+	// Type returns the wire identifier of the message.
+	Type() MsgType
+	// Marshal appends the message body (without type tag) to e.
+	Marshal(e *Encoder)
+	// Unmarshal decodes the message body from d.
+	Unmarshal(d *Decoder)
+}
+
+// Role identifies a control-plane participant kind.
+type Role uint8
+
+// Control-plane roles.
+const (
+	// RoleStage is a data-plane stage (virtual or enforcing).
+	RoleStage Role = iota + 1
+	// RoleAggregator is a mid-tier controller.
+	RoleAggregator
+	// RoleGlobal is the top-level controller.
+	RoleGlobal
+)
+
+// String returns the mnemonic role name.
+func (r Role) String() string {
+	switch r {
+	case RoleStage:
+		return "stage"
+	case RoleAggregator:
+		return "aggregator"
+	case RoleGlobal:
+		return "global"
+	}
+	return fmt.Sprintf("Role(%d)", uint8(r))
+}
+
+// Register announces a child joining the control plane.
+type Register struct {
+	// Role of the registering component.
+	Role Role
+	// ID is the cluster-unique identifier of the component.
+	ID uint64
+	// JobID is the job the stage serves (stages only; 0 otherwise).
+	JobID uint64
+	// Weight is the QoS weight of the job (stages only).
+	Weight float64
+	// Addr is the component's listen address, if it accepts connections.
+	Addr string
+}
+
+// Type implements Message.
+func (*Register) Type() MsgType { return TRegister }
+
+// Marshal implements Message.
+func (m *Register) Marshal(e *Encoder) {
+	e.Byte(byte(m.Role))
+	e.Uint64(m.ID)
+	e.Uint64(m.JobID)
+	e.Float64(m.Weight)
+	e.String(m.Addr)
+}
+
+// Unmarshal implements Message.
+func (m *Register) Unmarshal(d *Decoder) {
+	m.Role = Role(d.Byte())
+	m.ID = d.Uint64()
+	m.JobID = d.Uint64()
+	m.Weight = d.Float64()
+	m.Addr = d.String()
+}
+
+// RegisterAck confirms a registration.
+type RegisterAck struct {
+	// ID echoes the registered component's identifier.
+	ID uint64
+	// Epoch is the controller's current membership epoch; children include
+	// it in reports so stale members can be fenced after reconfiguration.
+	Epoch uint64
+}
+
+// Type implements Message.
+func (*RegisterAck) Type() MsgType { return TRegisterAck }
+
+// Marshal implements Message.
+func (m *RegisterAck) Marshal(e *Encoder) {
+	e.Uint64(m.ID)
+	e.Uint64(m.Epoch)
+}
+
+// Unmarshal implements Message.
+func (m *RegisterAck) Unmarshal(d *Decoder) {
+	m.ID = d.Uint64()
+	m.Epoch = d.Uint64()
+}
+
+// Collect asks a child for current metrics.
+type Collect struct {
+	// Cycle is the control cycle sequence number.
+	Cycle uint64
+	// WindowMicros is the measurement window the parent wants rates
+	// normalized over, in microseconds.
+	WindowMicros uint64
+}
+
+// Type implements Message.
+func (*Collect) Type() MsgType { return TCollect }
+
+// Marshal implements Message.
+func (m *Collect) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint64(m.WindowMicros)
+}
+
+// Unmarshal implements Message.
+func (m *Collect) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	m.WindowMicros = d.Uint64()
+}
+
+// StageReport is one stage's metric sample for a control cycle.
+type StageReport struct {
+	// StageID identifies the reporting stage.
+	StageID uint64
+	// JobID identifies the job the stage serves.
+	JobID uint64
+	// Demand is the rate the job is trying to issue, per class.
+	Demand Rates
+	// Usage is the rate actually admitted to the PFS, per class.
+	Usage Rates
+}
+
+// CollectReply carries raw per-stage reports (flat design, or the
+// stage→aggregator leg of the hierarchical design).
+type CollectReply struct {
+	// Cycle echoes the collect request's cycle number.
+	Cycle uint64
+	// Reports holds one entry per stage.
+	Reports []StageReport
+}
+
+// Type implements Message.
+func (*CollectReply) Type() MsgType { return TCollectReply }
+
+// Marshal implements Message.
+func (m *CollectReply) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint64(uint64(len(m.Reports)))
+	for i := range m.Reports {
+		r := &m.Reports[i]
+		e.Uint64(r.StageID)
+		e.Uint64(r.JobID)
+		e.rates(r.Demand)
+		e.rates(r.Usage)
+	}
+}
+
+// Unmarshal implements Message.
+func (m *CollectReply) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	n := d.Length()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Reports = make([]StageReport, n)
+	for i := range m.Reports {
+		r := &m.Reports[i]
+		r.StageID = d.Uint64()
+		r.JobID = d.Uint64()
+		r.Demand = d.rates()
+		r.Usage = d.rates()
+	}
+}
+
+// JobReport is a per-job aggregate over all stages an aggregator manages.
+type JobReport struct {
+	// JobID identifies the job.
+	JobID uint64
+	// Stages is the number of the job's stages behind this aggregator.
+	Stages uint32
+	// Demand is the summed demand of those stages, per class.
+	Demand Rates
+	// Usage is the summed admitted rate of those stages, per class.
+	Usage Rates
+}
+
+// CollectAggReply carries pre-aggregated per-job reports from an aggregator
+// to the global controller. This is the message that makes the global
+// controller's received bandwidth drop in the hierarchical design (paper
+// Table III): its size is O(jobs), not O(stages).
+type CollectAggReply struct {
+	// Cycle echoes the collect request's cycle number.
+	Cycle uint64
+	// AggregatorID identifies the reporting aggregator.
+	AggregatorID uint64
+	// Jobs holds one aggregate entry per job.
+	Jobs []JobReport
+}
+
+// Type implements Message.
+func (*CollectAggReply) Type() MsgType { return TCollectAggReply }
+
+// Marshal implements Message.
+func (m *CollectAggReply) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint64(m.AggregatorID)
+	e.Uint64(uint64(len(m.Jobs)))
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		e.Uint64(j.JobID)
+		e.Uint32(j.Stages)
+		e.rates(j.Demand)
+		e.rates(j.Usage)
+	}
+}
+
+// Unmarshal implements Message.
+func (m *CollectAggReply) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	m.AggregatorID = d.Uint64()
+	n := d.Length()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Jobs = make([]JobReport, n)
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		j.JobID = d.Uint64()
+		j.Stages = d.Uint32()
+		j.Demand = d.rates()
+		j.Usage = d.rates()
+	}
+}
+
+// RuleAction tells a stage how to apply a rule.
+type RuleAction uint8
+
+// Rule actions.
+const (
+	// ActionSetLimit replaces the stage's rate limits with Limit.
+	ActionSetLimit RuleAction = iota + 1
+	// ActionNoLimit removes rate limiting at the stage.
+	ActionNoLimit
+	// ActionPause blocks all I/O at the stage (administrative hold).
+	ActionPause
+)
+
+// String returns the mnemonic action name.
+func (a RuleAction) String() string {
+	switch a {
+	case ActionSetLimit:
+		return "set-limit"
+	case ActionNoLimit:
+		return "no-limit"
+	case ActionPause:
+		return "pause"
+	}
+	return fmt.Sprintf("RuleAction(%d)", uint8(a))
+}
+
+// Rule is one stage's enforcement directive for a control cycle.
+type Rule struct {
+	// StageID identifies the stage the rule targets.
+	StageID uint64
+	// JobID identifies the job the rule's limits belong to.
+	JobID uint64
+	// Action selects how the stage applies the rule.
+	Action RuleAction
+	// Limit is the admitted rate ceiling per class (ActionSetLimit only).
+	Limit Rates
+}
+
+// Enforce pushes a batch of rules to a child. In the flat design the batch
+// holds exactly the target stage's rule; in the hierarchical design the
+// global controller sends an aggregator every rule for the stages it manages
+// and the aggregator fans them out.
+type Enforce struct {
+	// Cycle is the control cycle that produced the rules.
+	Cycle uint64
+	// Rules is the rule batch.
+	Rules []Rule
+}
+
+// Type implements Message.
+func (*Enforce) Type() MsgType { return TEnforce }
+
+// Marshal implements Message.
+func (m *Enforce) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint64(uint64(len(m.Rules)))
+	for i := range m.Rules {
+		r := &m.Rules[i]
+		e.Uint64(r.StageID)
+		e.Uint64(r.JobID)
+		e.Byte(byte(r.Action))
+		e.rates(r.Limit)
+	}
+}
+
+// Unmarshal implements Message.
+func (m *Enforce) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	n := d.Length()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Rules = make([]Rule, n)
+	for i := range m.Rules {
+		r := &m.Rules[i]
+		r.StageID = d.Uint64()
+		r.JobID = d.Uint64()
+		r.Action = RuleAction(d.Byte())
+		r.Limit = d.rates()
+	}
+}
+
+// EnforceAck confirms rule application.
+type EnforceAck struct {
+	// Cycle echoes the enforce request's cycle number.
+	Cycle uint64
+	// Applied is the number of rules applied downstream of the sender.
+	Applied uint32
+}
+
+// Type implements Message.
+func (*EnforceAck) Type() MsgType { return TEnforceAck }
+
+// Marshal implements Message.
+func (m *EnforceAck) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint32(m.Applied)
+}
+
+// Unmarshal implements Message.
+func (m *EnforceAck) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	m.Applied = d.Uint32()
+}
+
+// Heartbeat is a liveness probe.
+type Heartbeat struct {
+	// SentUnixMicros is the sender's clock, for RTT estimation.
+	SentUnixMicros int64
+}
+
+// Type implements Message.
+func (*Heartbeat) Type() MsgType { return THeartbeat }
+
+// Marshal implements Message.
+func (m *Heartbeat) Marshal(e *Encoder) { e.Int64(m.SentUnixMicros) }
+
+// Unmarshal implements Message.
+func (m *Heartbeat) Unmarshal(d *Decoder) { m.SentUnixMicros = d.Int64() }
+
+// HeartbeatAck answers a liveness probe.
+type HeartbeatAck struct {
+	// EchoUnixMicros echoes the probe's timestamp.
+	EchoUnixMicros int64
+}
+
+// Type implements Message.
+func (*HeartbeatAck) Type() MsgType { return THeartbeatAck }
+
+// Marshal implements Message.
+func (m *HeartbeatAck) Marshal(e *Encoder) { e.Int64(m.EchoUnixMicros) }
+
+// Unmarshal implements Message.
+func (m *HeartbeatAck) Unmarshal(d *Decoder) { m.EchoUnixMicros = d.Int64() }
+
+// ErrorReply reports a remote failure for a request.
+type ErrorReply struct {
+	// Code is a machine-readable error class.
+	Code uint32
+	// Text is a human-readable description.
+	Text string
+}
+
+// Remote error codes.
+const (
+	// CodeInternal is an unclassified remote failure.
+	CodeInternal uint32 = iota + 1
+	// CodeBadMessage means the peer could not decode the request.
+	CodeBadMessage
+	// CodeNotRegistered means the sender is unknown to the receiver.
+	CodeNotRegistered
+	// CodeOverload means the receiver shed the request under load.
+	CodeOverload
+)
+
+// Type implements Message.
+func (*ErrorReply) Type() MsgType { return TError }
+
+// Marshal implements Message.
+func (m *ErrorReply) Marshal(e *Encoder) {
+	e.Uint32(m.Code)
+	e.String(m.Text)
+}
+
+// Unmarshal implements Message.
+func (m *ErrorReply) Unmarshal(d *Decoder) {
+	m.Code = d.Uint32()
+	m.Text = d.String()
+}
+
+// Error implements the error interface so an ErrorReply can be returned
+// directly from RPC helpers.
+func (m *ErrorReply) Error() string {
+	return fmt.Sprintf("remote error %d: %s", m.Code, m.Text)
+}
+
+// StageEntry is one stage's identity inside a StageListReply.
+type StageEntry struct {
+	// ID is the stage's cluster-unique identifier.
+	ID uint64
+	// JobID is the job the stage serves.
+	JobID uint64
+	// Weight is the job's QoS weight.
+	Weight float64
+	// Addr is the stage's listen address.
+	Addr string
+}
+
+// StageList asks a controller for the stages it manages.
+type StageList struct{}
+
+// Type implements Message.
+func (*StageList) Type() MsgType { return TStageList }
+
+// Marshal implements Message.
+func (*StageList) Marshal(*Encoder) {}
+
+// Unmarshal implements Message.
+func (*StageList) Unmarshal(*Decoder) {}
+
+// StageListReply carries a controller's managed stages.
+type StageListReply struct {
+	// Stages holds one entry per managed stage.
+	Stages []StageEntry
+}
+
+// Type implements Message.
+func (*StageListReply) Type() MsgType { return TStageListReply }
+
+// Marshal implements Message.
+func (m *StageListReply) Marshal(e *Encoder) {
+	e.Uint64(uint64(len(m.Stages)))
+	for i := range m.Stages {
+		s := &m.Stages[i]
+		e.Uint64(s.ID)
+		e.Uint64(s.JobID)
+		e.Float64(s.Weight)
+		e.String(s.Addr)
+	}
+}
+
+// Unmarshal implements Message.
+func (m *StageListReply) Unmarshal(d *Decoder) {
+	n := d.Length()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Stages = make([]StageEntry, n)
+	for i := range m.Stages {
+		s := &m.Stages[i]
+		s.ID = d.Uint64()
+		s.JobID = d.Uint64()
+		s.Weight = d.Float64()
+		s.Addr = d.String()
+	}
+}
+
+// PeerExchange shares one coordinated-flat peer's per-job aggregates.
+type PeerExchange struct {
+	// Cycle is the sending peer's control-cycle number.
+	Cycle uint64
+	// PeerID identifies the sending peer.
+	PeerID uint64
+	// Addr is the sending peer's listen address, letting receivers mesh
+	// back automatically when the sender was configured one-sidedly.
+	Addr string
+	// Jobs holds the peer's per-job aggregates for its own partition.
+	Jobs []JobReport
+}
+
+// Type implements Message.
+func (*PeerExchange) Type() MsgType { return TPeerExchange }
+
+// Marshal implements Message.
+func (m *PeerExchange) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint64(m.PeerID)
+	e.String(m.Addr)
+	e.Uint64(uint64(len(m.Jobs)))
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		e.Uint64(j.JobID)
+		e.Uint32(j.Stages)
+		e.rates(j.Demand)
+		e.rates(j.Usage)
+	}
+}
+
+// Unmarshal implements Message.
+func (m *PeerExchange) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	m.PeerID = d.Uint64()
+	m.Addr = d.String()
+	n := d.Length()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Jobs = make([]JobReport, n)
+	for i := range m.Jobs {
+		j := &m.Jobs[i]
+		j.JobID = d.Uint64()
+		j.Stages = d.Uint32()
+		j.Demand = d.rates()
+		j.Usage = d.rates()
+	}
+}
+
+// PeerExchangeAck confirms a peer exchange.
+type PeerExchangeAck struct {
+	// Cycle echoes the exchanged cycle number.
+	Cycle uint64
+	// PeerID identifies the acknowledging peer.
+	PeerID uint64
+}
+
+// Type implements Message.
+func (*PeerExchangeAck) Type() MsgType { return TPeerExchangeAck }
+
+// Marshal implements Message.
+func (m *PeerExchangeAck) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint64(m.PeerID)
+}
+
+// Unmarshal implements Message.
+func (m *PeerExchangeAck) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	m.PeerID = d.Uint64()
+}
+
+// JobBudget is one job's capacity slice for one aggregator's partition.
+type JobBudget struct {
+	// JobID identifies the job.
+	JobID uint64
+	// Limit is the aggregate rate ceiling for the job's stages behind the
+	// receiving aggregator, per class.
+	Limit Rates
+}
+
+// Delegate pushes per-job budgets to an aggregator with local control: the
+// aggregator splits each budget over the job's stages itself, using its own
+// fresher per-stage demand view. Payload size is O(jobs), not O(stages) —
+// the enforcement-side analogue of collect-side pre-aggregation.
+type Delegate struct {
+	// Cycle is the control cycle that produced the budgets.
+	Cycle uint64
+	// Budgets holds one entry per job with stages behind the receiver.
+	Budgets []JobBudget
+}
+
+// Type implements Message.
+func (*Delegate) Type() MsgType { return TDelegate }
+
+// Marshal implements Message.
+func (m *Delegate) Marshal(e *Encoder) {
+	e.Uint64(m.Cycle)
+	e.Uint64(uint64(len(m.Budgets)))
+	for i := range m.Budgets {
+		b := &m.Budgets[i]
+		e.Uint64(b.JobID)
+		e.rates(b.Limit)
+	}
+}
+
+// Unmarshal implements Message.
+func (m *Delegate) Unmarshal(d *Decoder) {
+	m.Cycle = d.Uint64()
+	n := d.Length()
+	if d.Err() != nil || n == 0 {
+		return
+	}
+	m.Budgets = make([]JobBudget, n)
+	for i := range m.Budgets {
+		b := &m.Budgets[i]
+		b.JobID = d.Uint64()
+		b.Limit = d.rates()
+	}
+}
+
+// New returns a zero message of the given type, or nil if the type is
+// unknown. It is the decode-side factory used by the RPC layer.
+func New(t MsgType) Message {
+	switch t {
+	case TRegister:
+		return &Register{}
+	case TRegisterAck:
+		return &RegisterAck{}
+	case TCollect:
+		return &Collect{}
+	case TCollectReply:
+		return &CollectReply{}
+	case TCollectAggReply:
+		return &CollectAggReply{}
+	case TEnforce:
+		return &Enforce{}
+	case TEnforceAck:
+		return &EnforceAck{}
+	case THeartbeat:
+		return &Heartbeat{}
+	case THeartbeatAck:
+		return &HeartbeatAck{}
+	case TError:
+		return &ErrorReply{}
+	case TStageList:
+		return &StageList{}
+	case TStageListReply:
+		return &StageListReply{}
+	case TPeerExchange:
+		return &PeerExchange{}
+	case TPeerExchangeAck:
+		return &PeerExchangeAck{}
+	case TDelegate:
+		return &Delegate{}
+	}
+	return nil
+}
+
+// Encode appends t's tag and m's body to buf and returns the extended slice.
+func Encode(buf []byte, m Message) []byte {
+	e := NewEncoder(buf)
+	e.Byte(byte(m.Type()))
+	m.Marshal(e)
+	return e.Bytes()
+}
+
+// Decode parses a tagged message produced by Encode. It verifies the whole
+// buffer is consumed.
+func Decode(buf []byte) (Message, error) {
+	d := NewDecoder(buf)
+	t := MsgType(d.Byte())
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	m := New(t)
+	if m == nil {
+		return nil, fmt.Errorf("wire: unknown message type %d", t)
+	}
+	m.Unmarshal(d)
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("wire: decoding %s: %w", t, err)
+	}
+	return m, nil
+}

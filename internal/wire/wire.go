@@ -1,0 +1,249 @@
+// Package wire implements the compact binary message encoding used by the
+// sdscale control plane.
+//
+// The paper's prototype exchanges protobuf messages over gRPC; sdscale uses
+// a hand-rolled, stdlib-only codec with equivalent payload shapes: metric
+// reports flowing up from data-plane stages and enforcement rules flowing
+// down from controllers. Integers are varint encoded, floating point rates
+// are fixed 8-byte IEEE 754, and strings/byte slices are length prefixed.
+//
+// The codec is deliberately allocation-conscious: encoding appends into a
+// caller-supplied buffer and decoding reads from a slice without copying,
+// because the control plane marshals tens of thousands of messages per
+// control cycle at paper scale.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the decoder. They are sentinel values so transports can
+// distinguish truncated frames (retry/ignore) from corrupt ones (fatal).
+var (
+	// ErrShortBuffer indicates the payload ended before the message did.
+	ErrShortBuffer = errors.New("wire: short buffer")
+	// ErrOverflow indicates a varint did not terminate within 10 bytes.
+	ErrOverflow = errors.New("wire: varint overflows 64 bits")
+	// ErrTrailingBytes indicates a message decoded cleanly but left unread
+	// payload behind, a sign of a version mismatch between peers.
+	ErrTrailingBytes = errors.New("wire: trailing bytes after message")
+	// ErrBadLength indicates a length prefix exceeding sanity limits.
+	ErrBadLength = errors.New("wire: length prefix exceeds limit")
+)
+
+// MaxSliceLen bounds every decoded length prefix. A peer announcing a larger
+// collection is treated as corrupt rather than allocated for, which keeps a
+// malformed frame from OOMing a controller.
+const MaxSliceLen = 1 << 24
+
+// Encoder appends primitive values to a byte slice. The zero value is ready
+// to use; Bytes returns the accumulated encoding.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder that appends to buf (which may be nil).
+// Passing a buffer with spare capacity lets callers amortize allocations
+// across messages.
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf} }
+
+// Bytes returns the encoded bytes accumulated so far. The slice aliases the
+// encoder's internal buffer and is invalidated by further Put calls.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Reset discards the accumulated encoding but keeps the capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// Uint64 appends v as an unsigned varint.
+func (e *Encoder) Uint64(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+
+// Int64 appends v using zig-zag varint encoding.
+func (e *Encoder) Int64(v int64) { e.buf = binary.AppendVarint(e.buf, v) }
+
+// Uint32 appends v as an unsigned varint.
+func (e *Encoder) Uint32(v uint32) { e.Uint64(uint64(v)) }
+
+// Byte appends a single raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean as one byte.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Float64 appends v as 8 little-endian bytes of its IEEE 754 representation.
+// Rates are encoded fixed-width rather than varint because observed IOPS are
+// rarely small integers and fixed width keeps rule payload sizes predictable.
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// Bytes16 appends a length-prefixed byte slice.
+func (e *Encoder) Bytes16(b []byte) {
+	e.Uint64(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed UTF-8 string.
+func (e *Encoder) String(s string) {
+	e.Uint64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder reads primitive values from a byte slice. It never copies the
+// underlying data; decoded byte slices alias the input.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a Decoder reading from buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the first error encountered while decoding, if any. All Get
+// methods become no-ops returning zero values after an error, so callers may
+// decode a whole message and check Err once at the end.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining reports how many bytes are left to decode.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish verifies the decoder consumed the buffer exactly. It returns the
+// decode error if one occurred, ErrTrailingBytes if payload remains, and nil
+// otherwise.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d bytes", ErrTrailingBytes, len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uint64 reads an unsigned varint.
+func (d *Decoder) Uint64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	switch {
+	case n > 0:
+		d.off += n
+		return v
+	case n == 0:
+		d.fail(ErrShortBuffer)
+	default:
+		d.fail(ErrOverflow)
+	}
+	return 0
+}
+
+// Int64 reads a zig-zag varint.
+func (d *Decoder) Int64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	switch {
+	case n > 0:
+		d.off += n
+		return v
+	case n == 0:
+		d.fail(ErrShortBuffer)
+	default:
+		d.fail(ErrOverflow)
+	}
+	return 0
+}
+
+// Uint32 reads an unsigned varint and reports corruption if it exceeds 32 bits.
+func (d *Decoder) Uint32() uint32 {
+	v := d.Uint64()
+	if v > math.MaxUint32 {
+		d.fail(fmt.Errorf("wire: value %d overflows uint32", v))
+		return 0
+	}
+	return uint32(v)
+}
+
+// Byte reads a single raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Bool reads a one-byte boolean.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Float64 reads 8 little-endian bytes as an IEEE 754 float.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail(ErrShortBuffer)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(v)
+}
+
+// Length reads a length prefix and validates it against MaxSliceLen and the
+// remaining payload, so callers can pre-allocate safely.
+func (d *Decoder) Length() int {
+	v := d.Uint64()
+	if d.err != nil {
+		return 0
+	}
+	if v > MaxSliceLen {
+		d.fail(fmt.Errorf("%w: %d", ErrBadLength, v))
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes16 reads a length-prefixed byte slice. The result aliases the input
+// buffer; callers that retain it across frames must copy.
+func (d *Decoder) Bytes16() []byte {
+	n := d.Length()
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail(ErrShortBuffer)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Bytes16()) }

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// traceFile is the serialized form of a Trace: a versioned JSON document so
+// recorded workloads can be shared between runs and machines (the paper's
+// future work calls for studying the designs under real, replayable
+// workloads).
+type traceFile struct {
+	Version    int         `json:"version"`
+	StepMicros int64       `json:"step_micros"`
+	Classes    []string    `json:"classes"`
+	Samples    [][]float64 `json:"samples"`
+}
+
+// traceFileVersion is the current trace format version.
+const traceFileVersion = 1
+
+// SaveTrace writes tr to w as versioned JSON.
+func SaveTrace(w io.Writer, tr Trace) error {
+	step := tr.Step
+	if step <= 0 {
+		step = time.Second
+	}
+	f := traceFile{
+		Version:    traceFileVersion,
+		StepMicros: step.Microseconds(),
+		Classes:    make([]string, wire.NumClasses),
+		Samples:    make([][]float64, len(tr.Samples)),
+	}
+	for c := 0; c < int(wire.NumClasses); c++ {
+		f.Classes[c] = wire.OpClass(c).String()
+	}
+	for i, s := range tr.Samples {
+		row := make([]float64, wire.NumClasses)
+		copy(row, s[:])
+		f.Samples[i] = row
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// LoadTrace reads a trace written by SaveTrace. Traces recorded with a
+// different class layout are rejected rather than silently misinterpreted.
+func LoadTrace(r io.Reader) (Trace, error) {
+	var f traceFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return Trace{}, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	if f.Version != traceFileVersion {
+		return Trace{}, fmt.Errorf("workload: unsupported trace version %d", f.Version)
+	}
+	if f.StepMicros <= 0 {
+		return Trace{}, fmt.Errorf("workload: bad trace step %d", f.StepMicros)
+	}
+	if len(f.Classes) != int(wire.NumClasses) {
+		return Trace{}, fmt.Errorf("workload: trace has %d classes, this build has %d",
+			len(f.Classes), wire.NumClasses)
+	}
+	for c, name := range f.Classes {
+		if name != wire.OpClass(c).String() {
+			return Trace{}, fmt.Errorf("workload: trace class %d is %q, want %q",
+				c, name, wire.OpClass(c).String())
+		}
+	}
+	tr := Trace{
+		Step:    time.Duration(f.StepMicros) * time.Microsecond,
+		Samples: make([]wire.Rates, len(f.Samples)),
+	}
+	for i, row := range f.Samples {
+		if len(row) != int(wire.NumClasses) {
+			return Trace{}, fmt.Errorf("workload: trace sample %d has %d values", i, len(row))
+		}
+		for c, v := range row {
+			if v < 0 {
+				return Trace{}, fmt.Errorf("workload: trace sample %d class %d is negative", i, c)
+			}
+			tr.Samples[i][c] = v
+		}
+	}
+	return tr, nil
+}

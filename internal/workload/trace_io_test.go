@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	src := Record(Bursty{
+		On: time.Second, Off: time.Second,
+		High: wire.Rates{1000, 100}, Low: wire.Rates{10, 1},
+	}, 250*time.Millisecond, 20)
+
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, src); err != nil {
+		t.Fatalf("SaveTrace: %v", err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatalf("LoadTrace: %v", err)
+	}
+	if got.Step != src.Step {
+		t.Errorf("step = %v, want %v", got.Step, src.Step)
+	}
+	if len(got.Samples) != len(src.Samples) {
+		t.Fatalf("samples = %d, want %d", len(got.Samples), len(src.Samples))
+	}
+	for at := time.Duration(0); at < 5*time.Second; at += 100 * time.Millisecond {
+		if got.Demand(at) != src.Demand(at) {
+			t.Fatalf("replay diverges at %v", at)
+		}
+	}
+}
+
+func TestSaveTraceDefaultsStep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, Trace{Samples: []wire.Rates{{1, 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != time.Second {
+		t.Errorf("defaulted step = %v", got.Step)
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "][",
+		"wrong version":  `{"version":99,"step_micros":1000,"classes":["data","meta"],"samples":[]}`,
+		"bad step":       `{"version":1,"step_micros":0,"classes":["data","meta"],"samples":[]}`,
+		"few classes":    `{"version":1,"step_micros":1000,"classes":["data"],"samples":[]}`,
+		"wrong classes":  `{"version":1,"step_micros":1000,"classes":["meta","data"],"samples":[]}`,
+		"ragged sample":  `{"version":1,"step_micros":1000,"classes":["data","meta"],"samples":[[1]]}`,
+		"negative value": `{"version":1,"step_micros":1000,"classes":["data","meta"],"samples":[[-1,0]]}`,
+	}
+	for name, doc := range cases {
+		if _, err := LoadTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
