@@ -9,6 +9,10 @@
 //  2. A replacement controller re-adopts the same stages and re-converges
 //     in a single control cycle, even though the workload changed while
 //     the control plane was down.
+//  3. The failure also works the other way: when a *stage* drops off the
+//     network, the controller quarantines it after a few failed calls and
+//     keeps controlling the survivors on degraded cycles; once the
+//     partition heals, a half-open heartbeat probe readmits the stage.
 //
 // Run with:
 //
@@ -59,6 +63,11 @@ func main() {
 		g, err := sdscale.NewGlobal(sdscale.GlobalConfig{
 			Network:  net.Host(name),
 			Capacity: capacity,
+			// Fast breaker settings so the quarantine act of the demo
+			// plays out in milliseconds rather than seconds.
+			CallTimeout:   200 * time.Millisecond,
+			MaxFailures:   2,
+			ProbeInterval: 10 * time.Millisecond,
 		})
 		if err != nil {
 			log.Fatalf("controller: %v", err)
@@ -109,4 +118,33 @@ func main() {
 	}
 	show("replacement's first cycle")
 	fmt.Println("  -> one cycle after takeover both jobs hold their fair 500/stage")
+
+	// Act 4: stage 4 drops off the network. After MaxFailures failed calls
+	// the controller quarantines it — cycles keep completing for the
+	// survivors, with stage 4's last report standing in (degraded mode).
+	net.Host("stage-4").SetPartitioned(true)
+	for g2.NumQuarantined() == 0 {
+		if _, err := g2.RunCycle(ctx); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	show("stage 4 partitioned -> quarantined")
+	fmt.Printf("  -> quarantined stages: %v; cycles keep running degraded\n", g2.QuarantinedIDs())
+
+	// The partition heals: the next half-open heartbeat probe succeeds and
+	// the stage is readmitted into the control loop — never evicted.
+	net.Host("stage-4").SetPartitioned(false)
+	for g2.NumQuarantined() != 0 {
+		if _, err := g2.RunCycle(ctx); err != nil {
+			log.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := g2.RunCycle(ctx); err != nil {
+		log.Fatal(err)
+	}
+	show("partition healed -> readmitted")
+	fmt.Println("  -> stage 4 is back under control without re-registration")
+	fmt.Printf("  -> fault telemetry: %v\n", g2.Faults().Summarize())
 }

@@ -98,6 +98,15 @@ type Config struct {
 	Net simnet.Config
 	// CallTimeout bounds child RPCs. Zero selects the controller default.
 	CallTimeout time.Duration
+	// MaxFailures, ProbeInterval, MaxProbeInterval, StaleAfter and
+	// EvictAfter tune every controller's per-child circuit breaker; see
+	// controller.GlobalConfig for their semantics. Zeros select the
+	// controller defaults (EvictAfter zero = quarantine only, never evict).
+	MaxFailures      int
+	ProbeInterval    time.Duration
+	MaxProbeInterval time.Duration
+	StaleAfter       time.Duration
+	EvictAfter       time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -208,6 +217,11 @@ func (c *Cluster) build() error {
 		CallTimeout:      cfg.CallTimeout,
 		Delegated:        cfg.Delegated,
 		DeltaEnforcement: cfg.DeltaEnforcement,
+		MaxFailures:      cfg.MaxFailures,
+		ProbeInterval:    cfg.ProbeInterval,
+		MaxProbeInterval: cfg.MaxProbeInterval,
+		StaleAfter:       cfg.StaleAfter,
+		EvictAfter:       cfg.EvictAfter,
 		Meter:            c.GlobalRole.Meter,
 		CPU:              c.GlobalRole.CPU,
 	}
@@ -231,14 +245,19 @@ func (c *Cluster) build() error {
 		for a := 0; a < cfg.Aggregators; a++ {
 			role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
 			agg, err := controller.StartAggregator(controller.AggregatorConfig{
-				ID:           uint64(1_000_000 + a),
-				Network:      c.Net.Host(fmt.Sprintf("agg-%d", a+1)),
-				FanOut:       cfg.FanOut,
-				CallTimeout:  cfg.CallTimeout,
-				ForwardRaw:   cfg.ForwardRaw,
-				LocalControl: cfg.Delegated,
-				Meter:        role.Meter,
-				CPU:          role.CPU,
+				ID:               uint64(1_000_000 + a),
+				Network:          c.Net.Host(fmt.Sprintf("agg-%d", a+1)),
+				FanOut:           cfg.FanOut,
+				CallTimeout:      cfg.CallTimeout,
+				ForwardRaw:       cfg.ForwardRaw,
+				LocalControl:     cfg.Delegated,
+				MaxFailures:      cfg.MaxFailures,
+				ProbeInterval:    cfg.ProbeInterval,
+				MaxProbeInterval: cfg.MaxProbeInterval,
+				StaleAfter:       cfg.StaleAfter,
+				EvictAfter:       cfg.EvictAfter,
+				Meter:            role.Meter,
+				CPU:              role.CPU,
 			})
 			if err != nil {
 				return fmt.Errorf("cluster: aggregator %d: %w", a, err)
@@ -274,14 +293,19 @@ func (c *Cluster) buildCoordinated(ctx context.Context) error {
 	for i := 0; i < cfg.Aggregators; i++ {
 		role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
 		p, err := controller.StartPeer(controller.PeerConfig{
-			ID:          uint64(2_000_000 + i),
-			Network:     c.Net.Host(fmt.Sprintf("peer-%d", i+1)),
-			Algorithm:   cfg.Algorithm,
-			Capacity:    cfg.Capacity,
-			FanOut:      cfg.FanOut,
-			CallTimeout: cfg.CallTimeout,
-			Meter:       role.Meter,
-			CPU:         role.CPU,
+			ID:               uint64(2_000_000 + i),
+			Network:          c.Net.Host(fmt.Sprintf("peer-%d", i+1)),
+			Algorithm:        cfg.Algorithm,
+			Capacity:         cfg.Capacity,
+			FanOut:           cfg.FanOut,
+			CallTimeout:      cfg.CallTimeout,
+			MaxFailures:      cfg.MaxFailures,
+			ProbeInterval:    cfg.ProbeInterval,
+			MaxProbeInterval: cfg.MaxProbeInterval,
+			StaleAfter:       cfg.StaleAfter,
+			EvictAfter:       cfg.EvictAfter,
+			Meter:            role.Meter,
+			CPU:              role.CPU,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: peer %d: %w", i, err)

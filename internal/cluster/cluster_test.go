@@ -370,7 +370,8 @@ func TestDependabilityAggregatorLoss(t *testing.T) {
 
 	c.Aggregators[1].Close()
 	// Survivors keep receiving rules; the dead partition's stages keep
-	// their last rules. Run enough cycles to also trigger eviction.
+	// their last rules. Run enough cycles to trip the dead aggregator's
+	// circuit breaker into quarantine.
 	var before [12]uint64
 	for i, v := range c.Stages {
 		before[i], _ = v.Counters()
@@ -378,8 +379,11 @@ func TestDependabilityAggregatorLoss(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		c.Global.RunCycle(ctx)
 	}
-	if got := c.Global.NumChildren(); got != 2 {
-		t.Errorf("children after aggregator loss = %d, want 2", got)
+	if got := c.Global.NumChildren(); got != 3 {
+		t.Errorf("children after aggregator loss = %d, want 3 (quarantined, not evicted)", got)
+	}
+	if got := c.Global.NumQuarantined(); got != 1 {
+		t.Errorf("quarantined after aggregator loss = %d, want 1", got)
 	}
 	for i, v := range c.Stages {
 		after, _ := v.Counters()
@@ -397,7 +401,7 @@ func TestDependabilityAggregatorLoss(t *testing.T) {
 // TestDependabilityNetworkPartition injects a network partition (rather
 // than a clean shutdown): the aggregator's host becomes unreachable, its
 // established connections are severed mid-flight, and the control plane
-// must evict it and keep serving the reachable partitions.
+// must quarantine it and keep serving the reachable partitions.
 func TestDependabilityNetworkPartition(t *testing.T) {
 	c, err := Build(Config{
 		Topology: Hierarchical, Stages: 9, Jobs: 3, Aggregators: 3,
@@ -423,8 +427,11 @@ func TestDependabilityNetworkPartition(t *testing.T) {
 			t.Fatalf("cycle during partition: %v", err)
 		}
 	}
-	if got := c.Global.NumChildren(); got != 2 {
-		t.Errorf("children after partition = %d, want 2", got)
+	if got := c.Global.NumChildren(); got != 3 {
+		t.Errorf("children after partition = %d, want 3 (quarantined, not evicted)", got)
+	}
+	if got := c.Global.NumQuarantined(); got != 1 {
+		t.Errorf("quarantined after partition = %d, want 1", got)
 	}
 	if c.Global.CallErrors() == 0 {
 		t.Error("no call errors recorded despite partition")

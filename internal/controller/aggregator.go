@@ -12,6 +12,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
 	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
@@ -31,9 +32,18 @@ type AggregatorConfig struct {
 	FanOut int
 	// CallTimeout bounds each stage RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
-	// MaxFailures is the consecutive-failure eviction threshold. Zero
-	// selects DefaultMaxFailures.
+	// MaxFailures is the consecutive-failure threshold that trips a
+	// stage's circuit breaker into quarantine. Zero selects
+	// DefaultMaxFailures.
 	MaxFailures int
+	// ProbeInterval / MaxProbeInterval shape the half-open probe backoff
+	// for quarantined stages; StaleAfter bounds last-known-report age in
+	// degraded collects; EvictAfter (zero = never) permanently removes a
+	// stage quarantined that long. See GlobalConfig for details.
+	ProbeInterval    time.Duration
+	MaxProbeInterval time.Duration
+	StaleAfter       time.Duration
+	EvictAfter       time.Duration
 	// ForwardRaw disables metric pre-aggregation: the aggregator relays
 	// every stage's raw report to the global controller instead of per-job
 	// sums. This exists for the ablation benchmarks that quantify what
@@ -77,8 +87,10 @@ func (c AggregatorConfig) withDefaults() AggregatorConfig {
 // rules back out.
 type Aggregator struct {
 	cfg     AggregatorConfig
+	breaker breakerConfig
 	server  *rpc.Server
 	members *memberSet
+	faults  *telemetry.FaultCounters
 
 	// mu guards the delegated-control state.
 	mu          sync.Mutex
@@ -89,7 +101,18 @@ type Aggregator struct {
 // afterwards with AddStage.
 func StartAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	cfg = cfg.withDefaults()
-	a := &Aggregator{cfg: cfg, members: newMemberSet()}
+	a := &Aggregator{
+		cfg: cfg,
+		breaker: breakerConfig{
+			MaxFailures:      cfg.MaxFailures,
+			ProbeInterval:    cfg.ProbeInterval,
+			MaxProbeInterval: cfg.MaxProbeInterval,
+			StaleAfter:       cfg.StaleAfter,
+			EvictAfter:       cfg.EvictAfter,
+		}.withDefaults(),
+		members: newMemberSet(),
+		faults:  &telemetry.FaultCounters{},
+	}
 	// The server deliberately gets no CPU meter: its handler blocks on the
 	// stage fan-out, so handler wall time is not aggregator CPU. Busy time
 	// is charged explicitly around aggregation and via the stage clients'
@@ -114,6 +137,22 @@ func (a *Aggregator) Addr() string { return a.server.Addr().String() }
 // NumStages returns the number of stages the aggregator manages.
 func (a *Aggregator) NumStages() int { return a.members.size() }
 
+// Faults returns the aggregator's fault-tolerance counters.
+func (a *Aggregator) Faults() *telemetry.FaultCounters { return a.faults }
+
+// NumQuarantined returns how many managed stages currently sit behind a
+// tripped circuit breaker.
+func (a *Aggregator) NumQuarantined() int {
+	_, quarantined := splitQuarantined(a.members.snapshot())
+	return len(quarantined)
+}
+
+func (a *Aggregator) logf(format string, args ...any) {
+	if a.cfg.Logf != nil {
+		a.cfg.Logf(format, args...)
+	}
+}
+
 // Stages returns the managed stages' identities.
 func (a *Aggregator) Stages() []stage.Info {
 	children := a.members.snapshot()
@@ -126,7 +165,8 @@ func (a *Aggregator) Stages() []stage.Info {
 
 // AddStage connects the aggregator to a stage it will manage.
 func (a *Aggregator) AddStage(ctx context.Context, info stage.Info) error {
-	cli, err := rpc.Dial(ctx, a.cfg.Network, info.Addr, rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU})
+	cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, info.Addr,
+		rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU}, a.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("aggregator %d: dial stage %d at %s: %w", a.cfg.ID, info.ID, info.Addr, err)
 	}
@@ -171,20 +211,32 @@ func (a *Aggregator) serve(peer *rpc.Peer, req wire.Message) (wire.Message, erro
 	return nil, fmt.Errorf("aggregator %d: unexpected %s", a.cfg.ID, req.Type())
 }
 
-// callStage performs one stage RPC with timeout and failure accounting.
+// callStage performs one stage RPC with timeout and circuit-breaker
+// accounting. Caller-context cancellation is not counted against the stage.
 func (a *Aggregator) callStage(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, a.cfg.CallTimeout)
 	resp, err := c.cli.Call(cctx, req)
 	cancel()
-	if c.recordResult(err, a.cfg.MaxFailures) {
-		if a.members.remove(c.info.ID) != nil {
-			c.cli.Close()
-			if a.cfg.Logf != nil {
-				a.cfg.Logf("aggregator %d: evicted stage %d", a.cfg.ID, c.info.ID)
+	recordCall(ctx, c, err, a.breaker, a.faults, a.logf, fmt.Sprintf("aggregator %d", a.cfg.ID))
+	return resp, err
+}
+
+// prepareScatter probes quarantined stages (readmitting responders),
+// applies EvictAfter, and returns the active/quarantined split.
+func (a *Aggregator) prepareScatter(ctx context.Context) (active, quarantined []*child) {
+	_, q := splitQuarantined(a.members.snapshot())
+	if len(q) > 0 {
+		who := fmt.Sprintf("aggregator %d", a.cfg.ID)
+		evictable := sweepProbes(ctx, q, a.breaker, a.cfg.FanOut, a.cfg.CallTimeout, a.faults, a.logf, who)
+		for _, c := range evictable {
+			if a.members.remove(c.info.ID) != nil {
+				c.cli.Close()
+				a.faults.Evict()
+				a.logf("%s: evicted stage %d after %v in quarantine", who, c.info.ID, a.breaker.EvictAfter)
 			}
 		}
 	}
-	return resp, err
+	return splitQuarantined(a.members.snapshot())
 }
 
 // collect fans the request out to all stages and returns per-job
@@ -192,10 +244,13 @@ func (a *Aggregator) callStage(ctx context.Context, c *child, req wire.Message) 
 // Aggregation is the CPU-heavy step the paper observes moving from the
 // global controller to the aggregators (Table IV).
 func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
-	children := a.members.snapshot()
+	ctx := context.Background()
+	children, quarantined := a.prepareScatter(ctx)
+	if len(quarantined) > 0 {
+		a.faults.DegradedCycle()
+	}
 	n := len(children)
 	replies := make([]*wire.CollectReply, n)
-	ctx := context.Background()
 	rpc.Scatter(n, a.cfg.FanOut, func(i int) {
 		resp, err := a.callStage(ctx, children[i], m)
 		if err != nil {
@@ -203,6 +258,7 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 		}
 		if r, ok := resp.(*wire.CollectReply); ok {
 			replies[i] = r
+			children[i].noteReport(r, time.Now())
 		}
 	})
 
@@ -213,6 +269,11 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	reports := make([]wire.StageReport, 0, n)
 	for _, r := range replies {
 		if r != nil {
+			reports = append(reports, r.Reports...)
+		}
+	}
+	for _, sm := range staleReports(quarantined, a.breaker.StaleAfter, a.faults) {
+		if r, ok := sm.(*wire.CollectReply); ok {
 			reports = append(reports, r.Reports...)
 		}
 	}
@@ -234,9 +295,10 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	return &wire.CollectAggReply{Cycle: m.Cycle, AggregatorID: a.cfg.ID, Jobs: jobs}, nil
 }
 
-// enforce routes each rule in the batch to its stage.
+// enforce routes each rule in the batch to its stage. Quarantined stages
+// are skipped; they keep enforcing their last rules until readmitted.
 func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
-	children := a.members.snapshot()
+	children, _ := splitQuarantined(a.members.snapshot())
 
 	var untrack func()
 	if a.cfg.CPU != nil {

@@ -23,10 +23,13 @@
 package controller
 
 import (
+	"context"
 	"sync"
+	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/rpc"
 	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
 
@@ -38,20 +41,92 @@ import (
 const DefaultFanOut = 8
 
 // DefaultMaxFailures is how many consecutive call failures a controller
-// tolerates before evicting a child from the control plane.
+// tolerates before quarantining a child (tripping its circuit breaker).
 const DefaultMaxFailures = 3
 
+// Circuit-breaker defaults shared by all controller roles.
+const (
+	// DefaultProbeInterval is the base interval between half-open
+	// heartbeat probes to a quarantined child.
+	DefaultProbeInterval = 100 * time.Millisecond
+	// DefaultMaxProbeInterval caps the probe backoff.
+	DefaultMaxProbeInterval = time.Second
+	// DefaultStaleAfter bounds how old a quarantined child's last-known
+	// report may be and still feed a degraded cycle.
+	DefaultStaleAfter = 10 * time.Second
+)
+
+// breakerConfig is the per-child circuit-breaker policy shared by the
+// three controller roles.
+type breakerConfig struct {
+	// MaxFailures consecutive call errors trip the breaker.
+	MaxFailures int
+	// ProbeInterval is the base half-open probe interval; it doubles after
+	// each failed probe up to MaxProbeInterval.
+	ProbeInterval    time.Duration
+	MaxProbeInterval time.Duration
+	// StaleAfter bounds the age of last-known reports used by degraded
+	// cycles.
+	StaleAfter time.Duration
+	// EvictAfter, when positive, permanently removes a child quarantined
+	// for that long. Zero never evicts.
+	EvictAfter time.Duration
+}
+
+func (bc breakerConfig) withDefaults() breakerConfig {
+	if bc.MaxFailures <= 0 {
+		bc.MaxFailures = DefaultMaxFailures
+	}
+	if bc.ProbeInterval <= 0 {
+		bc.ProbeInterval = DefaultProbeInterval
+	}
+	if bc.MaxProbeInterval <= 0 {
+		bc.MaxProbeInterval = DefaultMaxProbeInterval
+	}
+	if bc.MaxProbeInterval < bc.ProbeInterval {
+		bc.MaxProbeInterval = bc.ProbeInterval
+	}
+	if bc.StaleAfter <= 0 {
+		bc.StaleAfter = DefaultStaleAfter
+	}
+	return bc
+}
+
+// reconnectPolicy derives a child connection's redial policy from the
+// breaker policy, so the transport never lags the probe cadence by more
+// than one probe interval.
+func (bc breakerConfig) reconnectPolicy() rpc.ReconnectPolicy {
+	base := bc.ProbeInterval / 4
+	if base < 5*time.Millisecond {
+		base = 5 * time.Millisecond
+	}
+	return rpc.ReconnectPolicy{BaseDelay: base, MaxDelay: bc.MaxProbeInterval}
+}
+
 // child is a controller's handle to one downstream component (a stage or an
-// aggregator), with its long-lived RPC connection.
+// aggregator), with its long-lived self-healing RPC connection and its
+// circuit-breaker state.
 type child struct {
 	info stage.Info
 	role wire.Role
-	cli  *rpc.Client
+	cli  *rpc.ReconnectingClient
 	// stages lists the stages behind an aggregator child; nil for stages.
 	stages []stage.Info
 
 	mu    sync.Mutex
 	fails int
+	// Circuit-breaker state: a quarantined child is skipped by the
+	// collect/enforce scatter and probed with half-open heartbeats until
+	// one succeeds (readmission) or EvictAfter expires (eviction).
+	quarantined   bool
+	quarantinedAt time.Time
+	nextProbe     time.Time
+	probeDelay    time.Duration
+	// lastReport is the most recent successful collect response, kept so
+	// degraded cycles can proceed on slightly stale data while the child
+	// is quarantined; lastReportAt bounds its staleness.
+	lastReport   wire.Message
+	lastReportAt time.Time
 	// lastRules caches the most recently enforced rule per stage for
 	// delta enforcement (skip sends when nothing changed).
 	lastRules map[uint64]wire.Rule
@@ -76,17 +151,172 @@ func (c *child) filterChanged(rules []wire.Rule) []wire.Rule {
 	return changed
 }
 
-// recordResult updates the child's consecutive-failure count and reports
-// whether the child should be evicted.
-func (c *child) recordResult(err error, maxFailures int) (evict bool) {
+// recordFailure counts one failed call and reports whether it tripped the
+// breaker (the quarantine transition happens exactly once).
+func (c *child) recordFailure(bc breakerConfig, now time.Time) (tripped bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err == nil {
-		c.fails = 0
+	c.fails++
+	if c.quarantined || c.fails < bc.MaxFailures {
 		return false
 	}
-	c.fails++
-	return c.fails >= maxFailures
+	c.quarantined = true
+	c.quarantinedAt = now
+	c.probeDelay = bc.ProbeInterval
+	c.nextProbe = now.Add(c.probeDelay)
+	return true
+}
+
+// recordSuccess resets the failure count and reports whether it readmitted
+// a quarantined child.
+func (c *child) recordSuccess() (readmitted bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fails = 0
+	if !c.quarantined {
+		return false
+	}
+	c.quarantined = false
+	return true
+}
+
+// isQuarantined reports the breaker state.
+func (c *child) isQuarantined() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
+}
+
+// quarantineAge returns how long the child has been quarantined (zero if it
+// is not).
+func (c *child) quarantineAge(now time.Time) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.quarantined {
+		return 0
+	}
+	return now.Sub(c.quarantinedAt)
+}
+
+// probeDue reports whether a quarantined child should be probed now.
+func (c *child) probeDue(now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined && !now.Before(c.nextProbe)
+}
+
+// failProbe backs the probe schedule off after an unsuccessful half-open
+// probe.
+func (c *child) failProbe(bc breakerConfig, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.probeDelay *= 2
+	if c.probeDelay > bc.MaxProbeInterval {
+		c.probeDelay = bc.MaxProbeInterval
+	}
+	c.nextProbe = now.Add(c.probeDelay)
+}
+
+// noteReport caches the child's latest successful collect response for
+// degraded cycles.
+func (c *child) noteReport(m wire.Message, now time.Time) {
+	c.mu.Lock()
+	c.lastReport = m
+	c.lastReportAt = now
+	c.mu.Unlock()
+}
+
+// staleReport returns the cached report and its age if one exists and is
+// no older than staleAfter.
+func (c *child) staleReport(now time.Time, staleAfter time.Duration) (wire.Message, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastReport == nil {
+		return nil, 0, false
+	}
+	age := now.Sub(c.lastReportAt)
+	if age > staleAfter {
+		return nil, 0, false
+	}
+	return c.lastReport, age, true
+}
+
+// recordCall applies one call's outcome to the child's breaker. Errors
+// caused by the caller's own context (shutdown or cycle-deadline expiry
+// mid-scatter) are not the child's fault and leave the breaker untouched.
+// faults and logf must be non-nil.
+func recordCall(ctx context.Context, c *child, err error, bc breakerConfig,
+	faults *telemetry.FaultCounters, logf func(format string, args ...any), who string) {
+	if err == nil {
+		if c.recordSuccess() {
+			faults.Readmit()
+			logf("%s: readmitted child %d", who, c.info.ID)
+		}
+		return
+	}
+	if ctx.Err() != nil {
+		return // caller-side cancellation, not a child failure
+	}
+	if c.recordFailure(bc, time.Now()) {
+		faults.Quarantine()
+		logf("%s: quarantined child %d after %d consecutive failures", who, c.info.ID, bc.MaxFailures)
+	}
+}
+
+// splitQuarantined partitions a membership snapshot by breaker state.
+func splitQuarantined(children []*child) (active, quarantined []*child) {
+	active = make([]*child, 0, len(children))
+	for _, c := range children {
+		if c.isQuarantined() {
+			quarantined = append(quarantined, c)
+		} else {
+			active = append(active, c)
+		}
+	}
+	return active, quarantined
+}
+
+// sweepProbes sends half-open heartbeats to the quarantined children whose
+// probe is due, readmitting those that answer. It returns the children
+// whose quarantine outlived EvictAfter; the caller owns their removal.
+// faults and logf must be non-nil.
+func sweepProbes(ctx context.Context, quarantined []*child, bc breakerConfig, fanOut int,
+	timeout time.Duration, faults *telemetry.FaultCounters, logf func(format string, args ...any), who string) (evictable []*child) {
+	now := time.Now()
+	var due []*child
+	for _, c := range quarantined {
+		if bc.EvictAfter > 0 && c.quarantineAge(now) >= bc.EvictAfter {
+			evictable = append(evictable, c)
+			continue
+		}
+		if c.probeDue(now) {
+			due = append(due, c)
+		}
+	}
+	rpc.Scatter(len(due), fanOut, func(i int) {
+		c := due[i]
+		cctx, cancel := context.WithTimeout(ctx, timeout)
+		resp, err := c.cli.Call(cctx, &wire.Heartbeat{SentUnixMicros: time.Now().UnixMicro()})
+		cancel()
+		if err != nil && ctx.Err() != nil {
+			return // caller shutdown mid-probe: no accounting
+		}
+		ok := err == nil
+		if ok {
+			_, ok = resp.(*wire.HeartbeatAck)
+		}
+		faults.Probe(ok)
+		if !ok {
+			c.failProbe(bc, time.Now())
+			return
+		}
+		age := c.quarantineAge(time.Now())
+		if c.recordSuccess() {
+			faults.Readmit()
+			logf("%s: readmitted child %d after %v in quarantine", who, c.info.ID, age.Round(time.Millisecond))
+		}
+	})
+	return evictable
 }
 
 // memberSet tracks a controller's children with cheap snapshotting: the

@@ -279,23 +279,31 @@ func TestEvictionAfterStageDeath(t *testing.T) {
 	n := fastNet()
 	stages := startStages(t, n, 3, 1, wire.Rates{100, 10})
 	g := buildFlat(t, n, stages, GlobalConfig{
-		Capacity:    wire.Rates{300, 30},
-		CallTimeout: 200 * time.Millisecond,
-		MaxFailures: 2,
+		Capacity:      wire.Rates{300, 30},
+		CallTimeout:   200 * time.Millisecond,
+		MaxFailures:   2,
+		ProbeInterval: 2 * time.Millisecond,
+		EvictAfter:    30 * time.Millisecond, // opt in to permanent eviction
 	})
 	ctx := context.Background()
 	if _, err := g.RunCycle(ctx); err != nil {
 		t.Fatal(err)
 	}
 
-	// Kill one stage; after MaxFailures failed cycles it must be evicted,
-	// and the control plane keeps serving the others.
+	// Kill one stage; after MaxFailures failed cycles it is quarantined,
+	// its probes keep failing, and once EvictAfter elapses it must be
+	// evicted — the control plane keeps serving the others throughout.
 	stages[1].Close()
-	for i := 0; i < 4; i++ {
+	deadline := time.Now().Add(5 * time.Second)
+	for g.NumChildren() != 2 && time.Now().Before(deadline) {
 		g.RunCycle(ctx)
+		time.Sleep(5 * time.Millisecond)
 	}
 	if g.NumChildren() != 2 {
 		t.Fatalf("children after death = %d, want 2", g.NumChildren())
+	}
+	if got := g.Faults().Quarantines(); got != 1 {
+		t.Errorf("Quarantines = %d, want 1", got)
 	}
 	if g.Evictions() != 1 {
 		t.Errorf("Evictions = %d, want 1", g.Evictions())

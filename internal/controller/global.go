@@ -40,9 +40,24 @@ type GlobalConfig struct {
 	FanOut int
 	// CallTimeout bounds each child RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
-	// MaxFailures is the consecutive-failure eviction threshold. Zero
-	// selects DefaultMaxFailures.
+	// MaxFailures is the consecutive-failure threshold that trips a
+	// child's circuit breaker into quarantine. Zero selects
+	// DefaultMaxFailures.
 	MaxFailures int
+	// ProbeInterval is the base interval between half-open heartbeat
+	// probes to a quarantined child; it doubles after each failed probe up
+	// to MaxProbeInterval. Zeros select DefaultProbeInterval and
+	// DefaultMaxProbeInterval.
+	ProbeInterval    time.Duration
+	MaxProbeInterval time.Duration
+	// StaleAfter bounds how old a quarantined child's last-known report
+	// may be and still feed a degraded cycle. Zero selects
+	// DefaultStaleAfter.
+	StaleAfter time.Duration
+	// EvictAfter, if positive, permanently evicts a child that has been
+	// quarantined for this long without passing a probe. Zero (the
+	// default) never evicts: a child that recovers is always readmitted.
+	EvictAfter time.Duration
 	// DeltaEnforcement skips the enforce message to a child whose rules
 	// did not change since the last cycle. The paper's stress workload
 	// deliberately re-enforces everything every cycle (§III-C), so the
@@ -84,8 +99,10 @@ func (c GlobalConfig) withDefaults() GlobalConfig {
 // design) or aggregators (hierarchical design); mixing is rejected.
 type Global struct {
 	cfg      GlobalConfig
+	breaker  breakerConfig
 	members  *memberSet
 	recorder *telemetry.CycleRecorder
+	faults   *telemetry.FaultCounters
 	regSrv   *rpc.Server
 
 	mu         sync.Mutex
@@ -93,7 +110,6 @@ type Global struct {
 	jobWeights map[uint64]float64
 	lastJobs   []JobStatus
 	mode       wire.Role // RoleStage or RoleAggregator once first child added
-	evictions  uint64
 	callErrors uint64
 }
 
@@ -102,9 +118,17 @@ type Global struct {
 func NewGlobal(cfg GlobalConfig) (*Global, error) {
 	cfg = cfg.withDefaults()
 	g := &Global{
-		cfg:        cfg,
+		cfg: cfg,
+		breaker: breakerConfig{
+			MaxFailures:      cfg.MaxFailures,
+			ProbeInterval:    cfg.ProbeInterval,
+			MaxProbeInterval: cfg.MaxProbeInterval,
+			StaleAfter:       cfg.StaleAfter,
+			EvictAfter:       cfg.EvictAfter,
+		}.withDefaults(),
 		members:    newMemberSet(),
 		recorder:   telemetry.NewCycleRecorder(),
+		faults:     &telemetry.FaultCounters{},
 		jobWeights: make(map[uint64]float64),
 	}
 	if cfg.ListenAddr != "" {
@@ -148,12 +172,31 @@ func (g *Global) NumStages() int {
 	return n
 }
 
-// Evictions returns how many children were evicted after repeated failures.
-func (g *Global) Evictions() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.evictions
+// Faults returns the controller's fault-tolerance counters (quarantines,
+// readmissions, degraded cycles, probes, stale-report ages).
+func (g *Global) Faults() *telemetry.FaultCounters { return g.faults }
+
+// NumQuarantined returns how many children currently sit behind a tripped
+// circuit breaker.
+func (g *Global) NumQuarantined() int {
+	_, quarantined := splitQuarantined(g.members.snapshot())
+	return len(quarantined)
 }
+
+// QuarantinedIDs returns the IDs of the currently quarantined children.
+func (g *Global) QuarantinedIDs() []uint64 {
+	_, quarantined := splitQuarantined(g.members.snapshot())
+	ids := make([]uint64, len(quarantined))
+	for i, c := range quarantined {
+		ids[i] = c.info.ID
+	}
+	return ids
+}
+
+// Evictions returns how many quarantined children were permanently removed
+// under the EvictAfter bound. With EvictAfter unset it stays zero: failing
+// children are quarantined and readmitted, never evicted.
+func (g *Global) Evictions() uint64 { return g.faults.Evictions() }
 
 // CallErrors returns the cumulative count of failed child calls.
 func (g *Global) CallErrors() uint64 {
@@ -205,7 +248,8 @@ func (g *Global) AddStage(ctx context.Context, info stage.Info) error {
 	if err := g.setMode(wire.RoleStage); err != nil {
 		return err
 	}
-	cli, err := rpc.Dial(ctx, g.cfg.Network, info.Addr, rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU})
+	cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, info.Addr,
+		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU}, g.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("controller: dial stage %d at %s: %w", info.ID, info.Addr, err)
 	}
@@ -226,7 +270,8 @@ func (g *Global) AddAggregator(ctx context.Context, id uint64, addr string, stag
 	if err := g.setMode(wire.RoleAggregator); err != nil {
 		return err
 	}
-	cli, err := rpc.Dial(ctx, g.cfg.Network, addr, rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU})
+	cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, addr,
+		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU}, g.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("controller: dial aggregator %d at %s: %w", id, addr, err)
 	}
@@ -304,27 +349,40 @@ func (g *Global) serveRegistration(peer *rpc.Peer, req wire.Message) (wire.Messa
 	return nil, fmt.Errorf("controller: unexpected %s", req.Type())
 }
 
-// callChild performs one child RPC with the configured timeout and failure
-// accounting, evicting children that fail repeatedly.
+// callChild performs one child RPC with the configured timeout and
+// circuit-breaker accounting. Errors caused by the caller's own ctx (a
+// shutdown or cycle deadline mid-scatter) are excluded from both the error
+// counter and the breaker, so healthy children collect no strikes.
 func (g *Global) callChild(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, g.cfg.CallTimeout)
 	resp, err := c.cli.Call(cctx, req)
 	cancel()
-	if err != nil {
+	if err != nil && ctx.Err() == nil {
 		g.mu.Lock()
 		g.callErrors++
 		g.mu.Unlock()
 	}
-	if c.recordResult(err, g.cfg.MaxFailures) {
-		if g.members.remove(c.info.ID) != nil {
-			c.cli.Close()
-			g.mu.Lock()
-			g.evictions++
-			g.mu.Unlock()
-			g.logf("controller: evicted child %d after %d failures", c.info.ID, g.cfg.MaxFailures)
+	recordCall(ctx, c, err, g.breaker, g.faults, g.logf, "controller")
+	return resp, err
+}
+
+// prepareCycle runs the pre-cycle breaker maintenance: half-open probes for
+// quarantined children (readmitting responders), eviction of children whose
+// quarantine outlived EvictAfter, and the active/quarantined split the
+// cycle's scatter phases work from.
+func (g *Global) prepareCycle(ctx context.Context) (active, quarantined []*child) {
+	_, q := splitQuarantined(g.members.snapshot())
+	if len(q) > 0 {
+		evictable := sweepProbes(ctx, q, g.breaker, g.cfg.FanOut, g.cfg.CallTimeout, g.faults, g.logf, "controller")
+		for _, c := range evictable {
+			if g.members.remove(c.info.ID) != nil {
+				c.cli.Close()
+				g.faults.Evict()
+				g.logf("controller: evicted child %d after %v in quarantine", c.info.ID, g.breaker.EvictAfter)
+			}
 		}
 	}
-	return resp, err
+	return splitQuarantined(g.members.snapshot())
 }
 
 // JobStatus is one job's state as of the controller's most recent cycle.
@@ -429,9 +487,15 @@ func sweepHealth(ctx context.Context, children []*child, fanOut int, timeout tim
 
 // RunCycle executes one complete control cycle and returns its phase
 // breakdown. It is the unit the paper's latency figures measure.
+//
+// Children behind a tripped circuit breaker are skipped by the collect and
+// enforce scatter; the cycle proceeds in degraded mode on their last-known
+// reports (up to StaleAfter old) and half-open heartbeat probes readmit
+// them once they recover, so a flapping child never stalls the cycle and
+// never needs manual re-registration.
 func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
-	children := g.members.snapshot()
-	if len(children) == 0 {
+	active, quarantined := g.prepareCycle(ctx)
+	if len(active)+len(quarantined) == 0 {
 		return telemetry.Breakdown{}, ErrNoChildren
 	}
 	g.mu.Lock()
@@ -439,14 +503,17 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	cycle := g.cycle
 	mode := g.mode
 	g.mu.Unlock()
+	if len(quarantined) > 0 {
+		g.faults.DegradedCycle()
+	}
 
 	start := time.Now()
 	var b telemetry.Breakdown
 	var err error
 	if mode == wire.RoleAggregator {
-		b, err = g.runHierarchicalCycle(ctx, cycle, children)
+		b, err = g.runHierarchicalCycle(ctx, cycle, active, quarantined)
 	} else {
-		b, err = g.runFlatCycle(ctx, cycle, children)
+		b, err = g.runFlatCycle(ctx, cycle, active, quarantined)
 	}
 	if err != nil {
 		return b, err
@@ -456,8 +523,24 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	return b, nil
 }
 
-// runFlatCycle: collect from every stage, compute, enforce per stage.
-func (g *Global) runFlatCycle(ctx context.Context, cycle uint64, children []*child) (telemetry.Breakdown, error) {
+// staleReports gathers the quarantined children's cached collect responses
+// that are still within the staleness bound, charging the fault telemetry.
+func staleReports(quarantined []*child, staleAfter time.Duration, faults *telemetry.FaultCounters) []wire.Message {
+	now := time.Now()
+	out := make([]wire.Message, 0, len(quarantined))
+	for _, c := range quarantined {
+		if m, age, ok := c.staleReport(now, staleAfter); ok {
+			faults.UseStaleReport(age)
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// runFlatCycle: collect from every active stage, compute, enforce per
+// stage. Quarantined stages contribute their last-known report (degraded
+// mode) but receive no traffic.
+func (g *Global) runFlatCycle(ctx context.Context, cycle uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
 	var b telemetry.Breakdown
 	n := len(children)
 
@@ -472,6 +555,7 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle uint64, children []*chi
 		}
 		if r, ok := resp.(*wire.CollectReply); ok {
 			replies[i] = r
+			children[i].noteReport(r, time.Now())
 		}
 	})
 	b.Collect = time.Since(collectStart)
@@ -488,6 +572,11 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle uint64, children []*chi
 	reports := make([]wire.StageReport, 0, n)
 	for _, r := range replies {
 		if r != nil {
+			reports = append(reports, r.Reports...)
+		}
+	}
+	for _, m := range staleReports(quarantined, g.breaker.StaleAfter, g.faults) {
+		if r, ok := m.(*wire.CollectReply); ok {
 			reports = append(reports, r.Reports...)
 		}
 	}
@@ -571,9 +660,11 @@ func (g *Global) computeFlatRules(reports []wire.StageReport) map[uint64]wire.Ru
 	return rules
 }
 
-// runHierarchicalCycle: collect pre-aggregated reports from aggregators,
-// compute, push per-stage rule batches back through the aggregators.
-func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, children []*child) (telemetry.Breakdown, error) {
+// runHierarchicalCycle: collect pre-aggregated reports from active
+// aggregators, compute, push per-stage rule batches back through them.
+// Quarantined aggregators contribute their last-known aggregates (degraded
+// mode) but receive no traffic.
+func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
 	var b telemetry.Breakdown
 	n := len(children)
 
@@ -589,6 +680,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, childre
 		switch resp.(type) {
 		case *wire.CollectAggReply, *wire.CollectReply:
 			replies[i] = resp
+			children[i].noteReport(resp, time.Now())
 		}
 	})
 	b.Collect = time.Since(collectStart)
@@ -616,6 +708,14 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, childre
 		case *wire.CollectReply:
 			groups = append(groups, metrics.AggregateByJob(r.Reports))
 			responded[i] = true
+		}
+	}
+	for _, m := range staleReports(quarantined, g.breaker.StaleAfter, g.faults) {
+		switch r := m.(type) {
+		case *wire.CollectAggReply:
+			groups = append(groups, r.Jobs)
+		case *wire.CollectReply:
+			groups = append(groups, metrics.AggregateByJob(r.Reports))
 		}
 	}
 	merged := metrics.MergeJobReports(groups...)

@@ -36,13 +36,22 @@ type PeerConfig struct {
 	FanOut int
 	// CallTimeout bounds each RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
-	// MaxFailures is the stage eviction threshold. Zero selects
+	// MaxFailures is the consecutive-failure threshold that trips a
+	// stage's circuit breaker into quarantine. Zero selects
 	// DefaultMaxFailures.
 	MaxFailures int
 	// StaleAfter discards a peer's shared aggregates when they have not
 	// been refreshed for this long, so a dead peer's stale demand stops
-	// influencing allocations. Zero selects 10 seconds.
+	// influencing allocations; it also bounds the age of a quarantined
+	// stage's last-known report used by degraded cycles. Zero selects 10
+	// seconds.
 	StaleAfter time.Duration
+	// ProbeInterval / MaxProbeInterval shape the half-open probe backoff
+	// for quarantined stages; EvictAfter (zero = never) permanently
+	// removes a stage quarantined that long. See GlobalConfig for details.
+	ProbeInterval    time.Duration
+	MaxProbeInterval time.Duration
+	EvictAfter       time.Duration
 	// Meter, if non-nil, is charged with the peer's traffic.
 	Meter *transport.Meter
 	// CPU, if non-nil, is charged with the peer's busy time.
@@ -96,9 +105,11 @@ type remoteView struct {
 // exactly the dependability behavior §VI describes.
 type Peer struct {
 	cfg      PeerConfig
+	breaker  breakerConfig
 	server   *rpc.Server
 	members  *memberSet // own stages
 	recorder *telemetry.CycleRecorder
+	faults   *telemetry.FaultCounters
 
 	mu         sync.Mutex
 	peers      map[uint64]*child // fellow controllers
@@ -111,9 +122,17 @@ type Peer struct {
 func StartPeer(cfg PeerConfig) (*Peer, error) {
 	cfg = cfg.withDefaults()
 	p := &Peer{
-		cfg:        cfg,
+		cfg: cfg,
+		breaker: breakerConfig{
+			MaxFailures:      cfg.MaxFailures,
+			ProbeInterval:    cfg.ProbeInterval,
+			MaxProbeInterval: cfg.MaxProbeInterval,
+			StaleAfter:       cfg.StaleAfter,
+			EvictAfter:       cfg.EvictAfter,
+		}.withDefaults(),
 		members:    newMemberSet(),
 		recorder:   telemetry.NewCycleRecorder(),
+		faults:     &telemetry.FaultCounters{},
 		peers:      make(map[uint64]*child),
 		remote:     make(map[uint64]remoteView),
 		jobWeights: make(map[uint64]float64),
@@ -149,6 +168,16 @@ func (p *Peer) NumPeers() int {
 	return len(p.peers)
 }
 
+// Faults returns the peer's fault-tolerance counters.
+func (p *Peer) Faults() *telemetry.FaultCounters { return p.faults }
+
+// NumQuarantined returns how many of this peer's stages currently sit
+// behind a tripped circuit breaker.
+func (p *Peer) NumQuarantined() int {
+	_, quarantined := splitQuarantined(p.members.snapshot())
+	return len(quarantined)
+}
+
 func (p *Peer) logf(format string, args ...any) {
 	if p.cfg.Logf != nil {
 		p.cfg.Logf(format, args...)
@@ -157,7 +186,8 @@ func (p *Peer) logf(format string, args ...any) {
 
 // AddStage connects the peer to a stage in its partition.
 func (p *Peer) AddStage(ctx context.Context, info stage.Info) error {
-	cli, err := rpc.Dial(ctx, p.cfg.Network, info.Addr, rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU})
+	cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, info.Addr,
+		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU}, p.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("peer %d: dial stage %d: %w", p.cfg.ID, info.ID, err)
 	}
@@ -181,7 +211,8 @@ func (p *Peer) AddPeer(ctx context.Context, id uint64, addr string) error {
 	if id == p.cfg.ID {
 		return fmt.Errorf("peer %d: cannot peer with itself", id)
 	}
-	cli, err := rpc.Dial(ctx, p.cfg.Network, addr, rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU})
+	cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, addr,
+		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU}, p.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("peer %d: dial peer %d at %s: %w", p.cfg.ID, id, addr, err)
 	}
@@ -241,37 +272,56 @@ func (p *Peer) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 	return nil, fmt.Errorf("peer %d: unexpected %s", p.cfg.ID, req.Type())
 }
 
-// callChild performs one stage RPC with failure accounting.
+// callChild performs one stage RPC with circuit-breaker accounting.
+// Caller-context cancellation is not counted against the stage.
 func (p *Peer) callChild(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
 	resp, err := c.cli.Call(cctx, req)
 	cancel()
-	if c.recordResult(err, p.cfg.MaxFailures) {
-		if p.members.remove(c.info.ID) != nil {
-			c.cli.Close()
-			p.logf("peer %d: evicted stage %d", p.cfg.ID, c.info.ID)
+	recordCall(ctx, c, err, p.breaker, p.faults, p.logf, fmt.Sprintf("peer %d", p.cfg.ID))
+	return resp, err
+}
+
+// prepareCycle probes quarantined stages (readmitting responders), applies
+// EvictAfter, and returns the active/quarantined split.
+func (p *Peer) prepareCycle(ctx context.Context) (active, quarantined []*child) {
+	_, q := splitQuarantined(p.members.snapshot())
+	if len(q) > 0 {
+		who := fmt.Sprintf("peer %d", p.cfg.ID)
+		evictable := sweepProbes(ctx, q, p.breaker, p.cfg.FanOut, p.cfg.CallTimeout, p.faults, p.logf, who)
+		for _, c := range evictable {
+			if p.members.remove(c.info.ID) != nil {
+				c.cli.Close()
+				p.faults.Evict()
+				p.logf("%s: evicted stage %d after %v in quarantine", who, c.info.ID, p.breaker.EvictAfter)
+			}
 		}
 	}
-	return resp, err
+	return splitQuarantined(p.members.snapshot())
 }
 
 // RunCycle executes one coordinated control cycle: collect own partition,
 // exchange aggregates with peers, compute over the merged global view,
 // enforce own partition.
 func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
-	children := p.members.snapshot()
-	if len(children) == 0 {
+	children, quarantined := p.prepareCycle(ctx)
+	if len(children)+len(quarantined) == 0 {
 		return telemetry.Breakdown{}, ErrNoChildren
 	}
 	p.mu.Lock()
 	p.cycle++
 	cycle := p.cycle
 	p.mu.Unlock()
+	if len(quarantined) > 0 {
+		p.faults.DegradedCycle()
+	}
 
 	start := time.Now()
 	var b telemetry.Breakdown
 
-	// Phase 1: collect own stages, aggregate, and exchange with peers.
+	// Phase 1: collect own active stages, aggregate, and exchange with
+	// peers. Quarantined stages contribute their last-known reports
+	// (degraded mode) but receive no traffic.
 	collectStart := time.Now()
 	n := len(children)
 	replies := make([]*wire.CollectReply, n)
@@ -283,6 +333,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 		}
 		if r, ok := resp.(*wire.CollectReply); ok {
 			replies[i] = r
+			children[i].noteReport(r, time.Now())
 		}
 	})
 
@@ -293,6 +344,11 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	reports := make([]wire.StageReport, 0, n)
 	for _, r := range replies {
 		if r != nil {
+			reports = append(reports, r.Reports...)
+		}
+	}
+	for _, sm := range staleReports(quarantined, p.breaker.StaleAfter, p.faults) {
+		if r, ok := sm.(*wire.CollectReply); ok {
 			reports = append(reports, r.Reports...)
 		}
 	}

@@ -1,0 +1,36 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// The chaos scenario at reduced scale: cycles keep completing while 10% of
+// stages flap, latency stays bounded, and every flapped child is readmitted
+// shortly after its partition heals.
+func TestChaosReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenario runs multi-second fault schedules")
+	}
+	o := testOptions(0.02) // 50 nodes, 5 flapping
+	for attempt := 1; attempt <= 2; attempt++ {
+		r, err := Chaos(context.Background(), o)
+		if err != nil {
+			t.Fatalf("Chaos: %v", err)
+		}
+		cerr := CheckChaos(r)
+		if cerr == nil {
+			if r.Flapped != 5 {
+				t.Errorf("Flapped = %d, want 5", r.Flapped)
+			}
+			return
+		}
+		t.Logf("attempt %d: faults=%v readmit=%d failed=%d baseline=%v max=%v",
+			attempt, r.Faults, r.ReadmitCycles, r.FailedCycles,
+			r.BaselineMean, r.Chaos.Total.Max)
+		if attempt == 2 {
+			t.Fatalf("chaos check failed twice: %v", cerr)
+		}
+		t.Logf("chaos check failed (%v), retrying once", cerr)
+	}
+}

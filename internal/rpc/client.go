@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/transport"
@@ -30,6 +31,8 @@ type Client struct {
 	pending map[uint64]chan result
 	err     error // set once the read loop dies
 	closed  bool
+
+	late atomic.Uint64 // responses that arrived after their call was abandoned
 
 	done chan struct{}
 }
@@ -74,6 +77,24 @@ func NewClient(conn net.Conn) *Client {
 // RemoteAddr returns the server's address.
 func (c *Client) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
 
+// Err reports why the client is unusable: the read-loop death error,
+// ErrClientClosed after Close, or nil while the connection is healthy.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.closed {
+		return ErrClientClosed
+	}
+	return nil
+}
+
+// LateResponses returns the number of responses that arrived after their
+// call had already been abandoned (via context) and were dropped.
+func (c *Client) LateResponses() uint64 { return c.late.Load() }
+
 // readLoop dispatches responses to pending calls until the connection dies.
 func (c *Client) readLoop() {
 	var buf []byte
@@ -97,6 +118,10 @@ func (c *Client) readLoop() {
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- result{msg: m}
+		} else {
+			// The call was abandoned via its context; the response raced
+			// with (or beat) the cancel frame and must be dropped.
+			c.late.Add(1)
 		}
 	}
 }
@@ -153,11 +178,26 @@ func (c *Client) Call(ctx context.Context, req wire.Message) (wire.Message, erro
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
+		live := c.err == nil && !c.closed
 		c.mu.Unlock()
+		if live {
+			// Best effort: tell the server not to bother. If the write
+			// fails the connection is dying anyway.
+			c.sendCancel(id)
+		}
 		return nil, ctx.Err()
 	case <-c.done:
 		return nil, ErrClientClosed
 	}
+}
+
+// sendCancel writes a body-less cancel frame for id, serialized against
+// other senders. Errors are ignored: cancellation is advisory.
+func (c *Client) sendCancel(id uint64) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = appendCancelFrame(c.wbuf[:0], id)
+	c.conn.Write(c.wbuf)
 }
 
 // send writes one frame, serialized against other senders.

@@ -10,7 +10,12 @@
 //     per child regardless of cycle concurrency;
 //   - per-connection ordered request handling on the server (like a gRPC
 //     stream), with concurrency across connections;
-//   - deadline and cancellation propagation;
+//   - deadline and cancellation propagation: a call abandoned via its
+//     context sends a best-effort cancel frame so the server can skip the
+//     request if it has not started executing, and responses that arrive
+//     after abandonment are counted (Client.LateResponses) and dropped;
+//   - connection fault recovery via ReconnectingClient: redial with
+//     exponential backoff and jitter, failing in-flight calls fast;
 //   - a scatter-gather helper with bounded parallelism, the primitive the
 //     control cycle's collect and enforce phases are built from.
 package rpc
@@ -33,6 +38,12 @@ const MaxFrameSize = 64 << 20
 const (
 	kindRequest  = 0
 	kindResponse = 1
+	// kindCancel withdraws an earlier request by ID. It carries no message
+	// body. The server drops the request if it is still queued (or, when it
+	// is currently executing, suppresses the response); no reply is ever
+	// sent for a cancel frame. Because frames are delivered in order, a
+	// cancel always trails the request it refers to.
+	kindCancel = 2
 )
 
 // ErrFrameTooLarge reports an oversized frame announcement.
@@ -56,8 +67,20 @@ func appendFrame(buf []byte, h frameHeader, m wire.Message) []byte {
 	return buf
 }
 
+// appendCancelFrame encodes a body-less cancel frame for request id into buf
+// and returns the extended slice.
+func appendCancelFrame(buf []byte, id uint64) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = binary.AppendUvarint(buf, id)
+	buf = append(buf, kindCancel)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
 // readFrame reads one frame from r into buf (which is grown as needed) and
-// decodes it. The returned message does not alias buf.
+// decodes it. The returned message does not alias buf. Cancel frames carry
+// no body and decode to a nil message.
 func readFrame(r io.Reader, buf []byte) (frameHeader, wire.Message, []byte, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
@@ -86,6 +109,9 @@ func readFrame(r io.Reader, buf []byte) (frameHeader, wire.Message, []byte, erro
 		return frameHeader{}, nil, buf, errors.New("rpc: truncated frame header")
 	}
 	h := frameHeader{id: id, kind: buf[sz]}
+	if h.kind == kindCancel {
+		return h, nil, buf, nil
+	}
 	m, err := wire.Decode(buf[sz+1:])
 	if err != nil {
 		return frameHeader{}, nil, buf, err

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/transport"
@@ -78,6 +79,8 @@ type Server struct {
 	peers  map[*Peer]struct{}
 	closed bool
 
+	canceled atomic.Uint64 // requests withdrawn by cancel frames
+
 	acceptWG sync.WaitGroup // the accept loop
 	connWG   sync.WaitGroup // per-connection handler goroutines
 }
@@ -104,6 +107,11 @@ func (s *Server) NumPeers() int {
 	defer s.mu.Unlock()
 	return len(s.peers)
 }
+
+// CanceledRequests returns the number of requests withdrawn by client
+// cancel frames: dropped before dispatch, or executed with the response
+// suppressed.
+func (s *Server) CanceledRequests() uint64 { return s.canceled.Load() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -135,7 +143,102 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-// serveConn handles one connection's requests in order until it dies.
+// queuedReq is one request awaiting dispatch on a connection.
+type queuedReq struct {
+	id  uint64
+	req wire.Message
+}
+
+// reqQueue is a per-connection ordered request queue. A reader goroutine
+// pushes requests and applies cancel frames; the handler loop pops them in
+// arrival order, so per-connection ordering is preserved while cancels for
+// still-queued requests are observed before dispatch.
+type reqQueue struct {
+	mu     sync.Mutex
+	cond   sync.Cond
+	items  []queuedReq
+	closed bool
+
+	// The request currently being dispatched, so a cancel arriving
+	// mid-handler can suppress its response.
+	current         uint64
+	currentActive   bool
+	currentCanceled bool
+}
+
+func newReqQueue() *reqQueue {
+	q := &reqQueue{}
+	q.cond.L = &q.mu
+	return q
+}
+
+func (q *reqQueue) push(item queuedReq) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, item)
+	}
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// cancel withdraws id: a still-queued request is removed, the in-flight
+// request has its response suppressed. Reports whether it took effect.
+func (q *reqQueue) cancel(id uint64) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, item := range q.items {
+		if item.id == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return true
+		}
+	}
+	if q.currentActive && q.current == id && !q.currentCanceled {
+		q.currentCanceled = true
+		return true
+	}
+	return false
+}
+
+// pop blocks for the next request, marking it current. ok is false once the
+// queue is closed.
+func (q *reqQueue) pop() (item queuedReq, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return queuedReq{}, false
+	}
+	item = q.items[0]
+	q.items = q.items[1:]
+	q.current, q.currentActive, q.currentCanceled = item.id, true, false
+	return item, true
+}
+
+// finish clears the current marker and reports whether the response must be
+// suppressed because a cancel arrived during dispatch.
+func (q *reqQueue) finish() (suppress bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	suppress = q.currentCanceled
+	q.currentActive, q.currentCanceled = false, false
+	return suppress
+}
+
+// close wakes the handler loop and discards queued requests: the connection
+// is gone, so their responses could never be delivered.
+func (q *reqQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.items = nil
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// serveConn handles one connection's requests in order until it dies. A
+// separate reader goroutine keeps consuming frames while a handler runs, so
+// cancel frames for queued requests take effect before dispatch.
 func (s *Server) serveConn(peer *Peer) {
 	defer s.connWG.Done()
 	defer func() {
@@ -148,30 +251,54 @@ func (s *Server) serveConn(peer *Peer) {
 		}
 	}()
 
-	var rbuf, wbuf []byte
-	for {
-		h, req, nbuf, err := readFrame(peer.conn, rbuf)
-		rbuf = nbuf
-		if err != nil {
-			return // EOF or broken conn; cleanup in defer
+	q := newReqQueue()
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		defer q.close()
+		var rbuf []byte
+		for {
+			h, req, nbuf, err := readFrame(peer.conn, rbuf)
+			rbuf = nbuf
+			if err != nil {
+				return // EOF or broken conn
+			}
+			switch h.kind {
+			case kindRequest:
+				q.push(queuedReq{id: h.id, req: req})
+			case kindCancel:
+				if q.cancel(h.id) {
+					s.canceled.Add(1)
+				}
+			}
 		}
-		if h.kind != kindRequest {
-			continue
+	}()
+
+	var wbuf []byte
+	for {
+		item, ok := q.pop()
+		if !ok {
+			break
 		}
 		var untrack func()
 		if s.opts.CPU != nil {
 			untrack = s.opts.CPU.Track()
 		}
-		resp := s.dispatch(peer, req)
-		wbuf = appendFrame(wbuf[:0], frameHeader{id: h.id, kind: kindResponse}, resp)
-		_, err = peer.conn.Write(wbuf)
+		resp := s.dispatch(peer, item.req)
+		var err error
+		if !q.finish() {
+			wbuf = appendFrame(wbuf[:0], frameHeader{id: item.id, kind: kindResponse}, resp)
+			_, err = peer.conn.Write(wbuf)
+		}
 		if untrack != nil {
 			untrack()
 		}
 		if err != nil {
-			return
+			break
 		}
 	}
+	peer.conn.Close() // unblock the reader if the write side failed first
+	<-readerDone
 }
 
 // dispatch runs the handler, converting errors and panics to ErrorReply so

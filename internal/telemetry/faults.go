@@ -1,0 +1,118 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FaultCounters tracks a controller's fault-tolerance behaviour: circuit
+// breaker transitions (quarantine, readmission), half-open probes, and the
+// degraded cycles that proceed on quarantined children's last-known
+// reports. All methods are safe for concurrent use.
+type FaultCounters struct {
+	quarantines    atomic.Uint64
+	readmissions   atomic.Uint64
+	degradedCycles atomic.Uint64
+	probes         atomic.Uint64
+	probeFailures  atomic.Uint64
+	evictions      atomic.Uint64
+
+	// staleAge records the age of each quarantined-child report a degraded
+	// cycle actually used, so operators can see how stale the control input
+	// got during a fault.
+	staleAge Histogram
+}
+
+// Quarantine records a child tripping its circuit breaker.
+func (f *FaultCounters) Quarantine() { f.quarantines.Add(1) }
+
+// Readmit records a quarantined child passing a half-open probe.
+func (f *FaultCounters) Readmit() { f.readmissions.Add(1) }
+
+// DegradedCycle records a control cycle that ran with at least one child
+// quarantined.
+func (f *FaultCounters) DegradedCycle() { f.degradedCycles.Add(1) }
+
+// Probe records one half-open heartbeat probe and its outcome.
+func (f *FaultCounters) Probe(ok bool) {
+	f.probes.Add(1)
+	if !ok {
+		f.probeFailures.Add(1)
+	}
+}
+
+// Evict records a quarantined child being permanently removed (only when
+// eviction is enabled via an EvictAfter bound).
+func (f *FaultCounters) Evict() { f.evictions.Add(1) }
+
+// UseStaleReport records that a degraded cycle consumed a quarantined
+// child's last-known report of the given age.
+func (f *FaultCounters) UseStaleReport(age time.Duration) { f.staleAge.Record(age) }
+
+// Quarantines returns the number of circuit-breaker trips.
+func (f *FaultCounters) Quarantines() uint64 { return f.quarantines.Load() }
+
+// Readmissions returns the number of children readmitted after a
+// successful probe.
+func (f *FaultCounters) Readmissions() uint64 { return f.readmissions.Load() }
+
+// DegradedCycles returns the number of cycles that ran with at least one
+// child quarantined.
+func (f *FaultCounters) DegradedCycles() uint64 { return f.degradedCycles.Load() }
+
+// Probes returns the number of half-open probes issued.
+func (f *FaultCounters) Probes() uint64 { return f.probes.Load() }
+
+// ProbeFailures returns the number of half-open probes that failed.
+func (f *FaultCounters) ProbeFailures() uint64 { return f.probeFailures.Load() }
+
+// Evictions returns the number of quarantined children permanently
+// removed under an EvictAfter bound.
+func (f *FaultCounters) Evictions() uint64 { return f.evictions.Load() }
+
+// StaleAge returns the histogram of stale-report ages used by degraded
+// cycles.
+func (f *FaultCounters) StaleAge() *Histogram { return &f.staleAge }
+
+// FaultSummary is a point-in-time digest of FaultCounters.
+type FaultSummary struct {
+	// Quarantines counts circuit-breaker trips.
+	Quarantines uint64
+	// Readmissions counts successful half-open probes readmitting a child.
+	Readmissions uint64
+	// DegradedCycles counts cycles run with at least one child quarantined.
+	DegradedCycles uint64
+	// Probes and ProbeFailures count half-open heartbeat probes.
+	Probes, ProbeFailures uint64
+	// Evictions counts permanent removals under an EvictAfter bound.
+	Evictions uint64
+	// StaleReportsUsed counts quarantined-child reports consumed by
+	// degraded cycles; MeanStaleAge and MaxStaleAge digest their ages.
+	StaleReportsUsed          uint64
+	MeanStaleAge, MaxStaleAge time.Duration
+}
+
+// Summarize digests the counters' current state.
+func (f *FaultCounters) Summarize() FaultSummary {
+	return FaultSummary{
+		Quarantines:      f.Quarantines(),
+		Readmissions:     f.Readmissions(),
+		DegradedCycles:   f.DegradedCycles(),
+		Probes:           f.Probes(),
+		ProbeFailures:    f.ProbeFailures(),
+		Evictions:        f.Evictions(),
+		StaleReportsUsed: f.staleAge.Count(),
+		MeanStaleAge:     f.staleAge.Mean(),
+		MaxStaleAge:      f.staleAge.Max(),
+	}
+}
+
+// String renders the summary as a single human-readable line.
+func (s FaultSummary) String() string {
+	return fmt.Sprintf(
+		"quarantines=%d readmissions=%d degraded_cycles=%d probes=%d probe_failures=%d evictions=%d stale_reports=%d mean_stale_age=%v max_stale_age=%v",
+		s.Quarantines, s.Readmissions, s.DegradedCycles, s.Probes, s.ProbeFailures,
+		s.Evictions, s.StaleReportsUsed,
+		s.MeanStaleAge.Round(time.Millisecond), s.MaxStaleAge.Round(time.Millisecond))
+}

@@ -278,6 +278,22 @@ func (h *Host) SetPartitioned(p bool) {
 	}
 }
 
+// KillConns severs every established connection at the host without
+// changing its partition state: future dials succeed immediately. This
+// models a transient fault — a controller restart or a switch reset — as
+// opposed to SetPartitioned's sustained isolation.
+func (h *Host) KillConns() {
+	h.mu.Lock()
+	victims := make([]*conn, 0, len(h.conns))
+	for c := range h.conns {
+		victims = append(victims, c)
+	}
+	h.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
 // Partitioned reports whether the host is currently isolated.
 func (h *Host) Partitioned() bool {
 	h.mu.Lock()
@@ -356,14 +372,9 @@ func (h *Host) Dial(ctx context.Context, addr string) (net.Conn, error) {
 		return nil, err
 	}
 
-	select {
-	case l.backlog <- peer:
-	case <-l.done:
+	if err := l.deliver(peer); err != nil {
 		local.Close()
-		return nil, fmt.Errorf("%w: %s:%d", ErrConnRefused, hostName, port)
-	case <-ctx.Done():
-		local.Close()
-		return nil, ctx.Err()
+		return nil, fmt.Errorf("%w: %s:%d", err, hostName, port)
 	}
 	return local, nil
 }
@@ -452,6 +463,26 @@ type listener struct {
 	backlog chan *conn
 	done    chan struct{}
 	once    sync.Once
+
+	mu     sync.Mutex // guards closed and the deliver/drain handoff
+	closed bool
+}
+
+// deliver hands a dialed connection to the accept queue. The lock makes
+// delivery and Close mutually exclusive, so a connection can never be left
+// stranded (and silently open) in the backlog of a closed listener.
+func (l *listener) deliver(c *conn) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrConnRefused
+	}
+	select {
+	case l.backlog <- c:
+		return nil
+	default:
+		return ErrBacklogFull
+	}
 }
 
 // Accept implements net.Listener.
@@ -464,13 +495,26 @@ func (l *listener) Accept() (net.Conn, error) {
 	}
 }
 
-// Close implements net.Listener.
+// Close implements net.Listener. Connections still waiting in the backlog
+// are severed: their dialers would otherwise hang on a peer no one will
+// ever accept.
 func (l *listener) Close() error {
 	l.once.Do(func() {
+		l.mu.Lock()
+		l.closed = true
+		l.mu.Unlock()
 		close(l.done)
 		l.host.mu.Lock()
 		delete(l.host.listeners, l.addr.Port)
 		l.host.mu.Unlock()
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				return
+			}
+		}
 	})
 	return nil
 }

@@ -249,6 +249,11 @@ type (
 	Breakdown = telemetry.Breakdown
 	// Summary digests many cycles' latency statistics.
 	Summary = telemetry.Summary
+	// FaultCounters tracks a controller's fault handling: quarantines,
+	// readmissions, degraded cycles, probes, and stale-report use.
+	FaultCounters = telemetry.FaultCounters
+	// FaultSummary is a point-in-time digest of FaultCounters.
+	FaultSummary = telemetry.FaultSummary
 )
 
 // Deployment harness.
