@@ -14,11 +14,13 @@
 //	sdsbench -exp fig4 -mincycles 20  # tighter statistics
 //
 // Experiments: table1, fig4, table2, fig5, table3, fig6, table4,
-// connlimit, coordflat, chaos, all. Figure/table pairs that share a run
-// (fig4+table2, fig5+table3, fig6+table4) are measured once when both are
-// requested. The chaos experiment is not from the paper: it fault-injects
-// the flat deployment (partition flaps on 10% of its nodes) and checks the
-// control plane degrades and recovers instead of stalling.
+// connlimit, coordflat, chaos, failover, all. Figure/table pairs that share
+// a run (fig4+table2, fig5+table3, fig6+table4) are measured once when both
+// are requested. The chaos and failover experiments are not from the paper:
+// chaos fault-injects the flat deployment (partition flaps on 10% of its
+// nodes) and checks the control plane degrades and recovers instead of
+// stalling; failover crashes the primary controller mid-run and checks a
+// warm standby promotes, re-homes every stage, and fences the old primary.
 package main
 
 import (
@@ -40,7 +42,7 @@ func main() {
 	// paper reports <6% relative stddev).
 	debug.SetGCPercent(400)
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, all")
+		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, all")
 		scale       = flag.Float64("scale", 1.0, "node-count scale factor in (0, 1]")
 		minCycles   = flag.Int("mincycles", 5, "minimum measured control cycles per configuration")
 		minDuration = flag.Duration("minduration", 2*time.Second, "minimum measurement window per configuration")
@@ -97,7 +99,7 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 	known := map[string]bool{
 		"all": true, "table1": true, "fig4": true, "table2": true,
 		"fig5": true, "table3": true, "fig6": true, "table4": true,
-		"connlimit": true, "coordflat": true, "chaos": true,
+		"connlimit": true, "coordflat": true, "chaos": true, "failover": true,
 	}
 	if !known[exp] {
 		return nil, fmt.Errorf("unknown experiment %q", exp)
@@ -186,6 +188,14 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		}
 		experiment.PrintChaos(opts, r)
 		verdict("chaos", experiment.CheckChaos(r))
+	}
+	if want("failover") {
+		r, err := experiment.Failover(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		experiment.PrintFailover(opts, r)
+		verdict("failover", experiment.CheckFailover(r))
 	}
 	return all, nil
 }

@@ -13,6 +13,12 @@
 //     network, the controller quarantines it after a few failed calls and
 //     keeps controlling the survivors on degraded cycles; once the
 //     partition heals, a half-open heartbeat probe readmits the stage.
+//  4. None of acts 1-3 needs an operator. With a warm standby configured,
+//     the same crash is detected by lease expiry: the standby promotes
+//     itself with a bumped leadership epoch, adopts the fleet from its
+//     mirrored state, and resumes cycles — while epoch fencing makes every
+//     stage reject the old primary's messages, forcing it to step down
+//     instead of split-braining the rule set.
 //
 // Run with:
 //
@@ -21,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -112,7 +119,6 @@ func main() {
 
 	// Act 3: a replacement adopts the fleet and fixes the allocation.
 	g2 := startController("controller-2", sdscale.Rates{2000, 200})
-	defer g2.Close()
 	if _, err := g2.RunCycle(ctx); err != nil {
 		log.Fatal(err)
 	}
@@ -147,4 +153,103 @@ func main() {
 	show("partition healed -> readmitted")
 	fmt.Println("  -> stage 4 is back under control without re-registration")
 	fmt.Printf("  -> fault telemetry: %v\n", g2.Faults().Summarize())
+
+	// Act 5: acts 2-3 needed an operator to start the replacement. A warm
+	// standby automates the whole takeover: the primary replicates its
+	// state (membership, last rules, job weights) to the standby every
+	// SyncInterval, implicitly renewing a leadership lease; when the lease
+	// expires, the standby promotes itself.
+	g2.Close()
+	sb, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+		Network:    net.Host("standby"),
+		ListenAddr: ":0", // re-homing stages register here after a failover
+		Capacity:   sdscale.Rates{2000, 200},
+		Standby:    true,
+		// Fast failover settings so the act plays out in milliseconds: the
+		// primary syncs every 25ms and is declared dead after 150ms.
+		LeaseTimeout:  150 * time.Millisecond,
+		SyncInterval:  25 * time.Millisecond,
+		CallTimeout:   200 * time.Millisecond,
+		MaxFailures:   2,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("standby: %v", err)
+	}
+	defer sb.Close()
+	g3, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+		Network:       net.Host("controller-3"),
+		ListenAddr:    ":0",
+		Capacity:      sdscale.Rates{2000, 200},
+		Epoch:         1, // leadership epoch; the standby will promote to 2
+		StandbyAddr:   sb.Addr(),
+		LeaseTimeout:  150 * time.Millisecond,
+		SyncInterval:  25 * time.Millisecond,
+		CallTimeout:   200 * time.Millisecond,
+		MaxFailures:   2,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("primary: %v", err)
+	}
+	defer g3.Close()
+	for _, st := range stages {
+		if err := g3.AddStage(ctx, st.Info()); err != nil {
+			log.Fatalf("attach: %v", err)
+		}
+	}
+	if _, err := g3.RunCycle(ctx); err != nil {
+		log.Fatal(err)
+	}
+	show("primary with warm standby")
+
+	// Wait until replication has caught up — the standby mirrors the
+	// primary's leadership epoch once the first StateSync lands. A standby
+	// is only as good as its last sync.
+	for sb.Epoch() < g3.Epoch() {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The standby runs passively, watching its lease.
+	sbCtx, stopStandby := context.WithCancel(ctx)
+	sbDone := make(chan error, 1)
+	go func() { sbDone <- sb.Run(sbCtx, 25*time.Millisecond) }()
+
+	// Crash the primary. Nobody restarts anything: the standby's lease
+	// expires, it promotes itself at epoch 2, re-homes all four stages from
+	// its mirror, and control cycles resume.
+	net.Host("controller-3").SetPartitioned(true)
+	for sb.NumChildren() < len(stages) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let the new primary complete a cycle
+	show("primary crashed -> standby took over")
+	fmt.Printf("  -> promoted at epoch %d, %d/%d stages re-homed, control gap %v\n",
+		sb.Epoch(), sb.NumChildren(), len(stages),
+		sb.Faults().Summarize().MaxControlGap.Round(time.Millisecond))
+
+	// The old primary comes back believing it still leads — a zombie. Its
+	// first calls are fenced (every stage now rejects its stale epoch), so
+	// it steps down instead of overwriting its successor's rules.
+	net.Host("controller-3").SetPartitioned(false)
+	var deposed error
+	for i := 0; i < 20; i++ {
+		if _, err := g3.RunCycle(ctx); err != nil {
+			deposed = err
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	fmt.Printf("  -> zombie primary fenced: %v (deposed=%v)\n",
+		deposed, errors.Is(deposed, sdscale.ErrDeposed))
+	var fenced uint64
+	for _, st := range stages {
+		fenced += st.FencedCalls()
+	}
+	fmt.Printf("  -> stages now fence at epoch %d; stale-epoch messages rejected: %d at stages, %d at the standby\n",
+		stages[0].Epoch(), fenced, sb.FencedSyncs())
+
+	stopStandby()
+	<-sbDone
+	fmt.Printf("  -> standby fault telemetry: %v\n", sb.Faults().Summarize())
 }

@@ -107,6 +107,19 @@ type Config struct {
 	MaxProbeInterval time.Duration
 	StaleAfter       time.Duration
 	EvictAfter       time.Duration
+	// Standby deploys a warm-standby global controller on its own host
+	// ("global-standby"): the primary replicates state to it every
+	// SyncInterval, and every stage gets both controllers as its parent
+	// list, so a primary crash leads to lease expiry, standby promotion,
+	// and automatic stage re-homing. Flat topology only.
+	Standby bool
+	// LeaseTimeout and SyncInterval tune failover detection (Standby
+	// only); zeros select the controller defaults.
+	LeaseTimeout time.Duration
+	SyncInterval time.Duration
+	// ParentTimeout is the stage-side upstream-silence threshold that
+	// triggers re-homing (Standby only). Zero selects the stage default.
+	ParentTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +160,8 @@ type Cluster struct {
 	Net *simnet.Net
 	// Global is the top-level controller (nil for Coordinated).
 	Global *controller.Global
+	// Standby is the warm-standby global controller (Config.Standby only).
+	Standby *controller.Global
 	// Aggregators is the mid tier (Hierarchical only).
 	Aggregators []*controller.Aggregator
 	// Peers is the controller set of the Coordinated topology.
@@ -156,6 +171,8 @@ type Cluster struct {
 
 	// GlobalRole instruments the global controller.
 	GlobalRole Roles
+	// StandbyRole instruments the warm standby (Config.Standby only).
+	StandbyRole Roles
 	// AggregatorRoles instruments each aggregator, index-aligned with
 	// Aggregators.
 	AggregatorRoles []Roles
@@ -187,6 +204,13 @@ func (c *Cluster) build() error {
 	cfg := c.cfg
 	ctx := context.Background()
 	c.recorder = telemetry.NewCycleRecorder()
+
+	if cfg.Standby {
+		if cfg.Topology != Flat {
+			return fmt.Errorf("cluster: standby failover is only supported for the flat topology, not %v", cfg.Topology)
+		}
+		return c.buildFlatStandby()
+	}
 
 	// One simulated host per stage: the paper deploys 50 virtual stages
 	// per physical node but treats each as its own compute node (§III-D).
@@ -281,6 +305,82 @@ func (c *Cluster) build() error {
 		}
 	default:
 		return fmt.Errorf("cluster: unknown topology %v", cfg.Topology)
+	}
+	return nil
+}
+
+// buildFlatStandby wires a flat control plane with a warm standby: standby
+// first (so the primary can replicate to it from its first sync), then the
+// primary at leadership epoch 1, then the stage fleet — which registers
+// dynamically through its parent address list rather than being attached by
+// the builder, exactly the path re-homing uses after a failover.
+func (c *Cluster) buildFlatStandby() error {
+	cfg := c.cfg
+	base := controller.GlobalConfig{
+		ListenAddr:       ":0",
+		Capacity:         cfg.Capacity,
+		Algorithm:        cfg.Algorithm,
+		FanOut:           cfg.FanOut,
+		CallTimeout:      cfg.CallTimeout,
+		DeltaEnforcement: cfg.DeltaEnforcement,
+		MaxFailures:      cfg.MaxFailures,
+		ProbeInterval:    cfg.ProbeInterval,
+		MaxProbeInterval: cfg.MaxProbeInterval,
+		StaleAfter:       cfg.StaleAfter,
+		EvictAfter:       cfg.EvictAfter,
+		LeaseTimeout:     cfg.LeaseTimeout,
+		SyncInterval:     cfg.SyncInterval,
+	}
+
+	c.StandbyRole = Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+	scfg := base
+	scfg.Network = c.Net.Host("global-standby")
+	scfg.Standby = true
+	scfg.Meter = c.StandbyRole.Meter
+	scfg.CPU = c.StandbyRole.CPU
+	sb, err := controller.NewGlobal(scfg)
+	if err != nil {
+		return fmt.Errorf("cluster: standby: %w", err)
+	}
+	c.Standby = sb
+
+	c.GlobalRole = Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+	gcfg := base
+	gcfg.Network = c.Net.Host("global")
+	gcfg.Epoch = 1
+	gcfg.StandbyAddr = sb.Addr()
+	gcfg.Meter = c.GlobalRole.Meter
+	gcfg.CPU = c.GlobalRole.CPU
+	g, err := controller.NewGlobal(gcfg)
+	if err != nil {
+		return err
+	}
+	c.Global = g
+
+	parents := []string{g.Addr(), sb.Addr()}
+	for i := 0; i < cfg.Stages; i++ {
+		v, err := stage.StartVirtual(stage.Config{
+			ID:            uint64(i + 1),
+			JobID:         uint64(i%cfg.Jobs + 1),
+			Weight:        1,
+			Generator:     cfg.Workload,
+			Network:       c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
+			Parents:       parents,
+			ParentTimeout: cfg.ParentTimeout,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
+		}
+		c.Stages = append(c.Stages, v)
+	}
+
+	// Registration is asynchronous; wait until the primary owns the fleet.
+	deadline := time.Now().Add(10 * time.Second)
+	for g.NumChildren() < cfg.Stages {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: only %d/%d stages registered with the primary", g.NumChildren(), cfg.Stages)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	return nil
 }
@@ -396,6 +496,9 @@ func (c *Cluster) Recorder() *telemetry.CycleRecorder {
 func (c *Cluster) Close() {
 	if c.Global != nil {
 		c.Global.Close()
+	}
+	if c.Standby != nil {
+		c.Standby.Close()
 	}
 	for _, a := range c.Aggregators {
 		a.Close()

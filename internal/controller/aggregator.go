@@ -63,6 +63,14 @@ type AggregatorConfig struct {
 	CPU *monitor.CPUMeter
 	// Logf, if non-nil, receives operational logs.
 	Logf func(format string, args ...any)
+	// Parents, if non-empty, lists the global controllers (primary first,
+	// then standbys) the aggregator re-homes to: when no parent has
+	// contacted it for ParentTimeout, it walks the list and re-registers
+	// with the first controller that answers.
+	Parents []string
+	// ParentTimeout is the silence threshold that triggers re-homing. Zero
+	// selects stage.DefaultParentTimeout.
+	ParentTimeout time.Duration
 }
 
 func (c AggregatorConfig) withDefaults() AggregatorConfig {
@@ -78,6 +86,9 @@ func (c AggregatorConfig) withDefaults() AggregatorConfig {
 	if c.MaxFailures <= 0 {
 		c.MaxFailures = DefaultMaxFailures
 	}
+	if c.ParentTimeout <= 0 {
+		c.ParentTimeout = stage.DefaultParentTimeout
+	}
 	return c
 }
 
@@ -92,9 +103,19 @@ type Aggregator struct {
 	members *memberSet
 	faults  *telemetry.FaultCounters
 
-	// mu guards the delegated-control state.
+	// Re-homing loop lifecycle (Parents configured).
+	rehomeStop chan struct{}
+	rehomeDone chan struct{}
+
+	// mu guards the delegated-control state and the fencing/re-homing
+	// bookkeeping.
 	mu          sync.Mutex
 	lastReports []wire.StageReport // most recent per-stage view (LocalControl)
+	epoch       uint64             // highest leadership epoch seen
+	fencedCalls uint64             // stale-epoch rejections issued
+	lastContact time.Time          // last upstream control-plane contact
+	rehomes     uint64             // successful re-registrations with a parent
+	closed      bool
 }
 
 // StartAggregator launches an aggregator's RPC server. Stages are attached
@@ -125,6 +146,12 @@ func StartAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		return nil, fmt.Errorf("aggregator %d: %w", cfg.ID, err)
 	}
 	a.server = srv
+	if len(cfg.Parents) > 0 {
+		a.touch() // grace period before the first re-homing check
+		a.rehomeStop = make(chan struct{})
+		a.rehomeDone = make(chan struct{})
+		go a.rehome()
+	}
 	return a, nil
 }
 
@@ -183,14 +210,23 @@ func (a *Aggregator) AddStage(ctx context.Context, info stage.Info) error {
 func (a *Aggregator) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 	switch m := req.(type) {
 	case *wire.Collect:
+		if er := a.checkEpoch(m.Epoch); er != nil {
+			return nil, er
+		}
 		return a.collect(m)
 	case *wire.Enforce:
+		if er := a.checkEpoch(m.Epoch); er != nil {
+			return nil, er
+		}
 		return a.enforce(m)
 	case *wire.Delegate:
+		a.touch()
 		return a.delegate(m)
 	case *wire.Heartbeat:
+		a.touch()
 		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
 	case *wire.StageList:
+		a.touch()
 		children := a.members.snapshot()
 		reply := &wire.StageListReply{Stages: make([]wire.StageEntry, len(children))}
 		for i, c := range children {
@@ -198,24 +234,145 @@ func (a *Aggregator) serve(peer *rpc.Peer, req wire.Message) (wire.Message, erro
 		}
 		return reply, nil
 	case *wire.Register:
-		if m.Role != wire.RoleStage {
-			return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register with an aggregator"}
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), a.cfg.CallTimeout)
-		defer cancel()
-		if err := a.AddStage(ctx, stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}); err != nil {
-			return nil, err
-		}
-		return &wire.RegisterAck{ID: m.ID, Epoch: a.members.currentEpoch()}, nil
+		return a.handleRegister(m)
 	}
 	return nil, fmt.Errorf("aggregator %d: unexpected %s", a.cfg.ID, req.Type())
+}
+
+// handleRegister admits new stages and treats a duplicate registration from
+// a known stage ID as a reconnect: the stale connection is replaced and the
+// breaker state kept.
+func (a *Aggregator) handleRegister(m *wire.Register) (wire.Message, error) {
+	if m.Role != wire.RoleStage {
+		return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register with an aggregator"}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), a.cfg.CallTimeout)
+	defer cancel()
+	if c := a.members.get(m.ID); c != nil {
+		cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, m.Addr,
+			rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU}, a.breaker.reconnectPolicy())
+		if err != nil {
+			return nil, fmt.Errorf("aggregator %d: redial stage %d at %s: %w", a.cfg.ID, m.ID, m.Addr, err)
+		}
+		c.replaceClient(cli)
+		a.faults.ReRegistration()
+		a.logf("aggregator %d: stage %d re-registered from %s", a.cfg.ID, m.ID, m.Addr)
+		return &wire.RegisterAck{ID: m.ID, Epoch: a.Epoch()}, nil
+	}
+	if err := a.AddStage(ctx, stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}); err != nil {
+		return nil, err
+	}
+	return &wire.RegisterAck{ID: m.ID, Epoch: a.Epoch()}, nil
+}
+
+// checkEpoch is the aggregator's side of epoch fencing: calls from a lower
+// leadership epoch than the highest seen are rejected (the sender was
+// deposed), higher epochs are adopted, and either way live contact counts
+// against the re-homing timeout.
+func (a *Aggregator) checkEpoch(senderEpoch uint64) *wire.ErrorReply {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if senderEpoch < a.epoch {
+		a.fencedCalls++
+		return &wire.ErrorReply{
+			Code:  wire.CodeStaleEpoch,
+			Text:  fmt.Sprintf("aggregator %d: sender epoch %d deposed, current epoch is %d", a.cfg.ID, senderEpoch, a.epoch),
+			Epoch: a.epoch,
+		}
+	}
+	if senderEpoch > a.epoch {
+		a.epoch = senderEpoch
+	}
+	a.lastContact = time.Now()
+	return nil
+}
+
+// Epoch returns the highest leadership epoch the aggregator has seen.
+func (a *Aggregator) Epoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// FencedCalls returns how many stale-epoch calls the aggregator rejected.
+func (a *Aggregator) FencedCalls() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fencedCalls
+}
+
+// ReHomes returns how many times the aggregator re-registered with a parent
+// after losing contact.
+func (a *Aggregator) ReHomes() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rehomes
+}
+
+func (a *Aggregator) touch() {
+	a.mu.Lock()
+	a.lastContact = time.Now()
+	a.mu.Unlock()
+}
+
+func (a *Aggregator) contact() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastContact
+}
+
+// rehome watches for upstream silence and re-registers with the first
+// reachable parent — the aggregator-side counterpart of the stage re-homing
+// loop, used when a standby global takes over.
+func (a *Aggregator) rehome() {
+	defer close(a.rehomeDone)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-a.rehomeStop
+		cancel()
+	}()
+	timeout := a.cfg.ParentTimeout
+	tick := time.NewTicker(timeout / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-a.rehomeStop:
+			return
+		case <-tick.C:
+			if time.Since(a.contact()) < timeout {
+				continue
+			}
+			a.registerParents(ctx)
+		}
+	}
+}
+
+// registerParents walks the parent list until a registration succeeds,
+// adopting the acknowledged leadership epoch.
+func (a *Aggregator) registerParents(ctx context.Context) {
+	ack, err := stage.RegisterAny(ctx, a.cfg.Network, a.cfg.Parents, stage.Info{ID: a.cfg.ID, Addr: a.Addr()}, stage.RegisterOptions{
+		Role:      wire.RoleAggregator,
+		BaseDelay: a.cfg.ParentTimeout / 8,
+		MaxDelay:  a.cfg.ParentTimeout,
+	})
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	if ack.Epoch > a.epoch {
+		a.epoch = ack.Epoch
+	}
+	a.lastContact = time.Now()
+	a.rehomes++
+	a.mu.Unlock()
 }
 
 // callStage performs one stage RPC with timeout and circuit-breaker
 // accounting. Caller-context cancellation is not counted against the stage.
 func (a *Aggregator) callStage(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, a.cfg.CallTimeout)
-	resp, err := c.cli.Call(cctx, req)
+	resp, err := c.client().Call(cctx, req)
 	cancel()
 	recordCall(ctx, c, err, a.breaker, a.faults, a.logf, fmt.Sprintf("aggregator %d", a.cfg.ID))
 	return resp, err
@@ -230,7 +387,7 @@ func (a *Aggregator) prepareScatter(ctx context.Context) (active, quarantined []
 		evictable := sweepProbes(ctx, q, a.breaker, a.cfg.FanOut, a.cfg.CallTimeout, a.faults, a.logf, who)
 		for _, c := range evictable {
 			if a.members.remove(c.info.ID) != nil {
-				c.cli.Close()
+				c.client().Close()
 				a.faults.Evict()
 				a.logf("%s: evicted stage %d after %v in quarantine", who, c.info.ID, a.breaker.EvictAfter)
 			}
@@ -319,7 +476,7 @@ func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
 		if len(rules) == 0 {
 			return
 		}
-		resp, err := a.callStage(ctx, children[i], &wire.Enforce{Cycle: m.Cycle, Rules: rules})
+		resp, err := a.callStage(ctx, children[i], &wire.Enforce{Cycle: m.Cycle, Rules: rules, Epoch: a.Epoch()})
 		if err != nil {
 			return
 		}
@@ -393,8 +550,18 @@ func (a *Aggregator) MemoryFootprint() uint64 {
 	return total
 }
 
-// Close severs stage connections and stops the server.
+// Close stops the re-homing loop, severs stage connections, and stops the
+// server.
 func (a *Aggregator) Close() error {
+	if a.rehomeStop != nil {
+		a.mu.Lock()
+		if !a.closed {
+			a.closed = true
+			close(a.rehomeStop)
+		}
+		a.mu.Unlock()
+		<-a.rehomeDone
+	}
 	a.members.closeAll()
 	return a.server.Close()
 }

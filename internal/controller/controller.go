@@ -226,19 +226,72 @@ func (c *child) noteReport(m wire.Message, now time.Time) {
 	c.mu.Unlock()
 }
 
-// staleReport returns the cached report and its age if one exists and is
-// no older than staleAfter.
-func (c *child) staleReport(now time.Time, staleAfter time.Duration) (wire.Message, time.Duration, bool) {
+// staleReport returns the cached report and its age. ok is true only if a
+// report exists and is strictly younger than staleAfter: a report aged
+// exactly StaleAfter is already too old to feed a degraded cycle. When a
+// report exists but has aged out, the age is still returned (with ok
+// false) so the drop can be accounted.
+func (c *child) staleReport(now time.Time, staleAfter time.Duration) (m wire.Message, age time.Duration, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.lastReport == nil {
 		return nil, 0, false
 	}
-	age := now.Sub(c.lastReportAt)
-	if age > staleAfter {
-		return nil, 0, false
+	age = now.Sub(c.lastReportAt)
+	if age >= staleAfter {
+		return nil, age, false
 	}
 	return c.lastReport, age, true
+}
+
+// seedRules primes the delta-enforcement cache with rules a predecessor
+// controller already sent, so a promoted standby's first cycle diffs
+// against what the stages actually hold instead of re-sending everything.
+func (c *child) seedRules(rules []wire.Rule) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastRules == nil {
+		c.lastRules = make(map[uint64]wire.Rule, len(rules))
+	}
+	for _, r := range rules {
+		c.lastRules[r.StageID] = r
+	}
+}
+
+// snapshotRules copies the delta-enforcement cache for state replication.
+func (c *child) snapshotRules() []wire.Rule {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.lastRules) == 0 {
+		return nil
+	}
+	out := make([]wire.Rule, 0, len(c.lastRules))
+	for _, r := range c.lastRules {
+		out = append(out, r)
+	}
+	return out
+}
+
+// replaceClient swaps in a fresh connection after a known child
+// re-registers, closing the stale one. Breaker state is deliberately kept:
+// a re-registration proves the child is alive, but readmission still goes
+// through the normal success path so telemetry sees it. The child's info is
+// immutable — a re-registration may only change the connection.
+func (c *child) replaceClient(cli *rpc.ReconnectingClient) {
+	c.mu.Lock()
+	old := c.cli
+	c.cli = cli
+	c.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// client returns the child's current connection.
+func (c *child) client() *rpc.ReconnectingClient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cli
 }
 
 // recordCall applies one call's outcome to the child's breaker. Errors
@@ -296,7 +349,7 @@ func sweepProbes(ctx context.Context, quarantined []*child, bc breakerConfig, fa
 	rpc.Scatter(len(due), fanOut, func(i int) {
 		c := due[i]
 		cctx, cancel := context.WithTimeout(ctx, timeout)
-		resp, err := c.cli.Call(cctx, &wire.Heartbeat{SentUnixMicros: time.Now().UnixMicro()})
+		resp, err := c.client().Call(cctx, &wire.Heartbeat{SentUnixMicros: time.Now().UnixMicro()})
 		cancel()
 		if err != nil && ctx.Err() != nil {
 			return // caller shutdown mid-probe: no accounting
@@ -344,6 +397,13 @@ func (m *memberSet) add(c *child) bool {
 	m.order = append(m.order, c)
 	m.epoch++
 	return true
+}
+
+// get returns the child by ID (nil if absent).
+func (m *memberSet) get(id uint64) *child {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byID[id]
 }
 
 // remove deletes the child by ID and returns it (nil if absent).
@@ -397,6 +457,6 @@ func (m *memberSet) closeAll() {
 	m.byID = make(map[uint64]*child)
 	m.mu.Unlock()
 	for _, c := range children {
-		c.cli.Close()
+		c.client().Close()
 	}
 }

@@ -1,0 +1,319 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// Warm-standby failover defaults. The lease is five sync intervals: a
+// standby tolerates a few lost or delayed syncs before concluding the
+// primary is dead, keeping spurious promotions rare without stretching the
+// control gap much past the paper's one-second cycle period.
+const (
+	// DefaultSyncInterval is how often a primary replicates state to its
+	// standby (and implicitly renews its leadership lease).
+	DefaultSyncInterval = 50 * time.Millisecond
+	// DefaultLeaseTimeout is how long a standby waits without a StateSync
+	// before promoting itself.
+	DefaultLeaseTimeout = 250 * time.Millisecond
+)
+
+// ErrDeposed is returned by RunCycle once a stale-epoch rejection has proven
+// that a newer leader holds the control plane: the deposed primary must stop
+// running cycles (its children fence everything it sends anyway).
+var ErrDeposed = errors.New("controller: deposed by a newer leadership epoch")
+
+// ErrStandby is returned by RunCycle on a standby that has not promoted
+// itself: a passive mirror must not drive control cycles.
+var ErrStandby = errors.New("controller: standby has not been promoted")
+
+// Epoch returns the controller's current leadership epoch.
+func (g *Global) Epoch() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// Deposed reports whether the controller has stepped down after observing a
+// newer leadership epoch.
+func (g *Global) Deposed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deposed
+}
+
+// Promoted reports whether a standby controller has taken over as primary.
+func (g *Global) Promoted() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.promoted
+}
+
+// stepDown marks the controller deposed (once) after evidence of a newer
+// leader: either a child fenced one of its calls, or its standby answered a
+// sync with a higher epoch.
+func (g *Global) stepDown(why string) {
+	g.mu.Lock()
+	if g.deposed {
+		g.mu.Unlock()
+		return
+	}
+	g.deposed = true
+	g.mu.Unlock()
+	g.faults.StepDown()
+	g.logf("controller: stepping down: %s", why)
+}
+
+// handleStateSync is the standby side of state replication: mirror the
+// primary's state, renew the leadership lease, and echo the epoch. A sync
+// from a lower epoch — a deposed primary that has not yet noticed — is
+// rejected with CodeStaleEpoch naming the current epoch, which forces the
+// sender to step down.
+func (g *Global) handleStateSync(m *wire.StateSync) (wire.Message, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m.Epoch < g.epoch || (g.promoted && m.Epoch == g.epoch) {
+		g.fencedSyncs++
+		return nil, &wire.ErrorReply{
+			Code:  wire.CodeStaleEpoch,
+			Text:  fmt.Sprintf("standby: sender epoch %d deposed, current epoch is %d", m.Epoch, g.epoch),
+			Epoch: g.epoch,
+		}
+	}
+	if g.promoted {
+		// A leader with a strictly newer epoch exists: fall back to being
+		// its passive mirror.
+		g.promoted = false
+		g.logf("controller: yielding promotion to newer epoch %d", m.Epoch)
+	}
+	g.epoch = m.Epoch
+	g.mirror = m
+	lease := time.Duration(m.LeaseMicros) * time.Microsecond
+	if lease <= 0 {
+		lease = g.cfg.LeaseTimeout
+	}
+	now := time.Now()
+	g.leaseUntil = now.Add(lease)
+	g.lastSyncAt = now
+	return &wire.StateSyncAck{ID: m.PrimaryID, Epoch: g.epoch}, nil
+}
+
+// FencedSyncs returns how many StateSyncs from deposed primaries this
+// controller rejected.
+func (g *Global) FencedSyncs() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fencedSyncs
+}
+
+// runStandby blocks until the leadership lease expires (then promotes) or
+// the standby is promoted by other means, polling at a fraction of the
+// lease timeout so expiry is detected promptly.
+func (g *Global) runStandby(ctx context.Context) error {
+	poll := g.cfg.LeaseTimeout / 8
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	for {
+		g.mu.Lock()
+		promoted := g.promoted
+		leaseUntil := g.leaseUntil
+		g.mu.Unlock()
+		if promoted {
+			return nil
+		}
+		if time.Now().After(leaseUntil) {
+			return g.Promote(ctx)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Promote turns a standby into the primary: bump the leadership epoch past
+// everything the old primary used, adopt the mirrored membership (dialing
+// each child), re-seed per-child delta-enforcement caches with the rules the
+// old primary last sent, and restore job weights and the cycle counter.
+// Children the mirror missed — or that cannot be dialed — re-home themselves
+// through the registration endpoint. Promote is idempotent.
+func (g *Global) Promote(ctx context.Context) error {
+	g.mu.Lock()
+	if g.promoted {
+		g.mu.Unlock()
+		return nil
+	}
+	g.promoted = true
+	g.epoch++
+	m := g.mirror
+	if m != nil {
+		if m.Cycle > g.cycle {
+			g.cycle = m.Cycle
+		}
+		for _, w := range m.Weights {
+			g.jobWeights[w.JobID] = w.Weight
+		}
+	}
+	// The control gap of this failover starts at the last state the old
+	// primary managed to replicate; RunCycle closes it on the first
+	// completed cycle.
+	g.gapStart = g.lastSyncAt
+	if g.gapStart.IsZero() {
+		g.gapStart = time.Now()
+	}
+	epoch := g.epoch
+	g.mu.Unlock()
+	g.faults.Promotion()
+	g.logf("controller: promoted to primary at epoch %d", epoch)
+	if m == nil {
+		return nil
+	}
+	// Adoption dials every mirrored child, so it runs with the same bounded
+	// parallelism as a control cycle's scatter — sequential dials would put
+	// the whole fleet size on the recovery critical path.
+	rpc.Scatter(len(m.Members), g.cfg.FanOut, func(i int) {
+		mem := &m.Members[i]
+		var err error
+		switch mem.Role {
+		case wire.RoleStage:
+			err = g.AddStage(ctx, stage.Info{ID: mem.ID, JobID: mem.JobID, Weight: mem.Weight, Addr: mem.Addr})
+		case wire.RoleAggregator:
+			stages := make([]stage.Info, len(mem.Stages))
+			for k, s := range mem.Stages {
+				stages[k] = stage.Info{ID: s.ID, JobID: s.JobID, Weight: s.Weight, Addr: s.Addr}
+			}
+			err = g.AddAggregator(ctx, mem.ID, mem.Addr, stages)
+		default:
+			return
+		}
+		if err != nil {
+			// The child may be down or already re-homing; the registration
+			// endpoint picks it up when it re-registers.
+			g.logf("controller: promote: adopt %s %d: %v", mem.Role, mem.ID, err)
+			return
+		}
+		if c := g.members.get(mem.ID); c != nil && len(mem.Rules) > 0 {
+			c.seedRules(mem.Rules)
+		}
+	})
+	return nil
+}
+
+// startSync launches the primary-side replication loop towards the
+// configured standby.
+func (g *Global) startSync() {
+	ctx, cancel := context.WithCancel(context.Background())
+	g.syncCancel = cancel
+	g.syncDone = make(chan struct{})
+	go g.syncLoop(ctx)
+}
+
+// syncLoop replicates state to the standby every SyncInterval. The standby
+// is dialed lazily (it may come up after the primary) and redialed after
+// transport errors; the loop exits for good once the primary is deposed.
+func (g *Global) syncLoop(ctx context.Context) {
+	defer close(g.syncDone)
+	var cli *rpc.Client
+	defer func() {
+		if cli != nil {
+			cli.Close()
+		}
+	}()
+	tick := time.NewTicker(g.cfg.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if g.Deposed() {
+			return
+		}
+		if cli == nil {
+			c, err := rpc.Dial(ctx, g.cfg.Network, g.cfg.StandbyAddr, rpc.DialOptions{Meter: g.cfg.Meter})
+			if err != nil {
+				continue // standby not up yet: retry next tick
+			}
+			cli = c
+		}
+		if err := g.syncOnce(ctx, cli); err != nil {
+			if cur, ok := rpc.StaleEpochError(err); ok {
+				g.stepDown(fmt.Sprintf("standby rejected state sync at epoch %d", cur))
+				return
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			cli.Close()
+			cli = nil
+		}
+	}
+}
+
+// syncOnce ships one StateSync and interprets the ack: a standby echoing a
+// higher epoch has promoted itself, so the sender steps down.
+func (g *Global) syncOnce(ctx context.Context, cli *rpc.Client) error {
+	msg := g.buildStateSync()
+	cctx, cancel := context.WithTimeout(ctx, g.cfg.CallTimeout)
+	resp, err := cli.Call(cctx, msg)
+	cancel()
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.StateSyncAck)
+	if !ok {
+		return fmt.Errorf("controller: unexpected %s from standby", resp.Type())
+	}
+	if ack.Epoch > msg.Epoch {
+		g.stepDown(fmt.Sprintf("standby promoted itself to epoch %d", ack.Epoch))
+		return ErrDeposed
+	}
+	return nil
+}
+
+// buildStateSync snapshots everything a standby needs to take over:
+// leadership epoch, cycle counter, lease duration, the full membership with
+// per-child last-enforced rules, and the job-weight table.
+func (g *Global) buildStateSync() *wire.StateSync {
+	children := g.members.snapshot()
+	members := make([]wire.MemberState, 0, len(children))
+	for _, c := range children {
+		m := wire.MemberState{
+			Role:   c.role,
+			ID:     c.info.ID,
+			JobID:  c.info.JobID,
+			Weight: c.info.Weight,
+			Addr:   c.info.Addr,
+			Rules:  c.snapshotRules(),
+		}
+		if len(c.stages) > 0 {
+			m.Stages = make([]wire.StageEntry, len(c.stages))
+			for k, s := range c.stages {
+				m.Stages[k] = wire.StageEntry{ID: s.ID, JobID: s.JobID, Weight: s.Weight, Addr: s.Addr}
+			}
+		}
+		members = append(members, m)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	msg := &wire.StateSync{
+		Epoch:       g.epoch,
+		Cycle:       g.cycle,
+		LeaseMicros: uint64(g.cfg.LeaseTimeout / time.Microsecond),
+		Members:     members,
+		Weights:     make([]wire.JobWeight, 0, len(g.jobWeights)),
+	}
+	for id, w := range g.jobWeights {
+		msg.Weights = append(msg.Weights, wire.JobWeight{JobID: id, Weight: w})
+	}
+	return msg
+}

@@ -77,6 +77,29 @@ type GlobalConfig struct {
 	CPU *monitor.CPUMeter
 	// Logf, if non-nil, receives operational logs.
 	Logf func(format string, args ...any)
+
+	// Epoch is the controller's initial leadership epoch. Leave zero for
+	// deployments without a standby; with one, the primary conventionally
+	// starts at 1 and a promoting standby always bumps past the highest
+	// epoch it mirrored.
+	Epoch uint64
+	// StandbyAddr, if non-empty, is the warm standby's registration
+	// address: the controller replicates its state there every
+	// SyncInterval, which doubles as the leadership lease renewal.
+	StandbyAddr string
+	// Standby makes this controller a passive warm standby: it accepts
+	// StateSync from the primary (mirroring membership, last rules, and
+	// job weights), rejects registrations with CodeNotLeader, and
+	// promotes itself with a bumped epoch when the lease expires. Requires
+	// ListenAddr.
+	Standby bool
+	// LeaseTimeout is how long a standby waits without a StateSync before
+	// promoting itself (and the lease duration a primary grants with each
+	// sync). Zero selects DefaultLeaseTimeout.
+	LeaseTimeout time.Duration
+	// SyncInterval is how often a primary replicates state to
+	// StandbyAddr. Zero selects DefaultSyncInterval.
+	SyncInterval time.Duration
 }
 
 func (c GlobalConfig) withDefaults() GlobalConfig {
@@ -92,6 +115,12 @@ func (c GlobalConfig) withDefaults() GlobalConfig {
 	if c.MaxFailures <= 0 {
 		c.MaxFailures = DefaultMaxFailures
 	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = DefaultSyncInterval
+	}
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = DefaultLeaseTimeout
+	}
 	return c
 }
 
@@ -105,18 +134,39 @@ type Global struct {
 	faults   *telemetry.FaultCounters
 	regSrv   *rpc.Server
 
+	// Primary-side state-sync loop (StandbyAddr set).
+	syncCancel context.CancelFunc
+	syncDone   chan struct{}
+
 	mu         sync.Mutex
 	cycle      uint64
 	jobWeights map[uint64]float64
 	lastJobs   []JobStatus
 	mode       wire.Role // RoleStage or RoleAggregator once first child added
 	callErrors uint64
+	// Leadership state (all under mu): epoch is the current leadership
+	// term; deposed is set once a stale-epoch rejection proves a newer
+	// leader exists; promoted marks a standby that has taken over.
+	epoch    uint64
+	deposed  bool
+	promoted bool
+	// Standby mirror: the last StateSync received, the lease deadline it
+	// renewed, and when it arrived. gapStart carries the control-gap
+	// measurement from promotion to the first completed cycle.
+	mirror      *wire.StateSync
+	leaseUntil  time.Time
+	lastSyncAt  time.Time
+	gapStart    time.Time
+	fencedSyncs uint64
 }
 
 // NewGlobal creates a global controller. If cfg.ListenAddr is set, a
 // registration endpoint is started immediately.
 func NewGlobal(cfg GlobalConfig) (*Global, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Standby && cfg.ListenAddr == "" {
+		return nil, errors.New("controller: a standby needs a ListenAddr to receive StateSync")
+	}
 	g := &Global{
 		cfg: cfg,
 		breaker: breakerConfig{
@@ -130,6 +180,12 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 		recorder:   telemetry.NewCycleRecorder(),
 		faults:     &telemetry.FaultCounters{},
 		jobWeights: make(map[uint64]float64),
+		epoch:      cfg.Epoch,
+	}
+	if cfg.Standby {
+		// A standby that never hears from a primary at all still promotes
+		// once the initial lease runs out.
+		g.leaseUntil = time.Now().Add(cfg.LeaseTimeout)
 	}
 	if cfg.ListenAddr != "" {
 		srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(g.serveRegistration), rpc.ServerOptions{
@@ -140,6 +196,9 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 			return nil, fmt.Errorf("controller: registration endpoint: %w", err)
 		}
 		g.regSrv = srv
+	}
+	if cfg.StandbyAddr != "" && !cfg.Standby {
+		g.startSync()
 	}
 	return g, nil
 }
@@ -322,31 +381,77 @@ func (g *Global) RemoveChild(id uint64) bool {
 	if c == nil {
 		return false
 	}
-	c.cli.Close()
+	c.client().Close()
 	return true
 }
 
-// serveRegistration handles the dynamic-membership endpoint: a stage
-// registers, the controller dials it back and adds it to the flat control
-// plane.
+// serveRegistration handles the dynamic-membership endpoint: stages (and,
+// in hierarchical mode, aggregators) register, the controller dials them
+// back and adds them to the control plane. The same endpoint carries the
+// primary→standby StateSync stream.
 func (g *Global) serveRegistration(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 	switch m := req.(type) {
 	case *wire.Register:
-		if m.Role != wire.RoleStage {
-			return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register dynamically"}
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.CallTimeout)
-		defer cancel()
-		info := stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}
-		if err := g.AddStage(ctx, info); err != nil {
-			return nil, err
-		}
-		g.logf("controller: stage %d registered from %s", m.ID, m.Addr)
-		return &wire.RegisterAck{ID: m.ID, Epoch: g.members.currentEpoch()}, nil
+		return g.handleRegister(m)
+	case *wire.StateSync:
+		return g.handleStateSync(m)
 	case *wire.Heartbeat:
 		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
 	}
 	return nil, fmt.Errorf("controller: unexpected %s", req.Type())
+}
+
+// handleRegister admits new children and treats a duplicate registration
+// from a known child ID as a reconnect: the stale connection is replaced and
+// the breaker state kept, so a child that rebooted — or re-homed to a
+// promoted standby — resumes service without a second identity. Acks carry
+// the leadership epoch, which re-homing children adopt as their fencing
+// floor.
+func (g *Global) handleRegister(m *wire.Register) (wire.Message, error) {
+	g.mu.Lock()
+	passive := g.cfg.Standby && !g.promoted
+	epoch := g.epoch
+	g.mu.Unlock()
+	if passive {
+		// An unpromoted standby is not the leader; children walk their
+		// parent list and retry until promotion.
+		return nil, &wire.ErrorReply{Code: wire.CodeNotLeader, Text: "standby has not been promoted", Epoch: epoch}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.CallTimeout)
+	defer cancel()
+	if c := g.members.get(m.ID); c != nil && c.role == m.Role {
+		cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, m.Addr,
+			rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU}, g.breaker.reconnectPolicy())
+		if err != nil {
+			return nil, fmt.Errorf("controller: redial %s %d at %s: %w", m.Role, m.ID, m.Addr, err)
+		}
+		c.replaceClient(cli)
+		g.faults.ReRegistration()
+		g.logf("controller: %s %d re-registered from %s", m.Role, m.ID, m.Addr)
+		return &wire.RegisterAck{ID: m.ID, Epoch: g.Epoch()}, nil
+	}
+	switch m.Role {
+	case wire.RoleStage:
+		info := stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}
+		if err := g.AddStage(ctx, info); err != nil {
+			return nil, err
+		}
+	case wire.RoleAggregator:
+		// Aggregators join dynamically only once the control plane is
+		// already hierarchical (a promoted standby whose mirror held
+		// aggregators): a fresh global does not let a child pick its
+		// topology.
+		if g.Mode() != wire.RoleAggregator {
+			return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register dynamically"}
+		}
+		if err := g.AttachAggregator(ctx, m.ID, m.Addr); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, &wire.ErrorReply{Code: wire.CodeBadMessage, Text: "only stages may register dynamically"}
+	}
+	g.logf("controller: %s %d registered from %s", m.Role, m.ID, m.Addr)
+	return &wire.RegisterAck{ID: m.ID, Epoch: g.Epoch()}, nil
 }
 
 // callChild performs one child RPC with the configured timeout and
@@ -355,12 +460,17 @@ func (g *Global) serveRegistration(peer *rpc.Peer, req wire.Message) (wire.Messa
 // counter and the breaker, so healthy children collect no strikes.
 func (g *Global) callChild(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, g.cfg.CallTimeout)
-	resp, err := c.cli.Call(cctx, req)
+	resp, err := c.client().Call(cctx, req)
 	cancel()
 	if err != nil && ctx.Err() == nil {
 		g.mu.Lock()
 		g.callErrors++
 		g.mu.Unlock()
+		if cur, ok := rpc.StaleEpochError(err); ok {
+			// The child fenced us: a newer leader owns it. Stop leading.
+			g.faults.FencedCall()
+			g.stepDown(fmt.Sprintf("child %d fenced a call, current epoch is %d", c.info.ID, cur))
+		}
 	}
 	recordCall(ctx, c, err, g.breaker, g.faults, g.logf, "controller")
 	return resp, err
@@ -376,7 +486,7 @@ func (g *Global) prepareCycle(ctx context.Context) (active, quarantined []*child
 		evictable := sweepProbes(ctx, q, g.breaker, g.cfg.FanOut, g.cfg.CallTimeout, g.faults, g.logf, "controller")
 		for _, c := range evictable {
 			if g.members.remove(c.info.ID) != nil {
-				c.cli.Close()
+				c.client().Close()
 				g.faults.Evict()
 				g.logf("controller: evicted child %d after %v in quarantine", c.info.ID, g.breaker.EvictAfter)
 			}
@@ -454,7 +564,7 @@ func sweepHealth(ctx context.Context, children []*child, fanOut int, timeout tim
 		cctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
-		resp, err := children[i].cli.Call(cctx, &wire.Heartbeat{SentUnixMicros: start.UnixMicro()})
+		resp, err := children[i].client().Call(cctx, &wire.Heartbeat{SentUnixMicros: start.UnixMicro()})
 		if err != nil {
 			return
 		}
@@ -494,6 +604,16 @@ func sweepHealth(ctx context.Context, children []*child, fanOut int, timeout tim
 // them once they recover, so a flapping child never stalls the cycle and
 // never needs manual re-registration.
 func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
+	g.mu.Lock()
+	if g.deposed {
+		g.mu.Unlock()
+		return telemetry.Breakdown{}, ErrDeposed
+	}
+	if g.cfg.Standby && !g.promoted {
+		g.mu.Unlock()
+		return telemetry.Breakdown{}, ErrStandby
+	}
+	g.mu.Unlock()
 	active, quarantined := g.prepareCycle(ctx)
 	if len(active)+len(quarantined) == 0 {
 		return telemetry.Breakdown{}, ErrNoChildren
@@ -502,6 +622,7 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	g.cycle++
 	cycle := g.cycle
 	mode := g.mode
+	epoch := g.epoch
 	g.mu.Unlock()
 	if len(quarantined) > 0 {
 		g.faults.DegradedCycle()
@@ -511,15 +632,24 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	var b telemetry.Breakdown
 	var err error
 	if mode == wire.RoleAggregator {
-		b, err = g.runHierarchicalCycle(ctx, cycle, active, quarantined)
+		b, err = g.runHierarchicalCycle(ctx, cycle, epoch, active, quarantined)
 	} else {
-		b, err = g.runFlatCycle(ctx, cycle, active, quarantined)
+		b, err = g.runFlatCycle(ctx, cycle, epoch, active, quarantined)
 	}
 	if err != nil {
 		return b, err
 	}
 	b.Total = time.Since(start)
 	g.recorder.Record(b)
+	g.mu.Lock()
+	if !g.gapStart.IsZero() {
+		gap := time.Since(g.gapStart)
+		g.gapStart = time.Time{}
+		g.mu.Unlock()
+		g.faults.RecordControlGap(gap)
+	} else {
+		g.mu.Unlock()
+	}
 	return b, nil
 }
 
@@ -532,6 +662,10 @@ func staleReports(quarantined []*child, staleAfter time.Duration, faults *teleme
 		if m, age, ok := c.staleReport(now, staleAfter); ok {
 			faults.UseStaleReport(age)
 			out = append(out, m)
+		} else if age > 0 {
+			// A cached report exists but aged out: account the drop so
+			// operators can see degraded cycles running partially blind.
+			faults.DropStaleReport(age)
 		}
 	}
 	return out
@@ -540,14 +674,14 @@ func staleReports(quarantined []*child, staleAfter time.Duration, faults *teleme
 // runFlatCycle: collect from every active stage, compute, enforce per
 // stage. Quarantined stages contribute their last-known report (degraded
 // mode) but receive no traffic.
-func (g *Global) runFlatCycle(ctx context.Context, cycle uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
+func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
 	var b telemetry.Breakdown
 	n := len(children)
 
 	// Phase 1: collect.
 	collectStart := time.Now()
 	replies := make([]*wire.CollectReply, n)
-	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000}
+	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
 	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
 		resp, err := g.callChild(ctx, children[i], req)
 		if err != nil {
@@ -599,7 +733,7 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle uint64, children, quara
 				return
 			}
 		}
-		g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch})
+		g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch})
 	})
 	b.Enforce = time.Since(enforceStart)
 	return b, ctx.Err()
@@ -664,14 +798,14 @@ func (g *Global) computeFlatRules(reports []wire.StageReport) map[uint64]wire.Ru
 // aggregators, compute, push per-stage rule batches back through them.
 // Quarantined aggregators contribute their last-known aggregates (degraded
 // mode) but receive no traffic.
-func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
+func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
 	var b telemetry.Breakdown
 	n := len(children)
 
 	// Phase 1: collect.
 	collectStart := time.Now()
 	replies := make([]wire.Message, n)
-	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000}
+	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
 	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
 		resp, err := g.callChild(ctx, children[i], req)
 		if err != nil {
@@ -803,7 +937,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, childre
 			if len(batch) == 0 {
 				return
 			}
-			g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch})
+			g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch})
 		}
 	})
 	b.Enforce = time.Since(enforceStart)
@@ -812,8 +946,15 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle uint64, childre
 
 // Run executes control cycles until ctx ends. A zero interval runs the
 // paper's stress workload (back-to-back cycles); otherwise each cycle
-// starts interval after the previous one started.
+// starts interval after the previous one started. A standby first waits
+// passively for its leadership lease to expire, then promotes itself and
+// runs cycles as the new primary; a deposed primary returns ErrDeposed.
 func (g *Global) Run(ctx context.Context, interval time.Duration) error {
+	if g.cfg.Standby {
+		if err := g.runStandby(ctx); err != nil {
+			return err
+		}
+	}
 	for {
 		cycleStart := time.Now()
 		if _, err := g.RunCycle(ctx); err != nil {
@@ -871,8 +1012,13 @@ func (g *Global) MemoryFootprint() uint64 {
 	return total
 }
 
-// Close severs all child connections and stops the registration endpoint.
+// Close stops the state-sync loop, severs all child connections, and stops
+// the registration endpoint.
 func (g *Global) Close() error {
+	if g.syncCancel != nil {
+		g.syncCancel()
+		<-g.syncDone
+	}
 	g.members.closeAll()
 	if g.regSrv != nil {
 		return g.regSrv.Close()

@@ -255,10 +255,23 @@ func (p *Peer) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.CallTimeout)
 		defer cancel()
+		if c := p.members.get(m.ID); c != nil {
+			// Duplicate registration from a known stage is a reconnect:
+			// replace the stale connection, keep breaker state.
+			cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, m.Addr,
+				rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU}, p.breaker.reconnectPolicy())
+			if err != nil {
+				return nil, fmt.Errorf("peer %d: redial stage %d at %s: %w", p.cfg.ID, m.ID, m.Addr, err)
+			}
+			c.replaceClient(cli)
+			p.faults.ReRegistration()
+			p.logf("peer %d: stage %d re-registered from %s", p.cfg.ID, m.ID, m.Addr)
+			return &wire.RegisterAck{ID: m.ID}, nil
+		}
 		if err := p.AddStage(ctx, stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}); err != nil {
 			return nil, err
 		}
-		return &wire.RegisterAck{ID: m.ID, Epoch: p.members.currentEpoch()}, nil
+		return &wire.RegisterAck{ID: m.ID}, nil
 	case *wire.StageList:
 		children := p.members.snapshot()
 		reply := &wire.StageListReply{Stages: make([]wire.StageEntry, len(children))}
@@ -276,7 +289,7 @@ func (p *Peer) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 // Caller-context cancellation is not counted against the stage.
 func (p *Peer) callChild(ctx context.Context, c *child, req wire.Message) (wire.Message, error) {
 	cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
-	resp, err := c.cli.Call(cctx, req)
+	resp, err := c.client().Call(cctx, req)
 	cancel()
 	recordCall(ctx, c, err, p.breaker, p.faults, p.logf, fmt.Sprintf("peer %d", p.cfg.ID))
 	return resp, err
@@ -291,7 +304,7 @@ func (p *Peer) prepareCycle(ctx context.Context) (active, quarantined []*child) 
 		evictable := sweepProbes(ctx, q, p.breaker, p.cfg.FanOut, p.cfg.CallTimeout, p.faults, p.logf, who)
 		for _, c := range evictable {
 			if p.members.remove(c.info.ID) != nil {
-				c.cli.Close()
+				c.client().Close()
 				p.faults.Evict()
 				p.logf("%s: evicted stage %d after %v in quarantine", who, c.info.ID, p.breaker.EvictAfter)
 			}
@@ -367,7 +380,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	exchange := &wire.PeerExchange{Cycle: cycle, PeerID: p.cfg.ID, Addr: p.Addr(), Jobs: ownJobs}
 	rpc.Scatter(len(fellows), p.cfg.FanOut, func(i int) {
 		cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
-		fellows[i].cli.Call(cctx, exchange)
+		fellows[i].client().Call(cctx, exchange)
 		cancel()
 	})
 	b.Collect = time.Since(collectStart)
@@ -510,7 +523,7 @@ func (p *Peer) Close() error {
 	p.members.closeAll()
 	p.mu.Lock()
 	for _, c := range p.peers {
-		c.cli.Close()
+		c.client().Close()
 	}
 	p.peers = make(map[uint64]*child)
 	p.mu.Unlock()

@@ -1,0 +1,290 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// FailoverNodes is the flat deployment size the failover scenario runs at.
+// The paper's flat design centralizes all control state in one process
+// (§IV-A); this scenario measures what that costs when the process dies.
+const FailoverNodes = 1000
+
+// failover scenario timing. Detection is tuned fast so the whole scenario
+// fits in seconds: the primary syncs state (and renews its lease) every
+// 25ms, and the standby declares it dead after 150ms of silence — the same
+// multiple of the sync interval the controller defaults use.
+const (
+	failoverCyclePeriod   = 100 * time.Millisecond
+	failoverSyncInterval  = 25 * time.Millisecond
+	failoverLeaseTimeout  = 150 * time.Millisecond
+	failoverParentTimeout = 300 * time.Millisecond
+	failoverCallTimeout   = 250 * time.Millisecond
+	failoverMaxFailures   = 2
+	failoverProbeInterval = 25 * time.Millisecond
+	// failoverRecoverCycles is the acceptance bound: control cycles must
+	// resume within this many control intervals of the crash.
+	failoverRecoverCycles = 5
+	// Hard wall-clock budgets for the scenario's wait loops; generous so a
+	// loaded CI runner times out the experiment rather than deadlocking it.
+	failoverSettleBudget  = 10 * time.Second
+	failoverRecoverBudget = 10 * time.Second
+	failoverDeposeBudget  = 10 * time.Second
+)
+
+// FailoverResult reports the controller-failover scenario's outcome.
+type FailoverResult struct {
+	// Nodes is the stage count.
+	Nodes int
+	// OldEpoch and NewEpoch are the leadership epochs before the crash and
+	// after the standby's promotion.
+	OldEpoch, NewEpoch uint64
+	// RecoveryGap is the wall-clock time from the primary's crash to the
+	// standby's first completed control cycle; CyclesToRecover is the same
+	// gap in control intervals (rounded up).
+	RecoveryGap     time.Duration
+	CyclesToRecover int
+	// RecoveredCycles is how many cycles the promoted standby completed.
+	RecoveredCycles uint64
+	// ReHomed is how many children the promoted standby ended up owning
+	// (must equal Nodes: no orphans).
+	ReHomed int
+	// EpochsAdopted is how many stages ended the run fencing at the new
+	// leadership epoch.
+	EpochsAdopted int
+	// StageReRegistrations sums stage-initiated re-homes (orphaned stages
+	// that re-registered on their own after upstream silence).
+	StageReRegistrations uint64
+	// FencedAtStages sums stale-epoch rejections issued by stages.
+	FencedAtStages uint64
+	// FencedSyncs counts StateSyncs from the deposed primary that the
+	// promoted standby rejected.
+	FencedSyncs uint64
+	// StaleProbeRejected and StaleProbeIgnored report the explicit fencing
+	// probe: an Enforce replayed with the dead primary's epoch must be
+	// rejected with the current epoch and must not change the stage's rule.
+	StaleProbeRejected, StaleProbeIgnored bool
+	// PrimaryDeposed reports whether the healed zombie primary observed its
+	// fencing and stepped down (its Run returned ErrDeposed).
+	PrimaryDeposed bool
+	// Primary and Standby are the two controllers' fault telemetry.
+	Primary, Standby telemetry.FaultSummary
+}
+
+// Failover runs the controller-crash scenario: a flat deployment with a
+// warm standby, control cycles paced at a fixed period, and the primary's
+// host crashed mid-run. It measures how long the control plane goes dark
+// (lease expiry, standby promotion, membership adoption, first cycle),
+// verifies every orphaned stage is re-homed, and proves epoch fencing: the
+// deposed primary's messages are rejected everywhere, forcing it to step
+// down once it reconnects.
+func Failover(ctx context.Context, o Options) (FailoverResult, error) {
+	o = o.withDefaults()
+	nodes := o.scaled(FailoverNodes)
+
+	c, err := cluster.Build(cluster.Config{
+		Topology:      cluster.Flat,
+		Stages:        nodes,
+		Jobs:          o.Jobs,
+		Net:           *o.Net,
+		CallTimeout:   failoverCallTimeout,
+		MaxFailures:   failoverMaxFailures,
+		ProbeInterval: failoverProbeInterval,
+		Standby:       true,
+		LeaseTimeout:  failoverLeaseTimeout,
+		SyncInterval:  failoverSyncInterval,
+		ParentTimeout: failoverParentTimeout,
+	})
+	if err != nil {
+		return FailoverResult{}, fmt.Errorf("experiment failover: %w", err)
+	}
+	defer c.Close()
+	g, sb := c.Global, c.Standby
+
+	r := FailoverResult{Nodes: nodes, OldEpoch: g.Epoch()}
+
+	// Warm up the primary (its sync loop replicates to the standby in the
+	// background from the moment it was built).
+	for i := 0; i < o.Warmup; i++ {
+		if _, err := g.RunCycle(ctx); err != nil {
+			return r, fmt.Errorf("experiment failover: warmup: %w", err)
+		}
+	}
+	g.Recorder().Reset()
+
+	// Run both controllers the way a real deployment would: the primary
+	// paces cycles, the standby waits on its lease.
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+	primaryDone := make(chan error, 1)
+	go func() { primaryDone <- g.Run(runCtx, failoverCyclePeriod) }()
+	standbyDone := make(chan error, 1)
+	go func() { standbyDone <- sb.Run(runCtx, failoverCyclePeriod) }()
+
+	// A couple of paced steady-state cycles before pulling the plug.
+	if err := waitCycles(ctx, g.Recorder(), 2, failoverSettleBudget); err != nil {
+		return r, fmt.Errorf("experiment failover: settle: %w", err)
+	}
+
+	// Crash the primary's host: connections die and dials fail, and —
+	// unlike a partition — test teardown does not resurrect it.
+	c.Net.Schedule([]simnet.FaultEvent{{Host: "global", Action: simnet.FaultCrash}}).Wait()
+	crashAt := time.Now()
+
+	// Recovery: the standby's lease must expire, it must promote, adopt the
+	// mirrored fleet, and complete a control cycle.
+	if err := waitCycles(ctx, sb.Recorder(), 1, failoverRecoverBudget); err != nil {
+		return r, fmt.Errorf("experiment failover: standby never resumed cycles: %w", err)
+	}
+	r.RecoveryGap = time.Since(crashAt)
+	r.CyclesToRecover = int((r.RecoveryGap + failoverCyclePeriod - 1) / failoverCyclePeriod)
+	r.NewEpoch = sb.Epoch()
+
+	// Re-homing: every stage the dead primary owned must end up owned by
+	// the new primary (adoption from the mirror, or self re-registration —
+	// whichever wins; duplicate registrations are reconnects, not errors).
+	deadline := time.Now().Add(failoverRecoverBudget)
+	for sb.NumChildren() < nodes && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.ReHomed = sb.NumChildren()
+
+	// Fencing probe: replay an Enforce stamped with the dead primary's
+	// epoch straight at a stage. It must be rejected with a stale-epoch
+	// error naming the new epoch, and must not change the stage's rule.
+	v := c.Stages[0]
+	probeRule := wire.Rule{
+		StageID: v.Info().ID,
+		JobID:   v.Info().JobID,
+		Action:  wire.ActionSetLimit,
+		Limit:   wire.Rates{12345, 12345},
+	}
+	cli, err := rpc.Dial(ctx, c.Net.Host("failover-prober"), v.Info().Addr, rpc.DialOptions{})
+	if err != nil {
+		return r, fmt.Errorf("experiment failover: probe dial: %w", err)
+	}
+	_, callErr := cli.Call(ctx, &wire.Enforce{Cycle: 1 << 40, Rules: []wire.Rule{probeRule}, Epoch: r.OldEpoch})
+	cli.Close()
+	if cur, ok := rpc.StaleEpochError(callErr); ok && cur == r.NewEpoch {
+		r.StaleProbeRejected = true
+	}
+	if rule, ok := v.LastRule(); !ok || rule.Limit != probeRule.Limit {
+		r.StaleProbeIgnored = true
+	}
+
+	// Heal the crashed host, modeling the old primary's process coming back
+	// as a zombie that still believes it leads. Its first contact with the
+	// fleet — a rejected state sync or a fenced child call — must make it
+	// step down, so its Run exits with ErrDeposed.
+	c.Net.Host("global").SetPartitioned(false)
+	select {
+	case err := <-primaryDone:
+		r.PrimaryDeposed = errors.Is(err, controller.ErrDeposed)
+		if !r.PrimaryDeposed {
+			return r, fmt.Errorf("experiment failover: primary exited with %v, want ErrDeposed", err)
+		}
+	case <-time.After(failoverDeposeBudget):
+		return r, fmt.Errorf("experiment failover: healed zombie primary was never deposed")
+	case <-ctx.Done():
+		return r, ctx.Err()
+	}
+
+	stopRun()
+	<-standbyDone
+
+	for _, v := range c.Stages {
+		r.FencedAtStages += v.FencedCalls()
+		r.StageReRegistrations += v.ReRegistrations()
+		if v.Epoch() == r.NewEpoch {
+			r.EpochsAdopted++
+		}
+	}
+	r.RecoveredCycles = sb.Recorder().Cycles()
+	r.FencedSyncs = sb.FencedSyncs()
+	r.Primary = g.Faults().Summarize()
+	r.Standby = sb.Faults().Summarize()
+	return r, nil
+}
+
+// waitCycles polls the recorder until it has seen at least want cycles.
+func waitCycles(ctx context.Context, rec *telemetry.CycleRecorder, want uint64, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for rec.Cycles() < want {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out waiting for %d cycles (have %d)", want, rec.Cycles())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}
+
+// PrintFailover renders the scenario's outcome.
+func PrintFailover(o Options, r FailoverResult) {
+	o = o.withDefaults()
+	o.printf("failover — flat control plane with warm standby, %d nodes, primary crashed mid-run\n", r.Nodes)
+	o.printf("  leadership epoch        %d -> %d\n", r.OldEpoch, r.NewEpoch)
+	o.printf("  control gap             %v (%d control intervals of %v)\n",
+		r.RecoveryGap.Round(time.Millisecond), r.CyclesToRecover, failoverCyclePeriod)
+	o.printf("  re-homed                %d/%d children (%d at new epoch, %d stage-initiated re-homes)\n",
+		r.ReHomed, r.Nodes, r.EpochsAdopted, r.StageReRegistrations)
+	o.printf("  recovered cycles        %d completed by the promoted standby\n", r.RecoveredCycles)
+	o.printf("  fencing                 %d stale calls rejected at stages, %d stale syncs rejected at standby\n",
+		r.FencedAtStages, r.FencedSyncs)
+	o.printf("  stale-enforce probe     rejected=%v rule-unchanged=%v\n", r.StaleProbeRejected, r.StaleProbeIgnored)
+	o.printf("  zombie primary          deposed=%v (step_downs=%d)\n", r.PrimaryDeposed, r.Primary.StepDowns)
+	o.printf("  standby faults          %v\n\n", r.Standby)
+}
+
+// CheckFailover asserts the scenario's dependability claims: exactly one
+// promotion with a bumped epoch, cycles resuming within the recovery budget,
+// every orphaned child re-homed, zero stale-epoch messages accepted
+// anywhere, and the zombie primary fenced into stepping down.
+func CheckFailover(r FailoverResult) error {
+	if r.Standby.Promotions != 1 {
+		return fmt.Errorf("failover: %d promotions, want exactly 1", r.Standby.Promotions)
+	}
+	if r.NewEpoch <= r.OldEpoch {
+		return fmt.Errorf("failover: promoted epoch %d does not supersede %d", r.NewEpoch, r.OldEpoch)
+	}
+	if r.CyclesToRecover > failoverRecoverCycles {
+		return fmt.Errorf("failover: cycles resumed after %d control intervals (%v), want <= %d",
+			r.CyclesToRecover, r.RecoveryGap, failoverRecoverCycles)
+	}
+	if r.ReHomed != r.Nodes {
+		return fmt.Errorf("failover: only %d/%d children re-homed to the new primary", r.ReHomed, r.Nodes)
+	}
+	if r.EpochsAdopted != r.Nodes {
+		return fmt.Errorf("failover: only %d/%d stages fence at the new epoch", r.EpochsAdopted, r.Nodes)
+	}
+	if r.FencedAtStages == 0 {
+		return fmt.Errorf("failover: no stage ever rejected a stale-epoch call")
+	}
+	if !r.StaleProbeRejected {
+		return fmt.Errorf("failover: stale-epoch Enforce probe was not rejected with the new epoch")
+	}
+	if !r.StaleProbeIgnored {
+		return fmt.Errorf("failover: stale-epoch Enforce probe changed a stage's rule")
+	}
+	if !r.PrimaryDeposed {
+		return fmt.Errorf("failover: zombie primary was never deposed")
+	}
+	if r.Primary.StepDowns != 1 {
+		return fmt.Errorf("failover: primary recorded %d step-downs, want exactly 1", r.Primary.StepDowns)
+	}
+	if r.Standby.MaxControlGap <= 0 {
+		return fmt.Errorf("failover: promoted standby recorded no control gap")
+	}
+	return nil
+}

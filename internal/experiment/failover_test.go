@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// The failover scenario at reduced scale: the primary crashes mid-run, the
+// standby promotes within the lease and resumes cycles inside the recovery
+// budget, every stage re-homes and fences at the new epoch, and the healed
+// zombie primary is deposed by its first fenced call.
+func TestFailoverReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failover scenario waits out leases and fault schedules")
+	}
+	o := testOptions(0.02) // 20 nodes
+	for attempt := 1; attempt <= 2; attempt++ {
+		r, err := Failover(context.Background(), o)
+		if err != nil {
+			t.Fatalf("Failover: %v", err)
+		}
+		cerr := CheckFailover(r)
+		if cerr == nil {
+			if r.NewEpoch != r.OldEpoch+1 {
+				t.Errorf("epoch %d -> %d, want a single bump", r.OldEpoch, r.NewEpoch)
+			}
+			var b strings.Builder
+			o.Out = &b
+			PrintFailover(o, r)
+			out := b.String()
+			for _, want := range []string{"failover", "control gap", "re-homed", "deposed=true"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("failover renderer output missing %q:\n%s", want, out)
+				}
+			}
+			return
+		}
+		t.Logf("attempt %d: gap=%v intervals=%d rehomed=%d/%d fenced=%d primary=%v standby=%v",
+			attempt, r.RecoveryGap, r.CyclesToRecover, r.ReHomed, r.Nodes,
+			r.FencedAtStages, r.Primary, r.Standby)
+		if attempt == 2 {
+			t.Fatalf("failover check failed twice: %v", cerr)
+		}
+		t.Logf("failover check failed (%v), retrying once", cerr)
+	}
+}

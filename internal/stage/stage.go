@@ -62,7 +62,22 @@ type Config struct {
 	Network transport.Network
 	// ListenAddr is the address to listen on (":0" auto-assigns).
 	ListenAddr string
+	// Parents is an ordered list of parent controller addresses. When set,
+	// the stage registers itself (retrying until a parent is reachable)
+	// and re-homes to the first answering address whenever no parent has
+	// contacted it for ParentTimeout — the child side of controller
+	// failover. When empty, the control plane must adopt the stage
+	// explicitly (AddStage or Register).
+	Parents []string
+	// ParentTimeout is how long the stage waits without control-plane
+	// contact before re-registering. Zero selects DefaultParentTimeout.
+	// Only meaningful with Parents set.
+	ParentTimeout time.Duration
 }
+
+// DefaultParentTimeout is how long a stage with a parent list waits without
+// control-plane contact before it assumes its parent died and re-homes.
+const DefaultParentTimeout = time.Second
 
 // Virtual is the paper's lightweight stage: it answers collections with
 // generator-driven metrics and records enforcement rules.
@@ -70,13 +85,19 @@ type Virtual struct {
 	cfg    Config
 	server *rpc.Server
 	start  time.Time
+	fence  fence
 
-	mu        sync.Mutex
-	rule      wire.Rule
-	haveRule  bool
-	collects  uint64
-	enforces  uint64
-	lastCycle uint64
+	rehomeStop chan struct{}
+	rehomeDone chan struct{}
+
+	mu              sync.Mutex
+	rule            wire.Rule
+	haveRule        bool
+	collects        uint64
+	enforces        uint64
+	lastCycle       uint64
+	reRegistrations uint64
+	closed          bool
 }
 
 // StartVirtual launches a virtual stage's RPC server.
@@ -87,12 +108,21 @@ func StartVirtual(cfg Config) (*Virtual, error) {
 	if cfg.ListenAddr == "" {
 		cfg.ListenAddr = ":0"
 	}
+	if cfg.ParentTimeout <= 0 {
+		cfg.ParentTimeout = DefaultParentTimeout
+	}
 	v := &Virtual{cfg: cfg, start: time.Now()}
 	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(v.serve), rpc.ServerOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
 	}
 	v.server = srv
+	if len(cfg.Parents) > 0 {
+		v.fence.touch() // grace period: don't re-home before first contact
+		v.rehomeStop = make(chan struct{})
+		v.rehomeDone = make(chan struct{})
+		go v.rehome()
+	}
 	return v, nil
 }
 
@@ -102,16 +132,33 @@ func (v *Virtual) Info() Info {
 }
 
 // Close stops the stage.
-func (v *Virtual) Close() error { return v.server.Close() }
+func (v *Virtual) Close() error {
+	v.mu.Lock()
+	stopRehome := !v.closed && v.rehomeStop != nil
+	v.closed = true
+	v.mu.Unlock()
+	if stopRehome {
+		close(v.rehomeStop)
+		<-v.rehomeDone
+	}
+	return v.server.Close()
+}
 
 // serve handles control-plane requests.
 func (v *Virtual) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 	switch m := req.(type) {
 	case *wire.Collect:
+		if er := v.fence.check(fmt.Sprintf("stage %d", v.cfg.ID), m.Epoch); er != nil {
+			return nil, er
+		}
 		return v.collect(m), nil
 	case *wire.Enforce:
+		if er := v.fence.check(fmt.Sprintf("stage %d", v.cfg.ID), m.Epoch); er != nil {
+			return nil, er
+		}
 		return v.enforce(m), nil
 	case *wire.Heartbeat:
+		v.fence.touch()
 		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
 	}
 	return nil, fmt.Errorf("stage %d: unexpected %s", v.cfg.ID, req.Type())
@@ -182,6 +229,21 @@ func (v *Virtual) Counters() (collects, enforces uint64) {
 	return v.collects, v.enforces
 }
 
+// Epoch returns the highest leadership epoch the stage has seen.
+func (v *Virtual) Epoch() uint64 { return v.fence.current() }
+
+// FencedCalls returns how many calls the stage rejected for carrying a
+// stale leadership epoch.
+func (v *Virtual) FencedCalls() uint64 { return v.fence.fencedCalls() }
+
+// ReRegistrations returns how many times the stage re-homed to a parent
+// after losing control-plane contact.
+func (v *Virtual) ReRegistrations() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reRegistrations
+}
+
 // EnforcingConfig configures an enforcing stage.
 type EnforcingConfig struct {
 	// ID is the cluster-unique stage identifier.
@@ -208,6 +270,7 @@ type Enforcing struct {
 	cfg     EnforcingConfig
 	server  *rpc.Server
 	limiter *ratelimit.MultiBucket
+	fence   fence
 
 	demand [wire.NumClasses]*metrics.RateCounter
 	usage  [wire.NumClasses]*metrics.RateCounter
@@ -262,6 +325,13 @@ func (e *Enforcing) Submit(ctx context.Context, class wire.OpClass) error {
 // Limits exposes the currently enforced limits (for observability).
 func (e *Enforcing) Limits() (wire.Rates, bool) { return e.limiter.Limits() }
 
+// Epoch returns the highest leadership epoch the stage has seen.
+func (e *Enforcing) Epoch() uint64 { return e.fence.current() }
+
+// FencedCalls returns how many calls the stage rejected for carrying a
+// stale leadership epoch.
+func (e *Enforcing) FencedCalls() uint64 { return e.fence.fencedCalls() }
+
 // Demand-probing parameters: a stage whose measured rate sits within
 // saturationFraction of its enforced limit is throttle-bound — its callers
 // are blocked inside Submit, so their real appetite is invisible. The
@@ -298,6 +368,9 @@ func (e *Enforcing) probeDemand(d, u wire.Rates) wire.Rates {
 func (e *Enforcing) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 	switch m := req.(type) {
 	case *wire.Collect:
+		if er := e.fence.check(fmt.Sprintf("stage %d", e.cfg.ID), m.Epoch); er != nil {
+			return nil, er
+		}
 		now := time.Now()
 		var d, u wire.Rates
 		for c := range d {
@@ -315,6 +388,9 @@ func (e *Enforcing) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error
 			}},
 		}, nil
 	case *wire.Enforce:
+		if er := e.fence.check(fmt.Sprintf("stage %d", e.cfg.ID), m.Epoch); er != nil {
+			return nil, er
+		}
 		var applied uint32
 		for i := range m.Rules {
 			if m.Rules[i].StageID == e.cfg.ID {
@@ -324,33 +400,17 @@ func (e *Enforcing) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error
 		}
 		return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied}, nil
 	case *wire.Heartbeat:
+		e.fence.touch()
 		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
 	}
 	return nil, fmt.Errorf("stage %d: unexpected %s", e.cfg.ID, req.Type())
 }
 
-// Register announces a stage to a parent controller by dialing it, sending
-// one Register message, and closing the connection. The transient
-// connection mirrors real deployments, where registration must not consume
-// one of the controller's scarce long-lived connection slots.
+// Register announces a stage to a parent controller. It retries transient
+// failures (the controller may still be booting) with exponential backoff
+// and jitter for DefaultRegisterAttempts passes; use RegisterAny directly
+// for an address list or different retry bounds.
 func Register(ctx context.Context, network transport.Network, parentAddr string, info Info) error {
-	cli, err := rpc.Dial(ctx, network, parentAddr, rpc.DialOptions{})
-	if err != nil {
-		return fmt.Errorf("stage %d: register dial: %w", info.ID, err)
-	}
-	defer cli.Close()
-	resp, err := cli.Call(ctx, &wire.Register{
-		Role:   wire.RoleStage,
-		ID:     info.ID,
-		JobID:  info.JobID,
-		Weight: info.Weight,
-		Addr:   info.Addr,
-	})
-	if err != nil {
-		return fmt.Errorf("stage %d: register: %w", info.ID, err)
-	}
-	if _, ok := resp.(*wire.RegisterAck); !ok {
-		return fmt.Errorf("stage %d: register: unexpected %s", info.ID, resp.Type())
-	}
-	return nil
+	_, err := RegisterAny(ctx, network, []string{parentAddr}, info, RegisterOptions{})
+	return err
 }

@@ -11,17 +11,27 @@ import (
 // degraded cycles that proceed on quarantined children's last-known
 // reports. All methods are safe for concurrent use.
 type FaultCounters struct {
-	quarantines    atomic.Uint64
-	readmissions   atomic.Uint64
-	degradedCycles atomic.Uint64
-	probes         atomic.Uint64
-	probeFailures  atomic.Uint64
-	evictions      atomic.Uint64
+	quarantines     atomic.Uint64
+	readmissions    atomic.Uint64
+	degradedCycles  atomic.Uint64
+	probes          atomic.Uint64
+	probeFailures   atomic.Uint64
+	evictions       atomic.Uint64
+	promotions      atomic.Uint64
+	stepDowns       atomic.Uint64
+	fencedCalls     atomic.Uint64
+	reRegistrations atomic.Uint64
+	staleDrops      atomic.Uint64
 
-	// staleAge records the age of each quarantined-child report a degraded
-	// cycle actually used, so operators can see how stale the control input
-	// got during a fault.
+	// staleAge records the age of every quarantined-child report a degraded
+	// cycle considered — served or dropped — so operators can see how stale
+	// the control input got during a fault.
 	staleAge Histogram
+
+	// controlGap records, per leadership change, how long the cluster went
+	// without a completed control cycle between the old primary's last sync
+	// and the promoted standby's first cycle.
+	controlGap Histogram
 }
 
 // Quarantine records a child tripping its circuit breaker.
@@ -50,6 +60,33 @@ func (f *FaultCounters) Evict() { f.evictions.Add(1) }
 // child's last-known report of the given age.
 func (f *FaultCounters) UseStaleReport(age time.Duration) { f.staleAge.Record(age) }
 
+// DropStaleReport records that a quarantined child's cached report had aged
+// past StaleAfter and was excluded from a degraded cycle.
+func (f *FaultCounters) DropStaleReport(age time.Duration) {
+	f.staleDrops.Add(1)
+	f.staleAge.Record(age)
+}
+
+// Promotion records a standby promoting itself to primary.
+func (f *FaultCounters) Promotion() { f.promotions.Add(1) }
+
+// StepDown records a deposed primary abandoning leadership after a
+// stale-epoch rejection.
+func (f *FaultCounters) StepDown() { f.stepDowns.Add(1) }
+
+// FencedCall records a call rejected (or observed rejected) because the
+// sender's leadership epoch was stale.
+func (f *FaultCounters) FencedCall() { f.fencedCalls.Add(1) }
+
+// ReRegistration records a known child re-registering — an orphaned child
+// re-homing to a new parent, or a reconnect after a network fault.
+func (f *FaultCounters) ReRegistration() { f.reRegistrations.Add(1) }
+
+// RecordControlGap records the control gap of one leadership change: the
+// time between the deposed primary's last state sync and the promoted
+// standby's first completed control cycle.
+func (f *FaultCounters) RecordControlGap(gap time.Duration) { f.controlGap.Record(gap) }
+
 // Quarantines returns the number of circuit-breaker trips.
 func (f *FaultCounters) Quarantines() uint64 { return f.quarantines.Load() }
 
@@ -71,9 +108,29 @@ func (f *FaultCounters) ProbeFailures() uint64 { return f.probeFailures.Load() }
 // removed under an EvictAfter bound.
 func (f *FaultCounters) Evictions() uint64 { return f.evictions.Load() }
 
-// StaleAge returns the histogram of stale-report ages used by degraded
-// cycles.
+// Promotions returns the number of standby→primary promotions.
+func (f *FaultCounters) Promotions() uint64 { return f.promotions.Load() }
+
+// StepDowns returns the number of primaries deposed by epoch fencing.
+func (f *FaultCounters) StepDowns() uint64 { return f.stepDowns.Load() }
+
+// FencedCalls returns the number of stale-epoch call rejections.
+func (f *FaultCounters) FencedCalls() uint64 { return f.fencedCalls.Load() }
+
+// ReRegistrations returns the number of duplicate registrations treated as
+// reconnects or re-homings.
+func (f *FaultCounters) ReRegistrations() uint64 { return f.reRegistrations.Load() }
+
+// StaleDrops returns the number of cached reports dropped for exceeding
+// StaleAfter.
+func (f *FaultCounters) StaleDrops() uint64 { return f.staleDrops.Load() }
+
+// StaleAge returns the histogram of stale-report ages considered by
+// degraded cycles (both served and dropped).
 func (f *FaultCounters) StaleAge() *Histogram { return &f.staleAge }
+
+// ControlGap returns the histogram of per-failover control gaps.
+func (f *FaultCounters) ControlGap() *Histogram { return &f.controlGap }
 
 // FaultSummary is a point-in-time digest of FaultCounters.
 type FaultSummary struct {
@@ -88,9 +145,21 @@ type FaultSummary struct {
 	// Evictions counts permanent removals under an EvictAfter bound.
 	Evictions uint64
 	// StaleReportsUsed counts quarantined-child reports consumed by
-	// degraded cycles; MeanStaleAge and MaxStaleAge digest their ages.
-	StaleReportsUsed          uint64
-	MeanStaleAge, MaxStaleAge time.Duration
+	// degraded cycles; StaleReportsDropped counts cached reports excluded
+	// for exceeding StaleAfter. MeanStaleAge and MaxStaleAge digest the
+	// ages of both.
+	StaleReportsUsed, StaleReportsDropped uint64
+	MeanStaleAge, MaxStaleAge             time.Duration
+	// Promotions counts standby→primary promotions; StepDowns counts
+	// primaries deposed by epoch fencing.
+	Promotions, StepDowns uint64
+	// FencedCalls counts stale-epoch call rejections.
+	FencedCalls uint64
+	// ReRegistrations counts duplicate registrations treated as reconnects
+	// or re-homings.
+	ReRegistrations uint64
+	// MaxControlGap is the longest recorded per-failover control gap.
+	MaxControlGap time.Duration
 }
 
 // Summarize digests the counters' current state.
@@ -101,18 +170,26 @@ func (f *FaultCounters) Summarize() FaultSummary {
 		DegradedCycles:   f.DegradedCycles(),
 		Probes:           f.Probes(),
 		ProbeFailures:    f.ProbeFailures(),
-		Evictions:        f.Evictions(),
-		StaleReportsUsed: f.staleAge.Count(),
-		MeanStaleAge:     f.staleAge.Mean(),
-		MaxStaleAge:      f.staleAge.Max(),
+		Evictions:           f.Evictions(),
+		StaleReportsUsed:    f.staleAge.Count() - f.StaleDrops(),
+		StaleReportsDropped: f.StaleDrops(),
+		MeanStaleAge:        f.staleAge.Mean(),
+		MaxStaleAge:         f.staleAge.Max(),
+		Promotions:          f.Promotions(),
+		StepDowns:           f.StepDowns(),
+		FencedCalls:         f.FencedCalls(),
+		ReRegistrations:     f.ReRegistrations(),
+		MaxControlGap:       f.controlGap.Max(),
 	}
 }
 
 // String renders the summary as a single human-readable line.
 func (s FaultSummary) String() string {
 	return fmt.Sprintf(
-		"quarantines=%d readmissions=%d degraded_cycles=%d probes=%d probe_failures=%d evictions=%d stale_reports=%d mean_stale_age=%v max_stale_age=%v",
+		"quarantines=%d readmissions=%d degraded_cycles=%d probes=%d probe_failures=%d evictions=%d stale_reports=%d stale_drops=%d mean_stale_age=%v max_stale_age=%v promotions=%d step_downs=%d fenced_calls=%d reregistrations=%d max_control_gap=%v",
 		s.Quarantines, s.Readmissions, s.DegradedCycles, s.Probes, s.ProbeFailures,
-		s.Evictions, s.StaleReportsUsed,
-		s.MeanStaleAge.Round(time.Millisecond), s.MaxStaleAge.Round(time.Millisecond))
+		s.Evictions, s.StaleReportsUsed, s.StaleReportsDropped,
+		s.MeanStaleAge.Round(time.Millisecond), s.MaxStaleAge.Round(time.Millisecond),
+		s.Promotions, s.StepDowns, s.FencedCalls, s.ReRegistrations,
+		s.MaxControlGap.Round(time.Millisecond))
 }

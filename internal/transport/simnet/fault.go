@@ -20,6 +20,12 @@ const (
 	// FaultKillConns severs the host's established connections once,
 	// without partitioning it (dials keep working).
 	FaultKillConns
+	// FaultCrash kills the host for good: established connections are
+	// severed and future dials fail, like FaultPartition, but the crash is
+	// permanent — Stop does NOT heal it. Use it to model a process that
+	// dies mid-run (e.g. a primary controller in a failover experiment);
+	// an explicit FaultHeal later models a restart.
+	FaultCrash
 )
 
 // String renders the action for logs.
@@ -31,6 +37,8 @@ func (a FaultAction) String() string {
 		return "heal"
 	case FaultKillConns:
 		return "kill-conns"
+	case FaultCrash:
+		return "crash"
 	default:
 		return "unknown"
 	}
@@ -127,6 +135,11 @@ func (s *FaultSchedule) run(ctx context.Context, events []FaultEvent) {
 			h.SetPartitioned(false)
 			delete(down, ev.Host)
 		case FaultKillConns:
+			h.KillConns()
+		case FaultCrash:
+			// Permanent: deliberately not tracked in down, so Stop's
+			// healAll leaves the host dead.
+			h.SetPartitioned(true)
 			h.KillConns()
 		}
 		s.mu.Lock()

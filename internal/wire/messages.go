@@ -47,6 +47,13 @@ const (
 	// computes per-stage rules itself (paper §VI future work: offloading
 	// processing logic to aggregator nodes).
 	TDelegate
+	// TStateSync replicates the primary controller's state (membership,
+	// last rules, job weights) to its warm standby and doubles as the
+	// leadership lease renewal.
+	TStateSync
+	// TStateSyncAck confirms a state sync; its epoch tells the primary
+	// whether the standby has promoted itself in the meantime.
+	TStateSyncAck
 )
 
 // String returns the mnemonic name of the message type.
@@ -82,6 +89,10 @@ func (t MsgType) String() string {
 		return "PeerExchangeAck"
 	case TDelegate:
 		return "Delegate"
+	case TStateSync:
+		return "StateSync"
+	case TStateSyncAck:
+		return "StateSyncAck"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -248,8 +259,9 @@ func (m *Register) Unmarshal(d *Decoder) {
 type RegisterAck struct {
 	// ID echoes the registered component's identifier.
 	ID uint64
-	// Epoch is the controller's current membership epoch; children include
-	// it in reports so stale members can be fenced after reconfiguration.
+	// Epoch is the controller's current leadership epoch. A child adopts
+	// it as its fencing floor, so calls from a controller deposed before
+	// the registration are rejected with CodeStaleEpoch.
 	Epoch uint64
 }
 
@@ -275,6 +287,10 @@ type Collect struct {
 	// WindowMicros is the measurement window the parent wants rates
 	// normalized over, in microseconds.
 	WindowMicros uint64
+	// Epoch is the sender's leadership epoch. Children reject collects
+	// whose epoch is below the highest they have seen (CodeStaleEpoch),
+	// fencing deposed controllers out of the control loop.
+	Epoch uint64
 }
 
 // Type implements Message.
@@ -284,12 +300,14 @@ func (*Collect) Type() MsgType { return TCollect }
 func (m *Collect) Marshal(e *Encoder) {
 	e.Uint64(m.Cycle)
 	e.Uint64(m.WindowMicros)
+	e.Uint64(m.Epoch)
 }
 
 // Unmarshal implements Message.
 func (m *Collect) Unmarshal(d *Decoder) {
 	m.Cycle = d.Uint64()
 	m.WindowMicros = d.Uint64()
+	m.Epoch = d.Uint64()
 }
 
 // StageReport is one stage's metric sample for a control cycle.
@@ -453,6 +471,10 @@ type Enforce struct {
 	Cycle uint64
 	// Rules is the rule batch.
 	Rules []Rule
+	// Epoch is the sender's leadership epoch. Children reject rule batches
+	// whose epoch is below the highest they have seen (CodeStaleEpoch), so
+	// a deposed primary can never overwrite the new leader's rules.
+	Epoch uint64
 }
 
 // Type implements Message.
@@ -469,23 +491,27 @@ func (m *Enforce) Marshal(e *Encoder) {
 		e.Byte(byte(r.Action))
 		e.rates(r.Limit)
 	}
+	e.Uint64(m.Epoch)
 }
 
 // Unmarshal implements Message.
 func (m *Enforce) Unmarshal(d *Decoder) {
 	m.Cycle = d.Uint64()
 	n := d.Length()
-	if d.Err() != nil || n == 0 {
+	if d.Err() != nil {
 		return
 	}
-	m.Rules = make([]Rule, n)
-	for i := range m.Rules {
-		r := &m.Rules[i]
-		r.StageID = d.Uint64()
-		r.JobID = d.Uint64()
-		r.Action = RuleAction(d.Byte())
-		r.Limit = d.rates()
+	if n > 0 {
+		m.Rules = make([]Rule, n)
+		for i := range m.Rules {
+			r := &m.Rules[i]
+			r.StageID = d.Uint64()
+			r.JobID = d.Uint64()
+			r.Action = RuleAction(d.Byte())
+			r.Limit = d.rates()
+		}
 	}
+	m.Epoch = d.Uint64()
 }
 
 // EnforceAck confirms rule application.
@@ -547,6 +573,10 @@ type ErrorReply struct {
 	Code uint32
 	// Text is a human-readable description.
 	Text string
+	// Epoch carries the receiver's current leadership epoch when Code is
+	// CodeStaleEpoch or CodeNotLeader, naming the term the fenced caller
+	// lost against. Zero otherwise.
+	Epoch uint64
 }
 
 // Remote error codes.
@@ -559,6 +589,12 @@ const (
 	CodeNotRegistered
 	// CodeOverload means the receiver shed the request under load.
 	CodeOverload
+	// CodeStaleEpoch means the caller's leadership epoch is below the
+	// receiver's: the caller has been deposed and must step down.
+	CodeStaleEpoch
+	// CodeNotLeader means the receiver is a standby that has not been
+	// promoted; the caller should retry against the current leader.
+	CodeNotLeader
 )
 
 // Type implements Message.
@@ -568,12 +604,14 @@ func (*ErrorReply) Type() MsgType { return TError }
 func (m *ErrorReply) Marshal(e *Encoder) {
 	e.Uint32(m.Code)
 	e.String(m.Text)
+	e.Uint64(m.Epoch)
 }
 
 // Unmarshal implements Message.
 func (m *ErrorReply) Unmarshal(d *Decoder) {
 	m.Code = d.Uint32()
 	m.Text = d.String()
+	m.Epoch = d.Uint64()
 }
 
 // Error implements the error interface so an ErrorReply can be returned
@@ -765,6 +803,184 @@ func (m *Delegate) Unmarshal(d *Decoder) {
 	}
 }
 
+// MemberState is one child's replicated state inside a StateSync: enough
+// for a promoting standby to re-adopt the child (identity and address) and
+// to keep delta enforcement continuous (the last rules the primary sent).
+type MemberState struct {
+	// Role of the child (stage or aggregator).
+	Role Role
+	// ID is the child's cluster-unique identifier.
+	ID uint64
+	// JobID is the job a stage serves (stages only; 0 otherwise).
+	JobID uint64
+	// Weight is the job's QoS weight (stages only).
+	Weight float64
+	// Addr is the child's listen address.
+	Addr string
+	// Stages lists the stages behind an aggregator child (aggregators
+	// only; empty for stages).
+	Stages []StageEntry
+	// Rules is the last rule batch the primary sent the child, so the
+	// standby's first delta-enforcement cycle diffs against reality.
+	Rules []Rule
+}
+
+// JobWeight is one job's QoS weight inside a StateSync.
+type JobWeight struct {
+	// JobID identifies the job.
+	JobID uint64
+	// Weight is the job's QoS weight.
+	Weight float64
+}
+
+// StateSync replicates the primary controller's control-plane state to its
+// warm standby. It is sent periodically and doubles as the leadership lease
+// renewal: a standby that misses syncs for longer than its lease timeout
+// promotes itself with a bumped epoch.
+type StateSync struct {
+	// PrimaryID identifies the sending primary.
+	PrimaryID uint64
+	// Epoch is the primary's current leadership epoch.
+	Epoch uint64
+	// Cycle is the primary's last completed control-cycle number.
+	Cycle uint64
+	// LeaseMicros is how long the standby should consider the lease held
+	// after receiving this sync, in microseconds.
+	LeaseMicros uint64
+	// Members snapshots the primary's membership and per-child last rules.
+	Members []MemberState
+	// Weights snapshots the primary's per-job QoS weights.
+	Weights []JobWeight
+}
+
+// Type implements Message.
+func (*StateSync) Type() MsgType { return TStateSync }
+
+// Marshal implements Message.
+func (m *StateSync) Marshal(e *Encoder) {
+	e.Uint64(m.PrimaryID)
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Cycle)
+	e.Uint64(m.LeaseMicros)
+	e.Uint64(uint64(len(m.Members)))
+	for i := range m.Members {
+		c := &m.Members[i]
+		e.Byte(byte(c.Role))
+		e.Uint64(c.ID)
+		e.Uint64(c.JobID)
+		e.Float64(c.Weight)
+		e.String(c.Addr)
+		e.Uint64(uint64(len(c.Stages)))
+		for j := range c.Stages {
+			s := &c.Stages[j]
+			e.Uint64(s.ID)
+			e.Uint64(s.JobID)
+			e.Float64(s.Weight)
+			e.String(s.Addr)
+		}
+		e.Uint64(uint64(len(c.Rules)))
+		for j := range c.Rules {
+			r := &c.Rules[j]
+			e.Uint64(r.StageID)
+			e.Uint64(r.JobID)
+			e.Byte(byte(r.Action))
+			e.rates(r.Limit)
+		}
+	}
+	e.Uint64(uint64(len(m.Weights)))
+	for i := range m.Weights {
+		w := &m.Weights[i]
+		e.Uint64(w.JobID)
+		e.Float64(w.Weight)
+	}
+}
+
+// Unmarshal implements Message.
+func (m *StateSync) Unmarshal(d *Decoder) {
+	m.PrimaryID = d.Uint64()
+	m.Epoch = d.Uint64()
+	m.Cycle = d.Uint64()
+	m.LeaseMicros = d.Uint64()
+	n := d.Length()
+	if d.Err() != nil {
+		return
+	}
+	if n > 0 {
+		m.Members = make([]MemberState, n)
+	}
+	for i := range m.Members {
+		c := &m.Members[i]
+		c.Role = Role(d.Byte())
+		c.ID = d.Uint64()
+		c.JobID = d.Uint64()
+		c.Weight = d.Float64()
+		c.Addr = d.String()
+		ns := d.Length()
+		if d.Err() != nil {
+			return
+		}
+		if ns > 0 {
+			c.Stages = make([]StageEntry, ns)
+			for j := range c.Stages {
+				s := &c.Stages[j]
+				s.ID = d.Uint64()
+				s.JobID = d.Uint64()
+				s.Weight = d.Float64()
+				s.Addr = d.String()
+			}
+		}
+		nr := d.Length()
+		if d.Err() != nil {
+			return
+		}
+		if nr > 0 {
+			c.Rules = make([]Rule, nr)
+			for j := range c.Rules {
+				r := &c.Rules[j]
+				r.StageID = d.Uint64()
+				r.JobID = d.Uint64()
+				r.Action = RuleAction(d.Byte())
+				r.Limit = d.rates()
+			}
+		}
+	}
+	nw := d.Length()
+	if d.Err() != nil || nw == 0 {
+		return
+	}
+	m.Weights = make([]JobWeight, nw)
+	for i := range m.Weights {
+		w := &m.Weights[i]
+		w.JobID = d.Uint64()
+		w.Weight = d.Float64()
+	}
+}
+
+// StateSyncAck confirms a state sync.
+type StateSyncAck struct {
+	// ID identifies the acknowledging standby.
+	ID uint64
+	// Epoch is the standby's current leadership epoch. While the lease
+	// holds it echoes the primary's; a higher value tells the primary the
+	// standby promoted itself and the primary must step down.
+	Epoch uint64
+}
+
+// Type implements Message.
+func (*StateSyncAck) Type() MsgType { return TStateSyncAck }
+
+// Marshal implements Message.
+func (m *StateSyncAck) Marshal(e *Encoder) {
+	e.Uint64(m.ID)
+	e.Uint64(m.Epoch)
+}
+
+// Unmarshal implements Message.
+func (m *StateSyncAck) Unmarshal(d *Decoder) {
+	m.ID = d.Uint64()
+	m.Epoch = d.Uint64()
+}
+
 // New returns a zero message of the given type, or nil if the type is
 // unknown. It is the decode-side factory used by the RPC layer.
 func New(t MsgType) Message {
@@ -799,6 +1015,10 @@ func New(t MsgType) Message {
 		return &PeerExchangeAck{}
 	case TDelegate:
 		return &Delegate{}
+	case TStateSync:
+		return &StateSync{}
+	case TStateSyncAck:
+		return &StateSyncAck{}
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		&Register{Role: RoleAggregator, ID: 9},
 		&RegisterAck{ID: 42, Epoch: 3},
 		&Collect{Cycle: 1001, WindowMicros: 1_000_000},
+		&Collect{Cycle: 1002, WindowMicros: 1_000_000, Epoch: 4},
 		&CollectReply{Cycle: 1001, Reports: []StageReport{
 			{StageID: 1, JobID: 7, Demand: Rates{1000, 50}, Usage: Rates{800, 40}},
 			{StageID: 2, JobID: 8, Demand: Rates{0, 0}, Usage: Rates{0, 0}},
@@ -38,10 +39,15 @@ func TestMessageRoundTrips(t *testing.T) {
 			{StageID: 2, JobID: 8, Action: ActionNoLimit},
 			{StageID: 3, JobID: 9, Action: ActionPause},
 		}},
+		&Enforce{Cycle: 1002, Epoch: 5, Rules: []Rule{
+			{StageID: 4, JobID: 7, Action: ActionSetLimit, Limit: Rates{250, 12}},
+		}},
+		&Enforce{Cycle: 1003, Epoch: 6}, // empty rules, epoch only
 		&EnforceAck{Cycle: 1001, Applied: 2500},
 		&Heartbeat{SentUnixMicros: 1234567890},
 		&HeartbeatAck{EchoUnixMicros: 1234567890},
 		&ErrorReply{Code: CodeOverload, Text: "controller shedding load"},
+		&ErrorReply{Code: CodeStaleEpoch, Text: "deposed", Epoch: 7},
 		&StageList{},
 		&StageListReply{Stages: []StageEntry{
 			{ID: 1, JobID: 2, Weight: 1.5, Addr: "stage-1:40000"},
@@ -57,6 +63,18 @@ func TestMessageRoundTrips(t *testing.T) {
 			{JobID: 2, Limit: Rates{100, 10}},
 		}},
 		&Delegate{Cycle: 10}, // empty budgets
+		&StateSync{
+			PrimaryID: 1, Epoch: 3, Cycle: 88, LeaseMicros: 250_000,
+			Members: []MemberState{
+				{Role: RoleStage, ID: 1, JobID: 7, Weight: 1.5, Addr: "stage-1:0",
+					Rules: []Rule{{StageID: 1, JobID: 7, Action: ActionSetLimit, Limit: Rates{500, 25}}}},
+				{Role: RoleAggregator, ID: 30, Addr: "agg-30:0",
+					Stages: []StageEntry{{ID: 2, JobID: 8, Weight: 1, Addr: "stage-2:0"}}},
+			},
+			Weights: []JobWeight{{JobID: 7, Weight: 1.5}, {JobID: 8, Weight: 1}},
+		},
+		&StateSync{PrimaryID: 1, Epoch: 3, Cycle: 0, LeaseMicros: 250_000}, // empty mirror
+		&StateSyncAck{ID: 2, Epoch: 3},
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -110,7 +128,7 @@ func TestDecodeHugeSliceRejected(t *testing.T) {
 }
 
 func TestNewCoversAllTypes(t *testing.T) {
-	for ty := TRegister; ty <= TDelegate; ty++ {
+	for ty := TRegister; ty <= TStateSyncAck; ty++ {
 		m := New(ty)
 		if m == nil {
 			t.Errorf("New(%s) = nil", ty)

@@ -106,6 +106,17 @@ type (
 	PeerControllerConfig = controller.PeerConfig
 )
 
+// Controller failover sentinels (see GlobalConfig's Standby, StandbyAddr,
+// LeaseTimeout and SyncInterval fields).
+var (
+	// ErrDeposed is returned by a controller's cycle loop once epoch
+	// fencing proved a newer leader holds the control plane.
+	ErrDeposed = controller.ErrDeposed
+	// ErrStandby is returned when cycles are requested of a standby that
+	// has not promoted itself.
+	ErrStandby = controller.ErrStandby
+)
+
 // NewGlobal creates a global controller.
 func NewGlobal(cfg GlobalConfig) (*Global, error) { return controller.NewGlobal(cfg) }
 
