@@ -45,12 +45,15 @@ func scaled(n int) int {
 	return s
 }
 
-// buildBench constructs a deployment for benchmarking.
+// buildBench constructs a deployment for benchmarking. Paper benchmarks use
+// the blocking fan-out mode, reproducing the prototype's bounded dispatch
+// pool; BenchmarkFlatCycle compares it against the pipelined mode.
 func buildBench(b *testing.B, cfg cluster.Config) *cluster.Cluster {
 	b.Helper()
-	if cfg.Net.ProcTime == 0 && cfg.Net.ProcPerByte == 0 {
+	if cfg.Net == (simnet.Config{}) {
 		cfg.Net = experiment.DefaultNet()
 	}
+	cfg.FanOutMode = sdscale.FanOutBlocking
 	c, err := cluster.Build(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -293,6 +296,46 @@ func BenchmarkAblationProcModel(b *testing.B) {
 			c := buildBench(b, cluster.Config{Topology: cluster.Flat, Stages: nodes, Net: model.net})
 			runCycles(b, c)
 		})
+	}
+}
+
+// BenchmarkFlatCycle measures the flat control cycle's dispatch cost at
+// fixed fleet sizes, comparing the pipelined async fan-out against the
+// prototype's bounded blocking pool. The network is raw (no modeled delays
+// or processing costs, no connection limit), so ns/op and allocs/op isolate
+// the RPC dispatch path itself: frame encoding, call bookkeeping, and
+// goroutine scheduling. Run with -benchmem; BENCH_cycle.json records the
+// results.
+func BenchmarkFlatCycle(b *testing.B) {
+	for _, nodes := range []int{1000, 5000, 10000} {
+		for _, mode := range []sdscale.FanOutMode{sdscale.FanOutPipelined, sdscale.FanOutBlocking} {
+			b.Run(fmt.Sprintf("%dk/%s", nodes/1000, mode), func(b *testing.B) {
+				c, err := cluster.Build(cluster.Config{
+					Topology:   cluster.Flat,
+					Stages:     nodes,
+					FanOutMode: mode,
+					// Raw transport: disable the propagation/processing
+					// model and the per-host connection limit (a flat
+					// controller at 5k/10k exceeds the default 2,500).
+					Net: simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(c.Close)
+				ctx := context.Background()
+				if _, err := c.RunControlCycle(ctx); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := c.RunControlCycle(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -14,13 +14,16 @@
 //	sdsbench -exp fig4 -mincycles 20  # tighter statistics
 //
 // Experiments: table1, fig4, table2, fig5, table3, fig6, table4,
-// connlimit, coordflat, chaos, failover, all. Figure/table pairs that share
-// a run (fig4+table2, fig5+table3, fig6+table4) are measured once when both
-// are requested. The chaos and failover experiments are not from the paper:
-// chaos fault-injects the flat deployment (partition flaps on 10% of its
-// nodes) and checks the control plane degrades and recovers instead of
-// stalling; failover crashes the primary controller mid-run and checks a
-// warm standby promotes, re-homes every stage, and fences the old primary.
+// connlimit, coordflat, chaos, failover, pipeline, all. Figure/table pairs
+// that share a run (fig4+table2, fig5+table3, fig6+table4) are measured once
+// when both are requested. The chaos, failover, and pipeline experiments are
+// not from the paper: chaos fault-injects the flat deployment (partition
+// flaps on 10% of its nodes) and checks the control plane degrades and
+// recovers instead of stalling; failover crashes the primary controller
+// mid-run and checks a warm standby promotes, re-homes every stage, and
+// fences the old primary; pipeline compares the prototype's bounded blocking
+// fan-out against this implementation's pipelined async dispatch on
+// otherwise identical flat deployments.
 package main
 
 import (
@@ -42,7 +45,7 @@ func main() {
 	// paper reports <6% relative stddev).
 	debug.SetGCPercent(400)
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, all")
+		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, all")
 		scale       = flag.Float64("scale", 1.0, "node-count scale factor in (0, 1]")
 		minCycles   = flag.Int("mincycles", 5, "minimum measured control cycles per configuration")
 		minDuration = flag.Duration("minduration", 2*time.Second, "minimum measurement window per configuration")
@@ -100,6 +103,7 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		"all": true, "table1": true, "fig4": true, "table2": true,
 		"fig5": true, "table3": true, "fig6": true, "table4": true,
 		"connlimit": true, "coordflat": true, "chaos": true, "failover": true,
+		"pipeline": true,
 	}
 	if !known[exp] {
 		return nil, fmt.Errorf("unknown experiment %q", exp)
@@ -196,6 +200,15 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		}
 		experiment.PrintFailover(opts, r)
 		verdict("failover", experiment.CheckFailover(r))
+	}
+	if want("pipeline") {
+		r, err := experiment.Pipeline(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, r.Blocking, r.Pipelined)
+		experiment.PrintPipeline(opts, r)
+		verdict("pipeline", experiment.CheckPipeline(r))
 	}
 	return all, nil
 }

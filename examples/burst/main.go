@@ -56,7 +56,7 @@ func main() {
 	}
 	defer bursty.Close()
 
-	global, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+	global, err := sdscale.StartGlobal(sdscale.GlobalConfig{
 		Network:  net.Host("controller"),
 		Capacity: sdscale.Rates{2000, 100},
 	})

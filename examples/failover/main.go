@@ -67,7 +67,7 @@ func main() {
 	}
 
 	startController := func(name string, capacity sdscale.Rates) *sdscale.Global {
-		g, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+		g, err := sdscale.StartGlobal(sdscale.GlobalConfig{
 			Network:  net.Host(name),
 			Capacity: capacity,
 			// Fast breaker settings so the quarantine act of the demo
@@ -129,19 +129,19 @@ func main() {
 	// the controller quarantines it — cycles keep completing for the
 	// survivors, with stage 4's last report standing in (degraded mode).
 	net.Host("stage-4").SetPartitioned(true)
-	for g2.NumQuarantined() == 0 {
+	for g2.Stats().Quarantined == 0 {
 		if _, err := g2.RunCycle(ctx); err != nil {
 			log.Fatal(err)
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	show("stage 4 partitioned -> quarantined")
-	fmt.Printf("  -> quarantined stages: %v; cycles keep running degraded\n", g2.QuarantinedIDs())
+	fmt.Printf("  -> quarantined stages: %v; cycles keep running degraded\n", g2.Stats().QuarantinedIDs)
 
 	// The partition heals: the next half-open heartbeat probe succeeds and
 	// the stage is readmitted into the control loop — never evicted.
 	net.Host("stage-4").SetPartitioned(false)
-	for g2.NumQuarantined() != 0 {
+	for g2.Stats().Quarantined != 0 {
 		if _, err := g2.RunCycle(ctx); err != nil {
 			log.Fatal(err)
 		}
@@ -152,7 +152,7 @@ func main() {
 	}
 	show("partition healed -> readmitted")
 	fmt.Println("  -> stage 4 is back under control without re-registration")
-	fmt.Printf("  -> fault telemetry: %v\n", g2.Faults().Summarize())
+	fmt.Printf("  -> fault telemetry: %v\n", g2.Stats().Faults)
 
 	// Act 5: acts 2-3 needed an operator to start the replacement. A warm
 	// standby automates the whole takeover: the primary replicates its
@@ -160,7 +160,7 @@ func main() {
 	// SyncInterval, implicitly renewing a leadership lease; when the lease
 	// expires, the standby promotes itself.
 	g2.Close()
-	sb, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+	sb, err := sdscale.StartGlobal(sdscale.GlobalConfig{
 		Network:    net.Host("standby"),
 		ListenAddr: ":0", // re-homing stages register here after a failover
 		Capacity:   sdscale.Rates{2000, 200},
@@ -177,7 +177,7 @@ func main() {
 		log.Fatalf("standby: %v", err)
 	}
 	defer sb.Close()
-	g3, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+	g3, err := sdscale.StartGlobal(sdscale.GlobalConfig{
 		Network:       net.Host("controller-3"),
 		ListenAddr:    ":0",
 		Capacity:      sdscale.Rates{2000, 200},
@@ -226,7 +226,7 @@ func main() {
 	show("primary crashed -> standby took over")
 	fmt.Printf("  -> promoted at epoch %d, %d/%d stages re-homed, control gap %v\n",
 		sb.Epoch(), sb.NumChildren(), len(stages),
-		sb.Faults().Summarize().MaxControlGap.Round(time.Millisecond))
+		sb.Stats().Faults.MaxControlGap.Round(time.Millisecond))
 
 	// The old primary comes back believing it still leads — a zombie. Its
 	// first calls are fenced (every stage now rejects its stale epoch), so
@@ -251,5 +251,5 @@ func main() {
 
 	stopStandby()
 	<-sbDone
-	fmt.Printf("  -> standby fault telemetry: %v\n", sb.Faults().Summarize())
+	fmt.Printf("  -> standby fault telemetry: %v\n", sb.Stats().Faults)
 }

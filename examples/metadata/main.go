@@ -89,7 +89,7 @@ func main() {
 	after := snap()
 	report("phase 1 — no control plane (the swarm floods the MDS):", phaseTime, before, after)
 
-	global, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+	global, err := sdscale.StartGlobal(sdscale.GlobalConfig{
 		Network:  net.Host("controller"),
 		Capacity: sdscale.Rates{40000, mdsCapacity * 9 / 10},
 	})

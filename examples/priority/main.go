@@ -92,7 +92,7 @@ func main() {
 	report(before, after, phaseTime)
 
 	// Phase 2: the SDS control plane arbitrates.
-	global, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+	global, err := sdscale.StartGlobal(sdscale.GlobalConfig{
 		Network:   net.Host("controller"),
 		Algorithm: sdscale.PSFA(),
 		Capacity:  sdscale.Rates{adminCap, 1000},

@@ -46,7 +46,7 @@ func main() {
 
 	// Control plane: one flat global controller. Total demand is 4,000
 	// data IOPS; capacity is 2,000, so the PSFA algorithm must arbitrate.
-	global, err := sdscale.NewGlobal(sdscale.GlobalConfig{
+	global, err := sdscale.StartGlobal(sdscale.GlobalConfig{
 		Network:   net.Host("controller"),
 		Algorithm: sdscale.PSFA(),
 		Capacity:  sdscale.Rates{2000, 200},

@@ -81,6 +81,11 @@ type Config struct {
 	// FanOut bounds every controller's dispatch parallelism. Zero selects
 	// the controller default.
 	FanOut int
+	// FanOutMode selects every controller's collect/enforce dispatch
+	// strategy. The zero value pipelines requests over the child
+	// connections; controller.FanOutBlocking restores the paper prototype's
+	// bounded blocking pool (the paper-reproduction presets set it).
+	FanOutMode controller.FanOutMode
 	// ForwardRaw disables metric pre-aggregation at aggregators
 	// (hierarchical only); see controller.AggregatorConfig.ForwardRaw.
 	// Used by ablation benchmarks.
@@ -238,6 +243,7 @@ func (c *Cluster) build() error {
 		Capacity:         cfg.Capacity,
 		Algorithm:        cfg.Algorithm,
 		FanOut:           cfg.FanOut,
+		FanOutMode:       cfg.FanOutMode,
 		CallTimeout:      cfg.CallTimeout,
 		Delegated:        cfg.Delegated,
 		DeltaEnforcement: cfg.DeltaEnforcement,
@@ -272,6 +278,7 @@ func (c *Cluster) build() error {
 				ID:               uint64(1_000_000 + a),
 				Network:          c.Net.Host(fmt.Sprintf("agg-%d", a+1)),
 				FanOut:           cfg.FanOut,
+				FanOutMode:       cfg.FanOutMode,
 				CallTimeout:      cfg.CallTimeout,
 				ForwardRaw:       cfg.ForwardRaw,
 				LocalControl:     cfg.Delegated,
@@ -321,6 +328,7 @@ func (c *Cluster) buildFlatStandby() error {
 		Capacity:         cfg.Capacity,
 		Algorithm:        cfg.Algorithm,
 		FanOut:           cfg.FanOut,
+		FanOutMode:       cfg.FanOutMode,
 		CallTimeout:      cfg.CallTimeout,
 		DeltaEnforcement: cfg.DeltaEnforcement,
 		MaxFailures:      cfg.MaxFailures,
@@ -398,6 +406,7 @@ func (c *Cluster) buildCoordinated(ctx context.Context) error {
 			Algorithm:        cfg.Algorithm,
 			Capacity:         cfg.Capacity,
 			FanOut:           cfg.FanOut,
+			FanOutMode:       cfg.FanOutMode,
 			CallTimeout:      cfg.CallTimeout,
 			MaxFailures:      cfg.MaxFailures,
 			ProbeInterval:    cfg.ProbeInterval,

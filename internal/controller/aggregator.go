@@ -30,6 +30,10 @@ type AggregatorConfig struct {
 	// FanOut bounds the aggregator's dispatch parallelism toward its
 	// stages. Zero selects DefaultFanOut.
 	FanOut int
+	// FanOutMode selects the collect/enforce dispatch strategy; the zero
+	// value pipelines requests over the stage connections. See
+	// GlobalConfig.FanOutMode.
+	FanOutMode FanOutMode
 	// CallTimeout bounds each stage RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
 	// MaxFailures is the consecutive-failure threshold that trips a
@@ -97,11 +101,13 @@ func (c AggregatorConfig) withDefaults() AggregatorConfig {
 // set of stages, pre-aggregates their metrics per job, and fans enforcement
 // rules back out.
 type Aggregator struct {
-	cfg     AggregatorConfig
-	breaker breakerConfig
-	server  *rpc.Server
-	members *memberSet
-	faults  *telemetry.FaultCounters
+	cfg        AggregatorConfig
+	breaker    breakerConfig
+	server     *rpc.Server
+	members    *memberSet
+	faults     *telemetry.FaultCounters
+	pipe       *telemetry.PipelineStats
+	callErrors atomic.Uint64
 
 	// Re-homing loop lifecycle (Parents configured).
 	rehomeStop chan struct{}
@@ -133,6 +139,7 @@ func StartAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		}.withDefaults(),
 		members: newMemberSet(),
 		faults:  &telemetry.FaultCounters{},
+		pipe:    &telemetry.PipelineStats{},
 	}
 	// The server deliberately gets no CPU meter: its handler blocks on the
 	// stage fan-out, so handler wall time is not aggregator CPU. Busy time
@@ -169,6 +176,8 @@ func (a *Aggregator) Faults() *telemetry.FaultCounters { return a.faults }
 
 // NumQuarantined returns how many managed stages currently sit behind a
 // tripped circuit breaker.
+//
+// Deprecated: use Stats().Quarantined.
 func (a *Aggregator) NumQuarantined() int {
 	_, quarantined := splitQuarantined(a.members.snapshot())
 	return len(quarantined)
@@ -295,6 +304,8 @@ func (a *Aggregator) Epoch() uint64 {
 }
 
 // FencedCalls returns how many stale-epoch calls the aggregator rejected.
+//
+// Deprecated: use Stats().FencedCalls.
 func (a *Aggregator) FencedCalls() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -303,6 +314,8 @@ func (a *Aggregator) FencedCalls() uint64 {
 
 // ReHomes returns how many times the aggregator re-registered with a parent
 // after losing contact.
+//
+// Deprecated: use Stats().ReHomes.
 func (a *Aggregator) ReHomes() uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -374,8 +387,36 @@ func (a *Aggregator) callStage(ctx context.Context, c *child, req wire.Message) 
 	cctx, cancel := context.WithTimeout(ctx, a.cfg.CallTimeout)
 	resp, err := c.client().Call(cctx, req)
 	cancel()
-	recordCall(ctx, c, err, a.breaker, a.faults, a.logf, fmt.Sprintf("aggregator %d", a.cfg.ID))
+	a.accountCall(ctx, c, err)
 	return resp, err
+}
+
+// accountCall applies a call outcome to the error counter and circuit
+// breaker; errors the caller's own ctx caused are excluded. Shared between
+// callStage and the pipelined fan-out path.
+func (a *Aggregator) accountCall(ctx context.Context, c *child, err error) {
+	if err != nil && ctx.Err() == nil {
+		a.callErrors.Add(1)
+	}
+	recordCall(ctx, c, err, a.breaker, a.faults, a.logf, fmt.Sprintf("aggregator %d", a.cfg.ID))
+}
+
+// fanOut dispatches one phase over the managed stages using the configured
+// FanOutMode, charging every outcome to the breaker and error accounting.
+func (a *Aggregator) fanOut(ctx context.Context, gauge *telemetry.Gauge, children []*child,
+	reqFor func(i int) wire.Message,
+	onReply func(i int, resp wire.Message)) {
+	fanOutCalls(ctx, fanOutOpts{
+		mode:    a.cfg.FanOutMode,
+		par:     a.cfg.FanOut,
+		timeout: a.cfg.CallTimeout,
+		gauge:   gauge,
+	}, children, reqFor, func(i int, resp wire.Message, err error) {
+		a.accountCall(ctx, children[i], err)
+		if err == nil && onReply != nil {
+			onReply(i, resp)
+		}
+	})
 }
 
 // prepareScatter probes quarantined stages (readmitting responders),
@@ -408,16 +449,14 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	}
 	n := len(children)
 	replies := make([]*wire.CollectReply, n)
-	rpc.Scatter(n, a.cfg.FanOut, func(i int) {
-		resp, err := a.callStage(ctx, children[i], m)
-		if err != nil {
-			return
-		}
-		if r, ok := resp.(*wire.CollectReply); ok {
-			replies[i] = r
-			children[i].noteReport(r, time.Now())
-		}
-	})
+	a.fanOut(ctx, &a.pipe.CollectInFlight, children,
+		func(i int) wire.Message { return m },
+		func(i int, resp wire.Message) {
+			if r, ok := resp.(*wire.CollectReply); ok {
+				replies[i] = r
+				children[i].noteReport(r, time.Now())
+			}
+		})
 
 	var untrack func()
 	if a.cfg.CPU != nil {
@@ -471,19 +510,20 @@ func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
 
 	var applied atomic.Uint32
 	ctx := context.Background()
-	rpc.Scatter(len(children), a.cfg.FanOut, func(i int) {
-		rules := byStage[children[i].info.ID]
-		if len(rules) == 0 {
-			return
-		}
-		resp, err := a.callStage(ctx, children[i], &wire.Enforce{Cycle: m.Cycle, Rules: rules, Epoch: a.Epoch()})
-		if err != nil {
-			return
-		}
-		if ack, ok := resp.(*wire.EnforceAck); ok {
-			applied.Add(ack.Applied)
-		}
-	})
+	epoch := a.Epoch()
+	a.fanOut(ctx, &a.pipe.EnforceInFlight, children,
+		func(i int) wire.Message {
+			rules := byStage[children[i].info.ID]
+			if len(rules) == 0 {
+				return nil
+			}
+			return &wire.Enforce{Cycle: m.Cycle, Rules: rules, Epoch: epoch}
+		},
+		func(i int, resp wire.Message) {
+			if ack, ok := resp.(*wire.EnforceAck); ok {
+				applied.Add(ack.Applied)
+			}
+		})
 	return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied.Load()}, nil
 }
 

@@ -307,6 +307,11 @@ func recordCall(ctx context.Context, c *child, err error, bc breakerConfig,
 		}
 		return
 	}
+	// Pipelined calls surface connection death at harvest time rather than
+	// inside ReconnectingClient.Call; give the wrapper the chance to start
+	// its background redial (a no-op for healthy connections and for the
+	// synchronous path, which already checked inline).
+	c.client().NoteError(ctx, err)
 	if ctx.Err() != nil {
 		return // caller-side cancellation, not a child failure
 	}
@@ -346,7 +351,7 @@ func sweepProbes(ctx context.Context, quarantined []*child, bc breakerConfig, fa
 			due = append(due, c)
 		}
 	}
-	rpc.Scatter(len(due), fanOut, func(i int) {
+	rpc.Scatter(ctx, len(due), fanOut, func(i int) {
 		c := due[i]
 		cctx, cancel := context.WithTimeout(ctx, timeout)
 		resp, err := c.client().Call(cctx, &wire.Heartbeat{SentUnixMicros: time.Now().UnixMicro()})

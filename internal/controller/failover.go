@@ -179,7 +179,7 @@ func (g *Global) Promote(ctx context.Context) error {
 	// Adoption dials every mirrored child, so it runs with the same bounded
 	// parallelism as a control cycle's scatter — sequential dials would put
 	// the whole fleet size on the recovery critical path.
-	rpc.Scatter(len(m.Members), g.cfg.FanOut, func(i int) {
+	rpc.Scatter(ctx, len(m.Members), g.cfg.FanOut, func(i int) {
 		mem := &m.Members[i]
 		var err error
 		switch mem.Role {

@@ -1,0 +1,112 @@
+package controller
+
+import (
+	"context"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// FanOutMode selects how a controller's collect and enforce phases dispatch
+// child requests.
+type FanOutMode int
+
+const (
+	// FanOutPipelined streams every child request back-to-back over the
+	// per-child connections and harvests responses as they arrive. No
+	// goroutine parks per call and per-call state comes from pools, so
+	// dispatch cost per child is a frame encode plus a write. This is the
+	// default.
+	FanOutPipelined FanOutMode = iota
+	// FanOutBlocking reproduces the paper prototype's bounded thread pool:
+	// one blocked goroutine per in-flight call, at most FanOut of them. The
+	// paper-reproduction presets select it explicitly, since the bounded
+	// pool is what makes per-child latency accumulate linearly (Fig. 4).
+	FanOutBlocking
+)
+
+// String names the mode for logs and experiment reports.
+func (m FanOutMode) String() string {
+	if m == FanOutBlocking {
+		return "blocking"
+	}
+	return "pipelined"
+}
+
+// fanOutOpts carries one phase's dispatch parameters.
+type fanOutOpts struct {
+	mode FanOutMode
+	// par bounds concurrency in blocking mode (ignored when pipelined).
+	par int
+	// timeout is the per-call budget; in pipelined mode it becomes the
+	// phase deadline, so every child still gets at least timeout from its
+	// request being issued.
+	timeout time.Duration
+	// gauge, if non-nil, tracks in-flight calls for this phase.
+	gauge *telemetry.Gauge
+}
+
+// fanOutCalls issues one request per child and hands every outcome to
+// onDone. reqFor returning nil skips that child. In blocking mode onDone
+// runs concurrently from up to par scatter workers; in pipelined mode it
+// runs sequentially on the calling goroutine, in issue order. Callers must
+// keep onDone safe for the blocking case (index-disjoint writes or their own
+// locking). Once ctx is cancelled no further requests are issued.
+func fanOutCalls(ctx context.Context, o fanOutOpts, children []*child,
+	reqFor func(i int) wire.Message,
+	onDone func(i int, resp wire.Message, err error)) {
+	n := len(children)
+	if n == 0 {
+		return
+	}
+	if o.mode == FanOutBlocking {
+		rpc.Scatter(ctx, n, o.par, func(i int) {
+			req := reqFor(i)
+			if req == nil {
+				return
+			}
+			if o.gauge != nil {
+				o.gauge.Enter()
+				defer o.gauge.Exit()
+			}
+			cctx, cancel := context.WithTimeout(ctx, o.timeout)
+			resp, err := children[i].client().Call(cctx, req)
+			cancel()
+			onDone(i, resp, err)
+		})
+		return
+	}
+
+	// Pipelined: issue every request back-to-back, then harvest the
+	// completion handles in issue order — phase latency is the slowest
+	// child, not the sum over a bounded pool. One deadline covers the whole
+	// phase in place of a context per call.
+	pctx, cancel := context.WithTimeout(ctx, o.timeout)
+	defer cancel()
+	calls := make([]*rpc.Call, n)
+	for i := range children {
+		if ctx.Err() != nil {
+			break // cancelled mid-fan-out: stop issuing
+		}
+		req := reqFor(i)
+		if req == nil {
+			continue
+		}
+		if o.gauge != nil {
+			o.gauge.Enter()
+		}
+		calls[i] = children[i].client().Go(pctx, req)
+	}
+	for i, call := range calls {
+		if call == nil {
+			continue
+		}
+		resp, err := call.Wait(pctx)
+		if o.gauge != nil {
+			o.gauge.Exit()
+		}
+		onDone(i, resp, err)
+	}
+}

@@ -36,8 +36,17 @@ type GlobalConfig struct {
 	// the shared PFS, per class (paper §III-C).
 	Capacity wire.Rates
 	// FanOut bounds the controller's request-dispatch parallelism. Zero
-	// selects DefaultFanOut.
+	// selects DefaultFanOut. It only bounds the collect/enforce phases in
+	// FanOutBlocking mode; probes, health sweeps, and adoption dials always
+	// honor it.
 	FanOut int
+	// FanOutMode selects the collect/enforce dispatch strategy: the zero
+	// value, FanOutPipelined, streams all child requests back-to-back over
+	// the per-child connections and harvests responses as they arrive;
+	// FanOutBlocking restores the paper prototype's bounded blocking pool
+	// (one parked goroutine per call, FanOut wide), which the
+	// paper-reproduction presets select explicitly.
+	FanOutMode FanOutMode
 	// CallTimeout bounds each child RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
 	// MaxFailures is the consecutive-failure threshold that trips a
@@ -132,6 +141,7 @@ type Global struct {
 	members  *memberSet
 	recorder *telemetry.CycleRecorder
 	faults   *telemetry.FaultCounters
+	pipe     *telemetry.PipelineStats
 	regSrv   *rpc.Server
 
 	// Primary-side state-sync loop (StandbyAddr set).
@@ -160,8 +170,21 @@ type Global struct {
 	fencedSyncs uint64
 }
 
+// StartGlobal launches a global controller with its registration endpoint
+// listening. It is the primary entry point: cfg.ListenAddr defaults to ":0"
+// (auto-assigned), so children can always register dynamically. Use
+// NewGlobal directly only when the controller must not listen at all.
+func StartGlobal(cfg GlobalConfig) (*Global, error) {
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = ":0"
+	}
+	return NewGlobal(cfg)
+}
+
 // NewGlobal creates a global controller. If cfg.ListenAddr is set, a
-// registration endpoint is started immediately.
+// registration endpoint is started immediately; if it is empty the
+// controller runs without one and children must be attached explicitly.
+// Most callers want StartGlobal, which defaults the listener on.
 func NewGlobal(cfg GlobalConfig) (*Global, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Standby && cfg.ListenAddr == "" {
@@ -179,6 +202,7 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 		members:    newMemberSet(),
 		recorder:   telemetry.NewCycleRecorder(),
 		faults:     &telemetry.FaultCounters{},
+		pipe:       &telemetry.PipelineStats{},
 		jobWeights: make(map[uint64]float64),
 		epoch:      cfg.Epoch,
 	}
@@ -237,27 +261,30 @@ func (g *Global) Faults() *telemetry.FaultCounters { return g.faults }
 
 // NumQuarantined returns how many children currently sit behind a tripped
 // circuit breaker.
+//
+// Deprecated: use Stats().Quarantined.
 func (g *Global) NumQuarantined() int {
 	_, quarantined := splitQuarantined(g.members.snapshot())
 	return len(quarantined)
 }
 
 // QuarantinedIDs returns the IDs of the currently quarantined children.
+//
+// Deprecated: use Stats().QuarantinedIDs.
 func (g *Global) QuarantinedIDs() []uint64 {
-	_, quarantined := splitQuarantined(g.members.snapshot())
-	ids := make([]uint64, len(quarantined))
-	for i, c := range quarantined {
-		ids[i] = c.info.ID
-	}
-	return ids
+	return g.Stats().QuarantinedIDs
 }
 
 // Evictions returns how many quarantined children were permanently removed
 // under the EvictAfter bound. With EvictAfter unset it stays zero: failing
 // children are quarantined and readmitted, never evicted.
+//
+// Deprecated: use Stats().Evictions.
 func (g *Global) Evictions() uint64 { return g.faults.Evictions() }
 
 // CallErrors returns the cumulative count of failed child calls.
+//
+// Deprecated: use Stats().CallErrors.
 func (g *Global) CallErrors() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -462,6 +489,17 @@ func (g *Global) callChild(ctx context.Context, c *child, req wire.Message) (wir
 	cctx, cancel := context.WithTimeout(ctx, g.cfg.CallTimeout)
 	resp, err := c.client().Call(cctx, req)
 	cancel()
+	g.accountCall(ctx, c, err)
+	return resp, err
+}
+
+// accountCall applies a call outcome to the error counter, epoch fencing,
+// and the circuit breaker. ctx is the caller's own context (not the per-call
+// or phase deadline): errors it caused are excluded, so a shutdown
+// mid-scatter charges no child a strike. It is the accounting half of
+// callChild, shared with the pipelined fan-out path where the call itself
+// happens elsewhere.
+func (g *Global) accountCall(ctx context.Context, c *child, err error) {
 	if err != nil && ctx.Err() == nil {
 		g.mu.Lock()
 		g.callErrors++
@@ -473,7 +511,24 @@ func (g *Global) callChild(ctx context.Context, c *child, req wire.Message) (wir
 		}
 	}
 	recordCall(ctx, c, err, g.breaker, g.faults, g.logf, "controller")
-	return resp, err
+}
+
+// fanOut dispatches one cycle phase over the children using the configured
+// FanOutMode, charging every outcome to the breaker and error accounting.
+func (g *Global) fanOut(ctx context.Context, gauge *telemetry.Gauge, children []*child,
+	reqFor func(i int) wire.Message,
+	onReply func(i int, resp wire.Message)) {
+	fanOutCalls(ctx, fanOutOpts{
+		mode:    g.cfg.FanOutMode,
+		par:     g.cfg.FanOut,
+		timeout: g.cfg.CallTimeout,
+		gauge:   gauge,
+	}, children, reqFor, func(i int, resp wire.Message, err error) {
+		g.accountCall(ctx, children[i], err)
+		if err == nil && onReply != nil {
+			onReply(i, resp)
+		}
+	})
 }
 
 // prepareCycle runs the pre-cycle breaker maintenance: half-open probes for
@@ -560,7 +615,7 @@ func (g *Global) HealthCheck(ctx context.Context) Health {
 func sweepHealth(ctx context.Context, children []*child, fanOut int, timeout time.Duration) Health {
 	rtts := make([]time.Duration, len(children))
 	ok := make([]bool, len(children))
-	rpc.Scatter(len(children), fanOut, func(i int) {
+	rpc.Scatter(ctx, len(children), fanOut, func(i int) {
 		cctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
@@ -629,6 +684,7 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	}
 
 	start := time.Now()
+	allocsBefore := telemetry.AllocsNow()
 	var b telemetry.Breakdown
 	var err error
 	if mode == wire.RoleAggregator {
@@ -636,6 +692,7 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	} else {
 		b, err = g.runFlatCycle(ctx, cycle, epoch, active, quarantined)
 	}
+	g.pipe.RecordCycleAllocs(telemetry.AllocsNow() - allocsBefore)
 	if err != nil {
 		return b, err
 	}
@@ -682,16 +739,14 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 	collectStart := time.Now()
 	replies := make([]*wire.CollectReply, n)
 	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
-	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
-		resp, err := g.callChild(ctx, children[i], req)
-		if err != nil {
-			return
-		}
-		if r, ok := resp.(*wire.CollectReply); ok {
-			replies[i] = r
-			children[i].noteReport(r, time.Now())
-		}
-	})
+	g.fanOut(ctx, &g.pipe.CollectInFlight, children,
+		func(i int) wire.Message { return req },
+		func(i int, resp wire.Message) {
+			if r, ok := resp.(*wire.CollectReply); ok {
+				replies[i] = r
+				children[i].noteReport(r, time.Now())
+			}
+		})
 	b.Collect = time.Since(collectStart)
 	if ctx.Err() != nil {
 		return b, ctx.Err()
@@ -722,19 +777,22 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 
 	// Phase 3: enforce, one rule per responsive stage.
 	enforceStart := time.Now()
-	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
-		rule, ok := rules[children[i].info.ID]
-		if !ok {
-			return // stage did not report this cycle
-		}
-		batch := []wire.Rule{rule}
-		if g.cfg.DeltaEnforcement {
-			if batch = children[i].filterChanged(batch); len(batch) == 0 {
-				return
+	ruleBuf := make([]wire.Rule, n) // index-disjoint one-rule batches, one allocation
+	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
+		func(i int) wire.Message {
+			rule, ok := rules[children[i].info.ID]
+			if !ok {
+				return nil // stage did not report this cycle
 			}
-		}
-		g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch})
-	})
+			batch := ruleBuf[i : i+1 : i+1]
+			batch[0] = rule
+			if g.cfg.DeltaEnforcement {
+				if batch = children[i].filterChanged(batch); len(batch) == 0 {
+					return nil
+				}
+			}
+			return &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
+		}, nil)
 	b.Enforce = time.Since(enforceStart)
 	return b, ctx.Err()
 }
@@ -806,17 +864,15 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 	collectStart := time.Now()
 	replies := make([]wire.Message, n)
 	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
-	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
-		resp, err := g.callChild(ctx, children[i], req)
-		if err != nil {
-			return
-		}
-		switch resp.(type) {
-		case *wire.CollectAggReply, *wire.CollectReply:
-			replies[i] = resp
-			children[i].noteReport(resp, time.Now())
-		}
-	})
+	g.fanOut(ctx, &g.pipe.CollectInFlight, children,
+		func(i int) wire.Message { return req },
+		func(i int, resp wire.Message) {
+			switch resp.(type) {
+			case *wire.CollectAggReply, *wire.CollectReply:
+				replies[i] = resp
+				children[i].noteReport(resp, time.Now())
+			}
+		})
 	b.Collect = time.Since(collectStart)
 	if ctx.Err() != nil {
 		return b, ctx.Err()
@@ -922,24 +978,23 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 
 	// Phase 3: enforce via aggregators.
 	enforceStart := time.Now()
-	rpc.Scatter(n, g.cfg.FanOut, func(i int) {
-		switch {
-		case g.cfg.Delegated:
-			if len(budgets[i]) == 0 {
-				return
+	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
+		func(i int) wire.Message {
+			if g.cfg.Delegated {
+				if len(budgets[i]) == 0 {
+					return nil
+				}
+				return &wire.Delegate{Cycle: cycle, Budgets: budgets[i]}
 			}
-			g.callChild(ctx, children[i], &wire.Delegate{Cycle: cycle, Budgets: budgets[i]})
-		default:
 			batch := batches[i]
 			if g.cfg.DeltaEnforcement {
 				batch = children[i].filterChanged(batch)
 			}
 			if len(batch) == 0 {
-				return
+				return nil
 			}
-			g.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch})
-		}
-	})
+			return &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
+		}, nil)
 	b.Enforce = time.Since(enforceStart)
 	return b, ctx.Err()
 }

@@ -34,6 +34,10 @@ type PeerConfig struct {
 	Capacity wire.Rates
 	// FanOut bounds stage-dispatch parallelism. Zero selects DefaultFanOut.
 	FanOut int
+	// FanOutMode selects the collect/enforce dispatch strategy; the zero
+	// value pipelines requests over the stage connections. See
+	// GlobalConfig.FanOutMode.
+	FanOutMode FanOutMode
 	// CallTimeout bounds each RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
 	// MaxFailures is the consecutive-failure threshold that trips a
@@ -110,12 +114,14 @@ type Peer struct {
 	members  *memberSet // own stages
 	recorder *telemetry.CycleRecorder
 	faults   *telemetry.FaultCounters
+	pipe     *telemetry.PipelineStats
 
 	mu         sync.Mutex
 	peers      map[uint64]*child // fellow controllers
 	remote     map[uint64]remoteView
 	jobWeights map[uint64]float64
 	cycle      uint64
+	callErrors uint64
 }
 
 // StartPeer launches a coordinated-flat peer controller.
@@ -133,6 +139,7 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 		members:    newMemberSet(),
 		recorder:   telemetry.NewCycleRecorder(),
 		faults:     &telemetry.FaultCounters{},
+		pipe:       &telemetry.PipelineStats{},
 		peers:      make(map[uint64]*child),
 		remote:     make(map[uint64]remoteView),
 		jobWeights: make(map[uint64]float64),
@@ -173,6 +180,8 @@ func (p *Peer) Faults() *telemetry.FaultCounters { return p.faults }
 
 // NumQuarantined returns how many of this peer's stages currently sit
 // behind a tripped circuit breaker.
+//
+// Deprecated: use Stats().Quarantined.
 func (p *Peer) NumQuarantined() int {
 	_, quarantined := splitQuarantined(p.members.snapshot())
 	return len(quarantined)
@@ -291,8 +300,39 @@ func (p *Peer) callChild(ctx context.Context, c *child, req wire.Message) (wire.
 	cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
 	resp, err := c.client().Call(cctx, req)
 	cancel()
-	recordCall(ctx, c, err, p.breaker, p.faults, p.logf, fmt.Sprintf("peer %d", p.cfg.ID))
+	p.accountCall(ctx, c, err)
 	return resp, err
+}
+
+// accountCall applies a call outcome to the error counter and circuit
+// breaker; errors the caller's own ctx caused are excluded. Shared between
+// callChild and the pipelined fan-out path.
+func (p *Peer) accountCall(ctx context.Context, c *child, err error) {
+	if err != nil && ctx.Err() == nil {
+		p.mu.Lock()
+		p.callErrors++
+		p.mu.Unlock()
+	}
+	recordCall(ctx, c, err, p.breaker, p.faults, p.logf, fmt.Sprintf("peer %d", p.cfg.ID))
+}
+
+// fanOut dispatches one phase over the peer's own stages using the
+// configured FanOutMode, charging every outcome to the breaker and error
+// accounting.
+func (p *Peer) fanOut(ctx context.Context, gauge *telemetry.Gauge, children []*child,
+	reqFor func(i int) wire.Message,
+	onReply func(i int, resp wire.Message)) {
+	fanOutCalls(ctx, fanOutOpts{
+		mode:    p.cfg.FanOutMode,
+		par:     p.cfg.FanOut,
+		timeout: p.cfg.CallTimeout,
+		gauge:   gauge,
+	}, children, reqFor, func(i int, resp wire.Message, err error) {
+		p.accountCall(ctx, children[i], err)
+		if err == nil && onReply != nil {
+			onReply(i, resp)
+		}
+	})
 }
 
 // prepareCycle probes quarantined stages (readmitting responders), applies
@@ -330,6 +370,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	}
 
 	start := time.Now()
+	allocsBefore := telemetry.AllocsNow()
 	var b telemetry.Breakdown
 
 	// Phase 1: collect own active stages, aggregate, and exchange with
@@ -339,16 +380,14 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	n := len(children)
 	replies := make([]*wire.CollectReply, n)
 	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000}
-	rpc.Scatter(n, p.cfg.FanOut, func(i int) {
-		resp, err := p.callChild(ctx, children[i], req)
-		if err != nil {
-			return
-		}
-		if r, ok := resp.(*wire.CollectReply); ok {
-			replies[i] = r
-			children[i].noteReport(r, time.Now())
-		}
-	})
+	p.fanOut(ctx, &p.pipe.CollectInFlight, children,
+		func(i int) wire.Message { return req },
+		func(i int, resp wire.Message) {
+			if r, ok := resp.(*wire.CollectReply); ok {
+				replies[i] = r
+				children[i].noteReport(r, time.Now())
+			}
+		})
 
 	var untrack func()
 	if p.cfg.CPU != nil {
@@ -378,7 +417,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	}
 	p.mu.Unlock()
 	exchange := &wire.PeerExchange{Cycle: cycle, PeerID: p.cfg.ID, Addr: p.Addr(), Jobs: ownJobs}
-	rpc.Scatter(len(fellows), p.cfg.FanOut, func(i int) {
+	rpc.Scatter(ctx, len(fellows), p.cfg.FanOut, func(i int) {
 		cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
 		fellows[i].client().Call(cctx, exchange)
 		cancel()
@@ -455,16 +494,18 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 
 	// Phase 3: enforce own partition.
 	enforceStart := time.Now()
-	rpc.Scatter(n, p.cfg.FanOut, func(i int) {
-		rule, ok := rules[children[i].info.ID]
-		if !ok {
-			return
-		}
-		p.callChild(ctx, children[i], &wire.Enforce{Cycle: cycle, Rules: []wire.Rule{rule}})
-	})
+	p.fanOut(ctx, &p.pipe.EnforceInFlight, children,
+		func(i int) wire.Message {
+			rule, ok := rules[children[i].info.ID]
+			if !ok {
+				return nil
+			}
+			return &wire.Enforce{Cycle: cycle, Rules: []wire.Rule{rule}}
+		}, nil)
 	b.Enforce = time.Since(enforceStart)
 
 	b.Total = time.Since(start)
+	p.pipe.RecordCycleAllocs(telemetry.AllocsNow() - allocsBefore)
 	p.recorder.Record(b)
 	return b, ctx.Err()
 }

@@ -1,0 +1,128 @@
+package controller
+
+import "github.com/dsrhaslab/sdscale/internal/telemetry"
+
+// ControllerStats is a point-in-time snapshot of a controller's operational
+// state: membership, breaker health, leadership, and fan-out pipeline
+// telemetry. It is the one-call observability surface shared by Global,
+// Aggregator, and Peer; the older per-counter accessors remain as deprecated
+// wrappers around it.
+type ControllerStats struct {
+	// Children is the number of directly managed children (stages or
+	// aggregators); Stages is the stage population reached through them.
+	Children int
+	Stages   int
+	// Peers is the number of fellow controllers in the coordinated flat
+	// design; zero for the other controller kinds.
+	Peers int
+	// Quarantined counts children currently behind a tripped circuit
+	// breaker; QuarantinedIDs lists them.
+	Quarantined    int
+	QuarantinedIDs []uint64
+	// CallErrors is the cumulative count of failed child calls (excluding
+	// ones the controller's own shutdown caused).
+	CallErrors uint64
+	// Evictions counts children permanently removed under EvictAfter.
+	Evictions uint64
+	// Epoch is the controller's current leadership epoch: the epoch it
+	// leads with (Global) or the highest epoch it has seen (Aggregator).
+	Epoch uint64
+	// FencedCalls counts epoch-fencing events: stale-epoch rejections this
+	// controller received (Global) or issued (Aggregator).
+	FencedCalls uint64
+	// ReHomes counts re-registrations with a new parent after upstream
+	// silence (Aggregator only).
+	ReHomes uint64
+	// Faults digests the fault-tolerance counters (quarantines,
+	// readmissions, probes, degraded cycles, stale-report ages, ...).
+	Faults telemetry.FaultSummary
+	// Pipeline digests the fan-out dispatch telemetry (per-phase in-flight
+	// gauges and per-cycle allocation counts).
+	Pipeline telemetry.PipelineSnapshot
+}
+
+// Stats snapshots the controller's operational state.
+func (g *Global) Stats() ControllerStats {
+	_, quarantined := splitQuarantined(g.members.snapshot())
+	ids := make([]uint64, len(quarantined))
+	for i, c := range quarantined {
+		ids[i] = c.info.ID
+	}
+	g.mu.Lock()
+	callErrors := g.callErrors
+	g.mu.Unlock()
+	return ControllerStats{
+		Children:       g.members.size(),
+		Stages:         g.NumStages(),
+		Quarantined:    len(quarantined),
+		QuarantinedIDs: ids,
+		CallErrors:     callErrors,
+		Evictions:      g.faults.Evictions(),
+		Epoch:          g.Epoch(),
+		FencedCalls:    g.faults.FencedCalls(),
+		Faults:         g.faults.Summarize(),
+		Pipeline:       g.pipe.Snapshot(),
+	}
+}
+
+// Stats snapshots the aggregator's operational state.
+func (a *Aggregator) Stats() ControllerStats {
+	_, quarantined := splitQuarantined(a.members.snapshot())
+	ids := make([]uint64, len(quarantined))
+	for i, c := range quarantined {
+		ids[i] = c.info.ID
+	}
+	a.mu.Lock()
+	epoch := a.epoch
+	fenced := a.fencedCalls
+	rehomes := a.rehomes
+	a.mu.Unlock()
+	return ControllerStats{
+		Children:       a.members.size(),
+		Stages:         a.members.size(),
+		Quarantined:    len(quarantined),
+		QuarantinedIDs: ids,
+		CallErrors:     a.callErrors.Load(),
+		Evictions:      a.faults.Evictions(),
+		Epoch:          epoch,
+		FencedCalls:    fenced,
+		ReHomes:        rehomes,
+		Faults:         a.faults.Summarize(),
+		Pipeline:       a.pipe.Snapshot(),
+	}
+}
+
+// Stats snapshots the peer's operational state.
+func (p *Peer) Stats() ControllerStats {
+	_, quarantined := splitQuarantined(p.members.snapshot())
+	ids := make([]uint64, len(quarantined))
+	for i, c := range quarantined {
+		ids[i] = c.info.ID
+	}
+	p.mu.Lock()
+	callErrors := p.callErrors
+	peers := len(p.peers)
+	p.mu.Unlock()
+	return ControllerStats{
+		Children:       p.members.size(),
+		Stages:         p.members.size(),
+		Peers:          peers,
+		Quarantined:    len(quarantined),
+		QuarantinedIDs: ids,
+		CallErrors:     callErrors,
+		Evictions:      p.faults.Evictions(),
+		Faults:         p.faults.Summarize(),
+		Pipeline:       p.pipe.Snapshot(),
+	}
+}
+
+// Pipeline returns the controller's live fan-out telemetry (per-phase
+// in-flight gauges and per-cycle allocation counters). Stats().Pipeline is
+// the snapshot form.
+func (g *Global) Pipeline() *telemetry.PipelineStats { return g.pipe }
+
+// Pipeline returns the aggregator's live fan-out telemetry.
+func (a *Aggregator) Pipeline() *telemetry.PipelineStats { return a.pipe }
+
+// Pipeline returns the peer's live fan-out telemetry.
+func (p *Peer) Pipeline() *telemetry.PipelineStats { return p.pipe }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/controller"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
 )
@@ -130,6 +131,11 @@ func (o Options) runOne(ctx context.Context, name string, topo cluster.Topology,
 		Jobs:        o.Jobs,
 		Aggregators: aggs,
 		Net:         *o.Net,
+		// Paper fidelity: the prototype under study dispatches through a
+		// bounded blocking pool (its gRPC thread pool), which is what makes
+		// cycle latency grow linearly with child count. The pipelined mode
+		// is the fix, measured separately by the pipeline experiment.
+		FanOutMode: controller.FanOutBlocking,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("experiment %s: %w", name, err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/controller"
 	"github.com/dsrhaslab/sdscale/internal/top500"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
@@ -260,6 +261,7 @@ func Fig6(ctx context.Context, o Options) ([]Result, error) {
 
 	flatCluster, err := cluster.Build(cluster.Config{
 		Topology: cluster.Flat, Stages: nodes, Jobs: o.Jobs, Net: *o.Net,
+		FanOutMode: controller.FanOutBlocking, // paper fidelity
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment fig6: %w", err)
@@ -267,6 +269,7 @@ func Fig6(ctx context.Context, o Options) ([]Result, error) {
 	defer flatCluster.Close()
 	hierCluster, err := cluster.Build(cluster.Config{
 		Topology: cluster.Hierarchical, Stages: nodes, Jobs: o.Jobs, Aggregators: 1, Net: *o.Net,
+		FanOutMode: controller.FanOutBlocking, // paper fidelity
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment fig6: %w", err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/controller"
 )
 
 // FutureCoordinated evaluates the paper's §VI future-work proposal: a flat
@@ -28,6 +29,7 @@ func FutureCoordinated(ctx context.Context, o Options) ([]Result, error) {
 	hier, err := cluster.Build(cluster.Config{
 		Topology: cluster.Hierarchical, Stages: nodes, Jobs: o.Jobs,
 		Aggregators: controllers, Net: *o.Net,
+		FanOutMode: controller.FanOutBlocking, // paper fidelity
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment coordflat: %w", err)
@@ -36,6 +38,7 @@ func FutureCoordinated(ctx context.Context, o Options) ([]Result, error) {
 	coord, err := cluster.Build(cluster.Config{
 		Topology: cluster.Coordinated, Stages: nodes, Jobs: o.Jobs,
 		Aggregators: controllers, Net: *o.Net,
+		FanOutMode: controller.FanOutBlocking, // paper fidelity
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment coordflat: %w", err)

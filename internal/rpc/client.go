@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/transport"
@@ -23,12 +24,11 @@ type Client struct {
 	conn net.Conn
 	cpu  *monitor.CPUMeter // optional; charged with marshal/write time
 
-	wmu  sync.Mutex // serializes frame writes
-	wbuf []byte
+	wmu sync.Mutex // serializes frame writes
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan result
+	pending map[uint64]*Call
 	err     error // set once the read loop dies
 	closed  bool
 
@@ -37,9 +37,105 @@ type Client struct {
 	done chan struct{}
 }
 
-type result struct {
-	msg wire.Message
-	err error
+// Call is the completion handle of an asynchronous request issued with
+// Client.Go. Exactly one of two consumption patterns must be used:
+//
+//   - call Wait, which blocks for completion, returns the outcome, and
+//     recycles the handle; or
+//   - receive from Done, read Reply/Err, and never touch the handle again
+//     (it is garbage collected instead of recycled).
+//
+// After Wait returns the handle must not be used: it may already carry a
+// different in-flight call.
+type Call struct {
+	// Done receives the Call itself once it completes. It is buffered, so
+	// completion never blocks on a slow consumer.
+	Done chan *Call
+	// Reply is the response message. Valid only after completion.
+	Reply wire.Message
+	// Err is the call's failure, if any: a transport error, ErrClientClosed,
+	// or a remote *wire.ErrorReply. Valid only after completion.
+	Err error
+
+	id     uint64
+	client *Client // nil for calls that failed before registration
+}
+
+// callPool recycles Call handles together with their embedded completion
+// channels, so a pipelined fan-out over thousands of children does not
+// allocate a handle and a channel per call per cycle.
+var callPool = sync.Pool{New: func() any { return &Call{Done: make(chan *Call, 1)} }}
+
+func getCall() *Call { return callPool.Get().(*Call) }
+
+// putCall returns a handle to the pool. The caller must be the handle's sole
+// owner and its Done channel must be empty (completion consumed, or provably
+// never delivered).
+func putCall(call *Call) {
+	call.Reply, call.Err, call.id, call.client = nil, nil, 0, nil
+	callPool.Put(call)
+}
+
+// finish records the outcome and delivers the handle to Done. A remote
+// *wire.ErrorReply lands in Err, matching the synchronous Call contract.
+// Only the goroutine that removed the call from the pending map may call it.
+func (call *Call) finish(m wire.Message, err error) {
+	if er, ok := m.(*wire.ErrorReply); ok {
+		m, err = nil, er
+	}
+	call.Reply, call.Err = m, err
+	call.Done <- call
+}
+
+// failedCall returns a pre-completed handle carrying err, for calls rejected
+// before they reach a connection.
+func failedCall(err error) *Call {
+	call := getCall()
+	call.finish(nil, err)
+	return call
+}
+
+// Wait blocks until the call completes or ctx is cancelled, returns the
+// outcome, and recycles the handle. On cancellation the request is abandoned
+// exactly as a context-cancelled synchronous Call: it is deregistered, a
+// best-effort cancel frame is sent, and a late response is dropped and
+// counted. The handle must not be used after Wait returns.
+func (call *Call) Wait(ctx context.Context) (wire.Message, error) {
+	c := call.client
+	if c == nil {
+		// Pre-failed handle: completion is already buffered in Done.
+		<-call.Done
+		return call.release()
+	}
+	select {
+	case <-call.Done:
+		return call.release()
+	case <-ctx.Done():
+		if c.deregister(call) {
+			// We removed the call from the pending map, so no completion
+			// was — or ever will be — delivered: the handle is exclusively
+			// ours and its Done channel is empty.
+			if c.live() {
+				// Best effort: tell the server not to bother. If the write
+				// fails the connection is dying anyway.
+				c.sendCancel(call.id)
+			}
+			err := ctx.Err()
+			putCall(call)
+			return nil, err
+		}
+		// Completion raced with the cancellation and won; take the result.
+		<-call.Done
+		return call.release()
+	}
+}
+
+// release extracts the outcome and recycles the handle. The completion must
+// already have been consumed from Done.
+func (call *Call) release() (wire.Message, error) {
+	reply, err := call.Reply, call.Err
+	putCall(call)
+	return reply, err
 }
 
 // DialOptions configures Dial.
@@ -67,7 +163,7 @@ func Dial(ctx context.Context, network transport.Network, addr string, opts Dial
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
 		conn:    conn,
-		pending: make(map[uint64]chan result),
+		pending: make(map[uint64]*Call),
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
@@ -89,6 +185,13 @@ func (c *Client) Err() error {
 		return ErrClientClosed
 	}
 	return nil
+}
+
+// live reports whether the connection is still usable for writes.
+func (c *Client) live() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err == nil && !c.closed
 }
 
 // LateResponses returns the number of responses that arrived after their
@@ -113,11 +216,11 @@ func (c *Client) readLoop() {
 			continue // clients only issue requests; ignore anything else
 		}
 		c.mu.Lock()
-		ch := c.pending[h.id]
+		call := c.pending[h.id]
 		delete(c.pending, h.id)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- result{msg: m}
+		if call != nil {
+			call.finish(m, nil)
 		} else {
 			// The call was abandoned via its context; the response raced
 			// with (or beat) the cancel frame and must be dropped.
@@ -133,82 +236,101 @@ func (c *Client) fail(err error) {
 		c.err = err
 	}
 	pending := c.pending
-	c.pending = make(map[uint64]chan result)
+	c.pending = make(map[uint64]*Call)
 	c.mu.Unlock()
-	for _, ch := range pending {
-		ch <- result{err: err}
+	for _, call := range pending {
+		call.finish(nil, err)
 	}
+}
+
+// deregister removes call from the pending map, returning true if the caller
+// now exclusively owns the handle. False means a completer (read loop, fail,
+// or a send-error path) got there first and a completion is in flight.
+func (c *Client) deregister(call *Call) bool {
+	c.mu.Lock()
+	cur, ok := c.pending[call.id]
+	if ok && cur == call {
+		delete(c.pending, call.id)
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Unlock()
+	return false
+}
+
+// Go sends req asynchronously and returns its completion handle. The request
+// is written to the connection before Go returns, so issuing many calls
+// back-to-back pipelines them over the single connection; responses complete
+// the handles in whatever order the server produces them. Errors — including
+// a dead connection — surface through the handle, never as a panic.
+func (c *Client) Go(ctx context.Context, req wire.Message) *Call {
+	call := getCall()
+	c.mu.Lock()
+	if c.err != nil || c.closed {
+		err := c.err
+		if err == nil {
+			err = ErrClientClosed
+		}
+		c.mu.Unlock()
+		call.finish(nil, err)
+		return call
+	}
+	c.nextID++
+	call.id = c.nextID
+	call.client = c
+	c.pending[call.id] = call
+	c.mu.Unlock()
+
+	if err := c.send(frameHeader{id: call.id, kind: kindRequest}, req); err != nil {
+		if c.deregister(call) {
+			call.finish(nil, err)
+		}
+		// Otherwise fail() already owns the call and delivers its error.
+	}
+	_ = ctx // the deadline is enforced at Wait; issuing is non-blocking
+	return call
 }
 
 // Call sends req and waits for the matching response, honoring ctx. A
 // remote handler failure is returned as *wire.ErrorReply.
 func (c *Client) Call(ctx context.Context, req wire.Message) (wire.Message, error) {
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
-		return nil, err
-	}
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClientClosed
-	}
-	c.nextID++
-	id := c.nextID
-	ch := make(chan result, 1)
-	c.pending[id] = ch
-	c.mu.Unlock()
-
-	if err := c.send(frameHeader{id: id, kind: kindRequest}, req); err != nil {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-		return nil, err
-	}
-
-	select {
-	case r := <-ch:
-		if r.err != nil {
-			return nil, r.err
-		}
-		if er, ok := r.msg.(*wire.ErrorReply); ok {
-			return nil, er
-		}
-		return r.msg, nil
-	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.pending, id)
-		live := c.err == nil && !c.closed
-		c.mu.Unlock()
-		if live {
-			// Best effort: tell the server not to bother. If the write
-			// fails the connection is dying anyway.
-			c.sendCancel(id)
-		}
-		return nil, ctx.Err()
-	case <-c.done:
-		return nil, ErrClientClosed
-	}
+	return c.Go(ctx, req).Wait(ctx)
 }
 
 // sendCancel writes a body-less cancel frame for id, serialized against
 // other senders. Errors are ignored: cancellation is advisory.
 func (c *Client) sendCancel(id uint64) {
+	bp := getFrameBuf()
+	*bp = appendCancelFrame((*bp)[:0], id)
 	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	c.wbuf = appendCancelFrame(c.wbuf[:0], id)
-	c.conn.Write(c.wbuf)
+	c.conn.Write(*bp)
+	c.wmu.Unlock()
+	putFrameBuf(bp)
 }
 
-// send writes one frame, serialized against other senders.
+// send writes one frame, serialized against other senders. The frame is
+// encoded into a pooled buffer outside the write lock, so concurrent senders
+// marshal in parallel and only the write itself serializes.
 func (c *Client) send(h frameHeader, m wire.Message) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
+	bp := getFrameBuf()
+	var start time.Time
 	if c.cpu != nil {
-		defer c.cpu.Track()()
+		start = time.Now()
 	}
-	c.wbuf = appendFrame(c.wbuf[:0], h, m)
-	_, err := c.conn.Write(c.wbuf)
+	*bp = appendFrame((*bp)[:0], h, m)
+	if c.cpu != nil {
+		c.cpu.Add(time.Since(start))
+	}
+	c.wmu.Lock()
+	if c.cpu != nil {
+		start = time.Now()
+	}
+	_, err := c.conn.Write(*bp)
+	if c.cpu != nil {
+		c.cpu.Add(time.Since(start))
+	}
+	c.wmu.Unlock()
+	putFrameBuf(bp)
 	return err
 }
 
@@ -228,11 +350,13 @@ func (c *Client) Close() error {
 }
 
 // Scatter invokes fn for indexes [0, n) using at most par concurrent
-// workers, in roughly increasing index order. It is the fan-out primitive
-// used by the collect and enforce phases: par models the bounded handler
-// pool of the paper's controller (gRPC server threads), which is what makes
-// per-child work accumulate linearly with the number of children.
-func Scatter(n, par int, fn func(i int)) {
+// workers, in roughly increasing index order, and stops issuing new indexes
+// once ctx is cancelled (indexes already handed to a worker still run). It
+// is the blocking fan-out primitive of the collect and enforce phases: par
+// models the bounded handler pool of the paper's controller (gRPC server
+// threads), which is what makes per-child work accumulate linearly with the
+// number of children.
+func Scatter(ctx context.Context, n, par int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -244,6 +368,9 @@ func Scatter(n, par int, fn func(i int)) {
 	}
 	if par == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -259,8 +386,13 @@ func Scatter(n, par int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			i = n // stop issuing; drain workers below
+		}
 	}
 	close(next)
 	wg.Wait()

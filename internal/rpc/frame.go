@@ -16,8 +16,12 @@
 //     after abandonment are counted (Client.LateResponses) and dropped;
 //   - connection fault recovery via ReconnectingClient: redial with
 //     exponential backoff and jitter, failing in-flight calls fast;
-//   - a scatter-gather helper with bounded parallelism, the primitive the
-//     control cycle's collect and enforce phases are built from.
+//   - an asynchronous call API (Client.Go returning a pooled *Call handle)
+//     that pipelines many requests back-to-back over one connection — the
+//     fast path of the control cycle's collect and enforce fan-out;
+//   - a scatter-gather helper with bounded parallelism and cooperative
+//     cancellation, the blocking fan-out primitive kept for paper-fidelity
+//     reproduction of the prototype's bounded thread pool.
 package rpc
 
 import (
@@ -25,9 +29,32 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
+
+// frameBufs recycles frame encode buffers across clients, servers, and
+// connections: a controller fanning out to thousands of children would
+// otherwise regrow an encode buffer per call per cycle. Decoded messages
+// never alias these buffers (see readFrame), so recycling is safe.
+var frameBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+// maxPooledFrameBuf bounds what goes back into the pool: the occasional
+// giant Enforce batch should not pin megabytes inside it.
+const maxPooledFrameBuf = 1 << 20
+
+func getFrameBuf() *[]byte { return frameBufs.Get().(*[]byte) }
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledFrameBuf {
+		return
+	}
+	frameBufs.Put(bp)
+}
 
 // MaxFrameSize bounds a single frame; larger announcements are treated as
 // protocol corruption. 64 MiB comfortably fits an Enforce batch for a full

@@ -161,6 +161,51 @@ func (r *ReconnectingClient) Call(ctx context.Context, req wire.Message) (wire.M
 	return resp, err
 }
 
+// Go issues req asynchronously on the current connection and returns its
+// completion handle (see Client.Go). While disconnected the handle completes
+// immediately with ErrDisconnected. Because the outcome surfaces at
+// Call.Wait rather than here, the wrapper cannot observe connection death by
+// itself: harvesters must report failed calls back via NoteError so the
+// background redial starts.
+func (r *ReconnectingClient) Go(ctx context.Context, req wire.Message) *Call {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return failedCall(ErrClientClosed)
+	}
+	cli := r.cur
+	cause := r.lastErr
+	r.mu.Unlock()
+
+	if cli == nil {
+		if cause != nil {
+			return failedCall(fmt.Errorf("%w (%v)", ErrDisconnected, cause))
+		}
+		return failedCall(ErrDisconnected)
+	}
+	return cli.Go(ctx, req)
+}
+
+// NoteError is the harvest-side counterpart of Go: given the error of a
+// completed asynchronous call, it checks whether the underlying connection
+// died and, if so, detaches it and starts the background redial — exactly
+// what Call does inline for synchronous calls. Errors caused by the caller's
+// own context are ignored.
+func (r *ReconnectingClient) NoteError(ctx context.Context, err error) {
+	if err == nil || ctx.Err() != nil {
+		return
+	}
+	r.mu.Lock()
+	cli := r.cur
+	r.mu.Unlock()
+	if cli == nil {
+		return // already detached; redial in progress
+	}
+	if cerr := cli.Err(); cerr != nil {
+		r.markDead(cli, cerr)
+	}
+}
+
 // markDead detaches old (if still current) and kicks the redial loop.
 func (r *ReconnectingClient) markDead(old *Client, cause error) {
 	r.mu.Lock()

@@ -313,10 +313,11 @@ func TestReadFrameTruncated(t *testing.T) {
 }
 
 func TestScatter(t *testing.T) {
+	ctx := context.Background()
 	for _, par := range []int{0, 1, 4, 100} {
 		var count atomic.Int64
 		seen := make([]atomic.Bool, 37)
-		Scatter(37, par, func(i int) {
+		Scatter(ctx, 37, par, func(i int) {
 			count.Add(1)
 			if seen[i].Swap(true) {
 				t.Errorf("par=%d: index %d visited twice", par, i)
@@ -327,13 +328,13 @@ func TestScatter(t *testing.T) {
 		}
 	}
 	// n <= 0 must be a no-op.
-	Scatter(0, 4, func(int) { t.Error("fn called for n=0") })
-	Scatter(-3, 4, func(int) { t.Error("fn called for n<0") })
+	Scatter(ctx, 0, 4, func(int) { t.Error("fn called for n=0") })
+	Scatter(ctx, -3, 4, func(int) { t.Error("fn called for n<0") })
 }
 
 func TestScatterBoundedParallelism(t *testing.T) {
 	var cur, peak atomic.Int64
-	Scatter(64, 4, func(i int) {
+	Scatter(context.Background(), 64, 4, func(i int) {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -346,6 +347,35 @@ func TestScatterBoundedParallelism(t *testing.T) {
 	})
 	if p := peak.Load(); p > 4 {
 		t.Errorf("observed parallelism %d > 4", p)
+	}
+}
+
+func TestScatterStopsOnCancel(t *testing.T) {
+	// Sequential (par=1): cancel inside an early index must stop the rest.
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int64
+	Scatter(ctx, 100, 1, func(i int) {
+		visited.Add(1)
+		if i == 4 {
+			cancel()
+		}
+	})
+	if got := visited.Load(); got != 5 {
+		t.Errorf("par=1: visited %d indexes after cancel at 4, want 5", got)
+	}
+
+	// Parallel: workers already holding an index finish it, but no new
+	// indexes are issued once ctx is cancelled.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var visited2 atomic.Int64
+	Scatter(ctx2, 1000, 4, func(i int) {
+		visited2.Add(1)
+		if visited2.Load() == 8 {
+			cancel2()
+		}
+	})
+	if got := visited2.Load(); got >= 1000 {
+		t.Errorf("parallel scatter completed all %d indexes despite cancellation", got)
 	}
 }
 

@@ -256,10 +256,18 @@ func (s *Server) serveConn(peer *Peer) {
 	go func() {
 		defer close(readerDone)
 		defer q.close()
-		var rbuf []byte
+		// The decode buffer is pooled across connections; decoded messages
+		// never alias it (see readFrame), so returning it is safe even while
+		// requests it carried are still queued or executing.
+		rbp := getFrameBuf()
+		defer putFrameBuf(rbp)
 		for {
-			h, req, nbuf, err := readFrame(peer.conn, rbuf)
-			rbuf = nbuf
+			var (
+				h   frameHeader
+				req wire.Message
+				err error
+			)
+			h, req, *rbp, err = readFrame(peer.conn, *rbp)
 			if err != nil {
 				return // EOF or broken conn
 			}
@@ -274,7 +282,8 @@ func (s *Server) serveConn(peer *Peer) {
 		}
 	}()
 
-	var wbuf []byte
+	wbp := getFrameBuf()
+	defer putFrameBuf(wbp)
 	for {
 		item, ok := q.pop()
 		if !ok {
@@ -287,8 +296,8 @@ func (s *Server) serveConn(peer *Peer) {
 		resp := s.dispatch(peer, item.req)
 		var err error
 		if !q.finish() {
-			wbuf = appendFrame(wbuf[:0], frameHeader{id: item.id, kind: kindResponse}, resp)
-			_, err = peer.conn.Write(wbuf)
+			*wbp = appendFrame((*wbp)[:0], frameHeader{id: item.id, kind: kindResponse}, resp)
+			_, err = peer.conn.Write(*wbp)
 		}
 		if untrack != nil {
 			untrack()

@@ -86,6 +86,7 @@ type Virtual struct {
 	server *rpc.Server
 	start  time.Time
 	fence  fence
+	who    string // "stage N", precomputed: fence checks run on every request
 
 	rehomeStop chan struct{}
 	rehomeDone chan struct{}
@@ -111,7 +112,7 @@ func StartVirtual(cfg Config) (*Virtual, error) {
 	if cfg.ParentTimeout <= 0 {
 		cfg.ParentTimeout = DefaultParentTimeout
 	}
-	v := &Virtual{cfg: cfg, start: time.Now()}
+	v := &Virtual{cfg: cfg, start: time.Now(), who: fmt.Sprintf("stage %d", cfg.ID)}
 	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(v.serve), rpc.ServerOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
@@ -148,12 +149,12 @@ func (v *Virtual) Close() error {
 func (v *Virtual) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 	switch m := req.(type) {
 	case *wire.Collect:
-		if er := v.fence.check(fmt.Sprintf("stage %d", v.cfg.ID), m.Epoch); er != nil {
+		if er := v.fence.check(v.who, m.Epoch); er != nil {
 			return nil, er
 		}
 		return v.collect(m), nil
 	case *wire.Enforce:
-		if er := v.fence.check(fmt.Sprintf("stage %d", v.cfg.ID), m.Epoch); er != nil {
+		if er := v.fence.check(v.who, m.Epoch); er != nil {
 			return nil, er
 		}
 		return v.enforce(m), nil
@@ -272,6 +273,8 @@ type Enforcing struct {
 	limiter *ratelimit.MultiBucket
 	fence   fence
 
+	who string // "stage N", precomputed: fence checks run on every request
+
 	demand [wire.NumClasses]*metrics.RateCounter
 	usage  [wire.NumClasses]*metrics.RateCounter
 }
@@ -284,7 +287,7 @@ func StartEnforcing(cfg EnforcingConfig) (*Enforcing, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = time.Second
 	}
-	e := &Enforcing{cfg: cfg, limiter: ratelimit.NewUnlimited()}
+	e := &Enforcing{cfg: cfg, limiter: ratelimit.NewUnlimited(), who: fmt.Sprintf("stage %d", cfg.ID)}
 	for c := range e.demand {
 		e.demand[c] = metrics.NewRateCounter(cfg.Window, 10)
 		e.usage[c] = metrics.NewRateCounter(cfg.Window, 10)
@@ -368,7 +371,7 @@ func (e *Enforcing) probeDemand(d, u wire.Rates) wire.Rates {
 func (e *Enforcing) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 	switch m := req.(type) {
 	case *wire.Collect:
-		if er := e.fence.check(fmt.Sprintf("stage %d", e.cfg.ID), m.Epoch); er != nil {
+		if er := e.fence.check(e.who, m.Epoch); er != nil {
 			return nil, er
 		}
 		now := time.Now()
@@ -388,7 +391,7 @@ func (e *Enforcing) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error
 			}},
 		}, nil
 	case *wire.Enforce:
-		if er := e.fence.check(fmt.Sprintf("stage %d", e.cfg.ID), m.Epoch); er != nil {
+		if er := e.fence.check(e.who, m.Epoch); er != nil {
 			return nil, er
 		}
 		var applied uint32

@@ -165,11 +165,11 @@ type FaultSummary struct {
 // Summarize digests the counters' current state.
 func (f *FaultCounters) Summarize() FaultSummary {
 	return FaultSummary{
-		Quarantines:      f.Quarantines(),
-		Readmissions:     f.Readmissions(),
-		DegradedCycles:   f.DegradedCycles(),
-		Probes:           f.Probes(),
-		ProbeFailures:    f.ProbeFailures(),
+		Quarantines:         f.Quarantines(),
+		Readmissions:        f.Readmissions(),
+		DegradedCycles:      f.DegradedCycles(),
+		Probes:              f.Probes(),
+		ProbeFailures:       f.ProbeFailures(),
 		Evictions:           f.Evictions(),
 		StaleReportsUsed:    f.staleAge.Count() - f.StaleDrops(),
 		StaleReportsDropped: f.StaleDrops(),

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"runtime/metrics"
+	"sync/atomic"
+)
+
+// Gauge tracks an instantaneous quantity and its high-water mark, e.g. the
+// number of fan-out calls in flight during a cycle phase. All methods are
+// safe for concurrent use.
+type Gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Enter increments the gauge, updating the peak.
+func (g *Gauge) Enter() {
+	v := g.cur.Add(1)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Exit decrements the gauge.
+func (g *Gauge) Exit() { g.cur.Add(-1) }
+
+// Current returns the instantaneous value.
+func (g *Gauge) Current() int64 { return g.cur.Load() }
+
+// Peak returns the highest value observed since the last ResetPeak.
+func (g *Gauge) Peak() int64 { return g.peak.Load() }
+
+// ResetPeak clears the high-water mark (the current value stands).
+func (g *Gauge) ResetPeak() { g.peak.Store(g.cur.Load()) }
+
+// PipelineStats instruments a controller's fan-out phases: how many child
+// calls are in flight per phase, and how many heap objects each control
+// cycle allocates — the two quantities the pipelined dispatch path is meant
+// to move (in-flight up, allocations down).
+type PipelineStats struct {
+	// CollectInFlight gauges in-flight collect-phase calls.
+	CollectInFlight Gauge
+	// EnforceInFlight gauges in-flight enforce-phase calls.
+	EnforceInFlight Gauge
+
+	lastCycleAllocs atomic.Uint64
+	totalAllocs     atomic.Uint64
+	allocCycles     atomic.Uint64
+}
+
+// RecordCycleAllocs records one cycle's heap-object allocation count.
+func (p *PipelineStats) RecordCycleAllocs(n uint64) {
+	p.lastCycleAllocs.Store(n)
+	p.totalAllocs.Add(n)
+	p.allocCycles.Add(1)
+}
+
+// LastCycleAllocs returns the most recent cycle's allocation count.
+func (p *PipelineStats) LastCycleAllocs() uint64 { return p.lastCycleAllocs.Load() }
+
+// TotalAllocs returns allocations accumulated over all recorded cycles.
+func (p *PipelineStats) TotalAllocs() uint64 { return p.totalAllocs.Load() }
+
+// MeanCycleAllocs returns the mean allocation count per recorded cycle.
+func (p *PipelineStats) MeanCycleAllocs() float64 {
+	n := p.allocCycles.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(p.totalAllocs.Load()) / float64(n)
+}
+
+// Snapshot digests the stats for a point-in-time report.
+func (p *PipelineStats) Snapshot() PipelineSnapshot {
+	return PipelineSnapshot{
+		CollectInFlight:     p.CollectInFlight.Current(),
+		CollectInFlightPeak: p.CollectInFlight.Peak(),
+		EnforceInFlight:     p.EnforceInFlight.Current(),
+		EnforceInFlightPeak: p.EnforceInFlight.Peak(),
+		LastCycleAllocs:     p.LastCycleAllocs(),
+		MeanCycleAllocs:     p.MeanCycleAllocs(),
+	}
+}
+
+// PipelineSnapshot is a point-in-time digest of PipelineStats.
+type PipelineSnapshot struct {
+	// CollectInFlight and EnforceInFlight are the instantaneous per-phase
+	// in-flight call counts; the Peak variants are their high-water marks.
+	// Pipelined fan-out peaks near the child count; blocking fan-out peaks
+	// at the configured parallelism bound.
+	CollectInFlight     int64
+	CollectInFlightPeak int64
+	EnforceInFlight     int64
+	EnforceInFlightPeak int64
+	// LastCycleAllocs and MeanCycleAllocs count heap objects allocated
+	// during control cycles, process-wide: in a single-process simulation
+	// concurrent roles' allocations are attributed to whichever cycle is
+	// running.
+	LastCycleAllocs uint64
+	MeanCycleAllocs float64
+}
+
+// allocsSampleName is the runtime/metrics counter of cumulative heap
+// objects allocated. Reading it is cheap (no stop-the-world), so cycles can
+// sample it at every boundary.
+const allocsSampleName = "/gc/heap/allocs:objects"
+
+// AllocsNow returns the process-wide cumulative count of allocated heap
+// objects. Subtract two readings to count allocations across a section.
+func AllocsNow() uint64 {
+	sample := make([]metrics.Sample, 1)
+	sample[0].Name = allocsSampleName
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}

@@ -23,9 +23,10 @@ type stream struct {
 	rxHost *Host // the reading host (meter and processor charged)
 
 	mu          sync.Mutex
-	queue       [][]byte // delivered, readable payloads
-	pending     []byte   // partially consumed head payload
-	inflight    int      // scheduled but not yet delivered payloads
+	queue       []*payload // delivered, readable payloads
+	pending     *payload   // partially consumed head payload
+	pendingOff  int        // bytes of pending already handed to the reader
+	inflight    int        // scheduled but not yet delivered payloads
 	wclosed     bool
 	lastSendEnd time.Time
 
@@ -34,6 +35,37 @@ type stream struct {
 	rdone chan struct{} // closed when the reader side is gone
 	wonce sync.Once
 	ronce sync.Once
+}
+
+// payload is one write's in-flight copy. The box and its buffer are pooled
+// together: write must copy (callers reuse their frame buffers immediately),
+// which at control-plane scale is two copies per RPC, so read recycles each
+// payload once the reader has fully consumed it. Buffers above
+// maxPooledPayload are dropped rather than pinned in the pool.
+type payload struct{ b []byte }
+
+const maxPooledPayload = 1 << 16
+
+var payloadPool = sync.Pool{New: func() any { return new(payload) }}
+
+// newPayload returns a pooled payload holding a copy of p.
+func newPayload(p []byte) *payload {
+	pl := payloadPool.Get().(*payload)
+	if cap(pl.b) < len(p) {
+		pl.b = make([]byte, len(p))
+	} else {
+		pl.b = pl.b[:len(p)]
+	}
+	copy(pl.b, p)
+	return pl
+}
+
+// releasePayload returns a fully consumed payload to the pool.
+func releasePayload(pl *payload) {
+	if cap(pl.b) > maxPooledPayload {
+		pl.b = nil
+	}
+	payloadPool.Put(pl)
 }
 
 func newStream(n *Net, tx, rx *Host) *stream {
@@ -89,9 +121,9 @@ func (s *stream) arrival(n int, now time.Time) time.Time {
 }
 
 // deliver moves a payload into the readable queue (scheduler callback).
-func (s *stream) deliver(data []byte, scheduled bool) {
+func (s *stream) deliver(pl *payload, scheduled bool) {
 	s.mu.Lock()
-	s.queue = append(s.queue, data)
+	s.queue = append(s.queue, pl)
 	if scheduled {
 		s.inflight--
 	}
@@ -113,11 +145,12 @@ func (s *stream) write(p []byte, deadline, cancel <-chan struct{}) (int, error) 
 	default:
 	}
 
-	data := append([]byte(nil), p...)
+	data := newPayload(p)
 	now := time.Now()
 	s.mu.Lock()
 	if s.wclosed {
 		s.mu.Unlock()
+		releasePayload(data)
 		return 0, io.ErrClosedPipe
 	}
 	due := s.arrival(len(p), now)
@@ -140,13 +173,22 @@ func (s *stream) write(p []byte, deadline, cancel <-chan struct{}) (int, error) 
 func (s *stream) read(p []byte, deadline, cancel <-chan struct{}) (int, error) {
 	for {
 		s.mu.Lock()
-		if len(s.pending) == 0 && len(s.queue) > 0 {
-			s.pending = s.queue[0]
+		for s.pending == nil && len(s.queue) > 0 {
+			pl := s.queue[0]
 			s.queue = s.queue[1:]
+			if len(pl.b) == 0 {
+				releasePayload(pl) // zero-length write: nothing to read
+				continue
+			}
+			s.pending, s.pendingOff = pl, 0
 		}
-		if len(s.pending) > 0 {
-			n := copy(p, s.pending)
-			s.pending = s.pending[n:]
+		if s.pending != nil {
+			n := copy(p, s.pending.b[s.pendingOff:])
+			s.pendingOff += n
+			if s.pendingOff == len(s.pending.b) {
+				releasePayload(s.pending)
+				s.pending = nil
+			}
 			s.mu.Unlock()
 			return n, nil
 		}
@@ -161,7 +203,7 @@ func (s *stream) read(p []byte, deadline, cancel <-chan struct{}) (int, error) {
 		case <-s.wdone:
 			// Re-check: in-flight payloads may still be delivering.
 			s.mu.Lock()
-			drained := s.inflight == 0 && len(s.queue) == 0 && len(s.pending) == 0
+			drained := s.inflight == 0 && len(s.queue) == 0 && s.pending == nil
 			s.mu.Unlock()
 			if drained {
 				return 0, io.EOF
@@ -186,7 +228,7 @@ func (s *stream) read(p []byte, deadline, cancel <-chan struct{}) (int, error) {
 type delivery struct {
 	due  time.Time
 	s    *stream
-	data []byte
+	data *payload
 }
 
 // deliveryHeap is a min-heap of deliveries by due time.

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"sync"
 )
 
 // MsgType identifies a control-plane message on the wire.
@@ -1023,18 +1024,41 @@ func New(t MsgType) Message {
 	return nil
 }
 
+// Encoder/Decoder handles are pooled: Marshal/Unmarshal are interface calls,
+// so a per-message &Encoder{} escapes to the heap — at paper scale that is
+// four allocations per RPC. The handles hold no buffer ownership; Encode and
+// Decode clear the buf reference before returning a handle to its pool so a
+// pooled handle never pins a caller's (possibly itself pooled) buffer.
+var (
+	encoderPool = sync.Pool{New: func() any { return new(Encoder) }}
+	decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
+)
+
 // Encode appends t's tag and m's body to buf and returns the extended slice.
 func Encode(buf []byte, m Message) []byte {
-	e := NewEncoder(buf)
+	e := encoderPool.Get().(*Encoder)
+	e.buf = buf
 	e.Byte(byte(m.Type()))
 	m.Marshal(e)
-	return e.Bytes()
+	out := e.buf
+	e.buf = nil
+	encoderPool.Put(e)
+	return out
 }
 
 // Decode parses a tagged message produced by Encode. It verifies the whole
-// buffer is consumed.
+// buffer is consumed. Decoded slices alias buf (see Decoder), never the
+// decoder handle, so recycling the handle is invisible to callers.
 func Decode(buf []byte) (Message, error) {
-	d := NewDecoder(buf)
+	d := decoderPool.Get().(*Decoder)
+	*d = Decoder{buf: buf}
+	m, err := decode(d)
+	*d = Decoder{}
+	decoderPool.Put(d)
+	return m, err
+}
+
+func decode(d *Decoder) (Message, error) {
 	t := MsgType(d.Byte())
 	if d.Err() != nil {
 		return nil, d.Err()

@@ -26,12 +26,17 @@
 //	st, _ := sdscale.StartVirtualStage(sdscale.StageConfig{
 //		ID: 1, JobID: 1, Weight: 1, Network: net.Host("stage-1"),
 //	})
-//	g, _ := sdscale.NewGlobal(sdscale.GlobalConfig{
+//	g, _ := sdscale.StartGlobal(sdscale.GlobalConfig{
 //		Network:  net.Host("controller"),
 //		Capacity: sdscale.Rates{10000, 1000},
 //	})
 //	g.AddStage(context.Background(), st.Info())
 //	g.RunCycle(context.Background())
+//	fmt.Println(g.Stats().Children, "children")
+//
+// Every controller kind is launched by a Start* constructor (StartGlobal,
+// StartAggregator, StartPeerController, StartVirtualStage,
+// StartEnforcingStage) and observed through its Stats method.
 //
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package sdscale
@@ -104,6 +109,22 @@ type (
 	PeerController = controller.Peer
 	// PeerControllerConfig configures a PeerController.
 	PeerControllerConfig = controller.PeerConfig
+	// ControllerStats is the point-in-time operational snapshot every
+	// controller kind exposes through its Stats method.
+	ControllerStats = controller.ControllerStats
+	// FanOutMode selects how a controller's collect and enforce phases
+	// dispatch child requests (see FanOutPipelined and FanOutBlocking).
+	FanOutMode = controller.FanOutMode
+)
+
+// Fan-out dispatch modes.
+const (
+	// FanOutPipelined streams every child request back-to-back and
+	// harvests responses as they arrive — the default.
+	FanOutPipelined = controller.FanOutPipelined
+	// FanOutBlocking reproduces the paper prototype's bounded blocking
+	// pool (one parked goroutine per in-flight call, FanOut wide).
+	FanOutBlocking = controller.FanOutBlocking
 )
 
 // Controller failover sentinels (see GlobalConfig's Standby, StandbyAddr,
@@ -117,7 +138,15 @@ var (
 	ErrStandby = controller.ErrStandby
 )
 
-// NewGlobal creates a global controller.
+// StartGlobal launches a global controller with its registration endpoint
+// listening (ListenAddr defaults to ":0"). It is the primary entry point of
+// the Start* constructor family.
+func StartGlobal(cfg GlobalConfig) (*Global, error) { return controller.StartGlobal(cfg) }
+
+// NewGlobal creates a global controller without defaulting a listener: with
+// an empty ListenAddr the controller runs no registration endpoint and
+// children must be attached explicitly. It is a thin alias kept for callers
+// that need that; most programs want StartGlobal.
 func NewGlobal(cfg GlobalConfig) (*Global, error) { return controller.NewGlobal(cfg) }
 
 // StartAggregator launches an aggregator controller.
@@ -265,6 +294,12 @@ type (
 	FaultCounters = telemetry.FaultCounters
 	// FaultSummary is a point-in-time digest of FaultCounters.
 	FaultSummary = telemetry.FaultSummary
+	// PipelineStats instruments a controller's fan-out phases (in-flight
+	// gauges, per-cycle allocation counts).
+	PipelineStats = telemetry.PipelineStats
+	// PipelineSnapshot is a point-in-time digest of PipelineStats,
+	// included in ControllerStats.
+	PipelineSnapshot = telemetry.PipelineSnapshot
 )
 
 // Deployment harness.
