@@ -339,6 +339,38 @@ func BenchmarkFlatCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkFlatCycleTraced is BenchmarkFlatCycle's 1k configurations with
+// span tracing enabled: the delta against the untraced run is the tracing
+// overhead (budgeted under 2%; TestTracingOverheadUnderBudget enforces it).
+func BenchmarkFlatCycleTraced(b *testing.B) {
+	for _, mode := range []sdscale.FanOutMode{sdscale.FanOutPipelined, sdscale.FanOutBlocking} {
+		b.Run(fmt.Sprintf("1k/%s", mode), func(b *testing.B) {
+			c, err := cluster.Build(cluster.Config{
+				Topology:   cluster.Flat,
+				Stages:     1000,
+				FanOutMode: mode,
+				Tracing:    true,
+				Net:        simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Close)
+			ctx := context.Background()
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.RunControlCycle(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRegistrationChurn measures dynamic membership: one stage
 // registering with a live control plane per iteration (the HPC job churn
 // the paper's §II motivates).

@@ -1,0 +1,206 @@
+// Command benchgate compares `go test -bench` output against a committed
+// baseline and fails on allocation regressions.
+//
+// It reads benchmark output on stdin (run the benchmark with -count=N so
+// noise can be filtered), takes the best run per benchmark, and compares
+// allocs/op against the named baseline file (BENCH_cycle.json). Allocations
+// are deterministic enough to gate on in shared CI runners; wall time is
+// not, so ns/op regressions only warn.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkFlatCycle/1k' -benchtime=1x -benchmem -count=5 . |
+//	  go run ./cmd/benchgate -baseline BENCH_cycle.json
+//
+// Exit status: 0 when every benchmark found in both the input and the
+// baseline is within the threshold, 1 on any allocation regression, 2 on
+// usage or parse errors (including an input with no benchmarks).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_cycle.json", "baseline file to compare against")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional allocs/op regression before failing")
+	flag.Parse()
+
+	baseline, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: no benchmark results on stdin")
+		os.Exit(2)
+	}
+	report, failed := gate(results, baseline, *threshold)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// benchResult is the best (lowest-alloc) run of one benchmark.
+type benchResult struct {
+	name     string // without the Benchmark prefix or -GOMAXPROCS suffix
+	nsPerOp  float64
+	allocsOp uint64
+	runs     int
+}
+
+// baselineEntry mirrors one element of BENCH_cycle.json's results array.
+type baselineEntry struct {
+	Name     string `json:"name"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	AllocsOp uint64 `json:"allocs_per_op"`
+}
+
+type baselineFile struct {
+	Results []baselineEntry `json:"results"`
+}
+
+func loadBaseline(path string) (map[string]baselineEntry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	out := make(map[string]baselineEntry, len(f.Results))
+	for _, e := range f.Results {
+		out[e.Name] = e
+	}
+	return out, nil
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output, keeping
+// the minimum allocs/op (and its run's ns/op) per benchmark across -count
+// repetitions: the floor is the benchmark's true cost, anything above it is
+// scheduler or GC noise.
+func parseBench(r io.Reader) (map[string]*benchResult, error) {
+	out := make(map[string]*benchResult)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		name, ns, allocs, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		cur := out[name]
+		if cur == nil {
+			out[name] = &benchResult{name: name, nsPerOp: ns, allocsOp: allocs, runs: 1}
+			continue
+		}
+		cur.runs++
+		if allocs < cur.allocsOp {
+			cur.allocsOp = allocs
+		}
+		if ns < cur.nsPerOp {
+			cur.nsPerOp = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one benchmark line, e.g.
+//
+//	BenchmarkFlatCycle/1k/pipelined-8  1  9475800 ns/op  776564 B/op  20228 allocs/op
+func parseBenchLine(line string) (name string, nsPerOp float64, allocsOp uint64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, 0, false
+	}
+	name = strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	var haveNs, haveAllocs bool
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return "", 0, 0, false
+			}
+			nsPerOp, haveNs = v, true
+		case "allocs/op":
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return "", 0, 0, false
+			}
+			allocsOp, haveAllocs = v, true
+		}
+	}
+	if !haveNs || !haveAllocs {
+		return "", 0, 0, false
+	}
+	return name, nsPerOp, allocsOp, true
+}
+
+// gate compares results against the baseline. Allocation growth beyond
+// threshold fails; ns/op growth only warns. Benchmarks missing from either
+// side are reported but never fail the gate, so adding a benchmark does not
+// require touching the baseline in the same change.
+func gate(results map[string]*benchResult, baseline map[string]baselineEntry, threshold float64) (report string, failed bool) {
+	var b strings.Builder
+	names := make([]string, 0, len(results))
+	for name := range results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	compared := 0
+	for _, name := range names {
+		res := results[name]
+		base, ok := baseline[name]
+		if !ok {
+			fmt.Fprintf(&b, "SKIP %-28s no baseline entry\n", name)
+			continue
+		}
+		compared++
+		allocDelta := frac(float64(res.allocsOp), float64(base.AllocsOp))
+		nsDelta := frac(res.nsPerOp, float64(base.NsPerOp))
+		verdict := "ok  "
+		if allocDelta > threshold {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(&b, "%s %-28s allocs/op %d vs %d (%+.1f%%, limit +%.0f%%)  ns/op %.0f vs %d (%+.1f%%)\n",
+			verdict, name, res.allocsOp, base.AllocsOp, 100*allocDelta, 100*threshold,
+			res.nsPerOp, base.NsPerOp, 100*nsDelta)
+		if verdict == "ok  " && nsDelta > threshold {
+			fmt.Fprintf(&b, "warn %-28s ns/op regressed %+.1f%% — timing is advisory on shared runners\n",
+				name, 100*nsDelta)
+		}
+	}
+	if compared == 0 {
+		b.WriteString("FAIL no benchmark matched a baseline entry\n")
+		failed = true
+	}
+	return b.String(), failed
+}
+
+func frac(got, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return got/base - 1
+}

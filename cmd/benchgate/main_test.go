@@ -1,0 +1,112 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/dsrhaslab/sdscale
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFlatCycle/1k/pipelined         	       1	  10475800 ns/op	  776564 B/op	   20401 allocs/op
+BenchmarkFlatCycle/1k/pipelined         	       1	   9480123 ns/op	  776564 B/op	   20228 allocs/op
+BenchmarkFlatCycle/1k/blocking-8        	       1	  15226066 ns/op	 1528232 B/op	   30235 allocs/op
+PASS
+ok  	github.com/dsrhaslab/sdscale	0.5s
+`
+
+func TestParseBenchTakesMinimum(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pip := results["FlatCycle/1k/pipelined"]
+	if pip == nil {
+		t.Fatalf("pipelined result missing: %v", results)
+	}
+	if pip.runs != 2 || pip.allocsOp != 20228 || pip.nsPerOp != 9480123 {
+		t.Fatalf("pipelined min not kept: %+v", pip)
+	}
+	blk := results["FlatCycle/1k/blocking"]
+	if blk == nil {
+		t.Fatal("the -GOMAXPROCS suffix was not stripped")
+	}
+	if blk.allocsOp != 30235 {
+		t.Fatalf("blocking allocs: %+v", blk)
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	github.com/dsrhaslab/sdscale	0.5s",
+		"BenchmarkX 1 banana ns/op 3 allocs/op",
+		"BenchmarkNoAllocs 1 500 ns/op",
+	} {
+		if _, _, _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}
+
+func testBaseline() map[string]baselineEntry {
+	return map[string]baselineEntry{
+		"FlatCycle/1k/pipelined": {Name: "FlatCycle/1k/pipelined", NsPerOp: 9475800, AllocsOp: 20228},
+		"FlatCycle/1k/blocking":  {Name: "FlatCycle/1k/blocking", NsPerOp: 15126066, AllocsOp: 30235},
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	results := map[string]*benchResult{
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.9e6, allocsOp: 21000, runs: 5},
+		"FlatCycle/1k/blocking":  {name: "FlatCycle/1k/blocking", nsPerOp: 15.2e6, allocsOp: 30235, runs: 5},
+	}
+	report, failed := gate(results, testBaseline(), 0.15)
+	if failed {
+		t.Fatalf("gate failed within threshold:\n%s", report)
+	}
+	if !strings.Contains(report, "ok  ") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	results := map[string]*benchResult{
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.5e6, allocsOp: 25000, runs: 5},
+	}
+	report, failed := gate(results, testBaseline(), 0.15)
+	if !failed {
+		t.Fatalf("gate passed a +23%% alloc regression:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestGateWarnsOnTimingOnly(t *testing.T) {
+	results := map[string]*benchResult{
+		// ns/op +50%, allocs flat: warn, don't fail.
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 14.2e6, allocsOp: 20228, runs: 5},
+	}
+	report, failed := gate(results, testBaseline(), 0.15)
+	if failed {
+		t.Fatalf("gate failed on a timing-only regression:\n%s", report)
+	}
+	if !strings.Contains(report, "warn") {
+		t.Fatalf("no timing warning in report: %s", report)
+	}
+}
+
+func TestGateFailsWhenNothingMatches(t *testing.T) {
+	results := map[string]*benchResult{
+		"Other/bench": {name: "Other/bench", nsPerOp: 1, allocsOp: 1, runs: 1},
+	}
+	report, failed := gate(results, testBaseline(), 0.15)
+	if !failed {
+		t.Fatal("gate passed with zero comparable benchmarks")
+	}
+	if !strings.Contains(report, "SKIP") {
+		t.Fatalf("report: %s", report)
+	}
+}

@@ -14,16 +14,20 @@
 //	sdsbench -exp fig4 -mincycles 20  # tighter statistics
 //
 // Experiments: table1, fig4, table2, fig5, table3, fig6, table4,
-// connlimit, coordflat, chaos, failover, pipeline, all. Figure/table pairs
-// that share a run (fig4+table2, fig5+table3, fig6+table4) are measured once
-// when both are requested. The chaos, failover, and pipeline experiments are
-// not from the paper: chaos fault-injects the flat deployment (partition
-// flaps on 10% of its nodes) and checks the control plane degrades and
-// recovers instead of stalling; failover crashes the primary controller
-// mid-run and checks a warm standby promotes, re-homes every stage, and
-// fences the old primary; pipeline compares the prototype's bounded blocking
-// fan-out against this implementation's pipelined async dispatch on
-// otherwise identical flat deployments.
+// connlimit, coordflat, chaos, failover, pipeline, tracebreak, all.
+// Figure/table pairs that share a run (fig4+table2, fig5+table3,
+// fig6+table4) are measured once when both are requested. The chaos,
+// failover, pipeline, and tracebreak experiments are not from the paper:
+// chaos fault-injects the flat deployment (partition flaps on 10% of its
+// nodes) and checks the control plane degrades and recovers instead of
+// stalling; failover crashes the primary controller mid-run and checks a
+// warm standby promotes, re-homes every stage, and fences the old primary;
+// pipeline compares the prototype's bounded blocking fan-out against this
+// implementation's pipelined async dispatch on otherwise identical flat
+// deployments; tracebreak decomposes cycle time (marshal vs. dispatch vs.
+// wait, controller and stage side) from per-call spans at 1k/5k/10k nodes
+// in both fan-out modes — add -debug 127.0.0.1:8080 to also serve /metrics,
+// /debug/pprof and /debug/trace while it runs.
 package main
 
 import (
@@ -45,7 +49,7 @@ func main() {
 	// paper reports <6% relative stddev).
 	debug.SetGCPercent(400)
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, all")
+		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, tracebreak, all")
 		scale       = flag.Float64("scale", 1.0, "node-count scale factor in (0, 1]")
 		minCycles   = flag.Int("mincycles", 5, "minimum measured control cycles per configuration")
 		minDuration = flag.Duration("minduration", 2*time.Second, "minimum measurement window per configuration")
@@ -53,6 +57,7 @@ func main() {
 		jobs        = flag.Int("jobs", 16, "number of jobs stages are spread over")
 		warmup      = flag.Int("warmup", 2, "warmup cycles discarded before measuring")
 		csvPath     = flag.String("csv", "", "also write machine-readable results to this CSV file")
+		debugAddr   = flag.String("debug", "", "serve /metrics, /debug/pprof and /debug/trace on this loopback address during tracebreak (e.g. 127.0.0.1:8080)")
 	)
 	flag.Parse()
 
@@ -64,6 +69,7 @@ func main() {
 		MaxDuration: *maxDuration,
 		Jobs:        *jobs,
 		Out:         os.Stdout,
+		Debug:       *debugAddr,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -103,7 +109,7 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		"all": true, "table1": true, "fig4": true, "table2": true,
 		"fig5": true, "table3": true, "fig6": true, "table4": true,
 		"connlimit": true, "coordflat": true, "chaos": true, "failover": true,
-		"pipeline": true,
+		"pipeline": true, "tracebreak": true,
 	}
 	if !known[exp] {
 		return nil, fmt.Errorf("unknown experiment %q", exp)
@@ -209,6 +215,14 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		all = append(all, r.Blocking, r.Pipelined)
 		experiment.PrintPipeline(opts, r)
 		verdict("pipeline", experiment.CheckPipeline(r))
+	}
+	if want("tracebreak") {
+		r, err := experiment.TraceBreak(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		experiment.PrintTraceBreak(opts, r)
+		verdict("tracebreak", experiment.CheckTraceBreak(r))
 	}
 	return all, nil
 }

@@ -19,6 +19,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/stage"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
 	"github.com/dsrhaslab/sdscale/internal/wire"
@@ -125,7 +126,27 @@ type Config struct {
 	// ParentTimeout is the stage-side upstream-silence threshold that
 	// triggers re-homing (Standby only). Zero selects the stage default.
 	ParentTimeout time.Duration
+	// Tracing equips every controller (and the shared stage fleet) with a
+	// span tracer, exposed via Cluster.Trace. Off by default: tracing costs
+	// roughly one extra timestamp per sampled RPC and one atomic add per
+	// unsampled one.
+	Tracing bool
+	// TraceCapacity is the per-tracer span-ring size (rounded up to a power
+	// of two). Zero scales with the stage count, clamped to [4096, 65536].
+	TraceCapacity int
+	// TraceSample is the call-sampling rate: one call in TraceSample
+	// (rounded up to a power of two) is timed and recorded as a span; the
+	// rest are counted only. Zero selects DefaultTraceSample, which keeps
+	// tracing inside its <2% cycle-time budget; 1 records every call (the
+	// tracebreak experiment uses this for exact decompositions).
+	TraceSample int
 }
+
+// DefaultTraceSample is the call-sampling rate used when Config.TraceSample
+// is zero: 1 in 32 calls is timed, the rest are counted. At the default
+// rate a traced control cycle stays within the 2% overhead budget even on
+// single-core hosts (see the tracing-overhead test at the repo root).
+const DefaultTraceSample = 32
 
 func (c Config) withDefaults() Config {
 	if c.Jobs <= 0 {
@@ -147,6 +168,43 @@ func (c Config) withDefaults() Config {
 		}
 	}
 	return c
+}
+
+// ClusterTrace groups a traced deployment's tracers. Controllers each get
+// their own tracer (a tracer's cycle context is single-writer), while the
+// whole stage fleet shares one: stage servers only record server spans,
+// which never touch the context words.
+type ClusterTrace struct {
+	// Global traces the top-level controller (Flat/Hierarchical).
+	Global *trace.Tracer
+	// Standby traces the warm standby (Config.Standby only).
+	Standby *trace.Tracer
+	// Mid traces the mid tier, index-aligned with Cluster.Aggregators or
+	// Cluster.Peers.
+	Mid []*trace.Tracer
+	// Stages is the tracer shared by every stage server.
+	Stages *trace.Tracer
+}
+
+// Each calls fn for every non-nil tracer with a stable, unique name.
+func (ct *ClusterTrace) Each(fn func(name string, tr *trace.Tracer)) {
+	if ct == nil {
+		return
+	}
+	if ct.Global != nil {
+		fn("global", ct.Global)
+	}
+	if ct.Standby != nil {
+		fn("standby", ct.Standby)
+	}
+	for i, tr := range ct.Mid {
+		if tr != nil {
+			fn(fmt.Sprintf("mid-%d", i+1), tr)
+		}
+	}
+	if ct.Stages != nil {
+		fn("stages", ct.Stages)
+	}
 }
 
 // Roles groups the instrumentation of one controller role.
@@ -184,6 +242,8 @@ type Cluster struct {
 	// PeerRoles instruments each coordinated peer, index-aligned with
 	// Peers.
 	PeerRoles []Roles
+	// Trace holds the deployment's tracers (Config.Tracing only).
+	Trace *ClusterTrace
 
 	// recorder accumulates round latency for Coordinated clusters (flat
 	// and hierarchical clusters use the global controller's recorder).
@@ -205,10 +265,53 @@ func Build(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// traceCapacity is the per-tracer span-ring size: explicit, or scaled with
+// the stage fleet (a 10k-stage cycle records >20k call spans) and clamped.
+func (c Config) traceCapacity() int {
+	if c.TraceCapacity > 0 {
+		return c.TraceCapacity
+	}
+	n := 4 * c.Stages
+	if n < 4096 {
+		n = 4096
+	}
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	return n
+}
+
+// newTracer mints a tracer when tracing is enabled, else nil (which every
+// trace call site treats as "off").
+func (c *Cluster) newTracer() *trace.Tracer {
+	if !c.cfg.Tracing {
+		return nil
+	}
+	tr := trace.New(c.cfg.traceCapacity())
+	every := c.cfg.TraceSample
+	if every <= 0 {
+		every = DefaultTraceSample
+	}
+	tr.SetSampleEvery(every)
+	return tr
+}
+
+// stageTracer is the tracer shared by the whole stage fleet, nil when
+// tracing is off.
+func (c *Cluster) stageTracer() *trace.Tracer {
+	if c.Trace == nil {
+		return nil
+	}
+	return c.Trace.Stages
+}
+
 func (c *Cluster) build() error {
 	cfg := c.cfg
 	ctx := context.Background()
 	c.recorder = telemetry.NewCycleRecorder()
+	if cfg.Tracing {
+		c.Trace = &ClusterTrace{Stages: c.newTracer()}
+	}
 
 	if cfg.Standby {
 		if cfg.Topology != Flat {
@@ -226,6 +329,7 @@ func (c *Cluster) build() error {
 			Weight:    1,
 			Generator: cfg.Workload,
 			Network:   c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
+			Tracer:    c.stageTracer(),
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
@@ -255,6 +359,10 @@ func (c *Cluster) build() error {
 		Meter:            c.GlobalRole.Meter,
 		CPU:              c.GlobalRole.CPU,
 	}
+	if c.Trace != nil {
+		c.Trace.Global = c.newTracer()
+		gcfg.Tracer = c.Trace.Global
+	}
 	g, err := controller.NewGlobal(gcfg)
 	if err != nil {
 		return err
@@ -274,6 +382,11 @@ func (c *Cluster) build() error {
 		per := (cfg.Stages + cfg.Aggregators - 1) / cfg.Aggregators
 		for a := 0; a < cfg.Aggregators; a++ {
 			role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+			var midTracer *trace.Tracer
+			if c.Trace != nil {
+				midTracer = c.newTracer()
+				c.Trace.Mid = append(c.Trace.Mid, midTracer)
+			}
 			agg, err := controller.StartAggregator(controller.AggregatorConfig{
 				ID:               uint64(1_000_000 + a),
 				Network:          c.Net.Host(fmt.Sprintf("agg-%d", a+1)),
@@ -289,6 +402,7 @@ func (c *Cluster) build() error {
 				EvictAfter:       cfg.EvictAfter,
 				Meter:            role.Meter,
 				CPU:              role.CPU,
+				Tracer:           midTracer,
 			})
 			if err != nil {
 				return fmt.Errorf("cluster: aggregator %d: %w", a, err)
@@ -346,6 +460,10 @@ func (c *Cluster) buildFlatStandby() error {
 	scfg.Standby = true
 	scfg.Meter = c.StandbyRole.Meter
 	scfg.CPU = c.StandbyRole.CPU
+	if c.Trace != nil {
+		c.Trace.Standby = c.newTracer()
+		scfg.Tracer = c.Trace.Standby
+	}
 	sb, err := controller.NewGlobal(scfg)
 	if err != nil {
 		return fmt.Errorf("cluster: standby: %w", err)
@@ -359,6 +477,10 @@ func (c *Cluster) buildFlatStandby() error {
 	gcfg.StandbyAddr = sb.Addr()
 	gcfg.Meter = c.GlobalRole.Meter
 	gcfg.CPU = c.GlobalRole.CPU
+	if c.Trace != nil {
+		c.Trace.Global = c.newTracer()
+		gcfg.Tracer = c.Trace.Global
+	}
 	g, err := controller.NewGlobal(gcfg)
 	if err != nil {
 		return err
@@ -375,6 +497,7 @@ func (c *Cluster) buildFlatStandby() error {
 			Network:       c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
 			Parents:       parents,
 			ParentTimeout: cfg.ParentTimeout,
+			Tracer:        c.stageTracer(),
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
@@ -400,6 +523,11 @@ func (c *Cluster) buildCoordinated(ctx context.Context) error {
 	per := (cfg.Stages + cfg.Aggregators - 1) / cfg.Aggregators
 	for i := 0; i < cfg.Aggregators; i++ {
 		role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+		var midTracer *trace.Tracer
+		if c.Trace != nil {
+			midTracer = c.newTracer()
+			c.Trace.Mid = append(c.Trace.Mid, midTracer)
+		}
 		p, err := controller.StartPeer(controller.PeerConfig{
 			ID:               uint64(2_000_000 + i),
 			Network:          c.Net.Host(fmt.Sprintf("peer-%d", i+1)),
@@ -415,6 +543,7 @@ func (c *Cluster) buildCoordinated(ctx context.Context) error {
 			EvictAfter:       cfg.EvictAfter,
 			Meter:            role.Meter,
 			CPU:              role.CPU,
+			Tracer:           midTracer,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: peer %d: %w", i, err)

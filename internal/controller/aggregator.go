@@ -13,6 +13,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/rpc"
 	"github.com/dsrhaslab/sdscale/internal/stage"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
@@ -65,6 +66,11 @@ type AggregatorConfig struct {
 	// CPU, if non-nil, is charged with the aggregator's busy time
 	// (aggregation compute and send-path marshaling).
 	CPU *monitor.CPUMeter
+	// Tracer, if non-nil, records this aggregator's spans: one per stage
+	// RPC (tagged with the stage's ID) plus server spans for upstream
+	// requests. The tracer carries per-phase cycle context, so it must be
+	// exclusive to this aggregator.
+	Tracer *trace.Tracer
 	// Logf, if non-nil, receives operational logs.
 	Logf func(format string, args ...any)
 	// Parents, if non-empty, lists the global controllers (primary first,
@@ -146,8 +152,9 @@ func StartAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	// is charged explicitly around aggregation and via the stage clients'
 	// send paths.
 	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(a.serve), rpc.ServerOptions{
-		Meter: cfg.Meter,
-		Logf:  cfg.Logf,
+		Meter:  cfg.Meter,
+		Logf:   cfg.Logf,
+		Tracer: cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("aggregator %d: %w", cfg.ID, err)
@@ -202,7 +209,8 @@ func (a *Aggregator) Stages() []stage.Info {
 // AddStage connects the aggregator to a stage it will manage.
 func (a *Aggregator) AddStage(ctx context.Context, info stage.Info) error {
 	cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, info.Addr,
-		rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU}, a.breaker.reconnectPolicy())
+		rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: info.ID},
+		a.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("aggregator %d: dial stage %d at %s: %w", a.cfg.ID, info.ID, info.Addr, err)
 	}
@@ -259,7 +267,8 @@ func (a *Aggregator) handleRegister(m *wire.Register) (wire.Message, error) {
 	defer cancel()
 	if c := a.members.get(m.ID); c != nil {
 		cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, m.Addr,
-			rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU}, a.breaker.reconnectPolicy())
+			rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: m.ID},
+			a.breaker.reconnectPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("aggregator %d: redial stage %d at %s: %w", a.cfg.ID, m.ID, m.Addr, err)
 		}
@@ -443,12 +452,14 @@ func (a *Aggregator) prepareScatter(ctx context.Context) (active, quarantined []
 // global controller to the aggregators (Table IV).
 func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	ctx := context.Background()
+	a.cfg.Tracer.SetContext(m.Cycle, a.Epoch(), uint8(a.cfg.FanOutMode), trace.PhaseProbe)
 	children, quarantined := a.prepareScatter(ctx)
 	if len(quarantined) > 0 {
 		a.faults.DegradedCycle()
 	}
 	n := len(children)
 	replies := make([]*wire.CollectReply, n)
+	a.cfg.Tracer.SetContext(m.Cycle, a.Epoch(), uint8(a.cfg.FanOutMode), trace.PhaseCollect)
 	a.fanOut(ctx, &a.pipe.CollectInFlight, children,
 		func(i int) wire.Message { return m },
 		func(i int, resp wire.Message) {
@@ -511,6 +522,7 @@ func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
 	var applied atomic.Uint32
 	ctx := context.Background()
 	epoch := a.Epoch()
+	a.cfg.Tracer.SetContext(m.Cycle, epoch, uint8(a.cfg.FanOutMode), trace.PhaseEnforce)
 	a.fanOut(ctx, &a.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
 			rules := byStage[children[i].info.ID]

@@ -14,6 +14,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/rpc"
 	"github.com/dsrhaslab/sdscale/internal/stage"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
@@ -84,6 +85,11 @@ type GlobalConfig struct {
 	Meter *transport.Meter
 	// CPU, if non-nil, is charged with the controller's busy time.
 	CPU *monitor.CPUMeter
+	// Tracer, if non-nil, records control-cycle spans: one root span per
+	// cycle, one per phase, and one per child RPC (tagged with the child's
+	// ID). The tracer carries per-phase cycle context, so it must be
+	// exclusive to this controller.
+	Tracer *trace.Tracer
 	// Logf, if non-nil, receives operational logs.
 	Logf func(format string, args ...any)
 
@@ -213,8 +219,9 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 	}
 	if cfg.ListenAddr != "" {
 		srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(g.serveRegistration), rpc.ServerOptions{
-			Meter: cfg.Meter,
-			Logf:  cfg.Logf,
+			Meter:  cfg.Meter,
+			Logf:   cfg.Logf,
+			Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("controller: registration endpoint: %w", err)
@@ -335,7 +342,8 @@ func (g *Global) AddStage(ctx context.Context, info stage.Info) error {
 		return err
 	}
 	cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, info.Addr,
-		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU}, g.breaker.reconnectPolicy())
+		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: info.ID},
+		g.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("controller: dial stage %d at %s: %w", info.ID, info.Addr, err)
 	}
@@ -357,7 +365,8 @@ func (g *Global) AddAggregator(ctx context.Context, id uint64, addr string, stag
 		return err
 	}
 	cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, addr,
-		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU}, g.breaker.reconnectPolicy())
+		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: id},
+		g.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("controller: dial aggregator %d at %s: %w", id, addr, err)
 	}
@@ -448,7 +457,8 @@ func (g *Global) handleRegister(m *wire.Register) (wire.Message, error) {
 	defer cancel()
 	if c := g.members.get(m.ID); c != nil && c.role == m.Role {
 		cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, m.Addr,
-			rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU}, g.breaker.reconnectPolicy())
+			rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: m.ID},
+			g.breaker.reconnectPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("controller: redial %s %d at %s: %w", m.Role, m.ID, m.Addr, err)
 		}
@@ -668,7 +678,13 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 		g.mu.Unlock()
 		return telemetry.Breakdown{}, ErrStandby
 	}
+	probeEpoch := g.epoch
+	probeCycle := g.cycle + 1
 	g.mu.Unlock()
+	// Half-open probe RPCs run before the phases; attribute their spans to
+	// the cycle they gate. Quarantined children receive no in-phase traffic,
+	// so PhaseProbe is the only phase their calls ever carry.
+	g.cfg.Tracer.SetContext(probeCycle, probeEpoch, uint8(g.cfg.FanOutMode), trace.PhaseProbe)
 	active, quarantined := g.prepareCycle(ctx)
 	if len(active)+len(quarantined) == 0 {
 		return telemetry.Breakdown{}, ErrNoChildren
@@ -694,9 +710,11 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	}
 	g.pipe.RecordCycleAllocs(telemetry.AllocsNow() - allocsBefore)
 	if err != nil {
+		g.cfg.Tracer.RecordCycle(cycle, epoch, uint8(g.cfg.FanOutMode), start, time.Since(start), true)
 		return b, err
 	}
 	b.Total = time.Since(start)
+	g.cfg.Tracer.RecordCycle(cycle, epoch, uint8(g.cfg.FanOutMode), start, b.Total, false)
 	g.recorder.Record(b)
 	g.mu.Lock()
 	if !g.gapStart.IsZero() {
@@ -734,8 +752,10 @@ func staleReports(quarantined []*child, staleAfter time.Duration, faults *teleme
 func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
 	var b telemetry.Breakdown
 	n := len(children)
+	mode8 := uint8(g.cfg.FanOutMode)
 
 	// Phase 1: collect.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
 	replies := make([]*wire.CollectReply, n)
 	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
@@ -748,11 +768,13 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 			}
 		})
 	b.Collect = time.Since(collectStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseCollect, cycle, epoch, mode8, collectStart, b.Collect)
 	if ctx.Err() != nil {
 		return b, ctx.Err()
 	}
 
 	// Phase 2: compute.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCompute)
 	computeStart := time.Now()
 	var untrack func()
 	if g.cfg.CPU != nil {
@@ -774,8 +796,10 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 		untrack()
 	}
 	b.Compute = time.Since(computeStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseCompute, cycle, epoch, mode8, computeStart, b.Compute)
 
 	// Phase 3: enforce, one rule per responsive stage.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseEnforce)
 	enforceStart := time.Now()
 	ruleBuf := make([]wire.Rule, n) // index-disjoint one-rule batches, one allocation
 	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
@@ -794,6 +818,7 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 			return &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
 		}, nil)
 	b.Enforce = time.Since(enforceStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, epoch, mode8, enforceStart, b.Enforce)
 	return b, ctx.Err()
 }
 
@@ -859,8 +884,10 @@ func (g *Global) computeFlatRules(reports []wire.StageReport) map[uint64]wire.Ru
 func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
 	var b telemetry.Breakdown
 	n := len(children)
+	mode8 := uint8(g.cfg.FanOutMode)
 
 	// Phase 1: collect.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
 	replies := make([]wire.Message, n)
 	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
@@ -874,6 +901,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 			}
 		})
 	b.Collect = time.Since(collectStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseCollect, cycle, epoch, mode8, collectStart, b.Collect)
 	if ctx.Err() != nil {
 		return b, ctx.Err()
 	}
@@ -883,6 +911,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 	// job's stages; the per-aggregator rule batches cover every stage.
 	// Raw per-stage replies (aggregators in ForwardRaw ablation mode) are
 	// aggregated here instead, charging this controller's CPU.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCompute)
 	computeStart := time.Now()
 	var untrack func()
 	if g.cfg.CPU != nil {
@@ -975,8 +1004,10 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 		untrack()
 	}
 	b.Compute = time.Since(computeStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseCompute, cycle, epoch, mode8, computeStart, b.Compute)
 
 	// Phase 3: enforce via aggregators.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseEnforce)
 	enforceStart := time.Now()
 	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
@@ -996,6 +1027,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 			return &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
 		}, nil)
 	b.Enforce = time.Since(enforceStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, epoch, mode8, enforceStart, b.Enforce)
 	return b, ctx.Err()
 }
 

@@ -13,6 +13,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/rpc"
 	"github.com/dsrhaslab/sdscale/internal/stage"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
@@ -60,6 +61,10 @@ type PeerConfig struct {
 	Meter *transport.Meter
 	// CPU, if non-nil, is charged with the peer's busy time.
 	CPU *monitor.CPUMeter
+	// Tracer, if non-nil, records the peer's cycle, phase, per-RPC, and
+	// server spans (stage calls tagged with the stage's ID, peer-exchange
+	// calls with the fellow's ID). Must be exclusive to this peer.
+	Tracer *trace.Tracer
 	// Logf, if non-nil, receives operational logs.
 	Logf func(format string, args ...any)
 }
@@ -145,8 +150,9 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 		jobWeights: make(map[uint64]float64),
 	}
 	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(p.serve), rpc.ServerOptions{
-		Meter: cfg.Meter,
-		Logf:  cfg.Logf,
+		Meter:  cfg.Meter,
+		Logf:   cfg.Logf,
+		Tracer: cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peer %d: %w", cfg.ID, err)
@@ -196,7 +202,8 @@ func (p *Peer) logf(format string, args ...any) {
 // AddStage connects the peer to a stage in its partition.
 func (p *Peer) AddStage(ctx context.Context, info stage.Info) error {
 	cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, info.Addr,
-		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU}, p.breaker.reconnectPolicy())
+		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: info.ID},
+		p.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("peer %d: dial stage %d: %w", p.cfg.ID, info.ID, err)
 	}
@@ -221,7 +228,8 @@ func (p *Peer) AddPeer(ctx context.Context, id uint64, addr string) error {
 		return fmt.Errorf("peer %d: cannot peer with itself", id)
 	}
 	cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, addr,
-		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU}, p.breaker.reconnectPolicy())
+		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: id},
+		p.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("peer %d: dial peer %d at %s: %w", p.cfg.ID, id, addr, err)
 	}
@@ -268,7 +276,8 @@ func (p *Peer) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 			// Duplicate registration from a known stage is a reconnect:
 			// replace the stale connection, keep breaker state.
 			cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, m.Addr,
-				rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU}, p.breaker.reconnectPolicy())
+				rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: m.ID},
+				p.breaker.reconnectPolicy())
 			if err != nil {
 				return nil, fmt.Errorf("peer %d: redial stage %d at %s: %w", p.cfg.ID, m.ID, m.Addr, err)
 			}
@@ -357,6 +366,12 @@ func (p *Peer) prepareCycle(ctx context.Context) (active, quarantined []*child) 
 // exchange aggregates with peers, compute over the merged global view,
 // enforce own partition.
 func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
+	mode8 := uint8(p.cfg.FanOutMode)
+	p.mu.Lock()
+	probeCycle := p.cycle + 1
+	p.mu.Unlock()
+	// Peers have no leadership epochs; their spans carry epoch 0.
+	p.cfg.Tracer.SetContext(probeCycle, 0, mode8, trace.PhaseProbe)
 	children, quarantined := p.prepareCycle(ctx)
 	if len(children)+len(quarantined) == 0 {
 		return telemetry.Breakdown{}, ErrNoChildren
@@ -376,6 +391,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	// Phase 1: collect own active stages, aggregate, and exchange with
 	// peers. Quarantined stages contribute their last-known reports
 	// (degraded mode) but receive no traffic.
+	p.cfg.Tracer.SetContext(cycle, 0, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
 	n := len(children)
 	replies := make([]*wire.CollectReply, n)
@@ -419,15 +435,19 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	exchange := &wire.PeerExchange{Cycle: cycle, PeerID: p.cfg.ID, Addr: p.Addr(), Jobs: ownJobs}
 	rpc.Scatter(ctx, len(fellows), p.cfg.FanOut, func(i int) {
 		cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
-		fellows[i].client().Call(cctx, exchange)
+		// Exchange is fire-and-forget: a failed push just leaves the fellow
+		// computing on aggregates one cycle staler.
+		_, _ = fellows[i].client().Call(cctx, exchange)
 		cancel()
 	})
 	b.Collect = time.Since(collectStart)
+	p.cfg.Tracer.RecordPhase(trace.PhaseCollect, cycle, 0, mode8, collectStart, b.Collect)
 	if ctx.Err() != nil {
 		return b, ctx.Err()
 	}
 
 	// Phase 2: compute over the merged global view.
+	p.cfg.Tracer.SetContext(cycle, 0, mode8, trace.PhaseCompute)
 	computeStart := time.Now()
 	if p.cfg.CPU != nil {
 		untrack = p.cfg.CPU.Track()
@@ -491,8 +511,10 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 		untrack()
 	}
 	b.Compute = time.Since(computeStart)
+	p.cfg.Tracer.RecordPhase(trace.PhaseCompute, cycle, 0, mode8, computeStart, b.Compute)
 
 	// Phase 3: enforce own partition.
+	p.cfg.Tracer.SetContext(cycle, 0, mode8, trace.PhaseEnforce)
 	enforceStart := time.Now()
 	p.fanOut(ctx, &p.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
@@ -503,8 +525,10 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 			return &wire.Enforce{Cycle: cycle, Rules: []wire.Rule{rule}}
 		}, nil)
 	b.Enforce = time.Since(enforceStart)
+	p.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, 0, mode8, enforceStart, b.Enforce)
 
 	b.Total = time.Since(start)
+	p.cfg.Tracer.RecordCycle(cycle, 0, mode8, start, b.Total, ctx.Err() != nil)
 	p.pipe.RecordCycleAllocs(telemetry.AllocsNow() - allocsBefore)
 	p.recorder.Record(b)
 	return b, ctx.Err()

@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"io"
+
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/trace"
+)
+
+// Tracer returns the tracer the controller records cycle, phase, and
+// per-call spans into; nil when tracing is off.
+func (g *Global) Tracer() *trace.Tracer { return g.cfg.Tracer }
+
+// Tracer returns the aggregator's tracer; nil when tracing is off.
+func (a *Aggregator) Tracer() *trace.Tracer { return a.cfg.Tracer }
+
+// Tracer returns the peer's tracer; nil when tracing is off.
+func (p *Peer) Tracer() *trace.Tracer { return p.cfg.Tracer }
+
+// WritePrometheus renders the controller's operational counters, fault
+// telemetry, and cycle-phase latency histograms in the Prometheus text
+// exposition format. It implements trace.MetricsSource, so a Global plugs
+// into trace.StartDebug directly via DebugServer.AddMetrics.
+func (g *Global) WritePrometheus(w io.Writer) error {
+	if err := promStats(w, "global", g.Stats()); err != nil {
+		return err
+	}
+	if err := telemetry.PromFaults(w, "sdscale_controller_fault", g.faults, "controller", "global"); err != nil {
+		return err
+	}
+	return promRecorder(w, "global", g.recorder)
+}
+
+// WritePrometheus renders the aggregator's counters and histograms; see
+// (*Global).WritePrometheus.
+func (a *Aggregator) WritePrometheus(w io.Writer) error {
+	if err := promStats(w, "aggregator", a.Stats()); err != nil {
+		return err
+	}
+	return telemetry.PromFaults(w, "sdscale_controller_fault", a.faults, "controller", "aggregator")
+}
+
+// WritePrometheus renders the peer's counters and histograms; see
+// (*Global).WritePrometheus.
+func (p *Peer) WritePrometheus(w io.Writer) error {
+	if err := promStats(w, "peer", p.Stats()); err != nil {
+		return err
+	}
+	if err := telemetry.PromFaults(w, "sdscale_controller_fault", p.faults, "controller", "peer"); err != nil {
+		return err
+	}
+	return promRecorder(w, "peer", p.recorder)
+}
+
+func promStats(w io.Writer, role string, st ControllerStats) error {
+	labels := []string{"controller", role}
+	gauges := []struct {
+		name  string
+		value float64
+	}{
+		{"sdscale_controller_children", float64(st.Children)},
+		{"sdscale_controller_stages", float64(st.Stages)},
+		{"sdscale_controller_peers", float64(st.Peers)},
+		{"sdscale_controller_quarantined", float64(st.Quarantined)},
+		{"sdscale_controller_epoch", float64(st.Epoch)},
+		{"sdscale_controller_collect_in_flight", float64(st.Pipeline.CollectInFlight)},
+		{"sdscale_controller_collect_in_flight_peak", float64(st.Pipeline.CollectInFlightPeak)},
+		{"sdscale_controller_enforce_in_flight", float64(st.Pipeline.EnforceInFlight)},
+		{"sdscale_controller_enforce_in_flight_peak", float64(st.Pipeline.EnforceInFlightPeak)},
+		{"sdscale_controller_cycle_allocs_last", float64(st.Pipeline.LastCycleAllocs)},
+		{"sdscale_controller_cycle_allocs_mean", st.Pipeline.MeanCycleAllocs},
+	}
+	for _, g := range gauges {
+		if err := telemetry.PromGauge(w, g.name, g.value, labels...); err != nil {
+			return err
+		}
+	}
+	counters := []struct {
+		name  string
+		value uint64
+	}{
+		{"sdscale_controller_call_errors_total", st.CallErrors},
+		{"sdscale_controller_evictions_total", st.Evictions},
+		{"sdscale_controller_fenced_calls_total", st.FencedCalls},
+		{"sdscale_controller_rehomes_total", st.ReHomes},
+	}
+	for _, c := range counters {
+		if err := telemetry.PromCounter(w, c.name, c.value, labels...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func promRecorder(w io.Writer, role string, r *telemetry.CycleRecorder) error {
+	for _, p := range []telemetry.Phase{telemetry.PhaseCollect, telemetry.PhaseCompute, telemetry.PhaseEnforce, telemetry.PhaseTotal} {
+		h := r.Phase(p)
+		if h.Count() == 0 {
+			continue
+		}
+		if err := telemetry.PromHistogram(w, "sdscale_controller_cycle_phase", h,
+			"controller", role, "phase", p.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -7,6 +7,17 @@ import "github.com/dsrhaslab/sdscale/internal/telemetry"
 // telemetry. It is the one-call observability surface shared by Global,
 // Aggregator, and Peer; the older per-counter accessors remain as deprecated
 // wrappers around it.
+//
+// Consistency: Stats is safe to call at any time, including from another
+// goroutine while a control cycle is running, but the snapshot is only
+// per-field consistent. Each field is read atomically (or under the mutex
+// that guards it), yet different fields are read at slightly different
+// instants — a snapshot taken mid-cycle may, for example, show a child
+// already quarantined whose failed call has not yet landed in CallErrors,
+// or an Epoch one ahead of the Faults promotion counters. Cross-field
+// invariants therefore only hold on a quiescent controller. Callers that
+// need a coherent multi-field view should pause cycles first; monitoring
+// and debugging callers get torn-free individual values either way.
 type ControllerStats struct {
 	// Children is the number of directly managed children (stages or
 	// aggregators); Stages is the stage population reached through them.

@@ -1,0 +1,223 @@
+package controller
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/trace"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// TestTracedCycleSpans checks that a flat cycle records one cycle span,
+// three phase spans, and per-child call spans, all carrying the cycle's
+// context (cycle number, epoch, fan-out mode, phase).
+func TestTracedCycleSpans(t *testing.T) {
+	tr := trace.New(4096)
+	n := fastNet()
+	stages := startStages(t, n, 6, 2, wire.Rates{1000, 100})
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity: wire.Rates{4000, 400},
+		Epoch:    3,
+		Tracer:   tr,
+	})
+
+	if _, err := g.RunCycle(context.Background()); err != nil {
+		t.Fatalf("RunCycle: %v", err)
+	}
+
+	var cycles, phases, calls int
+	for _, s := range tr.Snapshot() {
+		if s.Epoch != 3 {
+			t.Fatalf("span with wrong epoch: %+v", s)
+		}
+		if s.Cycle != 1 {
+			t.Fatalf("span with wrong cycle: %+v", s)
+		}
+		switch s.Kind {
+		case trace.KindCycle:
+			cycles++
+			if s.Phase != trace.PhaseNone {
+				t.Fatalf("cycle span carries a phase: %+v", s)
+			}
+		case trace.KindPhase:
+			phases++
+		case trace.KindCall:
+			calls++
+			if s.Phase != trace.PhaseCollect && s.Phase != trace.PhaseEnforce {
+				t.Fatalf("call span outside fan-out phases: %+v", s)
+			}
+			if s.Tag == 0 {
+				t.Fatalf("call span without child tag: %+v", s)
+			}
+		}
+	}
+	if cycles != 1 || phases != 3 {
+		t.Fatalf("got %d cycle / %d phase spans, want 1 / 3", cycles, phases)
+	}
+	// Collect and enforce each fan out to every stage.
+	if want := 2 * len(stages); calls != want {
+		t.Fatalf("got %d call spans, want %d", calls, want)
+	}
+
+	tot := tr.Totals()
+	if tot.Cycles != 1 || tot.ClientCalls != uint64(2*len(stages)) || tot.ClientErrors != 0 {
+		t.Fatalf("totals: %+v", tot)
+	}
+}
+
+// TestStatsDuringLiveCycle hammers Stats from several goroutines while
+// cycles run. Stats promises per-field (not cross-field) consistency; under
+// the race detector this test proves every field read is individually
+// synchronized with the cycle that updates it.
+func TestStatsDuringLiveCycle(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 8, 2, wire.Rates{1000, 100})
+	g := buildFlat(t, n, stages, GlobalConfig{Capacity: wire.Rates{4000, 400}})
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := g.RunCycle(context.Background()); err != nil {
+				t.Errorf("RunCycle: %v", err)
+				return
+			}
+		}
+	}()
+
+	const readers = 4
+	readersDone := make(chan struct{}, readers)
+	for range readers {
+		go func() {
+			defer func() { readersDone <- struct{}{} }()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := g.Stats()
+				if st.Children != 8 {
+					t.Errorf("Stats children = %d, want 8", st.Children)
+					return
+				}
+				_ = st.Pipeline.CollectInFlight
+				_ = st.Faults.Quarantines
+			}
+		}()
+	}
+
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	<-done
+	for range readers {
+		<-readersDone
+	}
+}
+
+// TestTracedFailoverSpanLifecycle checks the span lifecycle across a
+// leadership change: a stepped-down controller records nothing new (no ring
+// entries attributed to a stale epoch), and a promoted standby's spans carry
+// the bumped epoch.
+func TestTracedFailoverSpanLifecycle(t *testing.T) {
+	ctx := context.Background()
+	n := fastNet()
+	stages := startStages(t, n, 4, 2, wire.Rates{1000, 100})
+
+	primaryTr := trace.New(4096)
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity: wire.Rates{4000, 400},
+		Epoch:    5,
+		Tracer:   primaryTr,
+	})
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatalf("RunCycle: %v", err)
+	}
+
+	// Call spans finish on the read-loop goroutine; wait until the ring
+	// quiesces so the pre-step-down append count is stable.
+	waitStableAppends(t, primaryTr)
+	before := primaryTr.Appends()
+
+	g.stepDown("test: simulated newer epoch")
+	if _, err := g.RunCycle(ctx); !errors.Is(err, ErrDeposed) {
+		t.Fatalf("RunCycle after step-down: %v, want ErrDeposed", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := primaryTr.Appends(); got != before {
+		t.Fatalf("deposed controller appended %d spans", got-before)
+	}
+	for _, s := range primaryTr.Snapshot() {
+		if s.Epoch != 5 {
+			t.Fatalf("span attributed to unexpected epoch: %+v", s)
+		}
+	}
+
+	// A promoted standby leads with a bumped epoch; its spans must carry it.
+	standbyTr := trace.New(4096)
+	sb, err := NewGlobal(GlobalConfig{
+		Network:    n.Host("standby"),
+		ListenAddr: ":0",
+		Standby:    true,
+		Epoch:      5,
+		Capacity:   wire.Rates{4000, 400},
+		Tracer:     standbyTr,
+	})
+	if err != nil {
+		t.Fatalf("NewGlobal standby: %v", err)
+	}
+	defer sb.Close()
+	if _, err := sb.RunCycle(ctx); !errors.Is(err, ErrStandby) {
+		t.Fatalf("standby RunCycle: %v, want ErrStandby", err)
+	}
+	if got := standbyTr.Appends(); got != 0 {
+		t.Fatalf("unpromoted standby appended %d spans", got)
+	}
+	if err := sb.Promote(ctx); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	for _, v := range stages {
+		if err := sb.AddStage(ctx, v.Info()); err != nil {
+			t.Fatalf("AddStage: %v", err)
+		}
+	}
+	if _, err := sb.RunCycle(ctx); err != nil {
+		t.Fatalf("promoted RunCycle: %v", err)
+	}
+	waitStableAppends(t, standbyTr)
+	if standbyTr.Appends() == 0 {
+		t.Fatal("promoted standby recorded no spans")
+	}
+	for _, s := range standbyTr.Snapshot() {
+		if s.Epoch != 6 {
+			t.Fatalf("promoted span epoch %d, want 6: %+v", s.Epoch, s)
+		}
+	}
+}
+
+// waitStableAppends waits until the tracer's append counter stops moving
+// (in-flight call spans finish on read-loop goroutines).
+func waitStableAppends(t *testing.T, tr *trace.Tracer) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	prev := tr.Appends()
+	for {
+		time.Sleep(10 * time.Millisecond)
+		cur := tr.Appends()
+		if cur == prev {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("tracer appends never quiesced")
+		}
+		prev = cur
+	}
+}

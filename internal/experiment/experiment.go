@@ -60,6 +60,10 @@ type Options struct {
 	Net *simnet.Config
 	// Out receives the human-readable report. Nil discards it.
 	Out io.Writer
+	// Debug, when non-empty, serves /metrics, /debug/pprof and /debug/trace
+	// on this address for the run's duration (tracebreak only). Must be a
+	// loopback address; see trace.DebugOptions.
+	Debug string
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/controller"
+)
+
+func TestTraceBreakAtReducedScale(t *testing.T) {
+	o := testOptions(0.01)
+	res, err := TraceBreak(context.Background(), o)
+	if err != nil {
+		t.Fatalf("TraceBreak: %v", err)
+	}
+	if err := CheckTraceBreak(res); err != nil {
+		t.Fatalf("CheckTraceBreak: %v", err)
+	}
+	if got, want := len(res.Rows), 2*len(TraceBreakNodes)+2; got != want {
+		t.Fatalf("got %d rows, want %d", got, want)
+	}
+	for _, r := range res.Rows {
+		if r.Marshal <= 0 || r.Dispatch <= 0 || r.Wait <= 0 {
+			t.Errorf("%s/%v: empty decomposition: %+v", r.Name, r.Mode, r)
+		}
+		if r.ServerQueue < 0 || r.ServerHandler <= 0 {
+			t.Errorf("%s/%v: empty stage-side decomposition: %+v", r.Name, r.Mode, r)
+		}
+	}
+
+	var sb strings.Builder
+	o.Out = &sb
+	PrintTraceBreak(o, res)
+	out := sb.String()
+	for _, want := range []string{"marshal%", "dispatch%", "wait×", "flat-", "hierarchical-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PrintTraceBreak output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckTraceBreakRejectsDegenerate(t *testing.T) {
+	if err := CheckTraceBreak(TraceBreakResult{}); err == nil {
+		t.Error("empty result passed")
+	}
+	good := TraceBreakRow{
+		Name: "flat-10", Topology: cluster.Flat, Mode: controller.FanOutPipelined,
+		Nodes: 10, Cycles: 5, Wall: 100, Calls: 100, Marshal: 10, Dispatch: 10,
+		Wait: 500, ServerCalls: 100,
+	}
+	cases := map[string]func(*TraceBreakRow){
+		"no cycles":         func(r *TraceBreakRow) { r.Cycles = 0 },
+		"missing calls":     func(r *TraceBreakRow) { r.Calls = 10 },
+		"errors":            func(r *TraceBreakRow) { r.Errors = 1 },
+		"negative wait":     func(r *TraceBreakRow) { r.Wait = -1 },
+		"missing srv calls": func(r *TraceBreakRow) { r.ServerCalls = 10 },
+	}
+	for name, mutate := range cases {
+		r := good
+		mutate(&r)
+		if err := CheckTraceBreak(TraceBreakResult{Rows: []TraceBreakRow{r}}); err == nil {
+			t.Errorf("%s: degenerate row passed", name)
+		}
+	}
+	if err := CheckTraceBreak(TraceBreakResult{Rows: []TraceBreakRow{good}}); err != nil {
+		t.Errorf("good row rejected: %v", err)
+	}
+	// A pipelined row overlapping far less than its blocking twin means
+	// tracing caught the dispatch path not pipelining.
+	blocking := good
+	blocking.Mode = controller.FanOutBlocking
+	blocking.Wait = 5000
+	if err := CheckTraceBreak(TraceBreakResult{Rows: []TraceBreakRow{good, blocking}}); err == nil {
+		t.Error("non-pipelining pair passed")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
@@ -23,6 +24,14 @@ var ErrClientClosed = errors.New("rpc: client closed")
 type Client struct {
 	conn net.Conn
 	cpu  *monitor.CPUMeter // optional; charged with marshal/write time
+
+	// tracer, if non-nil, receives one span per call (issue → completion,
+	// with marshal/write sub-timings) tagged with spanTag. Spans are
+	// recorded on the completion paths — the read loop, abandonment, or
+	// failure — never on the issue path, so pipelined fan-outs pay only the
+	// timestamps.
+	tracer  *trace.Tracer
+	spanTag uint64
 
 	wmu sync.Mutex // serializes frame writes
 
@@ -59,6 +68,17 @@ type Call struct {
 
 	id     uint64
 	client *Client // nil for calls that failed before registration
+
+	// Span timings, populated by send when the client traces: issue time
+	// (unix nanoseconds; doubles as the "this call is traced" marker),
+	// frame-encode time, and connection-write time. Atomic because the
+	// write timing lands after the frame is on the wire, so a fast
+	// response's completion (on the read loop) can race it; a span that
+	// loses that race reports a zero write sub-timing rather than a torn
+	// value.
+	issuedNs  atomic.Int64
+	marshalNs atomic.Int64
+	writeNs   atomic.Int64
 }
 
 // callPool recycles Call handles together with their embedded completion
@@ -73,6 +93,9 @@ func getCall() *Call { return callPool.Get().(*Call) }
 // never delivered).
 func putCall(call *Call) {
 	call.Reply, call.Err, call.id, call.client = nil, nil, 0, nil
+	call.issuedNs.Store(0)
+	call.marshalNs.Store(0)
+	call.writeNs.Store(0)
 	callPool.Put(call)
 }
 
@@ -82,6 +105,16 @@ func putCall(call *Call) {
 func (call *Call) finish(m wire.Message, err error) {
 	if er, ok := m.(*wire.ErrorReply); ok {
 		m, err = nil, er
+	}
+	if c := call.client; c != nil && c.tracer != nil {
+		if issued := call.issuedNs.Load(); issued != 0 {
+			c.tracer.RecordClientCall(c.spanTag, call.id, issued,
+				time.Now().UnixNano()-issued, call.marshalNs.Load(), call.writeNs.Load(),
+				err != nil, false)
+		} else {
+			// Not on the sample grid: counted, never timed.
+			c.tracer.CountClientCall(err != nil, false)
+		}
 	}
 	call.Reply, call.Err = m, err
 	call.Done <- call
@@ -120,6 +153,17 @@ func (call *Call) Wait(ctx context.Context) (wire.Message, error) {
 				// fails the connection is dying anyway.
 				c.sendCancel(call.id)
 			}
+			if c.tracer != nil {
+				if issued := call.issuedNs.Load(); issued != 0 {
+					// The span closes at abandonment: the caller stopped
+					// waiting, so this is where the call's cost ends for it.
+					c.tracer.RecordClientCall(c.spanTag, call.id, issued,
+						time.Now().UnixNano()-issued, call.marshalNs.Load(), call.writeNs.Load(),
+						true, true)
+				} else {
+					c.tracer.CountClientCall(true, true)
+				}
+			}
 			err := ctx.Err()
 			putCall(call)
 			return nil, err
@@ -145,6 +189,11 @@ type DialOptions struct {
 	// CPU, if non-nil, is charged with local marshal and write time, the
 	// client-side share of per-message processing cost.
 	CPU *monitor.CPUMeter
+	// Tracer, if non-nil, receives one span per call issued on this
+	// connection; SpanTag identifies the remote end in those spans
+	// (controllers set their child's ID).
+	Tracer  *trace.Tracer
+	SpanTag uint64
 }
 
 // Dial connects to an RPC server at addr over network.
@@ -155,6 +204,7 @@ func Dial(ctx context.Context, network transport.Network, addr string, opts Dial
 	}
 	c := NewClient(transport.WithMeter(conn, opts.Meter))
 	c.cpu = opts.CPU
+	c.tracer, c.spanTag = opts.Tracer, opts.SpanTag
 	return c, nil
 }
 
@@ -172,6 +222,11 @@ func NewClient(conn net.Conn) *Client {
 
 // RemoteAddr returns the server's address.
 func (c *Client) RemoteAddr() net.Addr { return c.conn.RemoteAddr() }
+
+// LocalAddr returns the connection's local address. trace.AddrTag of its
+// string form matches the tag the server records for this connection's
+// requests, correlating client and server spans.
+func (c *Client) LocalAddr() net.Addr { return c.conn.LocalAddr() }
 
 // Err reports why the client is unusable: the read-loop death error,
 // ErrClientClosed after Close, or nil while the connection is healthy.
@@ -281,7 +336,7 @@ func (c *Client) Go(ctx context.Context, req wire.Message) *Call {
 	c.pending[call.id] = call
 	c.mu.Unlock()
 
-	if err := c.send(frameHeader{id: call.id, kind: kindRequest}, req); err != nil {
+	if err := c.send(frameHeader{id: call.id, kind: kindRequest}, req, call); err != nil {
 		if c.deregister(call) {
 			call.finish(nil, err)
 		}
@@ -303,31 +358,54 @@ func (c *Client) sendCancel(id uint64) {
 	bp := getFrameBuf()
 	*bp = appendCancelFrame((*bp)[:0], id)
 	c.wmu.Lock()
-	c.conn.Write(*bp)
+	_, _ = c.conn.Write(*bp)
 	c.wmu.Unlock()
 	putFrameBuf(bp)
 }
 
 // send writes one frame, serialized against other senders. The frame is
 // encoded into a pooled buffer outside the write lock, so concurrent senders
-// marshal in parallel and only the write itself serializes.
-func (c *Client) send(h frameHeader, m wire.Message) error {
+// marshal in parallel and only the write itself serializes. When the client
+// has a CPU meter or a tracer the marshal and write are timed once and the
+// measurements shared: the meter gets charged and the call (if any) carries
+// them for its span, so tracing on top of an already-metered connection
+// adds no extra clock reads on this path. A call off the tracer's sample
+// grid takes no timestamps at all (unless metered) — it is merely counted
+// at completion.
+func (c *Client) send(h frameHeader, m wire.Message, call *Call) error {
+	traced := c.tracer != nil && call != nil && c.tracer.Sampled(call.id)
+	timed := c.cpu != nil || traced
 	bp := getFrameBuf()
 	var start time.Time
-	if c.cpu != nil {
+	if timed {
 		start = time.Now()
 	}
+	if traced {
+		call.issuedNs.Store(start.UnixNano())
+	}
 	*bp = appendFrame((*bp)[:0], h, m)
-	if c.cpu != nil {
-		c.cpu.Add(time.Since(start))
+	if timed {
+		el := time.Since(start)
+		if c.cpu != nil {
+			c.cpu.Add(el)
+		}
+		if traced {
+			call.marshalNs.Store(int64(el))
+		}
 	}
 	c.wmu.Lock()
-	if c.cpu != nil {
+	if timed {
 		start = time.Now()
 	}
 	_, err := c.conn.Write(*bp)
-	if c.cpu != nil {
-		c.cpu.Add(time.Since(start))
+	if timed {
+		el := time.Since(start)
+		if c.cpu != nil {
+			c.cpu.Add(el)
+		}
+		if traced {
+			call.writeNs.Store(int64(el))
+		}
 	}
 	c.wmu.Unlock()
 	putFrameBuf(bp)

@@ -5,8 +5,10 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
@@ -67,6 +69,12 @@ type ServerOptions struct {
 	Logf func(format string, args ...any)
 	// OnDisconnect, if non-nil, runs when a peer's connection ends.
 	OnDisconnect func(peer *Peer)
+	// Tracer, if non-nil, receives one span per handled request: frame
+	// arrival → response written, with queue-wait and handler sub-timings,
+	// tagged with trace.AddrTag of the peer's remote address. A server
+	// tracer never carries cycle context, so one tracer may be shared by
+	// many servers (e.g. all stages of a simulated cluster).
+	Tracer *trace.Tracer
 }
 
 // Server accepts RPC connections and dispatches requests to a Handler.
@@ -147,6 +155,11 @@ func (s *Server) acceptLoop() {
 type queuedReq struct {
 	id  uint64
 	req wire.Message
+	// arrivedNs is the frame's read-completion time (unix nanoseconds),
+	// stamped by the reader goroutine only when the server traces and the
+	// frame ID is on the tracer's sample grid; queue wait is pop time minus
+	// arrival. Zero means "count this request, don't time it".
+	arrivedNs int64
 }
 
 // reqQueue is a per-connection ordered request queue. A reader goroutine
@@ -273,7 +286,11 @@ func (s *Server) serveConn(peer *Peer) {
 			}
 			switch h.kind {
 			case kindRequest:
-				q.push(queuedReq{id: h.id, req: req})
+				item := queuedReq{id: h.id, req: req}
+				if s.opts.Tracer.Sampled(h.id) {
+					item.arrivedNs = time.Now().UnixNano()
+				}
+				q.push(item)
 			case kindCancel:
 				if q.cancel(h.id) {
 					s.canceled.Add(1)
@@ -282,6 +299,10 @@ func (s *Server) serveConn(peer *Peer) {
 		}
 	}()
 
+	var peerTag uint64
+	if s.opts.Tracer != nil {
+		peerTag = trace.AddrTag(peer.conn.RemoteAddr().String())
+	}
 	wbp := getFrameBuf()
 	defer putFrameBuf(wbp)
 	for {
@@ -289,11 +310,20 @@ func (s *Server) serveConn(peer *Peer) {
 		if !ok {
 			break
 		}
+		traced := item.arrivedNs != 0
+		var popNs int64
+		if traced {
+			popNs = time.Now().UnixNano()
+		}
 		var untrack func()
 		if s.opts.CPU != nil {
 			untrack = s.opts.CPU.Track()
 		}
 		resp := s.dispatch(peer, item.req)
+		var handlerDoneNs int64
+		if traced {
+			handlerDoneNs = time.Now().UnixNano()
+		}
 		var err error
 		if !q.finish() {
 			*wbp = appendFrame((*wbp)[:0], frameHeader{id: item.id, kind: kindResponse}, resp)
@@ -301,6 +331,14 @@ func (s *Server) serveConn(peer *Peer) {
 		}
 		if untrack != nil {
 			untrack()
+		}
+		if traced {
+			endNs := time.Now().UnixNano()
+			s.opts.Tracer.RecordServerCall(peerTag, item.id, item.arrivedNs,
+				endNs-item.arrivedNs, popNs-item.arrivedNs, handlerDoneNs-popNs,
+				endNs-handlerDoneNs)
+		} else if s.opts.Tracer != nil {
+			s.opts.Tracer.CountServerCall()
 		}
 		if err != nil {
 			break

@@ -30,6 +30,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/pfs"
 	"github.com/dsrhaslab/sdscale/internal/ratelimit"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 	"github.com/dsrhaslab/sdscale/internal/workload"
@@ -73,6 +74,10 @@ type Config struct {
 	// contact before re-registering. Zero selects DefaultParentTimeout.
 	// Only meaningful with Parents set.
 	ParentTimeout time.Duration
+	// Tracer, when set, records a server span per control-plane request
+	// (queue vs. handler vs. write time). Stage servers never write cycle
+	// context, so one tracer may be shared by many stages.
+	Tracer *trace.Tracer
 }
 
 // DefaultParentTimeout is how long a stage with a parent list waits without
@@ -113,7 +118,7 @@ func StartVirtual(cfg Config) (*Virtual, error) {
 		cfg.ParentTimeout = DefaultParentTimeout
 	}
 	v := &Virtual{cfg: cfg, start: time.Now(), who: fmt.Sprintf("stage %d", cfg.ID)}
-	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(v.serve), rpc.ServerOptions{})
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(v.serve), rpc.ServerOptions{Tracer: cfg.Tracer})
 	if err != nil {
 		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
 	}
@@ -263,6 +268,9 @@ type EnforcingConfig struct {
 	FS *pfs.FileSystem
 	// Window is the metric measurement window. Zero selects one second.
 	Window time.Duration
+	// Tracer, when set, records a server span per control-plane request.
+	// Safe to share across stages (see Config.Tracer).
+	Tracer *trace.Tracer
 }
 
 // Enforcing is a functional stage: it rate limits application operations
@@ -292,7 +300,7 @@ func StartEnforcing(cfg EnforcingConfig) (*Enforcing, error) {
 		e.demand[c] = metrics.NewRateCounter(cfg.Window, 10)
 		e.usage[c] = metrics.NewRateCounter(cfg.Window, 10)
 	}
-	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(e.serve), rpc.ServerOptions{})
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(e.serve), rpc.ServerOptions{Tracer: cfg.Tracer})
 	if err != nil {
 		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
 	}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-exposition helpers shared by every component that renders
+// metrics for the debug endpoint. Only the subset of the format the repo
+// needs: counters, gauges, and summary-style quantile series derived from
+// Histogram.
+
+// PromCounter writes one counter sample. labels alternate key, value.
+func PromCounter(w io.Writer, name string, value uint64, labels ...string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, promLabels(labels), value)
+	return err
+}
+
+// PromGauge writes one gauge sample with a float value.
+func PromGauge(w io.Writer, name string, value float64, labels ...string) error {
+	_, err := fmt.Fprintf(w, "%s%s %g\n", name, promLabels(labels), value)
+	return err
+}
+
+// PromHistogram renders a Histogram as a summary: p50/p95/p99 quantile
+// series (in seconds, per Prometheus convention) plus _sum-less _count and
+// _mean helpers. labels alternate key, value and are applied to every
+// series.
+func PromHistogram(w io.Writer, name string, h *Histogram, labels ...string) error {
+	count := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(labels), count); err != nil {
+		return err
+	}
+	if count == 0 {
+		return nil
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		ql := append(append([]string(nil), labels...), "quantile", fmt.Sprintf("%g", q))
+		if _, err := fmt.Fprintf(w, "%s_seconds%s %g\n", name, promLabels(ql), h.Quantile(q).Seconds()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_mean_seconds%s %g\n", name, promLabels(labels), h.Mean().Seconds())
+	return err
+}
+
+// PromFaults renders a FaultCounters set under the given metric prefix.
+func PromFaults(w io.Writer, prefix string, f *FaultCounters, labels ...string) error {
+	s := f.Summarize()
+	counters := []struct {
+		name  string
+		value uint64
+	}{
+		{"quarantines_total", s.Quarantines},
+		{"readmissions_total", s.Readmissions},
+		{"degraded_cycles_total", s.DegradedCycles},
+		{"probes_total", s.Probes},
+		{"probe_failures_total", s.ProbeFailures},
+		{"evictions_total", s.Evictions},
+		{"stale_reports_used_total", s.StaleReportsUsed},
+		{"stale_reports_dropped_total", s.StaleReportsDropped},
+		{"promotions_total", s.Promotions},
+		{"step_downs_total", s.StepDowns},
+		{"fenced_calls_total", s.FencedCalls},
+		{"reregistrations_total", s.ReRegistrations},
+	}
+	for _, c := range counters {
+		if err := PromCounter(w, prefix+"_"+c.name, c.value, labels...); err != nil {
+			return err
+		}
+	}
+	if err := PromHistogram(w, prefix+"_stale_age", f.StaleAge(), labels...); err != nil {
+		return err
+	}
+	return PromHistogram(w, prefix+"_control_gap", f.ControlGap(), labels...)
+}
+
+// promLabels renders alternating key, value pairs as {k="v",...}, sorted by
+// key for deterministic output. An odd trailing key is dropped.
+func promLabels(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package trace
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// MetricsSource renders one component's metrics in Prometheus text
+// exposition format. Controllers and tracers implement it; the debug server
+// concatenates every registered source under /metrics. The interface keeps
+// this package free of controller imports (and vice versa there is no cycle:
+// controller imports trace, never the reverse).
+type MetricsSource interface {
+	WritePrometheus(w io.Writer) error
+}
+
+// MetricsFunc adapts a function to MetricsSource.
+type MetricsFunc func(w io.Writer) error
+
+// WritePrometheus implements MetricsSource.
+func (f MetricsFunc) WritePrometheus(w io.Writer) error { return f(w) }
+
+// DebugOptions configures an opt-in debug endpoint.
+type DebugOptions struct {
+	// Addr is the listen address. Empty means "127.0.0.1:0" (loopback, OS
+	// picks the port). For security the server refuses to bind a
+	// non-loopback address unless AllowRemote is set: the endpoint exposes
+	// pprof (heap contents, goroutine stacks) and cluster internals with no
+	// authentication, so it must not reach untrusted networks by accident.
+	Addr string
+	// AllowRemote permits binding non-loopback addresses.
+	AllowRemote bool
+	// Logf, if set, receives serve errors.
+	Logf func(format string, args ...any)
+}
+
+// DebugServer is an HTTP endpoint exposing the process's observability
+// surface:
+//
+//	/metrics       Prometheus text format from every registered source
+//	/debug/vars    expvar JSON
+//	/debug/pprof/  net/http/pprof profiles
+//	/debug/trace   JSON snapshot of every registered tracer's ring
+//
+// It binds loopback by default; see DebugOptions.Addr.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu      sync.Mutex
+	sources []namedSource
+	tracers []namedTracer
+}
+
+type namedSource struct {
+	name string
+	src  MetricsSource
+}
+
+type namedTracer struct {
+	name string
+	tr   *Tracer
+}
+
+var expvarOnce sync.Once
+
+// StartDebug binds the endpoint and begins serving in a background
+// goroutine. Close the returned server to release the listener.
+func StartDebug(opts DebugOptions) (*DebugServer, error) {
+	addr := opts.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	if !opts.AllowRemote {
+		host, _, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("trace: debug addr %q: %w", addr, err)
+		}
+		if !isLoopbackHost(host) {
+			return nil, fmt.Errorf("trace: refusing non-loopback debug addr %q without AllowRemote (endpoint is unauthenticated)", addr)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: debug listen: %w", err)
+	}
+
+	d := &DebugServer{ln: ln}
+	expvarOnce.Do(func() {
+		expvar.Publish("sdscale.trace", expvar.Func(func() any { return globalExpvar() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.serveMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", d.serveTrace)
+
+	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := d.srv.Serve(ln); err != nil && err != http.ErrServerClosed && opts.Logf != nil {
+			opts.Logf("trace: debug server: %v", err)
+		}
+	}()
+
+	registerDebug(d)
+	return d, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error {
+	unregisterDebug(d)
+	return d.srv.Close()
+}
+
+// AddMetrics registers a Prometheus source under /metrics. Registering a
+// name again replaces the previous source — sources usually emit fixed
+// series names, so replacement (not accumulation) is what keeps /metrics
+// free of duplicate series as deployments are swapped under one server.
+func (d *DebugServer) AddMetrics(name string, src MetricsSource) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.sources {
+		if d.sources[i].name == name {
+			d.sources[i].src = src
+			return
+		}
+	}
+	d.sources = append(d.sources, namedSource{name, src})
+}
+
+// AddTracer registers a tracer: its span-derived histograms and totals join
+// /metrics (labelled tracer=name) and its ring snapshot joins /debug/trace.
+// Re-registering a name replaces the previous tracer (see AddMetrics).
+func (d *DebugServer) AddTracer(name string, tr *Tracer) {
+	if tr == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.tracers {
+		if d.tracers[i].name == name {
+			d.tracers[i].tr = tr
+			return
+		}
+	}
+	d.tracers = append(d.tracers, namedTracer{name, tr})
+}
+
+func (d *DebugServer) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	sources := append([]namedSource(nil), d.sources...)
+	tracers := append([]namedTracer(nil), d.tracers...)
+	d.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, s := range sources {
+		if err := s.src.WritePrometheus(w); err != nil {
+			fmt.Fprintf(w, "# source %s: %v\n", s.name, err)
+		}
+	}
+	for _, t := range tracers {
+		if err := t.tr.WritePrometheus(w, t.name); err != nil {
+			fmt.Fprintf(w, "# tracer %s: %v\n", t.name, err)
+		}
+	}
+}
+
+// traceJSON is the /debug/trace response shape.
+type traceJSON struct {
+	Tracer      string     `json:"tracer"`
+	SampleEvery int        `json:"sample_every"`
+	Totals      Totals     `json:"totals"`
+	Spans       []spanJSON `json:"spans"`
+}
+
+type spanJSON struct {
+	Seq       uint64 `json:"seq"`
+	Kind      string `json:"kind"`
+	Phase     string `json:"phase,omitempty"`
+	Mode      uint8  `json:"mode"`
+	Cycle     uint64 `json:"cycle,omitempty"`
+	Epoch     uint64 `json:"epoch,omitempty"`
+	Tag       uint64 `json:"tag,omitempty"`
+	Call      uint64 `json:"call,omitempty"`
+	StartNs   int64  `json:"start_ns"`
+	DurNs     int64  `json:"dur_ns"`
+	PartANs   int64  `json:"part_a_ns,omitempty"`
+	PartBNs   int64  `json:"part_b_ns,omitempty"`
+	Err       bool   `json:"err,omitempty"`
+	Abandoned bool   `json:"abandoned,omitempty"`
+}
+
+func (d *DebugServer) serveTrace(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	tracers := append([]namedTracer(nil), d.tracers...)
+	d.mu.Unlock()
+
+	out := make([]traceJSON, 0, len(tracers))
+	for _, t := range tracers {
+		spans := t.tr.Snapshot()
+		js := traceJSON{Tracer: t.name, SampleEvery: t.tr.SampleEvery(),
+			Totals: t.tr.Totals(), Spans: make([]spanJSON, 0, len(spans))}
+		for _, s := range spans {
+			js.Spans = append(js.Spans, spanJSON{
+				Seq: s.Seq, Kind: s.Kind.String(), Phase: s.Phase.String(),
+				Mode: s.Mode, Cycle: s.Cycle, Epoch: s.Epoch, Tag: s.Tag, Call: s.Call,
+				StartNs: s.Start.UnixNano(), DurNs: int64(s.Dur),
+				PartANs: int64(s.PartA), PartBNs: int64(s.PartB),
+				Err: s.Err(), Abandoned: s.Abandoned(),
+			})
+		}
+		out = append(out, js)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil && d.srv != nil {
+		// Client went away mid-encode; nothing useful to do.
+		_ = err
+	}
+}
+
+func isLoopbackHost(host string) bool {
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// Process-global registry backing the expvar publication: expvar.Publish
+// panics on duplicate names, so the variable is published once and reads
+// whatever debug servers are alive.
+var (
+	debugMu      sync.Mutex
+	debugServers []*DebugServer
+)
+
+func registerDebug(d *DebugServer) {
+	debugMu.Lock()
+	debugServers = append(debugServers, d)
+	debugMu.Unlock()
+}
+
+func unregisterDebug(d *DebugServer) {
+	debugMu.Lock()
+	for i, s := range debugServers {
+		if s == d {
+			debugServers = append(debugServers[:i], debugServers[i+1:]...)
+			break
+		}
+	}
+	debugMu.Unlock()
+}
+
+func globalExpvar() any {
+	debugMu.Lock()
+	servers := append([]*DebugServer(nil), debugServers...)
+	debugMu.Unlock()
+	out := make(map[string]any)
+	for _, d := range servers {
+		d.mu.Lock()
+		tracers := append([]namedTracer(nil), d.tracers...)
+		d.mu.Unlock()
+		for _, t := range tracers {
+			out[t.name] = t.tr.Totals()
+		}
+	}
+	return out
+}

@@ -53,6 +53,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/pfs"
 	"github.com/dsrhaslab/sdscale/internal/stage"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
 	"github.com/dsrhaslab/sdscale/internal/transport/tcpnet"
@@ -301,6 +302,33 @@ type (
 	// included in ControllerStats.
 	PipelineSnapshot = telemetry.PipelineSnapshot
 )
+
+// Tracing and the debug endpoint.
+type (
+	// Tracer records control-cycle, phase, and per-RPC spans into a
+	// lock-free ring; a nil Tracer is a disabled one.
+	Tracer = trace.Tracer
+	// Span is one recorded trace entry.
+	Span = trace.Span
+	// TraceTotals are a tracer's cumulative counters, readable without
+	// scanning the ring.
+	TraceTotals = trace.Totals
+	// ClusterTrace groups a traced deployment's tracers.
+	ClusterTrace = cluster.ClusterTrace
+	// DebugServer is the opt-in HTTP endpoint serving /metrics (Prometheus
+	// text), /debug/vars, /debug/pprof and /debug/trace.
+	DebugServer = trace.DebugServer
+	// DebugOptions configures StartDebug; it binds loopback by default.
+	DebugOptions = trace.DebugOptions
+)
+
+// NewTracer creates a tracer whose ring holds capacity spans (rounded up to
+// a power of two; <= 0 selects the default).
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// StartDebug binds the observability endpoint and serves it in the
+// background.
+func StartDebug(opts DebugOptions) (*DebugServer, error) { return trace.StartDebug(opts) }
 
 // Deployment harness.
 type (

@@ -1,0 +1,109 @@
+// Tracing-overhead budget: control cycles with span tracing enabled (at the
+// deployment's default sampling rate) must stay within 2% of untraced
+// cycles. The design holds the hot-path cost to one atomic add per
+// unsampled call, with timestamps and the lock-free ring append reserved
+// for the 1-in-N sampled calls; this test keeps that budget honest.
+package sdscale_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/cluster"
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+)
+
+// tracingOverheadBudget is the allowed traced/untraced cycle-time ratio.
+const tracingOverheadBudget = 1.02
+
+func TestTracingOverheadUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement, skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("timing budgets are meaningless under the race detector")
+	}
+	// Interleaved batches with medians absorb host noise (GC, frequency
+	// scaling); a genuinely blown budget fails all three attempts.
+	var traced, plain time.Duration
+	for attempt := 1; attempt <= 3; attempt++ {
+		traced, plain = measureTracingOverhead(t)
+		ratio := float64(traced) / float64(plain)
+		t.Logf("attempt %d: traced %v vs untraced %v per cycle (%+.2f%%)",
+			attempt, traced, plain, 100*(ratio-1))
+		if ratio <= tracingOverheadBudget {
+			return
+		}
+	}
+	t.Fatalf("tracing overhead above %.0f%% in 3 attempts: traced %v vs untraced %v per cycle",
+		100*(tracingOverheadBudget-1), traced, plain)
+}
+
+// measureTracingOverhead times interleaved cycle batches on two identical
+// 1,000-stage flat deployments — one traced, one not — and returns the
+// median per-cycle time of each.
+func measureTracingOverhead(t *testing.T) (traced, plain time.Duration) {
+	t.Helper()
+	build := func(tracing bool) *cluster.Cluster {
+		c, err := cluster.Build(cluster.Config{
+			Topology: cluster.Flat,
+			Stages:   1000,
+			Tracing:  tracing,
+			// Raw transport, as in BenchmarkFlatCycle: no modeled delays, so
+			// per-cycle time is the dispatch path the tracer instruments.
+			Net: simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	ctx := context.Background()
+	plainC, tracedC := build(false), build(true)
+	for _, c := range []*cluster.Cluster{plainC, tracedC} {
+		for i := 0; i < 2; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	const batches, perBatch = 8, 5
+	timeBatch := func(c *cluster.Cluster) time.Duration {
+		start := time.Now()
+		for i := 0; i < perBatch; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start) / perBatch
+	}
+	// Alternate which deployment goes first so slow drift (GC pressure,
+	// frequency scaling) cannot systematically favor one side, and compare
+	// fastest batches: the minimum is the noise-floor estimator — host
+	// interference only ever slows a batch down, while a real tracing cost
+	// shows up in every batch including the fastest.
+	var plainNs, tracedNs []time.Duration
+	for i := 0; i < batches; i++ {
+		if i%2 == 0 {
+			plainNs = append(plainNs, timeBatch(plainC))
+			tracedNs = append(tracedNs, timeBatch(tracedC))
+		} else {
+			tracedNs = append(tracedNs, timeBatch(tracedC))
+			plainNs = append(plainNs, timeBatch(plainC))
+		}
+	}
+	return minDuration(tracedNs), minDuration(plainNs)
+}
+
+func minDuration(ds []time.Duration) time.Duration {
+	min := ds[0]
+	for _, d := range ds[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
