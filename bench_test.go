@@ -36,6 +36,16 @@ func benchScale() float64 {
 	return 0.05
 }
 
+// benchCodec returns the cluster-wide codec cap for benchmarks:
+// SDSCALE_BENCH_CODEC=v1 pins the legacy v1 wire codec, so an A/B pair of
+// runs isolates what the varint/delta v2 codec contributes.
+func benchCodec() int {
+	if os.Getenv("SDSCALE_BENCH_CODEC") == "v1" {
+		return 1
+	}
+	return 0
+}
+
 // scaled applies the benchmark scale to a paper node count.
 func scaled(n int) int {
 	s := int(float64(n) * benchScale())
@@ -314,6 +324,7 @@ func BenchmarkFlatCycle(b *testing.B) {
 					Topology:   cluster.Flat,
 					Stages:     nodes,
 					FanOutMode: mode,
+					MaxCodec:   benchCodec(),
 					// Raw transport: disable the propagation/processing
 					// model and the per-host connection limit (a flat
 					// controller at 5k/10k exceeds the default 2,500).
@@ -337,6 +348,40 @@ func BenchmarkFlatCycle(b *testing.B) {
 			})
 		}
 	}
+	// The converged, delta-quiet regime: constant demand with delta
+	// enforcement, so after warmup the enforce fan-out vanishes and the
+	// cycle is collects only — the best case for the v2 codec's delta-coded
+	// floats and the reply-reuse decode path.
+	b.Run("10k/steady", func(b *testing.B) {
+		c, err := cluster.Build(cluster.Config{
+			Topology:         cluster.Flat,
+			Stages:           10000,
+			FanOutMode:       sdscale.FanOutPipelined,
+			DeltaEnforcement: true,
+			Workload:         sdscale.ConstantWorkload{Rates: sdscale.Rates{1000, 100}},
+			MaxCodec:         benchCodec(),
+			Net:              simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		ctx := context.Background()
+		// A few warmup cycles reach quiescence (rules settle, then stop
+		// flowing) before the measured window.
+		for i := 0; i < 3; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFlatCycleTraced is BenchmarkFlatCycle's 1k configurations with

@@ -3,9 +3,9 @@
 //
 // It reads benchmark output on stdin (run the benchmark with -count=N so
 // noise can be filtered), takes the best run per benchmark, and compares
-// allocs/op against the named baseline file (BENCH_cycle.json). Allocations
-// are deterministic enough to gate on in shared CI runners; wall time is
-// not, so ns/op regressions only warn.
+// allocs/op and B/op against the named baseline file (BENCH_cycle.json).
+// Allocations and bytes are deterministic enough to gate on in shared CI
+// runners; wall time is not, so ns/op regressions only warn.
 //
 // Usage:
 //
@@ -31,7 +31,7 @@ import (
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_cycle.json", "baseline file to compare against")
-	threshold := flag.Float64("threshold", 0.15, "allowed fractional allocs/op regression before failing")
+	threshold := flag.Float64("threshold", 0.15, "allowed fractional allocs/op or B/op regression before failing")
 	flag.Parse()
 
 	baseline, err := loadBaseline(*baselinePath)
@@ -55,18 +55,23 @@ func main() {
 	}
 }
 
-// benchResult is the best (lowest-alloc) run of one benchmark.
+// benchResult is the best (lowest-cost) run of one benchmark, taking each
+// metric's minimum independently across repetitions.
 type benchResult struct {
 	name     string // without the Benchmark prefix or -GOMAXPROCS suffix
 	nsPerOp  float64
+	bytesOp  uint64
 	allocsOp uint64
 	runs     int
 }
 
 // baselineEntry mirrors one element of BENCH_cycle.json's results array.
+// BytesOp is zero in baselines recorded before B/op gating existed; the gate
+// then skips the bytes comparison for that entry.
 type baselineEntry struct {
 	Name     string `json:"name"`
 	NsPerOp  int64  `json:"ns_per_op"`
+	BytesOp  uint64 `json:"bytes_per_op"`
 	AllocsOp uint64 `json:"allocs_per_op"`
 }
 
@@ -98,18 +103,21 @@ func parseBench(r io.Reader) (map[string]*benchResult, error) {
 	out := make(map[string]*benchResult)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		name, ns, allocs, ok := parseBenchLine(sc.Text())
+		name, ns, bytes, allocs, ok := parseBenchLine(sc.Text())
 		if !ok {
 			continue
 		}
 		cur := out[name]
 		if cur == nil {
-			out[name] = &benchResult{name: name, nsPerOp: ns, allocsOp: allocs, runs: 1}
+			out[name] = &benchResult{name: name, nsPerOp: ns, bytesOp: bytes, allocsOp: allocs, runs: 1}
 			continue
 		}
 		cur.runs++
 		if allocs < cur.allocsOp {
 			cur.allocsOp = allocs
+		}
+		if bytes < cur.bytesOp {
+			cur.bytesOp = bytes
 		}
 		if ns < cur.nsPerOp {
 			cur.nsPerOp = ns
@@ -121,10 +129,10 @@ func parseBench(r io.Reader) (map[string]*benchResult, error) {
 // parseBenchLine parses one benchmark line, e.g.
 //
 //	BenchmarkFlatCycle/1k/pipelined-8  1  9475800 ns/op  776564 B/op  20228 allocs/op
-func parseBenchLine(line string) (name string, nsPerOp float64, allocsOp uint64, ok bool) {
+func parseBenchLine(line string) (name string, nsPerOp float64, bytesOp, allocsOp uint64, ok bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, 0, false
+		return "", 0, 0, 0, false
 	}
 	name = strings.TrimPrefix(fields[0], "Benchmark")
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -132,34 +140,42 @@ func parseBenchLine(line string) (name string, nsPerOp float64, allocsOp uint64,
 			name = name[:i] // strip the -GOMAXPROCS suffix
 		}
 	}
-	var haveNs, haveAllocs bool
+	var haveNs, haveBytes, haveAllocs bool
 	for i := 2; i+1 < len(fields); i += 2 {
 		val, unit := fields[i], fields[i+1]
 		switch unit {
 		case "ns/op":
 			v, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return "", 0, 0, false
+				return "", 0, 0, 0, false
 			}
 			nsPerOp, haveNs = v, true
+		case "B/op":
+			v, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return "", 0, 0, 0, false
+			}
+			bytesOp, haveBytes = v, true
 		case "allocs/op":
 			v, err := strconv.ParseUint(val, 10, 64)
 			if err != nil {
-				return "", 0, 0, false
+				return "", 0, 0, 0, false
 			}
 			allocsOp, haveAllocs = v, true
 		}
 	}
-	if !haveNs || !haveAllocs {
-		return "", 0, 0, false
+	// -benchmem prints B/op and allocs/op together; a line with only one of
+	// them is not something this gate understands.
+	if !haveNs || !haveBytes || !haveAllocs {
+		return "", 0, 0, 0, false
 	}
-	return name, nsPerOp, allocsOp, true
+	return name, nsPerOp, bytesOp, allocsOp, true
 }
 
-// gate compares results against the baseline. Allocation growth beyond
-// threshold fails; ns/op growth only warns. Benchmarks missing from either
-// side are reported but never fail the gate, so adding a benchmark does not
-// require touching the baseline in the same change.
+// gate compares results against the baseline. Allocation or bytes growth
+// beyond threshold fails; ns/op growth only warns. Benchmarks missing from
+// either side are reported but never fail the gate, so adding a benchmark
+// does not require touching the baseline in the same change.
 func gate(results map[string]*benchResult, baseline map[string]baselineEntry, threshold float64) (report string, failed bool) {
 	var b strings.Builder
 	names := make([]string, 0, len(results))
@@ -177,14 +193,16 @@ func gate(results map[string]*benchResult, baseline map[string]baselineEntry, th
 		}
 		compared++
 		allocDelta := frac(float64(res.allocsOp), float64(base.AllocsOp))
+		bytesDelta := frac(float64(res.bytesOp), float64(base.BytesOp))
 		nsDelta := frac(res.nsPerOp, float64(base.NsPerOp))
 		verdict := "ok  "
-		if allocDelta > threshold {
+		if allocDelta > threshold || (base.BytesOp > 0 && bytesDelta > threshold) {
 			verdict = "FAIL"
 			failed = true
 		}
-		fmt.Fprintf(&b, "%s %-28s allocs/op %d vs %d (%+.1f%%, limit +%.0f%%)  ns/op %.0f vs %d (%+.1f%%)\n",
-			verdict, name, res.allocsOp, base.AllocsOp, 100*allocDelta, 100*threshold,
+		fmt.Fprintf(&b, "%s %-28s allocs/op %d vs %d (%+.1f%%)  B/op %d vs %d (%+.1f%%)  limit +%.0f%%  ns/op %.0f vs %d (%+.1f%%)\n",
+			verdict, name, res.allocsOp, base.AllocsOp, 100*allocDelta,
+			res.bytesOp, base.BytesOp, 100*bytesDelta, 100*threshold,
 			res.nsPerOp, base.NsPerOp, 100*nsDelta)
 		if verdict == "ok  " && nsDelta > threshold {
 			fmt.Fprintf(&b, "warn %-28s ns/op regressed %+.1f%% — timing is advisory on shared runners\n",

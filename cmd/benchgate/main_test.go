@@ -25,15 +25,15 @@ func TestParseBenchTakesMinimum(t *testing.T) {
 	if pip == nil {
 		t.Fatalf("pipelined result missing: %v", results)
 	}
-	if pip.runs != 2 || pip.allocsOp != 20228 || pip.nsPerOp != 9480123 {
+	if pip.runs != 2 || pip.allocsOp != 20228 || pip.bytesOp != 776564 || pip.nsPerOp != 9480123 {
 		t.Fatalf("pipelined min not kept: %+v", pip)
 	}
 	blk := results["FlatCycle/1k/blocking"]
 	if blk == nil {
 		t.Fatal("the -GOMAXPROCS suffix was not stripped")
 	}
-	if blk.allocsOp != 30235 {
-		t.Fatalf("blocking allocs: %+v", blk)
+	if blk.allocsOp != 30235 || blk.bytesOp != 1528232 {
+		t.Fatalf("blocking metrics: %+v", blk)
 	}
 }
 
@@ -41,10 +41,11 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"PASS",
 		"ok  	github.com/dsrhaslab/sdscale	0.5s",
-		"BenchmarkX 1 banana ns/op 3 allocs/op",
+		"BenchmarkX 1 banana ns/op 3 B/op 3 allocs/op",
 		"BenchmarkNoAllocs 1 500 ns/op",
+		"BenchmarkNoBytes 1 500 ns/op 3 allocs/op",
 	} {
-		if _, _, _, ok := parseBenchLine(line); ok {
+		if _, _, _, _, ok := parseBenchLine(line); ok {
 			t.Fatalf("accepted %q", line)
 		}
 	}
@@ -52,15 +53,15 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 
 func testBaseline() map[string]baselineEntry {
 	return map[string]baselineEntry{
-		"FlatCycle/1k/pipelined": {Name: "FlatCycle/1k/pipelined", NsPerOp: 9475800, AllocsOp: 20228},
-		"FlatCycle/1k/blocking":  {Name: "FlatCycle/1k/blocking", NsPerOp: 15126066, AllocsOp: 30235},
+		"FlatCycle/1k/pipelined": {Name: "FlatCycle/1k/pipelined", NsPerOp: 9475800, BytesOp: 776564, AllocsOp: 20228},
+		"FlatCycle/1k/blocking":  {Name: "FlatCycle/1k/blocking", NsPerOp: 15126066, BytesOp: 1528232, AllocsOp: 30235},
 	}
 }
 
 func TestGatePassesWithinThreshold(t *testing.T) {
 	results := map[string]*benchResult{
-		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.9e6, allocsOp: 21000, runs: 5},
-		"FlatCycle/1k/blocking":  {name: "FlatCycle/1k/blocking", nsPerOp: 15.2e6, allocsOp: 30235, runs: 5},
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.9e6, bytesOp: 800000, allocsOp: 21000, runs: 5},
+		"FlatCycle/1k/blocking":  {name: "FlatCycle/1k/blocking", nsPerOp: 15.2e6, bytesOp: 1528232, allocsOp: 30235, runs: 5},
 	}
 	report, failed := gate(results, testBaseline(), 0.15)
 	if failed {
@@ -73,7 +74,7 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 
 func TestGateFailsOnAllocRegression(t *testing.T) {
 	results := map[string]*benchResult{
-		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.5e6, allocsOp: 25000, runs: 5},
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.5e6, bytesOp: 776564, allocsOp: 25000, runs: 5},
 	}
 	report, failed := gate(results, testBaseline(), 0.15)
 	if !failed {
@@ -84,10 +85,38 @@ func TestGateFailsOnAllocRegression(t *testing.T) {
 	}
 }
 
+func TestGateFailsOnBytesRegression(t *testing.T) {
+	results := map[string]*benchResult{
+		// allocs flat, B/op +29%: fail.
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.5e6, bytesOp: 1000000, allocsOp: 20228, runs: 5},
+	}
+	report, failed := gate(results, testBaseline(), 0.15)
+	if !failed {
+		t.Fatalf("gate passed a +29%% bytes regression:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report: %s", report)
+	}
+}
+
+func TestGateSkipsBytesForLegacyBaseline(t *testing.T) {
+	baseline := map[string]baselineEntry{
+		// A baseline recorded before B/op gating has no bytes_per_op field.
+		"FlatCycle/1k/pipelined": {Name: "FlatCycle/1k/pipelined", NsPerOp: 9475800, AllocsOp: 20228},
+	}
+	results := map[string]*benchResult{
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 9.5e6, bytesOp: 776564, allocsOp: 20228, runs: 5},
+	}
+	report, failed := gate(results, baseline, 0.15)
+	if failed {
+		t.Fatalf("gate failed against a baseline without bytes_per_op:\n%s", report)
+	}
+}
+
 func TestGateWarnsOnTimingOnly(t *testing.T) {
 	results := map[string]*benchResult{
-		// ns/op +50%, allocs flat: warn, don't fail.
-		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 14.2e6, allocsOp: 20228, runs: 5},
+		// ns/op +50%, allocs and bytes flat: warn, don't fail.
+		"FlatCycle/1k/pipelined": {name: "FlatCycle/1k/pipelined", nsPerOp: 14.2e6, bytesOp: 776564, allocsOp: 20228, runs: 5},
 	}
 	report, failed := gate(results, testBaseline(), 0.15)
 	if failed {

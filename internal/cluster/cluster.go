@@ -100,6 +100,10 @@ type Config struct {
 	// ablation benchmarks (the paper's stress workload re-enforces
 	// everything every cycle).
 	DeltaEnforcement bool
+	// MaxCodec caps the wire codec version every component negotiates.
+	// Zero selects the newest supported version; 1 pins the legacy v1
+	// codec, which the codec ablation benchmarks use as their baseline.
+	MaxCodec int
 	// Net parameterizes the simulated network.
 	Net simnet.Config
 	// CallTimeout bounds child RPCs. Zero selects the controller default.
@@ -330,6 +334,7 @@ func (c *Cluster) build() error {
 			Generator: cfg.Workload,
 			Network:   c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
 			Tracer:    c.stageTracer(),
+			MaxCodec:  cfg.MaxCodec,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
@@ -349,6 +354,7 @@ func (c *Cluster) build() error {
 		FanOut:           cfg.FanOut,
 		FanOutMode:       cfg.FanOutMode,
 		CallTimeout:      cfg.CallTimeout,
+		MaxCodec:         cfg.MaxCodec,
 		Delegated:        cfg.Delegated,
 		DeltaEnforcement: cfg.DeltaEnforcement,
 		MaxFailures:      cfg.MaxFailures,
@@ -393,6 +399,7 @@ func (c *Cluster) build() error {
 				FanOut:           cfg.FanOut,
 				FanOutMode:       cfg.FanOutMode,
 				CallTimeout:      cfg.CallTimeout,
+				MaxCodec:         cfg.MaxCodec,
 				ForwardRaw:       cfg.ForwardRaw,
 				LocalControl:     cfg.Delegated,
 				MaxFailures:      cfg.MaxFailures,
@@ -444,6 +451,7 @@ func (c *Cluster) buildFlatStandby() error {
 		FanOut:           cfg.FanOut,
 		FanOutMode:       cfg.FanOutMode,
 		CallTimeout:      cfg.CallTimeout,
+		MaxCodec:         cfg.MaxCodec,
 		DeltaEnforcement: cfg.DeltaEnforcement,
 		MaxFailures:      cfg.MaxFailures,
 		ProbeInterval:    cfg.ProbeInterval,
@@ -498,6 +506,7 @@ func (c *Cluster) buildFlatStandby() error {
 			Parents:       parents,
 			ParentTimeout: cfg.ParentTimeout,
 			Tracer:        c.stageTracer(),
+			MaxCodec:      cfg.MaxCodec,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
@@ -536,6 +545,7 @@ func (c *Cluster) buildCoordinated(ctx context.Context) error {
 			FanOut:           cfg.FanOut,
 			FanOutMode:       cfg.FanOutMode,
 			CallTimeout:      cfg.CallTimeout,
+			MaxCodec:         cfg.MaxCodec,
 			MaxFailures:      cfg.MaxFailures,
 			ProbeInterval:    cfg.ProbeInterval,
 			MaxProbeInterval: cfg.MaxProbeInterval,

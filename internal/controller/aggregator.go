@@ -37,6 +37,10 @@ type AggregatorConfig struct {
 	FanOutMode FanOutMode
 	// CallTimeout bounds each stage RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
+	// MaxCodec caps the wire codec version the aggregator negotiates, on
+	// both its upstream server and its stage connections. Zero selects the
+	// newest supported version; 1 pins the legacy v1 codec.
+	MaxCodec int
 	// MaxFailures is the consecutive-failure threshold that trips a
 	// stage's circuit breaker into quarantine. Zero selects
 	// DefaultMaxFailures.
@@ -151,10 +155,16 @@ func StartAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	// stage fan-out, so handler wall time is not aggregator CPU. Busy time
 	// is charged explicitly around aggregation and via the stage clients'
 	// send paths.
+	// Inbound requests are recycled: every handler completes its stage
+	// fan-out (including shared-frame encodes) before returning, so no
+	// reference to the request survives the response write.
 	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(a.serve), rpc.ServerOptions{
-		Meter:  cfg.Meter,
-		Logf:   cfg.Logf,
-		Tracer: cfg.Tracer,
+		Meter:         cfg.Meter,
+		Logf:          cfg.Logf,
+		Tracer:        cfg.Tracer,
+		MaxCodec:      cfg.MaxCodec,
+		ReuseRequests: true,
+		ReuseHits:     a.pipe.ReuseCounter(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("aggregator %d: %w", cfg.ID, err)
@@ -209,7 +219,8 @@ func (a *Aggregator) Stages() []stage.Info {
 // AddStage connects the aggregator to a stage it will manage.
 func (a *Aggregator) AddStage(ctx context.Context, info stage.Info) error {
 	cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, info.Addr,
-		rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: info.ID},
+		rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: info.ID,
+			MaxCodec: a.cfg.MaxCodec, ReuseReplies: true, ReuseHits: a.pipe.ReuseCounter()},
 		a.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("aggregator %d: dial stage %d at %s: %w", a.cfg.ID, info.ID, info.Addr, err)
@@ -267,7 +278,8 @@ func (a *Aggregator) handleRegister(m *wire.Register) (wire.Message, error) {
 	defer cancel()
 	if c := a.members.get(m.ID); c != nil {
 		cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, m.Addr,
-			rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: m.ID},
+			rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: m.ID,
+				MaxCodec: a.cfg.MaxCodec, ReuseReplies: true, ReuseHits: a.pipe.ReuseCounter()},
 			a.breaker.reconnectPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("aggregator %d: redial stage %d at %s: %w", a.cfg.ID, m.ID, m.Addr, err)
@@ -428,6 +440,26 @@ func (a *Aggregator) fanOut(ctx context.Context, gauge *telemetry.Gauge, childre
 	})
 }
 
+// fanOutBroadcast dispatches one marshal-once broadcast phase over the
+// given stages, charging outcomes to the breaker and error accounting and
+// the frame's send/encode counts to the pipeline stats.
+func (a *Aggregator) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge, children []*child,
+	f *rpc.SharedFrame, onReply func(i int, resp wire.Message)) {
+	fanOutShared(ctx, fanOutOpts{
+		mode:    a.cfg.FanOutMode,
+		par:     a.cfg.FanOut,
+		timeout: a.cfg.CallTimeout,
+		gauge:   gauge,
+	}, children, f, nil, func(i int, resp wire.Message, err error) {
+		a.accountCall(ctx, children[i], err)
+		if err == nil && onReply != nil {
+			onReply(i, resp)
+		}
+	})
+	a.pipe.AddSharedSends(uint64(len(children)))
+	a.pipe.AddSharedEncodes(f.Encodes())
+}
+
 // prepareScatter probes quarantined stages (readmitting responders),
 // applies EvictAfter, and returns the active/quarantined split.
 func (a *Aggregator) prepareScatter(ctx context.Context) (active, quarantined []*child) {
@@ -460,8 +492,12 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	n := len(children)
 	replies := make([]*wire.CollectReply, n)
 	a.cfg.Tracer.SetContext(m.Cycle, a.Epoch(), uint8(a.cfg.FanOutMode), trace.PhaseCollect)
-	a.fanOut(ctx, &a.pipe.CollectInFlight, children,
-		func(i int) wire.Message { return m },
+	// The inbound request is re-broadcast verbatim to every stage, so it is
+	// marshaled once into a shared frame. All fan-out completes before this
+	// handler returns, which keeps both the frame lifecycle and the server's
+	// request recycling sound.
+	req := rpc.NewSharedFrame(m)
+	a.fanOutBroadcast(ctx, &a.pipe.CollectInFlight, children, req,
 		func(i int, resp wire.Message) {
 			if r, ok := resp.(*wire.CollectReply); ok {
 				replies[i] = r
@@ -559,6 +595,22 @@ func (a *Aggregator) delegate(m *wire.Delegate) (*wire.EnforceAck, error) {
 	for i := range reports {
 		byJob[reports[i].JobID] = append(byJob[reports[i].JobID], i)
 	}
+	// When a job's proportional split degenerates to identical per-stage
+	// shares (the steady state of a converged workload), the job's rules
+	// collapse into one wildcard rule (StageID 0) that is marshaled once
+	// and broadcast from a shared frame to the job's codec-v2 stages.
+	// Stages on the legacy v1 codec — which predates the wildcard — and
+	// unequal splits fall back to per-stage unicast rules.
+	type wildcast struct {
+		rule    wire.Rule
+		targets []*child
+	}
+	active, _ := splitQuarantined(a.members.snapshot())
+	byStageChild := make(map[uint64]*child, len(active))
+	for _, c := range active {
+		byStageChild[c.info.ID] = c
+	}
+	var casts []wildcast
 	rules := make([]wire.Rule, 0, len(reports))
 	for _, budget := range m.Budgets {
 		idxs := byJob[budget.JobID]
@@ -570,6 +622,34 @@ func (a *Aggregator) delegate(m *wire.Delegate) (*wire.EnforceAck, error) {
 			demands[k] = reports[i].Demand
 		}
 		split := controlalg.SplitProportional(budget.Limit, demands)
+		uniform := len(idxs) > 1
+		for k := 1; k < len(split) && uniform; k++ {
+			uniform = split[k] == split[0]
+		}
+		if uniform {
+			w := wildcast{rule: wire.Rule{
+				StageID: wire.WildcardStage,
+				JobID:   budget.JobID,
+				Action:  wire.ActionSetLimit,
+				Limit:   split[0],
+			}}
+			for k, i := range idxs {
+				if c := byStageChild[reports[i].StageID]; c != nil && c.client().CodecVersion() >= wire.CodecV2 {
+					w.targets = append(w.targets, c)
+					continue
+				}
+				rules = append(rules, wire.Rule{
+					StageID: reports[i].StageID,
+					JobID:   budget.JobID,
+					Action:  wire.ActionSetLimit,
+					Limit:   split[k],
+				})
+			}
+			if len(w.targets) > 0 {
+				casts = append(casts, w)
+			}
+			continue
+		}
 		for k, i := range idxs {
 			rules = append(rules, wire.Rule{
 				StageID: reports[i].StageID,
@@ -582,7 +662,28 @@ func (a *Aggregator) delegate(m *wire.Delegate) (*wire.EnforceAck, error) {
 	if untrack != nil {
 		untrack()
 	}
-	return a.enforce(&wire.Enforce{Cycle: m.Cycle, Rules: rules})
+
+	var applied atomic.Uint32
+	if len(casts) > 0 {
+		ctx := context.Background()
+		epoch := a.Epoch()
+		a.cfg.Tracer.SetContext(m.Cycle, epoch, uint8(a.cfg.FanOutMode), trace.PhaseEnforce)
+		for _, w := range casts {
+			f := rpc.NewSharedFrame(&wire.Enforce{Cycle: m.Cycle, Rules: []wire.Rule{w.rule}, Epoch: epoch})
+			a.fanOutBroadcast(ctx, &a.pipe.EnforceInFlight, w.targets, f,
+				func(i int, resp wire.Message) {
+					if ack, ok := resp.(*wire.EnforceAck); ok {
+						applied.Add(ack.Applied)
+					}
+				})
+		}
+	}
+	ack, err := a.enforce(&wire.Enforce{Cycle: m.Cycle, Rules: rules})
+	if err != nil {
+		return nil, err
+	}
+	ack.Applied += applied.Load()
+	return ack, nil
 }
 
 // HealthCheck heartbeats every managed stage and reports liveness and RTT

@@ -218,12 +218,41 @@ func (c *child) failProbe(bc breakerConfig, now time.Time) {
 }
 
 // noteReport caches the child's latest successful collect response for
-// degraded cycles.
+// degraded cycles. The message is deep-copied into child-owned storage
+// (reusing its capacity, so steady state allocates nothing): with reply
+// reuse enabled the decoded message is overwritten by the connection's next
+// response of the same type, so retaining it directly would corrupt the
+// cache.
 func (c *child) noteReport(m wire.Message, now time.Time) {
 	c.mu.Lock()
-	c.lastReport = m
+	c.lastReport = copyReport(c.lastReport, m)
 	c.lastReportAt = now
 	c.mu.Unlock()
+}
+
+// copyReport deep-copies a collect response into dst's storage when the
+// types match (reusing slice capacity), allocating fresh otherwise. Types
+// without retained slices are stored as-is.
+func copyReport(dst, src wire.Message) wire.Message {
+	switch s := src.(type) {
+	case *wire.CollectReply:
+		d, ok := dst.(*wire.CollectReply)
+		if !ok {
+			d = &wire.CollectReply{}
+		}
+		d.Cycle = s.Cycle
+		d.Reports = append(d.Reports[:0], s.Reports...)
+		return d
+	case *wire.CollectAggReply:
+		d, ok := dst.(*wire.CollectAggReply)
+		if !ok {
+			d = &wire.CollectAggReply{}
+		}
+		d.Cycle, d.AggregatorID = s.Cycle, s.AggregatorID
+		d.Jobs = append(d.Jobs[:0], s.Jobs...)
+		return d
+	}
+	return src
 }
 
 // staleReport returns the cached report and its age. ok is true only if a
@@ -277,10 +306,16 @@ func (c *child) snapshotRules() []wire.Rule {
 // a re-registration proves the child is alive, but readmission still goes
 // through the normal success path so telemetry sees it. The child's info is
 // immutable — a re-registration may only change the connection.
+//
+// The delta-enforcement cache is cleared: a child that re-registers has
+// restarted (or re-homed to a promoted standby), so whatever rules it held
+// are gone, and the next cycle must send it the full rule set rather than
+// diffing against state the child no longer has.
 func (c *child) replaceClient(cli *rpc.ReconnectingClient) {
 	c.mu.Lock()
 	old := c.cli
 	c.cli = cli
+	c.lastRules = nil
 	c.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -351,14 +386,24 @@ func sweepProbes(ctx context.Context, quarantined []*child, bc breakerConfig, fa
 			due = append(due, c)
 		}
 	}
+	if len(due) == 0 {
+		return evictable
+	}
+	// One shared heartbeat body serves every probe: the echo timestamp is
+	// unused (readmission only checks for an ack), so sharing it is exact.
+	hb := rpc.NewSharedFrame(&wire.Heartbeat{SentUnixMicros: now.UnixMicro()})
+	defer hb.Release()
 	rpc.Scatter(ctx, len(due), fanOut, func(i int) {
 		c := due[i]
 		cctx, cancel := context.WithTimeout(ctx, timeout)
-		resp, err := c.client().Call(cctx, &wire.Heartbeat{SentUnixMicros: time.Now().UnixMicro()})
+		resp, err := c.client().GoShared(cctx, hb).Wait(cctx)
 		cancel()
 		if err != nil && ctx.Err() != nil {
 			return // caller shutdown mid-probe: no accounting
 		}
+		// The async path surfaces connection death at harvest; give the
+		// reconnect wrapper the chance to start its background redial.
+		c.client().NoteError(ctx, err)
 		ok := err == nil
 		if ok {
 			_, ok = resp.(*wire.HeartbeatAck)

@@ -535,6 +535,57 @@ func TestDeltaEnforcementSkipsUnchangedRules(t *testing.T) {
 	}
 }
 
+// TestReRegistrationGetsFullRules: under delta enforcement, a child that
+// re-registers (restarted or re-homed to a promoted standby) may have lost
+// its rules, so its delta cache must be invalidated and the next cycle must
+// send it a full rule set — while undisturbed children stay quiescent.
+func TestReRegistrationGetsFullRules(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 4, 2, wire.Rates{1000, 100}) // constant demand
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity:         wire.Rates{2000, 200},
+		DeltaEnforcement: true,
+		ListenAddr:       ":0",
+	})
+	ctx := context.Background()
+
+	// Converge, then confirm quiescence: no enforces flow.
+	for i := 0; i < 3; i++ {
+		if _, err := g.RunCycle(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, before := stages[0].Counters()
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := stages[0].Counters(); after != before {
+		t.Fatalf("stage 1 received %d enforces during quiescence", after-before)
+	}
+
+	// Stage 1 re-homes: a duplicate registration replaces its connection.
+	if err := stage.Register(ctx, n.Host("stage-1"), g.Addr(), stages[0].Info()); err != nil {
+		t.Fatalf("re-register: %v", err)
+	}
+	if got := g.Faults().ReRegistrations(); got != 1 {
+		t.Fatalf("re-registrations = %d, want 1", got)
+	}
+
+	_, otherBefore := stages[1].Counters()
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, after := stages[0].Counters(); after != before+1 {
+		t.Fatalf("re-homed stage got %d enforces, want a full (non-delta) rule set", after-before)
+	}
+	if _, ok := stages[0].LastRule(); !ok {
+		t.Fatal("re-homed stage has no rule after the post-re-homing cycle")
+	}
+	if _, otherAfter := stages[1].Counters(); otherAfter != otherBefore {
+		t.Fatalf("undisturbed stage got %d enforces, want 0", otherAfter-otherBefore)
+	}
+}
+
 func TestHealthCheck(t *testing.T) {
 	n := fastNet()
 	stages := startStages(t, n, 5, 2, wire.Rates{1, 1})

@@ -239,7 +239,7 @@ func (g *Global) syncLoop(ctx context.Context) {
 			return
 		}
 		if cli == nil {
-			c, err := rpc.Dial(ctx, g.cfg.Network, g.cfg.StandbyAddr, rpc.DialOptions{Meter: g.cfg.Meter})
+			c, err := rpc.Dial(ctx, g.cfg.Network, g.cfg.StandbyAddr, rpc.DialOptions{Meter: g.cfg.Meter, MaxCodec: g.cfg.MaxCodec})
 			if err != nil {
 				continue // standby not up yet: retry next tick
 			}
@@ -264,7 +264,12 @@ func (g *Global) syncLoop(ctx context.Context) {
 func (g *Global) syncOnce(ctx context.Context, cli *rpc.Client) error {
 	msg := g.buildStateSync()
 	cctx, cancel := context.WithTimeout(ctx, g.cfg.CallTimeout)
-	resp, err := cli.Call(cctx, msg)
+	// Shipped as a shared frame: with one standby this is equivalent to a
+	// plain call, and additional standbys would share the single encode.
+	f := rpc.NewSharedFrame(msg)
+	call := cli.GoShared(cctx, f)
+	f.Release()
+	resp, err := call.Wait(cctx)
 	cancel()
 	if err != nil {
 		return err

@@ -110,3 +110,64 @@ func fanOutCalls(ctx context.Context, o fanOutOpts, children []*child,
 		onDone(i, resp, err)
 	}
 }
+
+// fanOutShared is fanOutCalls for broadcasts: every child receives the same
+// request, so the body is marshaled once into a SharedFrame and each call
+// writes just a header plus a memcopy. The producer reference on f is
+// released before harvesting, so after the last outcome is handed to onDone
+// the frame's pooled buffers are back in the pool. onDone follows the same
+// concurrency contract as fanOutCalls. skip, if non-nil, exempts children
+// from the broadcast.
+func fanOutShared(ctx context.Context, o fanOutOpts, children []*child,
+	f *rpc.SharedFrame, skip func(i int) bool,
+	onDone func(i int, resp wire.Message, err error)) {
+	n := len(children)
+	if n == 0 {
+		f.Release()
+		return
+	}
+	if o.mode == FanOutBlocking {
+		rpc.Scatter(ctx, n, o.par, func(i int) {
+			if skip != nil && skip(i) {
+				return
+			}
+			if o.gauge != nil {
+				o.gauge.Enter()
+				defer o.gauge.Exit()
+			}
+			cctx, cancel := context.WithTimeout(ctx, o.timeout)
+			resp, err := children[i].client().GoShared(cctx, f).Wait(cctx)
+			cancel()
+			onDone(i, resp, err)
+		})
+		f.Release()
+		return
+	}
+
+	pctx, cancel := context.WithTimeout(ctx, o.timeout)
+	defer cancel()
+	calls := make([]*rpc.Call, n)
+	for i := range children {
+		if ctx.Err() != nil {
+			break // cancelled mid-fan-out: stop issuing
+		}
+		if skip != nil && skip(i) {
+			continue
+		}
+		if o.gauge != nil {
+			o.gauge.Enter()
+		}
+		calls[i] = children[i].client().GoShared(pctx, f)
+	}
+	f.Release()
+	for i, call := range calls {
+		if call == nil {
+			continue
+		}
+		resp, err := call.Wait(pctx)
+		if o.gauge != nil {
+			o.gauge.Exit()
+		}
+		onDone(i, resp, err)
+	}
+}

@@ -50,6 +50,10 @@ type GlobalConfig struct {
 	FanOutMode FanOutMode
 	// CallTimeout bounds each child RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
+	// MaxCodec caps the wire codec version the controller negotiates, on
+	// both its registration endpoint and its child connections. Zero selects
+	// the newest supported version; 1 pins the legacy v1 codec.
+	MaxCodec int
 	// MaxFailures is the consecutive-failure threshold that trips a
 	// child's circuit breaker into quarantine. Zero selects
 	// DefaultMaxFailures.
@@ -219,9 +223,10 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 	}
 	if cfg.ListenAddr != "" {
 		srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(g.serveRegistration), rpc.ServerOptions{
-			Meter:  cfg.Meter,
-			Logf:   cfg.Logf,
-			Tracer: cfg.Tracer,
+			Meter:    cfg.Meter,
+			Logf:     cfg.Logf,
+			Tracer:   cfg.Tracer,
+			MaxCodec: cfg.MaxCodec,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("controller: registration endpoint: %w", err)
@@ -342,7 +347,8 @@ func (g *Global) AddStage(ctx context.Context, info stage.Info) error {
 		return err
 	}
 	cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, info.Addr,
-		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: info.ID},
+		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: info.ID,
+			MaxCodec: g.cfg.MaxCodec, ReuseReplies: true, ReuseHits: g.pipe.ReuseCounter()},
 		g.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("controller: dial stage %d at %s: %w", info.ID, info.Addr, err)
@@ -365,7 +371,8 @@ func (g *Global) AddAggregator(ctx context.Context, id uint64, addr string, stag
 		return err
 	}
 	cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, addr,
-		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: id},
+		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: id,
+			MaxCodec: g.cfg.MaxCodec, ReuseReplies: true, ReuseHits: g.pipe.ReuseCounter()},
 		g.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("controller: dial aggregator %d at %s: %w", id, addr, err)
@@ -391,7 +398,7 @@ func (g *Global) AddAggregator(ctx context.Context, id uint64, addr string, stag
 // the multi-host (sdsctl) counterpart of AddAggregator, which requires the
 // stage list up front.
 func (g *Global) AttachAggregator(ctx context.Context, id uint64, addr string) error {
-	cli, err := rpc.Dial(ctx, g.cfg.Network, addr, rpc.DialOptions{Meter: g.cfg.Meter})
+	cli, err := rpc.Dial(ctx, g.cfg.Network, addr, rpc.DialOptions{Meter: g.cfg.Meter, MaxCodec: g.cfg.MaxCodec})
 	if err != nil {
 		return fmt.Errorf("controller: probe aggregator at %s: %w", addr, err)
 	}
@@ -457,7 +464,8 @@ func (g *Global) handleRegister(m *wire.Register) (wire.Message, error) {
 	defer cancel()
 	if c := g.members.get(m.ID); c != nil && c.role == m.Role {
 		cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, m.Addr,
-			rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: m.ID},
+			rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: m.ID,
+				MaxCodec: g.cfg.MaxCodec, ReuseReplies: true, ReuseHits: g.pipe.ReuseCounter()},
 			g.breaker.reconnectPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("controller: redial %s %d at %s: %w", m.Role, m.ID, m.Addr, err)
@@ -541,6 +549,28 @@ func (g *Global) fanOut(ctx context.Context, gauge *telemetry.Gauge, children []
 	})
 }
 
+// fanOutBroadcast dispatches one identical request to every child as a
+// marshal-once shared frame, with fanOut's accounting. It takes ownership of
+// f (released by the time it returns) and attributes the sends and actual
+// encodes to the pipeline stats, whose ratio is the per-cycle marshal
+// fan-in.
+func (g *Global) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge, children []*child,
+	f *rpc.SharedFrame, onReply func(i int, resp wire.Message)) {
+	fanOutShared(ctx, fanOutOpts{
+		mode:    g.cfg.FanOutMode,
+		par:     g.cfg.FanOut,
+		timeout: g.cfg.CallTimeout,
+		gauge:   gauge,
+	}, children, f, nil, func(i int, resp wire.Message, err error) {
+		g.accountCall(ctx, children[i], err)
+		if err == nil && onReply != nil {
+			onReply(i, resp)
+		}
+	})
+	g.pipe.AddSharedSends(uint64(len(children)))
+	g.pipe.AddSharedEncodes(f.Encodes())
+}
+
 // prepareCycle runs the pre-cycle breaker maintenance: half-open probes for
 // quarantined children (readmitting responders), eviction of children whose
 // quarantine outlived EvictAfter, and the active/quarantined split the
@@ -621,15 +651,23 @@ func (g *Global) HealthCheck(ctx context.Context) Health {
 	return sweepHealth(ctx, children, g.cfg.FanOut, g.cfg.CallTimeout)
 }
 
-// sweepHealth heartbeats the given children with bounded parallelism.
+// sweepHealth heartbeats the given children with bounded parallelism. One
+// shared heartbeat body serves the whole sweep: round-trip times come from
+// each call's local issue time, not the echoed timestamp, so sharing the
+// body does not skew them.
 func sweepHealth(ctx context.Context, children []*child, fanOut int, timeout time.Duration) Health {
+	if len(children) == 0 {
+		return Health{}
+	}
 	rtts := make([]time.Duration, len(children))
 	ok := make([]bool, len(children))
+	hb := rpc.NewSharedFrame(&wire.Heartbeat{SentUnixMicros: time.Now().UnixMicro()})
+	defer hb.Release()
 	rpc.Scatter(ctx, len(children), fanOut, func(i int) {
 		cctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 		start := time.Now()
-		resp, err := children[i].client().Call(cctx, &wire.Heartbeat{SentUnixMicros: start.UnixMicro()})
+		resp, err := children[i].client().GoShared(cctx, hb).Wait(cctx)
 		if err != nil {
 			return
 		}
@@ -757,10 +795,16 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 	// Phase 1: collect.
 	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
+	// The collect request is identical for every stage, so it is marshaled
+	// once into a shared frame; each child call writes a header plus a
+	// memcopy. Replies land in index-disjoint slots so blocking mode's
+	// concurrent harvest keeps a deterministic report order. The slots alias
+	// per-connection reuse caches when reply reuse is on, which is safe
+	// exactly until the connection's next CollectReply — next cycle, after
+	// compute has consumed them.
 	replies := make([]*wire.CollectReply, n)
-	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
-	g.fanOut(ctx, &g.pipe.CollectInFlight, children,
-		func(i int) wire.Message { return req },
+	req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch})
+	g.fanOutBroadcast(ctx, &g.pipe.CollectInFlight, children, req,
 		func(i int, resp wire.Message) {
 			if r, ok := resp.(*wire.CollectReply); ok {
 				replies[i] = r
@@ -801,7 +845,8 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 	// Phase 3: enforce, one rule per responsive stage.
 	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseEnforce)
 	enforceStart := time.Now()
-	ruleBuf := make([]wire.Rule, n) // index-disjoint one-rule batches, one allocation
+	ruleBuf := make([]wire.Rule, n)   // index-disjoint one-rule batches, one allocation
+	enfBuf := make([]wire.Enforce, n) // index-disjoint request messages, one allocation
 	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
 			rule, ok := rules[children[i].info.ID]
@@ -815,7 +860,8 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 					return nil
 				}
 			}
-			return &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
+			enfBuf[i] = wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
+			return &enfBuf[i]
 		}, nil)
 	b.Enforce = time.Since(enforceStart)
 	g.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, epoch, mode8, enforceStart, b.Enforce)
@@ -890,9 +936,8 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
 	replies := make([]wire.Message, n)
-	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch}
-	g.fanOut(ctx, &g.pipe.CollectInFlight, children,
-		func(i int) wire.Message { return req },
+	req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch})
+	g.fanOutBroadcast(ctx, &g.pipe.CollectInFlight, children, req,
 		func(i int, resp wire.Message) {
 			switch resp.(type) {
 			case *wire.CollectAggReply, *wire.CollectReply:

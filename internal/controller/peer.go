@@ -41,6 +41,10 @@ type PeerConfig struct {
 	FanOutMode FanOutMode
 	// CallTimeout bounds each RPC. Zero selects 10 seconds.
 	CallTimeout time.Duration
+	// MaxCodec caps the wire codec version the peer negotiates, on its
+	// server and on stage/fellow connections. Zero selects the newest
+	// supported version; 1 pins the legacy v1 codec.
+	MaxCodec int
 	// MaxFailures is the consecutive-failure threshold that trips a
 	// stage's circuit breaker into quarantine. Zero selects
 	// DefaultMaxFailures.
@@ -150,9 +154,10 @@ func StartPeer(cfg PeerConfig) (*Peer, error) {
 		jobWeights: make(map[uint64]float64),
 	}
 	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(p.serve), rpc.ServerOptions{
-		Meter:  cfg.Meter,
-		Logf:   cfg.Logf,
-		Tracer: cfg.Tracer,
+		Meter:    cfg.Meter,
+		Logf:     cfg.Logf,
+		Tracer:   cfg.Tracer,
+		MaxCodec: cfg.MaxCodec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("peer %d: %w", cfg.ID, err)
@@ -202,7 +207,8 @@ func (p *Peer) logf(format string, args ...any) {
 // AddStage connects the peer to a stage in its partition.
 func (p *Peer) AddStage(ctx context.Context, info stage.Info) error {
 	cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, info.Addr,
-		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: info.ID},
+		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: info.ID,
+			MaxCodec: p.cfg.MaxCodec, ReuseReplies: true, ReuseHits: p.pipe.ReuseCounter()},
 		p.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("peer %d: dial stage %d: %w", p.cfg.ID, info.ID, err)
@@ -228,7 +234,8 @@ func (p *Peer) AddPeer(ctx context.Context, id uint64, addr string) error {
 		return fmt.Errorf("peer %d: cannot peer with itself", id)
 	}
 	cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, addr,
-		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: id},
+		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: id,
+			MaxCodec: p.cfg.MaxCodec, ReuseReplies: true, ReuseHits: p.pipe.ReuseCounter()},
 		p.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("peer %d: dial peer %d at %s: %w", p.cfg.ID, id, addr, err)
@@ -276,7 +283,8 @@ func (p *Peer) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 			// Duplicate registration from a known stage is a reconnect:
 			// replace the stale connection, keep breaker state.
 			cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, m.Addr,
-				rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: m.ID},
+				rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: m.ID,
+					MaxCodec: p.cfg.MaxCodec, ReuseReplies: true, ReuseHits: p.pipe.ReuseCounter()},
 				p.breaker.reconnectPolicy())
 			if err != nil {
 				return nil, fmt.Errorf("peer %d: redial stage %d at %s: %w", p.cfg.ID, m.ID, m.Addr, err)
@@ -344,6 +352,26 @@ func (p *Peer) fanOut(ctx context.Context, gauge *telemetry.Gauge, children []*c
 	})
 }
 
+// fanOutBroadcast dispatches one marshal-once broadcast phase over the
+// peer's own stages, charging outcomes to the breaker and error accounting
+// and the frame's send/encode counts to the pipeline stats.
+func (p *Peer) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge, children []*child,
+	f *rpc.SharedFrame, onReply func(i int, resp wire.Message)) {
+	fanOutShared(ctx, fanOutOpts{
+		mode:    p.cfg.FanOutMode,
+		par:     p.cfg.FanOut,
+		timeout: p.cfg.CallTimeout,
+		gauge:   gauge,
+	}, children, f, nil, func(i int, resp wire.Message, err error) {
+		p.accountCall(ctx, children[i], err)
+		if err == nil && onReply != nil {
+			onReply(i, resp)
+		}
+	})
+	p.pipe.AddSharedSends(uint64(len(children)))
+	p.pipe.AddSharedEncodes(f.Encodes())
+}
+
 // prepareCycle probes quarantined stages (readmitting responders), applies
 // EvictAfter, and returns the active/quarantined split.
 func (p *Peer) prepareCycle(ctx context.Context) (active, quarantined []*child) {
@@ -394,10 +422,13 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	p.cfg.Tracer.SetContext(cycle, 0, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
 	n := len(children)
+	// Index-disjoint reply slots keep blocking-mode harvest writes race-free
+	// and the compute phase's summation order deterministic; the broadcast
+	// request is marshaled once into a shared frame.
 	replies := make([]*wire.CollectReply, n)
-	req := &wire.Collect{Cycle: cycle, WindowMicros: 1_000_000}
-	p.fanOut(ctx, &p.pipe.CollectInFlight, children,
-		func(i int) wire.Message { return req },
+	req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000})
+	p.fanOutBroadcast(ctx, &p.pipe.CollectInFlight, children,
+		req,
 		func(i int, resp wire.Message) {
 			if r, ok := resp.(*wire.CollectReply); ok {
 				replies[i] = r
@@ -432,14 +463,21 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 		fellows = append(fellows, c)
 	}
 	p.mu.Unlock()
-	exchange := &wire.PeerExchange{Cycle: cycle, PeerID: p.cfg.ID, Addr: p.Addr(), Jobs: ownJobs}
+	// Every fellow receives the same aggregates, so the exchange is
+	// marshaled once into a shared frame. It stays fire-and-forget: a failed
+	// push just leaves the fellow computing on aggregates one cycle staler
+	// (NoteError still kicks the reconnect loop for the dead fellow).
+	exchange := rpc.NewSharedFrame(&wire.PeerExchange{Cycle: cycle, PeerID: p.cfg.ID, Addr: p.Addr(), Jobs: ownJobs})
 	rpc.Scatter(ctx, len(fellows), p.cfg.FanOut, func(i int) {
 		cctx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
-		// Exchange is fire-and-forget: a failed push just leaves the fellow
-		// computing on aggregates one cycle staler.
-		_, _ = fellows[i].client().Call(cctx, exchange)
+		if _, err := fellows[i].client().GoShared(cctx, exchange).Wait(cctx); err != nil {
+			fellows[i].client().NoteError(ctx, err)
+		}
 		cancel()
 	})
+	exchange.Release()
+	p.pipe.AddSharedSends(uint64(len(fellows)))
+	p.pipe.AddSharedEncodes(exchange.Encodes())
 	b.Collect = time.Since(collectStart)
 	p.cfg.Tracer.RecordPhase(trace.PhaseCollect, cycle, 0, mode8, collectStart, b.Collect)
 	if ctx.Err() != nil {
@@ -516,13 +554,19 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	// Phase 3: enforce own partition.
 	p.cfg.Tracer.SetContext(cycle, 0, mode8, trace.PhaseEnforce)
 	enforceStart := time.Now()
+	// Request buffers are preallocated per child (index-disjoint, so safe
+	// from blocking mode's concurrent reqFor) instead of allocated per call.
+	enfBuf := make([]wire.Enforce, n)
+	ruleBuf := make([]wire.Rule, n)
 	p.fanOut(ctx, &p.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
 			rule, ok := rules[children[i].info.ID]
 			if !ok {
 				return nil
 			}
-			return &wire.Enforce{Cycle: cycle, Rules: []wire.Rule{rule}}
+			ruleBuf[i] = rule
+			enfBuf[i] = wire.Enforce{Cycle: cycle, Rules: ruleBuf[i : i+1 : i+1]}
+			return &enfBuf[i]
 		}, nil)
 	b.Enforce = time.Since(enforceStart)
 	p.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, 0, mode8, enforceStart, b.Enforce)

@@ -41,6 +41,21 @@ type TraceBreakRow struct {
 	// request count, summed queue wait, and summed handler time.
 	ServerCalls                uint64
 	ServerQueue, ServerHandler time.Duration
+	// SharedSends and SharedEncodes come from the controllers'
+	// PipelineStats: broadcast calls issued from marshal-once shared frames
+	// and the body encodes those frames actually performed. Their ratio is
+	// the marshal fan-in — 10,000 children per encode means the broadcast
+	// phases marshal once per cycle instead of once per child.
+	SharedSends, SharedEncodes uint64
+}
+
+// SharedFanIn is the broadcast marshal fan-in: shared-frame sends per body
+// encode. Zero when the configuration issued no shared broadcasts.
+func (r TraceBreakRow) SharedFanIn() float64 {
+	if r.SharedEncodes == 0 {
+		return 0
+	}
+	return float64(r.SharedSends) / float64(r.SharedEncodes)
 }
 
 // MeanCycle is the mean measured cycle time.
@@ -132,6 +147,7 @@ func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes
 		Jobs:       o.Jobs,
 		Net:        net,
 		FanOutMode: mode,
+		MaxCodec:   o.MaxCodec,
 		Tracing:    true,
 		// Full-fidelity sampling: the decomposition should be an exact sum
 		// over every call, not a scaled estimate, and the experiment accepts
@@ -196,6 +212,19 @@ func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes
 	for _, tr := range c.Trace.Mid {
 		fold(tr)
 	}
+	// Shared-frame telemetry from the controllers' pipeline stats. The
+	// counters are cumulative (they include warmup), which is fine for a
+	// fan-in ratio.
+	if c.Global != nil {
+		p := c.Global.Stats().Pipeline
+		row.SharedSends += p.SharedSends
+		row.SharedEncodes += p.SharedEncodes
+	}
+	for _, a := range c.Aggregators {
+		p := a.Stats().Pipeline
+		row.SharedSends += p.SharedSends
+		row.SharedEncodes += p.SharedEncodes
+	}
 	if tr := c.Trace.Stages; tr != nil {
 		tot := tr.Totals()
 		row.ServerCalls = tot.ServerCalls
@@ -210,19 +239,21 @@ func PrintTraceBreak(o Options, res TraceBreakResult) {
 	o = o.withDefaults()
 	o.printf("control-cycle time decomposition from per-call spans (marshal and dispatch\n")
 	o.printf("run on the cycle's critical path; wait× is summed in-flight time over cycle\n")
-	o.printf("wall time — above 1 means calls overlap, the point of pipelined dispatch)\n")
-	o.printf("%-20s %-10s %7s %10s %9s %10s %7s %11s %11s\n",
-		"config", "dispatch", "cycles", "cycle", "marshal%", "dispatch%", "wait×", "srvq/call", "srvh/call")
+	o.printf("wall time — above 1 means calls overlap, the point of pipelined dispatch;\n")
+	o.printf("bcast×: broadcast sends per body encode — marshal-once fan-in of the\n")
+	o.printf("shared-frame phases, the child count when every broadcast shares one encode)\n")
+	o.printf("%-20s %-10s %7s %10s %9s %10s %7s %11s %11s %8s\n",
+		"config", "dispatch", "cycles", "cycle", "marshal%", "dispatch%", "wait×", "srvq/call", "srvh/call", "bcast×")
 	for _, r := range res.Rows {
 		var q, h time.Duration
 		if r.ServerCalls > 0 {
 			q = r.ServerQueue / time.Duration(r.ServerCalls)
 			h = r.ServerHandler / time.Duration(r.ServerCalls)
 		}
-		o.printf("%-20s %-10s %7d %8sms %8.2f%% %9.2f%% %7.1f %9sµs %9sµs\n",
+		o.printf("%-20s %-10s %7d %8sms %8.2f%% %9.2f%% %7.1f %9sµs %9sµs %8.0f\n",
 			r.Name, r.Mode, r.Cycles, ms(r.MeanCycle()),
 			100*r.MarshalFrac(), 100*r.DispatchFrac(), r.WaitFactor(),
-			us(q), us(h))
+			us(q), us(h), r.SharedFanIn())
 	}
 	o.printf("\n")
 }
@@ -259,6 +290,15 @@ func CheckTraceBreak(res TraceBreakResult) error {
 		}
 		if r.ServerCalls < min {
 			return fmt.Errorf("tracebreak %s/%v: stages traced %d requests, want >= %d", r.Name, r.Mode, r.ServerCalls, min)
+		}
+		// Every configuration broadcasts at least its collect phase through
+		// shared frames; a fan-in near 1 would mean each send re-encoded the
+		// body and the marshal-once path is broken.
+		if r.SharedSends == 0 {
+			return fmt.Errorf("tracebreak %s/%v: no shared-frame broadcasts recorded", r.Name, r.Mode)
+		}
+		if f := r.SharedFanIn(); f < 2 {
+			return fmt.Errorf("tracebreak %s/%v: shared-frame fan-in %.1f — broadcasts are not sharing encodes", r.Name, r.Mode, f)
 		}
 		if waitx[r.Name] == nil {
 			waitx[r.Name] = map[controller.FanOutMode]float64{}

@@ -48,7 +48,7 @@ func TestCheckTraceBreakRejectsDegenerate(t *testing.T) {
 	good := TraceBreakRow{
 		Name: "flat-10", Topology: cluster.Flat, Mode: controller.FanOutPipelined,
 		Nodes: 10, Cycles: 5, Wall: 100, Calls: 100, Marshal: 10, Dispatch: 10,
-		Wait: 500, ServerCalls: 100,
+		Wait: 500, ServerCalls: 100, SharedSends: 50, SharedEncodes: 5,
 	}
 	cases := map[string]func(*TraceBreakRow){
 		"no cycles":         func(r *TraceBreakRow) { r.Cycles = 0 },
@@ -56,6 +56,8 @@ func TestCheckTraceBreakRejectsDegenerate(t *testing.T) {
 		"errors":            func(r *TraceBreakRow) { r.Errors = 1 },
 		"negative wait":     func(r *TraceBreakRow) { r.Wait = -1 },
 		"missing srv calls": func(r *TraceBreakRow) { r.ServerCalls = 10 },
+		"no broadcasts":     func(r *TraceBreakRow) { r.SharedSends, r.SharedEncodes = 0, 0 },
+		"re-encoding":       func(r *TraceBreakRow) { r.SharedEncodes = r.SharedSends },
 	}
 	for name, mutate := range cases {
 		r := good

@@ -43,6 +43,18 @@ type Client struct {
 
 	late atomic.Uint64 // responses that arrived after their call was abandoned
 
+	// Codec negotiation: maxCodec is what this client is willing to speak
+	// (wire.MaxCodec unless pinned by DialOptions); codec is the negotiated
+	// request codec, 1 until the server's hello reply upgrades it. Atomic
+	// because senders read it while the read loop writes it.
+	maxCodec int
+	codec    atomic.Int32
+
+	// reuseReplies enables the read loop's per-type reply cache (see
+	// DialOptions.ReuseReplies); reuseHits counts decodes into it.
+	reuseReplies bool
+	reuseHits    *atomic.Uint64
+
 	done chan struct{}
 }
 
@@ -69,6 +81,11 @@ type Call struct {
 	id     uint64
 	client *Client // nil for calls that failed before registration
 
+	// shared pins the broadcast frame a GoShared call wrote, released when
+	// the handle is recycled — the frame's pooled bodies outlive every
+	// in-flight copy of them.
+	shared *SharedFrame
+
 	// Span timings, populated by send when the client traces: issue time
 	// (unix nanoseconds; doubles as the "this call is traced" marker),
 	// frame-encode time, and connection-write time. Atomic because the
@@ -92,6 +109,10 @@ func getCall() *Call { return callPool.Get().(*Call) }
 // owner and its Done channel must be empty (completion consumed, or provably
 // never delivered).
 func putCall(call *Call) {
+	if call.shared != nil {
+		call.shared.Release()
+		call.shared = nil
+	}
 	call.Reply, call.Err, call.id, call.client = nil, nil, 0, nil
 	call.issuedNs.Store(0)
 	call.marshalNs.Store(0)
@@ -194,9 +215,26 @@ type DialOptions struct {
 	// (controllers set their child's ID).
 	Tracer  *trace.Tracer
 	SpanTag uint64
+	// MaxCodec caps the wire codec version this connection negotiates. Zero
+	// selects the newest supported version (wire.MaxCodec); 1 pins the
+	// connection to the v1 codec and suppresses the hello exchange
+	// entirely, emulating a pre-v2 peer.
+	MaxCodec int
+	// ReuseReplies opts into the zero-alloc decode path on v2 connections:
+	// responses decode into one cached message per type, reusing its
+	// backing arrays. The aliasing contract moves to the caller — a decoded
+	// reply is valid only until the next response of the same type arrives
+	// on this connection, so enable it only where replies are consumed
+	// within the cycle and never retained by pointer (the controllers
+	// deep-copy what they keep).
+	ReuseReplies bool
+	// ReuseHits, if non-nil, is incremented once per reply decoded into a
+	// reused message.
+	ReuseHits *atomic.Uint64
 }
 
-// Dial connects to an RPC server at addr over network.
+// Dial connects to an RPC server at addr over network and, unless the codec
+// is pinned to v1, opens with a hello frame offering the v2 codec.
 func Dial(ctx context.Context, network transport.Network, addr string, opts DialOptions) (*Client, error) {
 	conn, err := network.Dial(ctx, addr)
 	if err != nil {
@@ -205,19 +243,45 @@ func Dial(ctx context.Context, network transport.Network, addr string, opts Dial
 	c := NewClient(transport.WithMeter(conn, opts.Meter))
 	c.cpu = opts.CPU
 	c.tracer, c.spanTag = opts.Tracer, opts.SpanTag
+	if opts.MaxCodec != 0 {
+		c.maxCodec = opts.MaxCodec
+	}
+	c.reuseReplies = opts.ReuseReplies
+	c.reuseHits = opts.ReuseHits
+	if c.maxCodec >= wire.CodecV2 {
+		c.sendHello()
+	}
 	return c, nil
 }
 
 // NewClient wraps an established connection as an RPC client and starts its
-// read loop. The client takes ownership of conn.
+// read loop. The client takes ownership of conn. Clients built directly
+// (rather than via Dial) stay on the v1 codec.
 func NewClient(conn net.Conn) *Client {
 	c := &Client{
-		conn:    conn,
-		pending: make(map[uint64]*Call),
-		done:    make(chan struct{}),
+		conn:     conn,
+		pending:  make(map[uint64]*Call),
+		maxCodec: wire.MaxCodec,
+		done:     make(chan struct{}),
 	}
+	c.codec.Store(wire.CodecV1)
 	go c.readLoop()
 	return c
+}
+
+// CodecVersion returns the codec the client currently encodes requests with:
+// wire.CodecV1 until the server's hello reply upgrades the connection.
+func (c *Client) CodecVersion() int { return int(c.codec.Load()) }
+
+// sendHello writes the opening codec-negotiation frame. Best effort: if the
+// write fails the connection is dying and calls will surface it.
+func (c *Client) sendHello() {
+	bp := getFrameBuf()
+	*bp = appendHelloFrame((*bp)[:0], c.maxCodec)
+	c.wmu.Lock()
+	_, _ = c.conn.Write(*bp)
+	c.wmu.Unlock()
+	putFrameBuf(bp)
 }
 
 // RemoteAddr returns the server's address.
@@ -254,21 +318,69 @@ func (c *Client) live() bool {
 func (c *Client) LateResponses() uint64 { return c.late.Load() }
 
 // readLoop dispatches responses to pending calls until the connection dies.
+// It is the connection's single reader, so it owns the response-side float
+// history (which must see every v2 response, in order, to stay in lockstep
+// with the server's writer) and the per-type reply-reuse cache.
 func (c *Client) readLoop() {
-	var buf []byte
+	var (
+		buf []byte
+		dec *wire.DecodeOpts // built lazily on the first v2 response
+	)
 	for {
 		var (
-			h   frameHeader
-			m   wire.Message
-			err error
+			h    frameHeader
+			body []byte
+			err  error
 		)
-		h, m, buf, err = readFrame(c.conn, buf)
+		h, body, buf, err = readFrame(c.conn, buf)
 		if err != nil {
 			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
 			return
 		}
-		if h.kind != kindResponse {
+		var m wire.Message
+		switch h.kind {
+		case kindResponse:
+			m, err = wire.Decode(body)
+		case kindResponseV2:
+			if dec == nil {
+				dec = &wire.DecodeOpts{Version: wire.CodecV2, Hist: wire.NewFloatHistory()}
+				if c.reuseReplies {
+					cache := make(map[wire.MsgType]wire.Message)
+					dec.Reuse = func(t wire.MsgType) wire.Message {
+						if !reusableReply(t) {
+							return nil
+						}
+						if cached, ok := cache[t]; ok {
+							if c.reuseHits != nil {
+								c.reuseHits.Add(1)
+							}
+							return cached
+						}
+						fresh := wire.New(t)
+						if fresh != nil {
+							cache[t] = fresh
+						}
+						return fresh
+					}
+				}
+			}
+			m, err = wire.DecodeWith(body, dec)
+		case kindHello:
+			// The server's hello reply carries the agreed codec; from here on
+			// requests are encoded with it. Absent (or malformed) the client
+			// stays on v1, which every server speaks.
+			if ver, ok := parseHello(body); ok && c.maxCodec >= wire.CodecV2 {
+				c.codec.Store(int32(negotiate(ver, c.maxCodec)))
+			}
+			continue
+		default:
 			continue // clients only issue requests; ignore anything else
+		}
+		if err != nil {
+			// A frame we cannot decode desynchronizes the stream (and any
+			// delta history); the connection is unusable.
+			c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+			return
 		}
 		c.mu.Lock()
 		call := c.pending[h.id]
@@ -336,7 +448,8 @@ func (c *Client) Go(ctx context.Context, req wire.Message) *Call {
 	c.pending[call.id] = call
 	c.mu.Unlock()
 
-	if err := c.send(frameHeader{id: call.id, kind: kindRequest}, req, call); err != nil {
+	ver, kind := c.requestCodec()
+	if err := c.send(frameHeader{id: call.id, kind: kind}, req, nil, ver, call); err != nil {
 		if c.deregister(call) {
 			call.finish(nil, err)
 		}
@@ -344,6 +457,51 @@ func (c *Client) Go(ctx context.Context, req wire.Message) *Call {
 	}
 	_ = ctx // the deadline is enforced at Wait; issuing is non-blocking
 	return call
+}
+
+// GoShared issues a request whose body is the broadcast frame f, already
+// encoded (or encoded once, lazily, per codec version): the per-call cost is
+// a header plus one memcopy instead of a marshal. It is otherwise identical
+// to Go. The call takes its own reference on f, released when the handle is
+// recycled by Wait, so the shared body cannot be pooled out from under a
+// slow connection.
+func (c *Client) GoShared(ctx context.Context, f *SharedFrame) *Call {
+	call := getCall()
+	c.mu.Lock()
+	if c.err != nil || c.closed {
+		err := c.err
+		if err == nil {
+			err = ErrClientClosed
+		}
+		c.mu.Unlock()
+		call.finish(nil, err)
+		return call
+	}
+	c.nextID++
+	call.id = c.nextID
+	call.client = c
+	f.retain()
+	call.shared = f
+	c.pending[call.id] = call
+	c.mu.Unlock()
+
+	ver, kind := c.requestCodec()
+	if err := c.send(frameHeader{id: call.id, kind: kind}, nil, f.body(ver), ver, call); err != nil {
+		if c.deregister(call) {
+			call.finish(nil, err)
+		}
+	}
+	_ = ctx // the deadline is enforced at Wait; issuing is non-blocking
+	return call
+}
+
+// requestCodec returns the negotiated request codec version and the matching
+// request frame kind.
+func (c *Client) requestCodec() (int, byte) {
+	if ver := int(c.codec.Load()); ver >= wire.CodecV2 {
+		return ver, kindRequestV2
+	}
+	return wire.CodecV1, kindRequest
 }
 
 // Call sends req and waits for the matching response, honoring ctx. A
@@ -365,14 +523,17 @@ func (c *Client) sendCancel(id uint64) {
 
 // send writes one frame, serialized against other senders. The frame is
 // encoded into a pooled buffer outside the write lock, so concurrent senders
-// marshal in parallel and only the write itself serializes. When the client
-// has a CPU meter or a tracer the marshal and write are timed once and the
-// measurements shared: the meter gets charged and the call (if any) carries
-// them for its span, so tracing on top of an already-metered connection
-// adds no extra clock reads on this path. A call off the tracer's sample
-// grid takes no timestamps at all (unless metered) — it is merely counted
-// at completion.
-func (c *Client) send(h frameHeader, m wire.Message, call *Call) error {
+// marshal in parallel and only the write itself serializes; request bodies
+// are therefore always stateless, whatever the codec. A non-nil body is a
+// SharedFrame's pre-encoded bytes — the "marshal" then degenerates to a
+// header append plus memcopy, and is timed as such so the tracer's marshal
+// share reflects the win. When the client has a CPU meter or a tracer the
+// marshal and write are timed once and the measurements shared: the meter
+// gets charged and the call (if any) carries them for its span, so tracing
+// on top of an already-metered connection adds no extra clock reads on this
+// path. A call off the tracer's sample grid takes no timestamps at all
+// (unless metered) — it is merely counted at completion.
+func (c *Client) send(h frameHeader, m wire.Message, body []byte, ver int, call *Call) error {
 	traced := c.tracer != nil && call != nil && c.tracer.Sampled(call.id)
 	timed := c.cpu != nil || traced
 	bp := getFrameBuf()
@@ -383,7 +544,11 @@ func (c *Client) send(h frameHeader, m wire.Message, call *Call) error {
 	if traced {
 		call.issuedNs.Store(start.UnixNano())
 	}
-	*bp = appendFrame((*bp)[:0], h, m)
+	if body != nil {
+		*bp = appendSharedFrame((*bp)[:0], h, body)
+	} else {
+		*bp = appendFrameWith((*bp)[:0], h, m, ver, nil)
+	}
 	if timed {
 		el := time.Since(start)
 		if c.cpu != nil {

@@ -1,0 +1,170 @@
+package rpc
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// codecSetup dials a fresh server with the given codec caps and returns the
+// client. Both ends use the in-memory simnet.
+func codecSetup(t *testing.T, h Handler, sopts ServerOptions, dopts DialOptions) (*Server, *Client) {
+	t.Helper()
+	n := simnet.New(simnet.Config{PropDelay: -1})
+	srv, err := Serve(n.Host("server"), ":0", h, sopts)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(context.Background(), n.Host("client"), srv.Addr().String(), dopts)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+// TestCodecNegotiationUpgrades: a v2 client against a v2 server upgrades to
+// the v2 codec, and calls keep round-tripping before, across, and after the
+// upgrade (the hello ack can race the first request).
+func TestCodecNegotiationUpgrades(t *testing.T) {
+	_, cli := codecSetup(t, &echoHandler{}, ServerOptions{}, DialOptions{})
+	for i := uint64(1); i <= 5; i++ {
+		resp, err := cli.Call(context.Background(), &wire.Collect{Cycle: i})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if r := resp.(*wire.CollectReply); r.Cycle != i {
+			t.Fatalf("call %d: cycle %d", i, r.Cycle)
+		}
+	}
+	waitFor(t, "codec upgrade to v2", func() bool {
+		return cli.CodecVersion() == wire.CodecV2
+	})
+	if _, err := cli.Call(context.Background(), &wire.Collect{Cycle: 99}); err != nil {
+		t.Fatalf("post-upgrade call: %v", err)
+	}
+}
+
+// TestCodecNegotiationV1Client: a client pinned to v1 sends no hello and
+// stays on v1 against a v2 server.
+func TestCodecNegotiationV1Client(t *testing.T) {
+	_, cli := codecSetup(t, &echoHandler{}, ServerOptions{}, DialOptions{MaxCodec: 1})
+	if _, err := cli.Call(context.Background(), &wire.Heartbeat{}); err != nil {
+		t.Fatal(err)
+	}
+	if v := cli.CodecVersion(); v != wire.CodecV1 {
+		t.Fatalf("pinned client negotiated v%d", v)
+	}
+}
+
+// TestCodecNegotiationV1Server: a server pinned to v1 ignores the client's
+// hello — exactly what a pre-v2 server does with an unknown frame kind — so
+// the client never upgrades, and calls still work.
+func TestCodecNegotiationV1Server(t *testing.T) {
+	_, cli := codecSetup(t, &echoHandler{}, ServerOptions{MaxCodec: 1}, DialOptions{})
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := cli.Call(context.Background(), &wire.Collect{Cycle: i}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if v := cli.CodecVersion(); v != wire.CodecV1 {
+		t.Fatalf("client negotiated v%d against a v1 server", v)
+	}
+}
+
+// floatHandler returns replies with float-heavy payloads so the v2 response
+// history is exercised across many messages.
+type floatHandler struct{}
+
+func (floatHandler) Serve(_ *Peer, req wire.Message) (wire.Message, error) {
+	c := req.(*wire.Collect)
+	f := float64(c.Cycle)
+	return &wire.CollectReply{Cycle: c.Cycle, Reports: []wire.StageReport{
+		{StageID: 1, JobID: 1, Demand: wire.Rates{f * 1.5, 100}, Usage: wire.Rates{f, 99.25}},
+		{StageID: 2, JobID: 1, Demand: wire.Rates{f * 1.5, 100}, Usage: wire.Rates{f, 0}},
+	}}, nil
+}
+
+// TestCodecV2FloatDataCorrectness streams many float-bearing replies over an
+// upgraded connection: the delta-coded response history must reconstruct
+// every value exactly, including across repeated and changing payloads.
+func TestCodecV2FloatDataCorrectness(t *testing.T) {
+	_, cli := codecSetup(t, floatHandler{}, ServerOptions{}, DialOptions{})
+	waitFor(t, "codec upgrade to v2", func() bool {
+		return cli.CodecVersion() == wire.CodecV2
+	})
+	for i := 0; i < 50; i++ {
+		cycle := uint64(i/10 + 1) // repeats make the history hit f2Same runs
+		resp, err := cli.Call(context.Background(), &wire.Collect{Cycle: cycle})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		r := resp.(*wire.CollectReply)
+		f := float64(cycle)
+		want := []wire.StageReport{
+			{StageID: 1, JobID: 1, Demand: wire.Rates{f * 1.5, 100}, Usage: wire.Rates{f, 99.25}},
+			{StageID: 2, JobID: 1, Demand: wire.Rates{f * 1.5, 100}, Usage: wire.Rates{f, 0}},
+		}
+		if len(r.Reports) != len(want) {
+			t.Fatalf("call %d: %d reports", i, len(r.Reports))
+		}
+		for j := range want {
+			if r.Reports[j] != want[j] {
+				t.Fatalf("call %d report %d: got %+v, want %+v", i, j, r.Reports[j], want[j])
+			}
+		}
+	}
+}
+
+// TestReplyReuseContract: with ReuseReplies on, successive replies of the
+// same type decode into the same cached message (hits counted), so a caller
+// holding a reply across calls sees it overwritten — the documented aliasing
+// contract.
+func TestReplyReuseContract(t *testing.T) {
+	var hits atomic.Uint64
+	_, cli := codecSetup(t, floatHandler{}, ServerOptions{},
+		DialOptions{ReuseReplies: true, ReuseHits: &hits})
+	waitFor(t, "codec upgrade to v2", func() bool {
+		return cli.CodecVersion() == wire.CodecV2
+	})
+	r1, err := cli.Call(context.Background(), &wire.Collect{Cycle: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cli.Call(context.Background(), &wire.Collect{Cycle: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("reuse did not return the cached reply: %p vs %p", r1, r2)
+	}
+	if r1.(*wire.CollectReply).Cycle != 2 {
+		t.Fatalf("cached reply holds cycle %d, want 2 (overwritten)", r1.(*wire.CollectReply).Cycle)
+	}
+	if hits.Load() == 0 {
+		t.Fatal("no reuse hits counted")
+	}
+}
+
+// TestRequestReuseFreelist: with ReuseRequests on, the server decodes
+// successive requests of one type into a recycled message.
+func TestRequestReuseFreelist(t *testing.T) {
+	var hits atomic.Uint64
+	_, cli := codecSetup(t, &echoHandler{},
+		ServerOptions{ReuseRequests: true, ReuseHits: &hits}, DialOptions{})
+	waitFor(t, "codec upgrade to v2", func() bool {
+		return cli.CodecVersion() == wire.CodecV2
+	})
+	for i := uint64(1); i <= 10; i++ {
+		if _, err := cli.Call(context.Background(), &wire.Collect{Cycle: i}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	if hits.Load() == 0 {
+		t.Fatal("no request freelist hits counted")
+	}
+}

@@ -146,7 +146,9 @@ func TestLateResponseCounted(t *testing.T) {
 		readFrame(conn, nil) // hold the conn open until the client closes
 	}()
 
-	cli, err := Dial(context.Background(), n.Host("client"), l.Addr().String(), DialOptions{})
+	// Pin to v1: the hand-rolled server reads exactly one frame and must see
+	// the request, not a codec hello.
+	cli, err := Dial(context.Background(), n.Host("client"), l.Addr().String(), DialOptions{MaxCodec: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -61,7 +61,8 @@ func putFrameBuf(bp *[]byte) {
 // 10,000-stage cluster.
 const MaxFrameSize = 64 << 20
 
-// frame kinds.
+// frame kinds. A frame's kind also names the codec version of its body, so
+// codec upgrades are self-describing mid-stream and never ambiguous.
 const (
 	kindRequest  = 0
 	kindResponse = 1
@@ -71,6 +72,20 @@ const (
 	// sent for a cancel frame. Because frames are delivered in order, a
 	// cancel always trails the request it refers to.
 	kindCancel = 2
+	// kindHello negotiates the wire codec. Its body is a v1-encoded
+	// wire.Heartbeat whose SentUnixMicros field carries the sender's maximum
+	// codec version — chosen so a pre-v2 peer decodes the frame cleanly and
+	// then drops the unknown kind on the floor, which downgrades both sides
+	// to v1 without any round trip. The client sends a hello (id 0) as its
+	// first frame; a v2-capable server replies in kind with the agreed
+	// version and switches its responses to that codec from then on.
+	kindHello = 3
+	// kindRequestV2 and kindResponseV2 carry wire.CodecV2 bodies. Requests
+	// are encoded statelessly (concurrent senders cannot share a float
+	// history); responses carry the connection's response history, which the
+	// single-reader/single-writer pairing keeps in lockstep.
+	kindRequestV2  = 4
+	kindResponseV2 = 5
 )
 
 // ErrFrameTooLarge reports an oversized frame announcement.
@@ -82,16 +97,64 @@ type frameHeader struct {
 	kind byte   // kindRequest or kindResponse
 }
 
-// appendFrame encodes a complete frame (length prefix, header, message) into
-// buf and returns the extended slice.
+// appendFrame encodes a complete v1 frame (length prefix, header, message)
+// into buf and returns the extended slice.
 func appendFrame(buf []byte, h frameHeader, m wire.Message) []byte {
+	return appendFrameWith(buf, h, m, wire.CodecV1, nil)
+}
+
+// appendFrameWith encodes a complete frame with the body in codec version
+// ver, optionally delta-coded against hist. The caller must pick h.kind to
+// match ver (kindRequestV2/kindResponseV2 for v2 bodies).
+func appendFrameWith(buf []byte, h frameHeader, m wire.Message, ver int, hist *wire.FloatHistory) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length placeholder
 	buf = binary.AppendUvarint(buf, h.id)
 	buf = append(buf, h.kind)
-	buf = wire.Encode(buf, m)
+	buf = wire.EncodeWith(buf, m, ver, hist)
 	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
 	return buf
+}
+
+// appendSharedFrame encodes a frame whose body is already encoded (a
+// SharedFrame's): the per-call work is just the header plus one memcopy,
+// which is what makes broadcast fan-outs marshal-once.
+func appendSharedFrame(buf []byte, h frameHeader, body []byte) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = binary.AppendUvarint(buf, h.id)
+	buf = append(buf, h.kind)
+	buf = append(buf, body...)
+	binary.BigEndian.PutUint32(buf[start:], uint32(len(buf)-start-4))
+	return buf
+}
+
+// appendHelloFrame encodes a codec-negotiation hello (or hello reply)
+// announcing version. The body is a v1 Heartbeat so pre-v2 peers parse it
+// and ignore it (see kindHello).
+func appendHelloFrame(buf []byte, version int) []byte {
+	return appendFrame(buf, frameHeader{id: 0, kind: kindHello}, &wire.Heartbeat{SentUnixMicros: int64(version)})
+}
+
+// parseHello extracts the announced codec version from a hello body.
+func parseHello(body []byte) (int, bool) {
+	m, err := wire.Decode(body)
+	if err != nil {
+		return 0, false
+	}
+	hb, ok := m.(*wire.Heartbeat)
+	if !ok || hb.SentUnixMicros < 1 || hb.SentUnixMicros > 1<<16 {
+		return 0, false
+	}
+	return int(hb.SentUnixMicros), true
+}
+
+// negotiate clamps the peer's announced version to ours.
+func negotiate(theirs, ours int) int {
+	if theirs < ours {
+		return theirs
+	}
+	return ours
 }
 
 // appendCancelFrame encodes a body-less cancel frame for request id into buf
@@ -106,9 +169,10 @@ func appendCancelFrame(buf []byte, id uint64) []byte {
 }
 
 // readFrame reads one frame from r into buf (which is grown as needed) and
-// decodes it. The returned message does not alias buf. Cancel frames carry
-// no body and decode to a nil message.
-func readFrame(r io.Reader, buf []byte) (frameHeader, wire.Message, []byte, error) {
+// returns its header and raw body. The body aliases buf, so it is valid only
+// until the next readFrame on the same buffer; callers decode it according
+// to the frame kind before reading on. Cancel frames carry no body.
+func readFrame(r io.Reader, buf []byte) (frameHeader, []byte, []byte, error) {
 	var lenb [4]byte
 	if _, err := io.ReadFull(r, lenb[:]); err != nil {
 		return frameHeader{}, nil, buf, err
@@ -139,9 +203,28 @@ func readFrame(r io.Reader, buf []byte) (frameHeader, wire.Message, []byte, erro
 	if h.kind == kindCancel {
 		return h, nil, buf, nil
 	}
-	m, err := wire.Decode(buf[sz+1:])
-	if err != nil {
-		return frameHeader{}, nil, buf, err
+	return h, buf[sz+1:], buf, nil
+}
+
+// reusableReply lists the response types eligible for the client-side reuse
+// cache: high-frequency, slice-bearing or hot replies that controllers
+// consume within the cycle that received them and never retain by pointer.
+func reusableReply(t wire.MsgType) bool {
+	switch t {
+	case wire.TCollectReply, wire.TCollectAggReply, wire.TEnforceAck,
+		wire.THeartbeatAck, wire.TPeerExchangeAck:
+		return true
 	}
-	return h, m, buf, nil
+	return false
+}
+
+// reusableRequest lists the request types eligible for the server-side
+// freelist. Registration and state-bearing messages (Register, StateSync,
+// PeerExchange) are excluded: handlers retain them past the response.
+func reusableRequest(t wire.MsgType) bool {
+	switch t {
+	case wire.TCollect, wire.TEnforce, wire.THeartbeat, wire.TDelegate:
+		return true
+	}
+	return false
 }

@@ -224,7 +224,11 @@ func TestDecodedMessageDoesNotAliasFrameBuffer(t *testing.T) {
 	const text = "partition tolerated; degraded collect"
 	frame := appendFrame(nil, frameHeader{id: 7, kind: kindResponse},
 		&wire.ErrorReply{Code: wire.CodeInternal, Text: text})
-	_, m, buf, err := readFrame(bytes.NewReader(frame), nil)
+	_, body, buf, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := wire.Decode(body)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -186,6 +186,42 @@ func (r *ReconnectingClient) Go(ctx context.Context, req wire.Message) *Call {
 	return cli.Go(ctx, req)
 }
 
+// GoShared issues the broadcast frame f asynchronously on the current
+// connection (see Client.GoShared), with Go's disconnection semantics: while
+// disconnected the handle completes immediately with ErrDisconnected and no
+// reference on f is taken.
+func (r *ReconnectingClient) GoShared(ctx context.Context, f *SharedFrame) *Call {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return failedCall(ErrClientClosed)
+	}
+	cli := r.cur
+	cause := r.lastErr
+	r.mu.Unlock()
+
+	if cli == nil {
+		if cause != nil {
+			return failedCall(fmt.Errorf("%w (%v)", ErrDisconnected, cause))
+		}
+		return failedCall(ErrDisconnected)
+	}
+	return cli.GoShared(ctx, f)
+}
+
+// CodecVersion returns the negotiated request codec of the current
+// connection, or wire.CodecV1 while disconnected (a fresh connection always
+// starts at v1 until its hello reply arrives).
+func (r *ReconnectingClient) CodecVersion() int {
+	r.mu.Lock()
+	cli := r.cur
+	r.mu.Unlock()
+	if cli == nil {
+		return wire.CodecV1
+	}
+	return cli.CodecVersion()
+}
+
 // NoteError is the harvest-side counterpart of Go: given the error of a
 // completed asynchronous call, it checks whether the underlying connection
 // died and, if so, detaches it and starts the background redial — exactly

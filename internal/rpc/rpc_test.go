@@ -275,15 +275,23 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		frame2 := appendFrame(nil, frameHeader{id: id + 1, kind: kindResponse}, &wire.ErrorReply{Code: 1, Text: text})
 		buf.Write(frame2)
 
-		h1, m1, rb, err := readFrame(&buf, nil)
+		h1, b1, rb, err := readFrame(&buf, nil)
 		if err != nil || h1.id != id || h1.kind != kindRequest {
+			return false
+		}
+		m1, err := wire.Decode(b1)
+		if err != nil {
 			return false
 		}
 		if c, ok := m1.(*wire.Collect); !ok || c.Cycle != cycle {
 			return false
 		}
-		h2, m2, _, err := readFrame(&buf, rb)
+		h2, b2, _, err := readFrame(&buf, rb)
 		if err != nil || h2.id != id+1 || h2.kind != kindResponse {
+			return false
+		}
+		m2, err := wire.Decode(b2)
+		if err != nil {
 			return false
 		}
 		er, ok := m2.(*wire.ErrorReply)

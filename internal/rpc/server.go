@@ -75,6 +75,20 @@ type ServerOptions struct {
 	// tracer never carries cycle context, so one tracer may be shared by
 	// many servers (e.g. all stages of a simulated cluster).
 	Tracer *trace.Tracer
+	// MaxCodec caps the wire codec version this server negotiates. Zero
+	// selects the newest supported version (wire.MaxCodec); 1 pins the
+	// server to v1 — hello frames are then ignored outright, exactly as a
+	// pre-v2 server would, and clients stay on v1.
+	MaxCodec int
+	// ReuseRequests opts into the per-connection request freelist: requests
+	// decode into recycled messages whose backing arrays are returned to the
+	// connection once the response is written. Safe only when handlers never
+	// retain a request past returning (Register, StateSync, and PeerExchange
+	// are always excluded because controller handlers keep them).
+	ReuseRequests bool
+	// ReuseHits, if non-nil, is incremented once per request decoded into a
+	// recycled message.
+	ReuseHits *atomic.Uint64
 }
 
 // Server accepts RPC connections and dispatches requests to a Handler.
@@ -160,6 +174,59 @@ type queuedReq struct {
 	// frame ID is on the tracer's sample grid; queue wait is pop time minus
 	// arrival. Zero means "count this request, don't time it".
 	arrivedNs int64
+	// hello marks a codec-negotiation frame. It rides the request queue so
+	// the handler loop — the connection's single writer — acks it and flips
+	// the response codec at a well-defined point in the response stream.
+	hello    bool
+	helloVer int
+}
+
+// reqFreelist recycles decoded request messages within one connection: the
+// reader goroutine decodes into a recycled instance (reusing its backing
+// arrays), and the handler loop returns the instance after the response is
+// written. One slot per type suffices because requests on a connection are
+// dispatched in order — at most one instance of a type is ever between
+// decode and response. The mutex covers the reader/handler handoff.
+type reqFreelist struct {
+	mu     sync.Mutex
+	byType map[wire.MsgType]wire.Message
+	hits   *atomic.Uint64
+}
+
+func newReqFreelist(hits *atomic.Uint64) *reqFreelist {
+	return &reqFreelist{byType: make(map[wire.MsgType]wire.Message), hits: hits}
+}
+
+// take removes and returns the recycled instance for t, or nil when none is
+// available (the decoder then allocates fresh).
+func (fl *reqFreelist) take(t wire.MsgType) wire.Message {
+	if !reusableRequest(t) {
+		return nil
+	}
+	fl.mu.Lock()
+	m := fl.byType[t]
+	if m != nil {
+		fl.byType[t] = nil
+	}
+	fl.mu.Unlock()
+	if m != nil && fl.hits != nil {
+		fl.hits.Add(1)
+	}
+	return m
+}
+
+// put offers a handled request back to its type's slot. A request the
+// handler may retain (non-whitelisted type) is never recycled.
+func (fl *reqFreelist) put(m wire.Message) {
+	t := m.Type()
+	if !reusableRequest(t) {
+		return
+	}
+	fl.mu.Lock()
+	if fl.byType[t] == nil {
+		fl.byType[t] = m
+	}
+	fl.mu.Unlock()
 }
 
 // reqQueue is a per-connection ordered request queue. A reader goroutine
@@ -264,6 +331,15 @@ func (s *Server) serveConn(peer *Peer) {
 		}
 	}()
 
+	serverMax := s.opts.MaxCodec
+	if serverMax == 0 {
+		serverMax = wire.MaxCodec
+	}
+	var fl *reqFreelist
+	if s.opts.ReuseRequests {
+		fl = newReqFreelist(s.opts.ReuseHits)
+	}
+
 	q := newReqQueue()
 	readerDone := make(chan struct{})
 	go func() {
@@ -274,18 +350,36 @@ func (s *Server) serveConn(peer *Peer) {
 		// requests it carried are still queued or executing.
 		rbp := getFrameBuf()
 		defer putFrameBuf(rbp)
+		var dec *wire.DecodeOpts // built lazily on the first v2 request
 		for {
 			var (
-				h   frameHeader
-				req wire.Message
-				err error
+				h    frameHeader
+				body []byte
+				err  error
 			)
-			h, req, *rbp, err = readFrame(peer.conn, *rbp)
+			h, body, *rbp, err = readFrame(peer.conn, *rbp)
 			if err != nil {
 				return // EOF or broken conn
 			}
 			switch h.kind {
-			case kindRequest:
+			case kindRequest, kindRequestV2:
+				var req wire.Message
+				if h.kind == kindRequest {
+					req, err = wire.Decode(body)
+				} else {
+					if dec == nil {
+						// Requests are encoded statelessly (concurrent client
+						// senders cannot share a float history), so no Hist.
+						dec = &wire.DecodeOpts{Version: wire.CodecV2}
+						if fl != nil {
+							dec.Reuse = fl.take
+						}
+					}
+					req, err = wire.DecodeWith(body, dec)
+				}
+				if err != nil {
+					return // protocol corruption; drop the connection
+				}
 				item := queuedReq{id: h.id, req: req}
 				if s.opts.Tracer.Sampled(h.id) {
 					item.arrivedNs = time.Now().UnixNano()
@@ -294,6 +388,13 @@ func (s *Server) serveConn(peer *Peer) {
 			case kindCancel:
 				if q.cancel(h.id) {
 					s.canceled.Add(1)
+				}
+			case kindHello:
+				// A v1-pinned server ignores hellos outright, exactly like a
+				// pre-v2 server that drops unknown frame kinds; the client
+				// then never upgrades.
+				if ver, ok := parseHello(body); ok && serverMax >= wire.CodecV2 {
+					q.push(queuedReq{hello: true, helloVer: ver})
 				}
 			}
 		}
@@ -305,10 +406,30 @@ func (s *Server) serveConn(peer *Peer) {
 	}
 	wbp := getFrameBuf()
 	defer putFrameBuf(wbp)
+	// The response codec starts at v1 and flips when a hello is acked; the
+	// response history (shared by all response types on this connection) is
+	// kept in lockstep with the client's read loop because this handler loop
+	// is the connection's only writer.
+	txVer := wire.CodecV1
+	var txHist *wire.FloatHistory
 	for {
 		item, ok := q.pop()
 		if !ok {
 			break
+		}
+		if item.hello {
+			ver := negotiate(item.helloVer, serverMax)
+			*wbp = appendHelloFrame((*wbp)[:0], ver)
+			_, err := peer.conn.Write(*wbp)
+			if ver >= wire.CodecV2 {
+				txVer = ver
+				txHist = wire.NewFloatHistory()
+			}
+			q.finish()
+			if err != nil {
+				break
+			}
+			continue
 		}
 		traced := item.arrivedNs != 0
 		var popNs int64
@@ -326,8 +447,18 @@ func (s *Server) serveConn(peer *Peer) {
 		}
 		var err error
 		if !q.finish() {
-			*wbp = appendFrame((*wbp)[:0], frameHeader{id: item.id, kind: kindResponse}, resp)
+			// A cancel-suppressed response is never encoded, so it leaves the
+			// response history untouched — the client, which decodes every
+			// arriving frame, stays in lockstep.
+			if txVer >= wire.CodecV2 {
+				*wbp = appendFrameWith((*wbp)[:0], frameHeader{id: item.id, kind: kindResponseV2}, resp, txVer, txHist)
+			} else {
+				*wbp = appendFrame((*wbp)[:0], frameHeader{id: item.id, kind: kindResponse}, resp)
+			}
 			_, err = peer.conn.Write(*wbp)
+		}
+		if fl != nil && item.req != nil {
+			fl.put(item.req)
 		}
 		if untrack != nil {
 			untrack()

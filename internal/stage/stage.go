@@ -78,6 +78,9 @@ type Config struct {
 	// (queue vs. handler vs. write time). Stage servers never write cycle
 	// context, so one tracer may be shared by many stages.
 	Tracer *trace.Tracer
+	// MaxCodec caps the wire codec version the stage's server negotiates.
+	// Zero selects the newest supported version; 1 pins the legacy v1 codec.
+	MaxCodec int
 }
 
 // DefaultParentTimeout is how long a stage with a parent list waits without
@@ -118,7 +121,13 @@ func StartVirtual(cfg Config) (*Virtual, error) {
 		cfg.ParentTimeout = DefaultParentTimeout
 	}
 	v := &Virtual{cfg: cfg, start: time.Now(), who: fmt.Sprintf("stage %d", cfg.ID)}
-	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(v.serve), rpc.ServerOptions{Tracer: cfg.Tracer})
+	// Stage handlers copy what they keep out of each request, so inbound
+	// collects/enforces/heartbeats are safely recycled per connection.
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(v.serve), rpc.ServerOptions{
+		Tracer:        cfg.Tracer,
+		MaxCodec:      cfg.MaxCodec,
+		ReuseRequests: true,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
 	}
@@ -205,12 +214,14 @@ func (v *Virtual) collect(m *wire.Collect) *wire.CollectReply {
 	}
 }
 
-// enforce applies the rules addressed to this stage.
+// enforce applies the rules addressed to this stage, directly or through a
+// per-job wildcard (see wire.WildcardStage). The rule is copied out of the
+// request, which the server recycles after the response is written.
 func (v *Virtual) enforce(m *wire.Enforce) *wire.EnforceAck {
 	var applied uint32
 	v.mu.Lock()
 	for i := range m.Rules {
-		if m.Rules[i].StageID == v.cfg.ID {
+		if ruleTargets(&m.Rules[i], v.cfg.ID, v.cfg.JobID) {
 			v.rule = m.Rules[i]
 			v.haveRule = true
 			v.enforces++
@@ -219,6 +230,12 @@ func (v *Virtual) enforce(m *wire.Enforce) *wire.EnforceAck {
 	}
 	v.mu.Unlock()
 	return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied}
+}
+
+// ruleTargets reports whether a rule addresses the given stage: either
+// directly by stage ID or as a job-wide wildcard.
+func ruleTargets(r *wire.Rule, stageID, jobID uint64) bool {
+	return r.StageID == stageID || (r.StageID == wire.WildcardStage && r.JobID == jobID)
 }
 
 // LastRule returns the most recently applied rule, if any.
@@ -271,6 +288,9 @@ type EnforcingConfig struct {
 	// Tracer, when set, records a server span per control-plane request.
 	// Safe to share across stages (see Config.Tracer).
 	Tracer *trace.Tracer
+	// MaxCodec caps the wire codec version the stage's server negotiates.
+	// Zero selects the newest supported version; 1 pins the legacy v1 codec.
+	MaxCodec int
 }
 
 // Enforcing is a functional stage: it rate limits application operations
@@ -300,7 +320,11 @@ func StartEnforcing(cfg EnforcingConfig) (*Enforcing, error) {
 		e.demand[c] = metrics.NewRateCounter(cfg.Window, 10)
 		e.usage[c] = metrics.NewRateCounter(cfg.Window, 10)
 	}
-	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(e.serve), rpc.ServerOptions{Tracer: cfg.Tracer})
+	srv, err := rpc.Serve(cfg.Network, cfg.ListenAddr, rpc.HandlerFunc(e.serve), rpc.ServerOptions{
+		Tracer:        cfg.Tracer,
+		MaxCodec:      cfg.MaxCodec,
+		ReuseRequests: true,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
 	}
@@ -404,7 +428,7 @@ func (e *Enforcing) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error
 		}
 		var applied uint32
 		for i := range m.Rules {
-			if m.Rules[i].StageID == e.cfg.ID {
+			if ruleTargets(&m.Rules[i], e.cfg.ID, e.cfg.JobID) {
 				e.limiter.ApplyRule(m.Rules[i])
 				applied++
 			}

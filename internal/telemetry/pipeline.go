@@ -49,7 +49,37 @@ type PipelineStats struct {
 	lastCycleAllocs atomic.Uint64
 	totalAllocs     atomic.Uint64
 	allocCycles     atomic.Uint64
+
+	// Marshal-once accounting: sharedSends counts broadcast calls issued
+	// from a shared frame (header + memcopy instead of a marshal),
+	// sharedEncodes counts the encodes those frames actually performed (at
+	// most one per codec version per frame), and replyReuses counts replies
+	// decoded into recycled messages. sends/encodes is the per-cycle
+	// marshal fan-in: 10,000 for a full flat broadcast.
+	sharedSends   atomic.Uint64
+	sharedEncodes atomic.Uint64
+	replyReuses   atomic.Uint64
 }
+
+// AddSharedSends counts n broadcast calls issued from shared frames.
+func (p *PipelineStats) AddSharedSends(n uint64) { p.sharedSends.Add(n) }
+
+// AddSharedEncodes counts n encodes performed by shared frames.
+func (p *PipelineStats) AddSharedEncodes(n uint64) { p.sharedEncodes.Add(n) }
+
+// SharedSends returns the cumulative shared-frame call count.
+func (p *PipelineStats) SharedSends() uint64 { return p.sharedSends.Load() }
+
+// SharedEncodes returns the cumulative shared-frame encode count.
+func (p *PipelineStats) SharedEncodes() uint64 { return p.sharedEncodes.Load() }
+
+// ReuseCounter returns the counter that rpc clients and servers increment
+// once per message decoded into a recycled instance — pass it as
+// DialOptions.ReuseHits / ServerOptions.ReuseHits.
+func (p *PipelineStats) ReuseCounter() *atomic.Uint64 { return &p.replyReuses }
+
+// ReplyReuses returns the cumulative recycled-decode count.
+func (p *PipelineStats) ReplyReuses() uint64 { return p.replyReuses.Load() }
 
 // RecordCycleAllocs records one cycle's heap-object allocation count.
 func (p *PipelineStats) RecordCycleAllocs(n uint64) {
@@ -82,6 +112,9 @@ func (p *PipelineStats) Snapshot() PipelineSnapshot {
 		EnforceInFlightPeak: p.EnforceInFlight.Peak(),
 		LastCycleAllocs:     p.LastCycleAllocs(),
 		MeanCycleAllocs:     p.MeanCycleAllocs(),
+		SharedSends:         p.SharedSends(),
+		SharedEncodes:       p.SharedEncodes(),
+		ReplyReuses:         p.ReplyReuses(),
 	}
 }
 
@@ -101,6 +134,14 @@ type PipelineSnapshot struct {
 	// running.
 	LastCycleAllocs uint64
 	MeanCycleAllocs float64
+	// SharedSends counts broadcast calls issued from marshal-once shared
+	// frames; SharedEncodes counts the encodes those frames performed.
+	// Their ratio is the marshal fan-in the shared path achieved.
+	SharedSends   uint64
+	SharedEncodes uint64
+	// ReplyReuses counts messages decoded into recycled instances on the
+	// zero-alloc decode path.
+	ReplyReuses uint64
 }
 
 // allocsSampleName is the runtime/metrics counter of cumulative heap

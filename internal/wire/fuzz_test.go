@@ -2,6 +2,8 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"testing"
 )
 
@@ -77,5 +79,94 @@ func FuzzDecoderPrimitives(f *testing.F) {
 		_ = d.String()
 		_ = d.Bool()
 		_ = d.Finish()
+	})
+}
+
+// FuzzDecodeV2 feeds arbitrary bytes to the stateless v2 decoder. Like
+// FuzzDecode it must never panic, and accepted inputs must re-encode
+// canonically. The corpus seeds every message type in both codecs plus the
+// negotiation hello bodies (v1-encoded Heartbeats carrying a codec version),
+// so the fuzzer starts from exactly the frames a v1↔v2 handshake exchanges.
+func FuzzDecodeV2(f *testing.F) {
+	seeds := []Message{
+		&Register{Role: RoleStage, ID: 1, JobID: 2, Weight: 1.5, Addr: "a:1"},
+		&Collect{Cycle: 3, WindowMicros: 1e6, Epoch: 2},
+		&CollectReply{Cycle: 3, Reports: []StageReport{{StageID: 1, JobID: 2, Demand: Rates{3, 4.5}, Usage: Rates{0, 6}}}},
+		&CollectAggReply{Cycle: 3, AggregatorID: 9, Jobs: []JobReport{{JobID: 1, Stages: 10, Demand: Rates{1, 2}}}},
+		&Enforce{Cycle: 4, Epoch: 1, Rules: []Rule{{StageID: 1, JobID: 2, Action: ActionSetLimit, Limit: Rates{7, 8}}}},
+		&EnforceAck{Cycle: 4, Applied: 1},
+		&HeartbeatAck{EchoUnixMicros: 5},
+		&ErrorReply{Code: CodeStaleEpoch, Text: "deposed", Epoch: 3},
+		&PeerExchange{Cycle: 1, PeerID: 2, Addr: "p:1", Jobs: []JobReport{{JobID: 1, Demand: Rates{0.25, 9}}}},
+		&Delegate{Cycle: 2, Budgets: []JobBudget{{JobID: 1, Limit: Rates{9, 10}}}},
+		&StateSync{PrimaryID: 1, Epoch: 2, Cycle: 7, LeaseMicros: 250_000,
+			Members: []MemberState{{Role: RoleStage, ID: 1, JobID: 2, Weight: 1, Addr: "a:1"}},
+			Weights: []JobWeight{{JobID: 2, Weight: 1}}},
+	}
+	for _, m := range seeds {
+		f.Add(EncodeWith(nil, m, CodecV2, nil))
+		f.Add(Encode(nil, m))
+	}
+	// Negotiation hello bodies: Heartbeat{version}, always encoded v1.
+	f.Add(Encode(nil, &Heartbeat{SentUnixMicros: CodecV1}))
+	f.Add(Encode(nil, &Heartbeat{SentUnixMicros: CodecV2}))
+	f.Add([]byte{byte(TCollectReply), 1, 1, 1, 1, f2Same})
+	f.Add([]byte{})
+
+	opts := &DecodeOpts{Version: CodecV2}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeWith(data, opts)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		re := EncodeWith(nil, m, CodecV2, nil)
+		m2, err := DecodeWith(re, opts)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded message failed: %v", err)
+		}
+		if m2.Type() != m.Type() {
+			t.Fatalf("type changed across round trip: %v -> %v", m.Type(), m2.Type())
+		}
+		// A second encode must be byte-identical (canonical encoding).
+		if re2 := EncodeWith(nil, m2, CodecV2, nil); !bytes.Equal(re, re2) {
+			t.Fatalf("v2 encoding not canonical:\n%x\n%x", re, re2)
+		}
+	})
+}
+
+// FuzzFloat64V2 exercises the tagged float primitive with history on both
+// sides: arbitrary bytes become two float sequences encoded as consecutive
+// history-carrying messages, which must reconstruct exactly.
+func FuzzFloat64V2(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xF0, 0x3F, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var vals []float64
+		for len(data) >= 8 {
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data)))
+			data = data[8:]
+		}
+		half := len(vals) / 2
+		eh, dh := &typeHist{}, &typeHist{}
+		for _, seq := range [][]float64{vals[:half], vals[half:]} {
+			e := &Encoder{ver: CodecV2, hist: eh}
+			for _, v := range seq {
+				e.Float64(v)
+			}
+			eh.swap()
+			d := &Decoder{buf: e.Bytes(), ver: CodecV2, hist: dh}
+			for i, want := range seq {
+				got := d.Float64()
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) &&
+					!(want == 0 && math.Signbit(want)) { // -0 canonicalizes
+					t.Fatalf("float %d: want %v (%x), got %v (%x)",
+						i, want, math.Float64bits(want), got, math.Float64bits(got))
+				}
+			}
+			if err := d.Finish(); err != nil {
+				t.Fatalf("finish: %v", err)
+			}
+			dh.swap()
+		}
 	})
 }

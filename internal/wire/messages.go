@@ -185,6 +185,20 @@ func (d *Decoder) rates() Rates {
 	return r
 }
 
+// sliceFor returns s resized to n, reusing the backing array when capacity
+// allows. Fresh messages (nil s) decode exactly as before — a zero-length
+// prefix leaves the slice nil — while messages recycled through the RPC
+// layer's reuse caches keep their arrays, which is what makes steady-state
+// decode cycles allocation-free. Callers pass the result through d.Length(),
+// which returns 0 after any decode error, so an errored decode always leaves
+// the slice truncated rather than holding stale entries.
+func sliceFor[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
 // Message is implemented by every control-plane message.
 type Message interface {
 	// Type returns the wire identifier of the message.
@@ -351,11 +365,7 @@ func (m *CollectReply) Marshal(e *Encoder) {
 // Unmarshal implements Message.
 func (m *CollectReply) Unmarshal(d *Decoder) {
 	m.Cycle = d.Uint64()
-	n := d.Length()
-	if d.Err() != nil || n == 0 {
-		return
-	}
-	m.Reports = make([]StageReport, n)
+	m.Reports = sliceFor(m.Reports, d.Length())
 	for i := range m.Reports {
 		r := &m.Reports[i]
 		r.StageID = d.Uint64()
@@ -411,11 +421,7 @@ func (m *CollectAggReply) Marshal(e *Encoder) {
 func (m *CollectAggReply) Unmarshal(d *Decoder) {
 	m.Cycle = d.Uint64()
 	m.AggregatorID = d.Uint64()
-	n := d.Length()
-	if d.Err() != nil || n == 0 {
-		return
-	}
-	m.Jobs = make([]JobReport, n)
+	m.Jobs = sliceFor(m.Jobs, d.Length())
 	for i := range m.Jobs {
 		j := &m.Jobs[i]
 		j.JobID = d.Uint64()
@@ -451,9 +457,19 @@ func (a RuleAction) String() string {
 	return fmt.Sprintf("RuleAction(%d)", uint8(a))
 }
 
+// WildcardStage, used as a Rule.StageID, addresses every stage of the
+// rule's job: the receiving stage applies the rule when the JobID matches
+// its own. Stage IDs are 1-based, so 0 is free for this. Wildcards let a
+// controller broadcast one marshal-once rule to a whole job when every
+// stage's share is identical (delegated local control on a converged
+// workload); senders must not address wildcard rules to stages on the v1
+// codec, which predates them.
+const WildcardStage uint64 = 0
+
 // Rule is one stage's enforcement directive for a control cycle.
 type Rule struct {
-	// StageID identifies the stage the rule targets.
+	// StageID identifies the stage the rule targets, or WildcardStage to
+	// target every stage of the rule's job.
 	StageID uint64
 	// JobID identifies the job the rule's limits belong to.
 	JobID uint64
@@ -498,19 +514,13 @@ func (m *Enforce) Marshal(e *Encoder) {
 // Unmarshal implements Message.
 func (m *Enforce) Unmarshal(d *Decoder) {
 	m.Cycle = d.Uint64()
-	n := d.Length()
-	if d.Err() != nil {
-		return
-	}
-	if n > 0 {
-		m.Rules = make([]Rule, n)
-		for i := range m.Rules {
-			r := &m.Rules[i]
-			r.StageID = d.Uint64()
-			r.JobID = d.Uint64()
-			r.Action = RuleAction(d.Byte())
-			r.Limit = d.rates()
-		}
+	m.Rules = sliceFor(m.Rules, d.Length())
+	for i := range m.Rules {
+		r := &m.Rules[i]
+		r.StageID = d.Uint64()
+		r.JobID = d.Uint64()
+		r.Action = RuleAction(d.Byte())
+		r.Limit = d.rates()
 	}
 	m.Epoch = d.Uint64()
 }
@@ -668,11 +678,7 @@ func (m *StageListReply) Marshal(e *Encoder) {
 
 // Unmarshal implements Message.
 func (m *StageListReply) Unmarshal(d *Decoder) {
-	n := d.Length()
-	if d.Err() != nil || n == 0 {
-		return
-	}
-	m.Stages = make([]StageEntry, n)
+	m.Stages = sliceFor(m.Stages, d.Length())
 	for i := range m.Stages {
 		s := &m.Stages[i]
 		s.ID = d.Uint64()
@@ -718,11 +724,7 @@ func (m *PeerExchange) Unmarshal(d *Decoder) {
 	m.Cycle = d.Uint64()
 	m.PeerID = d.Uint64()
 	m.Addr = d.String()
-	n := d.Length()
-	if d.Err() != nil || n == 0 {
-		return
-	}
-	m.Jobs = make([]JobReport, n)
+	m.Jobs = sliceFor(m.Jobs, d.Length())
 	for i := range m.Jobs {
 		j := &m.Jobs[i]
 		j.JobID = d.Uint64()
@@ -792,11 +794,7 @@ func (m *Delegate) Marshal(e *Encoder) {
 // Unmarshal implements Message.
 func (m *Delegate) Unmarshal(d *Decoder) {
 	m.Cycle = d.Uint64()
-	n := d.Length()
-	if d.Err() != nil || n == 0 {
-		return
-	}
-	m.Budgets = make([]JobBudget, n)
+	m.Budgets = sliceFor(m.Budgets, d.Length())
 	for i := range m.Budgets {
 		b := &m.Budgets[i]
 		b.JobID = d.Uint64()
@@ -1034,40 +1032,93 @@ var (
 	decoderPool = sync.Pool{New: func() any { return new(Decoder) }}
 )
 
-// Encode appends t's tag and m's body to buf and returns the extended slice.
+// Encode appends t's tag and m's body to buf in the v1 codec and returns the
+// extended slice.
 func Encode(buf []byte, m Message) []byte {
+	return EncodeWith(buf, m, CodecV1, nil)
+}
+
+// EncodeWith appends t's tag and m's body to buf in codec version ver and
+// returns the extended slice. A non-nil hist (v2 only) enables delta coding
+// against the previous same-type message encoded through that history; the
+// peer must decode with a matching history (see FloatHistory).
+func EncodeWith(buf []byte, m Message, ver int, hist *FloatHistory) []byte {
 	e := encoderPool.Get().(*Encoder)
 	e.buf = buf
+	e.ver = ver
+	if hist != nil && ver >= CodecV2 {
+		e.hist = hist.get(m.Type())
+	}
 	e.Byte(byte(m.Type()))
 	m.Marshal(e)
+	if e.hist != nil {
+		e.hist.swap()
+	}
 	out := e.buf
-	e.buf = nil
+	e.buf, e.ver, e.hist = nil, 0, nil
 	encoderPool.Put(e)
 	return out
 }
 
-// Decode parses a tagged message produced by Encode. It verifies the whole
-// buffer is consumed. Decoded slices alias buf (see Decoder), never the
-// decoder handle, so recycling the handle is invisible to callers.
+// DecodeOpts configures DecodeWith.
+type DecodeOpts struct {
+	// Version is the codec version the buffer was encoded with.
+	Version int
+	// Hist, when non-nil, resolves v2 history tags. It must mirror the
+	// encoder's history exactly: same messages, same order.
+	Hist *FloatHistory
+	// Reuse, when non-nil, may return an existing message of the given type
+	// to decode into instead of allocating. Returning nil falls back to a
+	// fresh message. The decoded message's slices then reuse the previous
+	// decode's backing arrays, so callers own the aliasing contract: a
+	// reused message is valid only until the next same-type decode that
+	// receives the same instance.
+	Reuse func(MsgType) Message
+}
+
+// Decode parses a tagged v1 message produced by Encode. It verifies the
+// whole buffer is consumed. Decoded slices alias buf (see Decoder), never
+// the decoder handle, so recycling the handle is invisible to callers.
 func Decode(buf []byte) (Message, error) {
+	return DecodeWith(buf, nil)
+}
+
+// DecodeWith parses a tagged message with explicit codec options. A nil opts
+// decodes v1, equivalent to Decode.
+func DecodeWith(buf []byte, opts *DecodeOpts) (Message, error) {
 	d := decoderPool.Get().(*Decoder)
 	*d = Decoder{buf: buf}
-	m, err := decode(d)
+	m, err := decode(d, opts)
 	*d = Decoder{}
 	decoderPool.Put(d)
 	return m, err
 }
 
-func decode(d *Decoder) (Message, error) {
+func decode(d *Decoder, opts *DecodeOpts) (Message, error) {
 	t := MsgType(d.Byte())
 	if d.Err() != nil {
 		return nil, d.Err()
 	}
-	m := New(t)
+	var m Message
+	if opts != nil {
+		if opts.Reuse != nil {
+			m = opts.Reuse(t)
+		}
+		d.ver = opts.Version
+		if opts.Hist != nil && opts.Version >= CodecV2 {
+			d.hist = opts.Hist.get(t)
+		}
+	}
+	if m == nil {
+		m = New(t)
+	}
 	if m == nil {
 		return nil, fmt.Errorf("wire: unknown message type %d", t)
 	}
 	m.Unmarshal(d)
+	if d.hist != nil && d.err == nil {
+		d.hist.swap()
+	}
 	if err := d.Finish(); err != nil {
 		return nil, fmt.Errorf("wire: decoding %s: %w", t, err)
 	}

@@ -39,10 +39,89 @@ var (
 // malformed frame from OOMing a controller.
 const MaxSliceLen = 1 << 24
 
+// Wire codec versions. V1 is the original fixed-width-float encoding; V2
+// encodes floats as tagged varints with optional positional history (see
+// Encoder.Float64). Frames carry their codec version out of band (the RPC
+// layer's frame kind), so the two never need to be distinguished in-band.
+const (
+	// CodecV1 is the original codec: fixed 8-byte IEEE 754 floats.
+	CodecV1 = 1
+	// CodecV2 tags each float and varint-encodes the common cases, with
+	// optional delta coding against the previous message of the same type.
+	CodecV2 = 2
+	// MaxCodec is the newest codec version this build speaks.
+	MaxCodec = CodecV2
+)
+
+// V2 float tags. Order of preference when several apply: f2Same, f2Zero,
+// f2Int, f2Delta, f2Raw — the preference is part of the codec (it makes
+// encodings deterministic for a given history), not just an optimization.
+const (
+	// f2Zero encodes exactly 0 (including -0, which canonicalizes to +0).
+	f2Zero = 0
+	// f2Int encodes an integral value in (0, 2^53] as a uvarint.
+	f2Int = 1
+	// f2Raw encodes the raw 8-byte IEEE 754 representation.
+	f2Raw = 2
+	// f2Same repeats the previous same-type message's value at the same
+	// position (history-carrying streams only).
+	f2Same = 3
+	// f2Delta encodes a zig-zag varint integral delta against the previous
+	// same-type message's value at the same position (history only).
+	f2Delta = 4
+)
+
+// maxIntFloat is the largest float64 magnitude whose integral values are all
+// exactly representable; beyond it uvarint round-trips would lose precision.
+const maxIntFloat = 1 << 53
+
+// FloatHistory carries the per-message-type positional float history that
+// powers the v2 codec's f2Same/f2Delta tags. Encoder and decoder each keep
+// one per connection direction and MUST observe the same message sequence:
+// every encoded history-carrying message must be decoded by the peer, in
+// order. The RPC layer guarantees this for responses (single writer per
+// connection, single reader draining every frame); requests are encoded
+// statelessly precisely because concurrent senders cannot.
+//
+// A FloatHistory is not safe for concurrent use.
+type FloatHistory struct {
+	types map[MsgType]*typeHist
+}
+
+// typeHist is one message type's history: the float sequence of the previous
+// message (prev) and the one being built (cur). At message end the two swap.
+type typeHist struct {
+	prev, cur []float64
+}
+
+// NewFloatHistory returns an empty history.
+func NewFloatHistory() *FloatHistory {
+	return &FloatHistory{types: make(map[MsgType]*typeHist)}
+}
+
+func (h *FloatHistory) get(t MsgType) *typeHist {
+	th := h.types[t]
+	if th == nil {
+		th = &typeHist{}
+		h.types[t] = th
+	}
+	return th
+}
+
+func (th *typeHist) swap() {
+	th.prev, th.cur = th.cur, th.prev[:0]
+}
+
 // Encoder appends primitive values to a byte slice. The zero value is ready
 // to use; Bytes returns the accumulated encoding.
 type Encoder struct {
 	buf []byte
+	// ver selects the float encoding: values below CodecV2 use the fixed
+	// 8-byte v1 form. Integer encodings are identical across versions.
+	ver int
+	// hist, when non-nil (v2 only), enables the f2Same/f2Delta tags against
+	// the previous message of the same type.
+	hist *typeHist
 }
 
 // NewEncoder returns an Encoder that appends to buf (which may be nil).
@@ -81,11 +160,58 @@ func (e *Encoder) Bool(b bool) {
 	}
 }
 
-// Float64 appends v as 8 little-endian bytes of its IEEE 754 representation.
-// Rates are encoded fixed-width rather than varint because observed IOPS are
-// rarely small integers and fixed width keeps rule payload sizes predictable.
+// Float64 appends v in the encoder's codec version. V1 writes the fixed
+// 8-byte IEEE 754 representation: observed IOPS are rarely small integers and
+// fixed width keeps rule payload sizes predictable. V2 writes a one-byte tag
+// and varint-encodes the common cases — zero, small integral values, and
+// (when a history is attached) repeats or integral deltas of the previous
+// same-type message's value at the same position. Steady-state CollectReply
+// streams are dominated by f2Same, cutting float payload from 8 bytes to 1.
 func (e *Encoder) Float64(v float64) {
-	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+	if e.ver < CodecV2 {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+		return
+	}
+	var prev float64
+	hasPrev := false
+	if h := e.hist; h != nil {
+		if pos := len(h.cur); pos < len(h.prev) {
+			prev, hasPrev = h.prev[pos], true
+		}
+		h.cur = append(h.cur, v)
+	}
+	switch {
+	case hasPrev && prev == v:
+		e.Byte(f2Same)
+	case v == 0:
+		e.Byte(f2Zero)
+	case isIntFloat(v):
+		e.Byte(f2Int)
+		e.Uint64(uint64(v))
+	case hasPrev && deltaFits(prev, v):
+		e.Byte(f2Delta)
+		e.Int64(int64(v - prev))
+	default:
+		e.Byte(f2Raw)
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+	}
+}
+
+// isIntFloat reports whether v is a positive integer that survives a uvarint
+// round trip exactly. Zero is excluded (it has its own tag), as are NaN and
+// the infinities (Trunc is not an identity on them).
+func isIntFloat(v float64) bool {
+	return v > 0 && v <= maxIntFloat && v == math.Trunc(v)
+}
+
+// deltaFits reports whether v reconstructs exactly as prev plus an integral
+// int64 delta, so the encoder may use the f2Delta tag without loss.
+func deltaFits(prev, v float64) bool {
+	d := v - prev
+	if d != math.Trunc(d) || d < -maxIntFloat || d > maxIntFloat {
+		return false
+	}
+	return prev+float64(int64(d)) == v
 }
 
 // Bytes16 appends a length-prefixed byte slice.
@@ -106,6 +232,11 @@ type Decoder struct {
 	buf []byte
 	off int
 	err error
+	// ver and hist mirror the Encoder's: ver selects the float decoding and
+	// hist resolves the v2 f2Same/f2Delta tags. A stateless v2 decoder (hist
+	// nil) rejects those tags as corrupt.
+	ver  int
+	hist *typeHist
 }
 
 // NewDecoder returns a Decoder reading from buf.
@@ -201,8 +332,16 @@ func (d *Decoder) Byte() byte {
 // Bool reads a one-byte boolean.
 func (d *Decoder) Bool() bool { return d.Byte() != 0 }
 
-// Float64 reads 8 little-endian bytes as an IEEE 754 float.
+// Float64 reads a float in the decoder's codec version (see Encoder.Float64).
 func (d *Decoder) Float64() float64 {
+	if d.ver >= CodecV2 {
+		return d.float64v2()
+	}
+	return d.float64raw()
+}
+
+// float64raw reads 8 little-endian bytes as an IEEE 754 float.
+func (d *Decoder) float64raw() float64 {
 	if d.err != nil {
 		return 0
 	}
@@ -213,6 +352,41 @@ func (d *Decoder) Float64() float64 {
 	v := binary.LittleEndian.Uint64(d.buf[d.off:])
 	d.off += 8
 	return math.Float64frombits(v)
+}
+
+// float64v2 reads one tagged v2 float, maintaining positional history when
+// the decoder carries one. History references past the previous message's
+// float count, or on a history-less stream, are corruption.
+func (d *Decoder) float64v2() float64 {
+	tag := d.Byte()
+	if d.err != nil {
+		return 0
+	}
+	h := d.hist
+	var v float64
+	switch tag {
+	case f2Zero:
+	case f2Int:
+		v = float64(d.Uint64())
+	case f2Raw:
+		v = d.float64raw()
+	case f2Same, f2Delta:
+		if h == nil || len(h.cur) >= len(h.prev) {
+			d.fail(fmt.Errorf("wire: float tag %d without matching history", tag))
+			return 0
+		}
+		v = h.prev[len(h.cur)]
+		if tag == f2Delta {
+			v += float64(d.Int64())
+		}
+	default:
+		d.fail(fmt.Errorf("wire: unknown float tag %d", tag))
+		return 0
+	}
+	if h != nil {
+		h.cur = append(h.cur, v)
+	}
+	return v
 }
 
 // Length reads a length prefix and validates it against MaxSliceLen and the
