@@ -184,6 +184,7 @@ func gate(results map[string]*benchResult, baseline map[string]baselineEntry, th
 	}
 	sort.Strings(names)
 	compared := 0
+	bytesUngated := 0
 	for _, name := range names {
 		res := results[name]
 		base, ok := baseline[name]
@@ -204,6 +205,12 @@ func gate(results map[string]*benchResult, baseline map[string]baselineEntry, th
 			verdict, name, res.allocsOp, base.AllocsOp, 100*allocDelta,
 			res.bytesOp, base.BytesOp, 100*bytesDelta, 100*threshold,
 			res.nsPerOp, base.NsPerOp, 100*nsDelta)
+		if base.BytesOp == 0 {
+			// A pre-B/op baseline entry leaves bytes ungated; say so per
+			// benchmark rather than passing silently with half the gate off.
+			bytesUngated++
+			fmt.Fprintf(&b, "warn %-28s B/op NOT gated: baseline entry has no bytes_per_op — re-record the baseline to arm it\n", name)
+		}
 		if verdict == "ok  " && nsDelta > threshold {
 			fmt.Fprintf(&b, "warn %-28s ns/op regressed %+.1f%% — timing is advisory on shared runners\n",
 				name, 100*nsDelta)
@@ -212,6 +219,10 @@ func gate(results map[string]*benchResult, baseline map[string]baselineEntry, th
 	if compared == 0 {
 		b.WriteString("FAIL no benchmark matched a baseline entry\n")
 		failed = true
+	}
+	if bytesUngated > 0 {
+		fmt.Fprintf(&b, "warn %d of %d compared benchmark(s) ran with the B/op gate disarmed (baseline predates bytes recording)\n",
+			bytesUngated, compared)
 	}
 	return b.String(), failed
 }

@@ -14,7 +14,7 @@
 //	sdsbench -exp fig4 -mincycles 20  # tighter statistics
 //
 // Experiments: table1, fig4, table2, fig5, table3, fig6, table4,
-// connlimit, coordflat, chaos, failover, pipeline, tracebreak, all.
+// connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta, all.
 // Figure/table pairs that share a run (fig4+table2, fig5+table3,
 // fig6+table4) are measured once when both are requested. The chaos,
 // failover, pipeline, and tracebreak experiments are not from the paper:
@@ -27,7 +27,10 @@
 // deployments; tracebreak decomposes cycle time (marshal vs. dispatch vs.
 // wait, controller and stage side) from per-call spans at 1k/5k/10k nodes
 // in both fan-out modes — add -debug 127.0.0.1:8080 to also serve /metrics,
-// /debug/pprof and /debug/trace while it runs.
+// /debug/pprof and /debug/trace while it runs; delta checks the
+// event-driven incremental control mode enforces the same rules as the
+// full collect sweep under bursty demand while suppressing the collect
+// fan-out once demand quiesces.
 package main
 
 import (
@@ -49,7 +52,7 @@ func main() {
 	// paper reports <6% relative stddev).
 	debug.SetGCPercent(400)
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, tracebreak, all")
+		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta, all")
 		scale       = flag.Float64("scale", 1.0, "node-count scale factor in (0, 1]")
 		minCycles   = flag.Int("mincycles", 5, "minimum measured control cycles per configuration")
 		minDuration = flag.Duration("minduration", 2*time.Second, "minimum measurement window per configuration")
@@ -121,7 +124,7 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		"all": true, "table1": true, "fig4": true, "table2": true,
 		"fig5": true, "table3": true, "fig6": true, "table4": true,
 		"connlimit": true, "coordflat": true, "chaos": true, "failover": true,
-		"pipeline": true, "tracebreak": true,
+		"pipeline": true, "tracebreak": true, "delta": true,
 	}
 	if !known[exp] {
 		return nil, fmt.Errorf("unknown experiment %q", exp)
@@ -235,6 +238,14 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		}
 		experiment.PrintTraceBreak(opts, r)
 		verdict("tracebreak", experiment.CheckTraceBreak(r))
+	}
+	if want("delta") {
+		r, err := experiment.Delta(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		experiment.PrintDelta(opts, r)
+		verdict("delta", experiment.CheckDelta(r))
 	}
 	return all, nil
 }

@@ -100,6 +100,23 @@ type Config struct {
 	// ablation benchmarks (the paper's stress workload re-enforces
 	// everything every cycle).
 	DeltaEnforcement bool
+	// Incremental switches every controller to the event-driven incremental
+	// cycle (dirty-child tracking fed by stage push deltas; see
+	// controller.GlobalConfig.Incremental) and arms the stage push loops.
+	// With PushThreshold zero it defaults to DefaultPushThreshold. Requires
+	// the default pipelined fan-out; with FanOutBlocking controllers keep
+	// the paper-faithful full cycle.
+	Incremental bool
+	// IncrementalFloor bounds the age of a cached report before an
+	// incremental cycle re-collects explicitly; see
+	// controller.GlobalConfig.IncrementalFloor. Zero selects StaleAfter.
+	IncrementalFloor time.Duration
+	// PushThreshold, PushInterval and PushFloor tune the stage-side delta
+	// push loops; see stage.Config. PushThreshold zero leaves push loops
+	// off unless Incremental is set.
+	PushThreshold float64
+	PushInterval  time.Duration
+	PushFloor     time.Duration
 	// MaxCodec caps the wire codec version every component negotiates.
 	// Zero selects the newest supported version; 1 pins the legacy v1
 	// codec, which the codec ablation benchmarks use as their baseline.
@@ -152,6 +169,12 @@ type Config struct {
 // single-core hosts (see the tracing-overhead test at the repo root).
 const DefaultTraceSample = 32
 
+// DefaultPushThreshold is the relative rate movement that triggers a stage
+// push when Config.Incremental is set without an explicit PushThreshold: 5%,
+// small enough that allocations track real demand shifts and large enough
+// that sampling noise stays below it.
+const DefaultPushThreshold = 0.05
+
 func (c Config) withDefaults() Config {
 	if c.Jobs <= 0 {
 		c.Jobs = 16
@@ -164,6 +187,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Capacity.IsZero() {
 		c.Capacity = wire.Rates{500, 50}.Scale(float64(c.Stages))
+	}
+	if c.Incremental && c.PushThreshold == 0 {
+		c.PushThreshold = DefaultPushThreshold
 	}
 	if (c.Topology == Hierarchical || c.Topology == Coordinated) && c.Aggregators <= 0 {
 		c.Aggregators = (c.Stages + simnet.DefaultMaxConns - 1) / simnet.DefaultMaxConns
@@ -328,13 +354,16 @@ func (c *Cluster) build() error {
 	// per physical node but treats each as its own compute node (§III-D).
 	for i := 0; i < cfg.Stages; i++ {
 		v, err := stage.StartVirtual(stage.Config{
-			ID:        uint64(i + 1),
-			JobID:     uint64(i%cfg.Jobs + 1),
-			Weight:    1,
-			Generator: cfg.Workload,
-			Network:   c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
-			Tracer:    c.stageTracer(),
-			MaxCodec:  cfg.MaxCodec,
+			ID:            uint64(i + 1),
+			JobID:         uint64(i%cfg.Jobs + 1),
+			Weight:        1,
+			Generator:     cfg.Workload,
+			Network:       c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
+			Tracer:        c.stageTracer(),
+			MaxCodec:      cfg.MaxCodec,
+			PushThreshold: cfg.PushThreshold,
+			PushInterval:  cfg.PushInterval,
+			PushFloor:     cfg.PushFloor,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
@@ -357,6 +386,8 @@ func (c *Cluster) build() error {
 		MaxCodec:         cfg.MaxCodec,
 		Delegated:        cfg.Delegated,
 		DeltaEnforcement: cfg.DeltaEnforcement,
+		Incremental:      cfg.Incremental,
+		IncrementalFloor: cfg.IncrementalFloor,
 		MaxFailures:      cfg.MaxFailures,
 		ProbeInterval:    cfg.ProbeInterval,
 		MaxProbeInterval: cfg.MaxProbeInterval,
@@ -402,6 +433,8 @@ func (c *Cluster) build() error {
 				MaxCodec:         cfg.MaxCodec,
 				ForwardRaw:       cfg.ForwardRaw,
 				LocalControl:     cfg.Delegated,
+				Incremental:      cfg.Incremental,
+				IncrementalFloor: cfg.IncrementalFloor,
 				MaxFailures:      cfg.MaxFailures,
 				ProbeInterval:    cfg.ProbeInterval,
 				MaxProbeInterval: cfg.MaxProbeInterval,
@@ -453,6 +486,8 @@ func (c *Cluster) buildFlatStandby() error {
 		CallTimeout:      cfg.CallTimeout,
 		MaxCodec:         cfg.MaxCodec,
 		DeltaEnforcement: cfg.DeltaEnforcement,
+		Incremental:      cfg.Incremental,
+		IncrementalFloor: cfg.IncrementalFloor,
 		MaxFailures:      cfg.MaxFailures,
 		ProbeInterval:    cfg.ProbeInterval,
 		MaxProbeInterval: cfg.MaxProbeInterval,
@@ -507,6 +542,9 @@ func (c *Cluster) buildFlatStandby() error {
 			ParentTimeout: cfg.ParentTimeout,
 			Tracer:        c.stageTracer(),
 			MaxCodec:      cfg.MaxCodec,
+			PushThreshold: cfg.PushThreshold,
+			PushInterval:  cfg.PushInterval,
+			PushFloor:     cfg.PushFloor,
 		})
 		if err != nil {
 			return fmt.Errorf("cluster: stage %d: %w", i+1, err)
@@ -546,6 +584,8 @@ func (c *Cluster) buildCoordinated(ctx context.Context) error {
 			FanOutMode:       cfg.FanOutMode,
 			CallTimeout:      cfg.CallTimeout,
 			MaxCodec:         cfg.MaxCodec,
+			Incremental:      cfg.Incremental,
+			IncrementalFloor: cfg.IncrementalFloor,
 			MaxFailures:      cfg.MaxFailures,
 			ProbeInterval:    cfg.ProbeInterval,
 			MaxProbeInterval: cfg.MaxProbeInterval,

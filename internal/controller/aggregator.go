@@ -65,6 +65,21 @@ type AggregatorConfig struct {
 	// its latest per-stage demand view. The global controller must run
 	// with GlobalConfig.Delegated.
 	LocalControl bool
+	// Incremental makes the aggregator answer upstream Collects from its
+	// push-maintained report cache: stages push deltas as their rates move,
+	// and the stage-facing collect scatter shrinks to the edge cases
+	// (never reported, forced after re-registration or readmission, cache
+	// past IncrementalFloor, v1 codec). Enforce sends are also diffed per
+	// stage, skipping unchanged rules. Requires FanOutPipelined; with
+	// FanOutBlocking the full fan-out runs unchanged. The upstream reply is
+	// built the same way either way, so the global controller needs no
+	// matching configuration.
+	Incremental bool
+	// IncrementalFloor bounds how old a stage's cached report may grow
+	// before an incremental collect refreshes it explicitly. It must exceed
+	// the stage-side push floor (stage.Config.PushFloor). Zero selects
+	// StaleAfter.
+	IncrementalFloor time.Duration
 	// Meter, if non-nil, is charged with all the aggregator's traffic.
 	Meter *transport.Meter
 	// CPU, if non-nil, is charged with the aggregator's busy time
@@ -118,6 +133,13 @@ type Aggregator struct {
 	faults     *telemetry.FaultCounters
 	pipe       *telemetry.PipelineStats
 	callErrors atomic.Uint64
+
+	// scratch backs the per-collect membership split and collect set. The
+	// upstream handlers that use it are serialized in practice — one parent
+	// drives the cycle, and a deposed parent's calls are fenced by
+	// checkEpoch before they reach the scatter — matching the cycle-serial
+	// contract of cycleScratch.
+	scratch cycleScratch
 
 	// Re-homing loop lifecycle (Parents configured).
 	rehomeStop chan struct{}
@@ -220,7 +242,8 @@ func (a *Aggregator) Stages() []stage.Info {
 func (a *Aggregator) AddStage(ctx context.Context, info stage.Info) error {
 	cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, info.Addr,
 		rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: info.ID,
-			MaxCodec: a.cfg.MaxCodec, ReuseReplies: true, ReuseHits: a.pipe.ReuseCounter()},
+			MaxCodec: a.cfg.MaxCodec, ReuseReplies: true, ReuseHits: a.pipe.ReuseCounter(),
+			OnPush: a.onPush},
 		a.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("aggregator %d: dial stage %d at %s: %w", a.cfg.ID, info.ID, info.Addr, err)
@@ -279,7 +302,8 @@ func (a *Aggregator) handleRegister(m *wire.Register) (wire.Message, error) {
 	if c := a.members.get(m.ID); c != nil {
 		cli, err := rpc.DialReconnecting(ctx, a.cfg.Network, m.Addr,
 			rpc.DialOptions{Meter: a.cfg.Meter, CPU: a.cfg.CPU, Tracer: a.cfg.Tracer, SpanTag: m.ID,
-				MaxCodec: a.cfg.MaxCodec, ReuseReplies: true, ReuseHits: a.pipe.ReuseCounter()},
+				MaxCodec: a.cfg.MaxCodec, ReuseReplies: true, ReuseHits: a.pipe.ReuseCounter(),
+				OnPush: a.onPush},
 			a.breaker.reconnectPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("aggregator %d: redial stage %d at %s: %w", a.cfg.ID, m.ID, m.Addr, err)
@@ -460,10 +484,32 @@ func (a *Aggregator) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge
 	a.pipe.AddSharedEncodes(f.Encodes())
 }
 
+// onPush folds a stage's unsolicited ReportDelta into its dirty-set entry.
+// It runs on the connection's read loop, so it stays cheap: one membership
+// lookup plus a capacity-reusing cache write, no blocking calls.
+func (a *Aggregator) onPush(m wire.Message) {
+	rd, ok := m.(*wire.ReportDelta)
+	if !ok {
+		return
+	}
+	if c := a.members.get(rd.Report.StageID); c != nil {
+		c.notePush(rd, time.Now())
+	}
+}
+
+// incrementalActive reports whether the incremental collect/enforce paths
+// apply: configured on, and the fan-out pipelined (see
+// Global.incrementalActive for why blocking mode keeps the full cycle).
+func (a *Aggregator) incrementalActive() bool {
+	return a.cfg.Incremental && a.cfg.FanOutMode == FanOutPipelined
+}
+
 // prepareScatter probes quarantined stages (readmitting responders),
-// applies EvictAfter, and returns the active/quarantined split.
+// applies EvictAfter, and returns the active/quarantined split. The
+// returned slices are the aggregator's scratch, valid until the next
+// prepareScatter.
 func (a *Aggregator) prepareScatter(ctx context.Context) (active, quarantined []*child) {
-	_, q := splitQuarantined(a.members.snapshot())
+	_, q := a.scratch.split(a.members)
 	if len(q) > 0 {
 		who := fmt.Sprintf("aggregator %d", a.cfg.ID)
 		evictable := sweepProbes(ctx, q, a.breaker, a.cfg.FanOut, a.cfg.CallTimeout, a.faults, a.logf, who)
@@ -475,7 +521,7 @@ func (a *Aggregator) prepareScatter(ctx context.Context) (active, quarantined []
 			}
 		}
 	}
-	return splitQuarantined(a.members.snapshot())
+	return a.scratch.split(a.members)
 }
 
 // collect fans the request out to all stages and returns per-job
@@ -490,18 +536,48 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 		a.faults.DegradedCycle()
 	}
 	n := len(children)
-	replies := make([]*wire.CollectReply, n)
+	incremental := a.incrementalActive()
+	targets := children
+	if incremental {
+		// Claim the dirty set and shrink the stage-facing scatter to the
+		// edge cases; everyone else's cached push is already current.
+		now := time.Now()
+		floor := a.cfg.IncrementalFloor
+		if floor <= 0 {
+			floor = a.breaker.StaleAfter
+		}
+		dirty := 0
+		set := a.scratch.collect[:0]
+		for _, c := range children {
+			wasDirty, collect := c.incrementalState(now, floor)
+			if !collect && c.client().CodecVersion() < wire.CodecV2 {
+				// A v1 stage cannot push deltas: keep its per-cycle collect.
+				collect = true
+			}
+			if wasDirty {
+				dirty++
+			}
+			if collect {
+				set = append(set, c)
+			}
+		}
+		a.scratch.collect = set
+		targets = set
+		a.pipe.RecordDirty(dirty)
+		a.pipe.AddSuppressedCollects(uint64(n - len(set)))
+	}
+	replies := make([]*wire.CollectReply, len(targets))
 	a.cfg.Tracer.SetContext(m.Cycle, a.Epoch(), uint8(a.cfg.FanOutMode), trace.PhaseCollect)
 	// The inbound request is re-broadcast verbatim to every stage, so it is
 	// marshaled once into a shared frame. All fan-out completes before this
 	// handler returns, which keeps both the frame lifecycle and the server's
 	// request recycling sound.
 	req := rpc.NewSharedFrame(m)
-	a.fanOutBroadcast(ctx, &a.pipe.CollectInFlight, children, req,
+	a.fanOutBroadcast(ctx, &a.pipe.CollectInFlight, targets, req,
 		func(i int, resp wire.Message) {
 			if r, ok := resp.(*wire.CollectReply); ok {
 				replies[i] = r
-				children[i].noteReport(r, time.Now())
+				targets[i].noteReport(r, time.Now())
 			}
 		})
 
@@ -510,16 +586,21 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 		untrack = a.cfg.CPU.Track()
 	}
 	reports := make([]wire.StageReport, 0, n)
-	for _, r := range replies {
-		if r != nil {
-			reports = append(reports, r.Reports...)
+	if incremental {
+		// The upstream reply reads the whole cache: pushed deltas, the
+		// collects just made, and untouched-but-fresh reports all look alike.
+		now := time.Now()
+		for _, c := range children {
+			reports, _, _ = c.appendCachedReports(reports, now, a.breaker.StaleAfter)
+		}
+	} else {
+		for _, r := range replies {
+			if r != nil {
+				reports = append(reports, r.Reports...)
+			}
 		}
 	}
-	for _, sm := range staleReports(quarantined, a.breaker.StaleAfter, a.faults) {
-		if r, ok := sm.(*wire.CollectReply); ok {
-			reports = append(reports, r.Reports...)
-		}
-	}
+	reports = appendStaleReports(reports, quarantined, a.breaker.StaleAfter, a.faults)
 	if a.cfg.LocalControl {
 		a.mu.Lock()
 		a.lastReports = reports
@@ -558,12 +639,22 @@ func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
 	var applied atomic.Uint32
 	ctx := context.Background()
 	epoch := a.Epoch()
+	incremental := a.incrementalActive()
+	var suppressed uint64 // reqFor runs sequentially in pipelined mode
 	a.cfg.Tracer.SetContext(m.Cycle, epoch, uint8(a.cfg.FanOutMode), trace.PhaseEnforce)
 	a.fanOut(ctx, &a.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
 			rules := byStage[children[i].info.ID]
 			if len(rules) == 0 {
 				return nil
+			}
+			if incremental {
+				// Incremental mode implies delta enforcement toward the
+				// stages: unchanged rules are not re-sent.
+				if rules = children[i].filterChanged(rules); len(rules) == 0 {
+					suppressed++
+					return nil
+				}
 			}
 			return &wire.Enforce{Cycle: m.Cycle, Rules: rules, Epoch: epoch}
 		},
@@ -572,6 +663,9 @@ func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
 				applied.Add(ack.Applied)
 			}
 		})
+	if incremental {
+		a.pipe.AddSuppressedEnforces(suppressed)
+	}
 	return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied.Load()}, nil
 }
 

@@ -130,6 +130,15 @@ type child struct {
 	// lastRules caches the most recently enforced rule per stage for
 	// delta enforcement (skip sends when nothing changed).
 	lastRules map[uint64]wire.Rule
+	// Incremental-mode state: dirty marks a report change the next
+	// incremental cycle must recompute over (set by pushes, claimed by the
+	// cycle); pushSeq orders pushes from this child so a reordered stale
+	// delta never overwrites a newer report; forceCollect schedules one
+	// explicit collect (set on re-registration and readmission, when
+	// whatever the cache holds may predate the disruption).
+	dirty        bool
+	pushSeq      uint64
+	forceCollect bool
 }
 
 // filterChanged returns only the rules that differ from what was last sent
@@ -168,7 +177,11 @@ func (c *child) recordFailure(bc breakerConfig, now time.Time) (tripped bool) {
 }
 
 // recordSuccess resets the failure count and reports whether it readmitted
-// a quarantined child.
+// a quarantined child. A readmitted child is marked dirty with a forced
+// collect: its cached report (and possibly its rules) predate the outage, so
+// the next incremental cycle must refresh it rather than fast-path past it.
+// The dirty flag a child accumulated while quarantined survives — pushes
+// that arrived during the outage still count.
 func (c *child) recordSuccess() (readmitted bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -177,6 +190,8 @@ func (c *child) recordSuccess() (readmitted bool) {
 		return false
 	}
 	c.quarantined = false
+	c.dirty = true
+	c.forceCollect = true
 	return true
 }
 
@@ -255,6 +270,49 @@ func copyReport(dst, src wire.Message) wire.Message {
 	return src
 }
 
+// notePush folds an unsolicited ReportDelta into the child's report cache
+// and marks it dirty. The report is stored as a single-entry CollectReply so
+// the degraded-cycle and incremental compute paths see one shape regardless
+// of how the data arrived; storage is child-owned and capacity-reusing, so
+// steady-state pushes allocate nothing after the first. Reordered stale
+// deltas (Seq at or below the last accepted, without the Full marker that
+// follows a stage restart or epoch change) are dropped. It reports whether
+// the push was accepted.
+func (c *child) notePush(rd *wire.ReportDelta, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !rd.Full && rd.Seq <= c.pushSeq {
+		return false
+	}
+	c.pushSeq = rd.Seq
+	d, ok := c.lastReport.(*wire.CollectReply)
+	if !ok {
+		d = &wire.CollectReply{}
+	}
+	d.Reports = append(d.Reports[:0], rd.Report)
+	c.lastReport = d
+	c.lastReportAt = now
+	c.dirty = true
+	return true
+}
+
+// incrementalState claims the child's dirty flag for the cycle being
+// prepared and reports whether the incremental collect set must include it:
+// a forced collect is pending (claimed too), no report was ever cached, or
+// the cache is older than floor (the heartbeat-floor check that makes a
+// silent child distinguishable from an unchanged one — a live pushing child
+// refreshes its cache at the stage-side floor, which is tighter). A push
+// arriving after the claim re-dirties the child for the next cycle.
+func (c *child) incrementalState(now time.Time, floor time.Duration) (wasDirty, collect bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wasDirty = c.dirty
+	c.dirty = false
+	collect = c.forceCollect || c.lastReport == nil || now.Sub(c.lastReportAt) >= floor
+	c.forceCollect = false
+	return wasDirty, collect
+}
+
 // staleReport returns the cached report and its age. ok is true only if a
 // report exists and is strictly younger than staleAfter: a report aged
 // exactly StaleAfter is already too old to feed a degraded cycle. When a
@@ -271,6 +329,30 @@ func (c *child) staleReport(now time.Time, staleAfter time.Duration) (m wire.Mes
 		return nil, age, false
 	}
 	return c.lastReport, age, true
+}
+
+// appendCachedReports appends the cached report's stage rows to dst while
+// holding the child's lock. staleReport hands out the cache by reference,
+// which is safe only while nothing rewrites it; a stage child's cache is
+// rewritten in place by concurrent pushes (notePush reuses the slice
+// capacity), so every compute path that folds stage caches must copy the
+// rows out under the lock or risk a torn read. Age and ok follow
+// staleReport's semantics; a cache of a non-stage shape reports ok false.
+func (c *child) appendCachedReports(dst []wire.StageReport, now time.Time, staleAfter time.Duration) ([]wire.StageReport, time.Duration, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastReport == nil {
+		return dst, 0, false
+	}
+	age := now.Sub(c.lastReportAt)
+	if age >= staleAfter {
+		return dst, age, false
+	}
+	r, ok := c.lastReport.(*wire.CollectReply)
+	if !ok {
+		return dst, age, false
+	}
+	return append(dst, r.Reports...), age, true
 }
 
 // seedRules primes the delta-enforcement cache with rules a predecessor
@@ -316,6 +398,12 @@ func (c *child) replaceClient(cli *rpc.ReconnectingClient) {
 	old := c.cli
 	c.cli = cli
 	c.lastRules = nil
+	// The restarted child's push sequence starts over and its cached report
+	// predates the restart: accept any incoming sequence, refresh with an
+	// explicit collect, and make the next incremental cycle recompute.
+	c.pushSeq = 0
+	c.dirty = true
+	c.forceCollect = true
 	c.mu.Unlock()
 	if old != nil {
 		old.Close()
@@ -367,6 +455,32 @@ func splitQuarantined(children []*child) (active, quarantined []*child) {
 		}
 	}
 	return active, quarantined
+}
+
+// cycleScratch holds the per-controller slices a cycle's preparation reuses
+// across cycles, so the steady state rebuilds no membership slices at all.
+// It belongs to the single goroutine running that controller's cycles;
+// concurrent readers (Stats) keep using the allocating helpers.
+type cycleScratch struct {
+	members     []*child
+	active      []*child
+	quarantined []*child
+	collect     []*child
+}
+
+// split re-snapshots the membership into the scratch slices and partitions
+// it by breaker state.
+func (s *cycleScratch) split(m *memberSet) (active, quarantined []*child) {
+	s.members = m.snapshotInto(s.members)
+	s.active, s.quarantined = s.active[:0], s.quarantined[:0]
+	for _, c := range s.members {
+		if c.isQuarantined() {
+			s.quarantined = append(s.quarantined, c)
+		} else {
+			s.active = append(s.active, c)
+		}
+	}
+	return s.active, s.quarantined
 }
 
 // sweepProbes sends half-open heartbeats to the quarantined children whose
@@ -483,6 +597,20 @@ func (m *memberSet) snapshot() []*child {
 	out := make([]*child, len(m.order))
 	copy(out, m.order)
 	return out
+}
+
+// snapshotInto is snapshot reusing buf's backing array when capacity allows
+// — the cycle-preparation path snapshots every cycle, and in the steady
+// state the membership hasn't changed since the last one.
+func (m *memberSet) snapshotInto(buf []*child) []*child {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cap(buf) < len(m.order) {
+		buf = make([]*child, len(m.order))
+	}
+	buf = buf[:len(m.order)]
+	copy(buf, m.order)
+	return buf
 }
 
 // size returns the current child count.

@@ -78,6 +78,28 @@ type GlobalConfig struct {
 	// reproduction experiments leave this off; the ablation benchmarks
 	// quantify what delta enforcement would save for stable workloads.
 	DeltaEnforcement bool
+	// Incremental switches the flat control cycle to the event-driven
+	// path: stages push report deltas when their rates move (see
+	// stage.Config.PushThreshold), the controller folds them into a
+	// per-child report cache and dirty set, and each cycle explicitly
+	// collects only the edge cases — children that never reported, whose
+	// cache aged past IncrementalFloor, that re-registered or were
+	// readmitted from quarantine, or that negotiated the v1 codec (which
+	// cannot carry pushes and so keeps the paper-faithful per-cycle
+	// collect). When nothing is dirty the whole cycle short-circuits.
+	// Incremental mode implies delta enforcement and requires
+	// FanOutPipelined; with FanOutBlocking — the paper-reproduction
+	// configuration — the full cycle runs unchanged. Hierarchical
+	// topologies also keep the full cycle: aggregator children answer
+	// collects from their own caches instead (AggregatorConfig.Incremental).
+	Incremental bool
+	// IncrementalFloor bounds how old a child's cached report may grow
+	// before an incremental cycle collects from it explicitly — the
+	// heartbeat floor that makes a silent child distinguishable from an
+	// unchanged one. It must exceed the stage-side push floor
+	// (stage.Config.PushFloor), or live children get pointlessly
+	// re-collected. Zero selects StaleAfter.
+	IncrementalFloor time.Duration
 	// Delegated enables the §VI delegated hierarchy: instead of computing
 	// and shipping per-stage rules, the controller ships per-job capacity
 	// budgets to each aggregator (payload O(jobs) instead of O(stages))
@@ -157,6 +179,15 @@ type Global struct {
 	// Primary-side state-sync loop (StandbyAddr set).
 	syncCancel context.CancelFunc
 	syncDone   chan struct{}
+
+	// Cycle-serial state, owned by the goroutine running RunCycle: the
+	// prepare-phase scratch slices and the incremental-mode progress marks
+	// (incrReady is set once a full compute+enforce pass completed, and
+	// incrMembers is the membership epoch that pass covered — the fast path
+	// requires both, so a membership change always forces a recompute).
+	scratch     cycleScratch
+	incrReady   bool
+	incrMembers uint64
 
 	mu         sync.Mutex
 	cycle      uint64
@@ -348,7 +379,8 @@ func (g *Global) AddStage(ctx context.Context, info stage.Info) error {
 	}
 	cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, info.Addr,
 		rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: info.ID,
-			MaxCodec: g.cfg.MaxCodec, ReuseReplies: true, ReuseHits: g.pipe.ReuseCounter()},
+			MaxCodec: g.cfg.MaxCodec, ReuseReplies: true, ReuseHits: g.pipe.ReuseCounter(),
+			OnPush: g.onPush},
 		g.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("controller: dial stage %d at %s: %w", info.ID, info.Addr, err)
@@ -465,7 +497,8 @@ func (g *Global) handleRegister(m *wire.Register) (wire.Message, error) {
 	if c := g.members.get(m.ID); c != nil && c.role == m.Role {
 		cli, err := rpc.DialReconnecting(ctx, g.cfg.Network, m.Addr,
 			rpc.DialOptions{Meter: g.cfg.Meter, CPU: g.cfg.CPU, Tracer: g.cfg.Tracer, SpanTag: m.ID,
-				MaxCodec: g.cfg.MaxCodec, ReuseReplies: true, ReuseHits: g.pipe.ReuseCounter()},
+				MaxCodec: g.cfg.MaxCodec, ReuseReplies: true, ReuseHits: g.pipe.ReuseCounter(),
+				OnPush: g.onPush},
 			g.breaker.reconnectPolicy())
 		if err != nil {
 			return nil, fmt.Errorf("controller: redial %s %d at %s: %w", m.Role, m.ID, m.Addr, err)
@@ -571,12 +604,26 @@ func (g *Global) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge, ch
 	g.pipe.AddSharedEncodes(f.Encodes())
 }
 
+// onPush folds a stage's unsolicited ReportDelta into its dirty-set entry.
+// It runs on the connection's read loop, so it stays cheap: one membership
+// lookup plus a capacity-reusing cache write, no blocking calls.
+func (g *Global) onPush(m wire.Message) {
+	rd, ok := m.(*wire.ReportDelta)
+	if !ok {
+		return
+	}
+	if c := g.members.get(rd.Report.StageID); c != nil && c.role == wire.RoleStage {
+		c.notePush(rd, time.Now())
+	}
+}
+
 // prepareCycle runs the pre-cycle breaker maintenance: half-open probes for
 // quarantined children (readmitting responders), eviction of children whose
 // quarantine outlived EvictAfter, and the active/quarantined split the
-// cycle's scatter phases work from.
+// cycle's scatter phases work from. The returned slices are the controller's
+// cycle scratch, valid until the next prepareCycle.
 func (g *Global) prepareCycle(ctx context.Context) (active, quarantined []*child) {
-	_, q := splitQuarantined(g.members.snapshot())
+	_, q := g.scratch.split(g.members)
 	if len(q) > 0 {
 		evictable := sweepProbes(ctx, q, g.breaker, g.cfg.FanOut, g.cfg.CallTimeout, g.faults, g.logf, "controller")
 		for _, c := range evictable {
@@ -587,7 +634,7 @@ func (g *Global) prepareCycle(ctx context.Context) (active, quarantined []*child
 			}
 		}
 	}
-	return splitQuarantined(g.members.snapshot())
+	return g.scratch.split(g.members)
 }
 
 // JobStatus is one job's state as of the controller's most recent cycle.
@@ -743,6 +790,8 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	var err error
 	if mode == wire.RoleAggregator {
 		b, err = g.runHierarchicalCycle(ctx, cycle, epoch, active, quarantined)
+	} else if g.incrementalActive() {
+		b, err = g.runIncrementalFlatCycle(ctx, cycle, epoch, active, quarantined)
 	} else {
 		b, err = g.runFlatCycle(ctx, cycle, epoch, active, quarantined)
 	}
@@ -766,8 +815,32 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	return b, nil
 }
 
+// appendStaleReports folds the quarantined children's still-in-bound cached
+// stage reports into dst, charging the fault telemetry. The rows are copied
+// out under each child's lock (appendCachedReports): a quarantined stage
+// can still push deltas, and those land in the same in-place-reused cache a
+// by-reference read would tear.
+func appendStaleReports(dst []wire.StageReport, quarantined []*child, staleAfter time.Duration, faults *telemetry.FaultCounters) []wire.StageReport {
+	now := time.Now()
+	for _, c := range quarantined {
+		var age time.Duration
+		var ok bool
+		if dst, age, ok = c.appendCachedReports(dst, now, staleAfter); ok {
+			faults.UseStaleReport(age)
+		} else if age > 0 {
+			// A cached report exists but aged out: account the drop so
+			// operators can see degraded cycles running partially blind.
+			faults.DropStaleReport(age)
+		}
+	}
+	return dst
+}
+
 // staleReports gathers the quarantined children's cached collect responses
 // that are still within the staleness bound, charging the fault telemetry.
+// The messages are returned by reference, which is safe only for caches
+// with no concurrent writer (aggregator children, which never push);
+// stage-child caches must go through appendStaleReports instead.
 func staleReports(quarantined []*child, staleAfter time.Duration, faults *telemetry.FaultCounters) []wire.Message {
 	now := time.Now()
 	out := make([]wire.Message, 0, len(quarantined))
@@ -830,11 +903,7 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 			reports = append(reports, r.Reports...)
 		}
 	}
-	for _, m := range staleReports(quarantined, g.breaker.StaleAfter, g.faults) {
-		if r, ok := m.(*wire.CollectReply); ok {
-			reports = append(reports, r.Reports...)
-		}
-	}
+	reports = appendStaleReports(reports, quarantined, g.breaker.StaleAfter, g.faults)
 	rules := g.computeFlatRules(reports)
 	if untrack != nil {
 		untrack()
@@ -865,6 +934,133 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 		}, nil)
 	b.Enforce = time.Since(enforceStart)
 	g.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, epoch, mode8, enforceStart, b.Enforce)
+	return b, ctx.Err()
+}
+
+// incrementalActive reports whether the incremental flat cycle applies:
+// configured on, and the fan-out pipelined. FanOutBlocking keeps the
+// paper-faithful full cycle — the reproduction presets measure the bounded
+// blocking pool, and layering incremental skips on top of it would measure
+// neither design.
+func (g *Global) incrementalActive() bool {
+	return g.cfg.Incremental && g.cfg.FanOutMode == FanOutPipelined
+}
+
+// runIncrementalFlatCycle is the event-driven flat cycle. Stages push report
+// deltas as their rates move, so the controller already holds a current
+// report for every live, quiet child; the collect scatter shrinks to the
+// edge cases (never reported, forced after re-registration or readmission,
+// cache past the heartbeat floor, v1 codec). When on top of that nothing is
+// dirty, membership has not changed, and a full compute+enforce pass already
+// ran, the cycle short-circuits entirely: the rules the stages hold are
+// still exactly the rules this cycle would compute.
+func (g *Global) runIncrementalFlatCycle(ctx context.Context, cycle, epoch uint64, children, quarantined []*child) (telemetry.Breakdown, error) {
+	var b telemetry.Breakdown
+	n := len(children)
+	mode8 := uint8(g.cfg.FanOutMode)
+	floor := g.cfg.IncrementalFloor
+	if floor <= 0 {
+		floor = g.breaker.StaleAfter
+	}
+
+	// Phase 1: claim the dirty set, then collect only the edge cases.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCollect)
+	collectStart := time.Now()
+	dirty := 0
+	collectSet := g.scratch.collect[:0]
+	for _, c := range children {
+		wasDirty, collect := c.incrementalState(collectStart, floor)
+		if !collect && c.client().CodecVersion() < wire.CodecV2 {
+			// A v1 child cannot push deltas: keep its per-cycle collect.
+			collect = true
+		}
+		if wasDirty {
+			dirty++
+		}
+		if collect {
+			collectSet = append(collectSet, c)
+		}
+	}
+	g.scratch.collect = collectSet
+	g.pipe.RecordDirty(dirty)
+	g.pipe.AddSuppressedCollects(uint64(n - len(collectSet)))
+
+	memberEpoch := g.members.currentEpoch()
+	if dirty == 0 && len(collectSet) == 0 && len(quarantined) == 0 &&
+		g.incrReady && g.incrMembers == memberEpoch {
+		// Quiesced fast path: every cache is fresh and nothing moved since
+		// the last computed rules were enforced. Skip all three phases.
+		g.pipe.AddSuppressedEnforces(uint64(n))
+		b.Collect = time.Since(collectStart)
+		g.cfg.Tracer.RecordPhase(trace.PhaseCollect, cycle, epoch, mode8, collectStart, b.Collect)
+		return b, ctx.Err()
+	}
+
+	if len(collectSet) > 0 {
+		req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch})
+		g.fanOutBroadcast(ctx, &g.pipe.CollectInFlight, collectSet, req,
+			func(i int, resp wire.Message) {
+				if r, ok := resp.(*wire.CollectReply); ok {
+					collectSet[i].noteReport(r, time.Now())
+				}
+			})
+	}
+	b.Collect = time.Since(collectStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseCollect, cycle, epoch, mode8, collectStart, b.Collect)
+	if ctx.Err() != nil {
+		return b, ctx.Err()
+	}
+
+	// Phase 2: compute from the report cache. Pushed deltas, the collects
+	// just made, and quarantined children's bounded-stale reports all read
+	// back the same way, so the compute half is exactly the full cycle's.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCompute)
+	computeStart := time.Now()
+	var untrack func()
+	if g.cfg.CPU != nil {
+		untrack = g.cfg.CPU.Track()
+	}
+	now := time.Now()
+	reports := make([]wire.StageReport, 0, n)
+	for _, c := range children {
+		reports, _, _ = c.appendCachedReports(reports, now, g.breaker.StaleAfter)
+	}
+	reports = appendStaleReports(reports, quarantined, g.breaker.StaleAfter, g.faults)
+	rules := g.computeFlatRules(reports)
+	if untrack != nil {
+		untrack()
+	}
+	b.Compute = time.Since(computeStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseCompute, cycle, epoch, mode8, computeStart, b.Compute)
+
+	// Phase 3: enforce only the changed rules. Incremental mode implies
+	// delta enforcement — recomputing over a mostly-unchanged cache yields
+	// mostly-unchanged rules, and re-sending those would undo the savings.
+	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseEnforce)
+	enforceStart := time.Now()
+	ruleBuf := make([]wire.Rule, n)
+	enfBuf := make([]wire.Enforce, n)
+	var suppressed uint64 // reqFor runs sequentially in pipelined mode
+	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
+		func(i int) wire.Message {
+			rule, ok := rules[children[i].info.ID]
+			if !ok {
+				return nil // no report in the cache this cycle
+			}
+			batch := ruleBuf[i : i+1 : i+1]
+			batch[0] = rule
+			if batch = children[i].filterChanged(batch); len(batch) == 0 {
+				suppressed++
+				return nil
+			}
+			enfBuf[i] = wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
+			return &enfBuf[i]
+		}, nil)
+	g.pipe.AddSuppressedEnforces(suppressed)
+	b.Enforce = time.Since(enforceStart)
+	g.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, epoch, mode8, enforceStart, b.Enforce)
+	g.incrReady = true
+	g.incrMembers = memberEpoch
 	return b, ctx.Err()
 }
 

@@ -61,6 +61,20 @@ type PeerConfig struct {
 	ProbeInterval    time.Duration
 	MaxProbeInterval time.Duration
 	EvictAfter       time.Duration
+	// Incremental makes the peer's own-partition collect work from the
+	// push-maintained report cache: stages push deltas as their rates move,
+	// and the collect scatter shrinks to the edge cases (never reported,
+	// forced after re-registration or readmission, cache past
+	// IncrementalFloor, v1 codec). Enforce sends are diffed per stage,
+	// skipping unchanged rules. The peer exchange is unaffected — fellows
+	// always receive the cycle's full aggregates. Requires FanOutPipelined;
+	// with FanOutBlocking the full fan-out runs unchanged.
+	Incremental bool
+	// IncrementalFloor bounds how old a stage's cached report may grow
+	// before an incremental collect refreshes it explicitly. It must exceed
+	// the stage-side push floor (stage.Config.PushFloor). Zero selects
+	// StaleAfter.
+	IncrementalFloor time.Duration
 	// Meter, if non-nil, is charged with the peer's traffic.
 	Meter *transport.Meter
 	// CPU, if non-nil, is charged with the peer's busy time.
@@ -124,6 +138,10 @@ type Peer struct {
 	recorder *telemetry.CycleRecorder
 	faults   *telemetry.FaultCounters
 	pipe     *telemetry.PipelineStats
+
+	// scratch backs the per-cycle membership split and collect set; it is
+	// owned by the goroutine running RunCycle (cycles are serial).
+	scratch cycleScratch
 
 	mu         sync.Mutex
 	peers      map[uint64]*child // fellow controllers
@@ -208,7 +226,8 @@ func (p *Peer) logf(format string, args ...any) {
 func (p *Peer) AddStage(ctx context.Context, info stage.Info) error {
 	cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, info.Addr,
 		rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: info.ID,
-			MaxCodec: p.cfg.MaxCodec, ReuseReplies: true, ReuseHits: p.pipe.ReuseCounter()},
+			MaxCodec: p.cfg.MaxCodec, ReuseReplies: true, ReuseHits: p.pipe.ReuseCounter(),
+			OnPush: p.onPush},
 		p.breaker.reconnectPolicy())
 	if err != nil {
 		return fmt.Errorf("peer %d: dial stage %d: %w", p.cfg.ID, info.ID, err)
@@ -284,7 +303,8 @@ func (p *Peer) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) {
 			// replace the stale connection, keep breaker state.
 			cli, err := rpc.DialReconnecting(ctx, p.cfg.Network, m.Addr,
 				rpc.DialOptions{Meter: p.cfg.Meter, CPU: p.cfg.CPU, Tracer: p.cfg.Tracer, SpanTag: m.ID,
-					MaxCodec: p.cfg.MaxCodec, ReuseReplies: true, ReuseHits: p.pipe.ReuseCounter()},
+					MaxCodec: p.cfg.MaxCodec, ReuseReplies: true, ReuseHits: p.pipe.ReuseCounter(),
+					OnPush: p.onPush},
 				p.breaker.reconnectPolicy())
 			if err != nil {
 				return nil, fmt.Errorf("peer %d: redial stage %d at %s: %w", p.cfg.ID, m.ID, m.Addr, err)
@@ -372,10 +392,31 @@ func (p *Peer) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge, chil
 	p.pipe.AddSharedEncodes(f.Encodes())
 }
 
+// onPush folds a stage's unsolicited ReportDelta into its dirty-set entry.
+// It runs on the connection's read loop, so it stays cheap: one membership
+// lookup plus a capacity-reusing cache write, no blocking calls.
+func (p *Peer) onPush(m wire.Message) {
+	rd, ok := m.(*wire.ReportDelta)
+	if !ok {
+		return
+	}
+	if c := p.members.get(rd.Report.StageID); c != nil {
+		c.notePush(rd, time.Now())
+	}
+}
+
+// incrementalActive reports whether the incremental collect/enforce paths
+// apply: configured on, and the fan-out pipelined (see
+// Global.incrementalActive for why blocking mode keeps the full cycle).
+func (p *Peer) incrementalActive() bool {
+	return p.cfg.Incremental && p.cfg.FanOutMode == FanOutPipelined
+}
+
 // prepareCycle probes quarantined stages (readmitting responders), applies
-// EvictAfter, and returns the active/quarantined split.
+// EvictAfter, and returns the active/quarantined split. The returned slices
+// are the peer's cycle scratch, valid until the next prepareCycle.
 func (p *Peer) prepareCycle(ctx context.Context) (active, quarantined []*child) {
-	_, q := splitQuarantined(p.members.snapshot())
+	_, q := p.scratch.split(p.members)
 	if len(q) > 0 {
 		who := fmt.Sprintf("peer %d", p.cfg.ID)
 		evictable := sweepProbes(ctx, q, p.breaker, p.cfg.FanOut, p.cfg.CallTimeout, p.faults, p.logf, who)
@@ -387,7 +428,7 @@ func (p *Peer) prepareCycle(ctx context.Context) (active, quarantined []*child) 
 			}
 		}
 	}
-	return splitQuarantined(p.members.snapshot())
+	return p.scratch.split(p.members)
 }
 
 // RunCycle executes one coordinated control cycle: collect own partition,
@@ -422,17 +463,47 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	p.cfg.Tracer.SetContext(cycle, 0, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
 	n := len(children)
+	incremental := p.incrementalActive()
+	targets := children
+	if incremental {
+		// Claim the dirty set and shrink the collect scatter to the edge
+		// cases; everyone else's cached push is already current.
+		now := time.Now()
+		floor := p.cfg.IncrementalFloor
+		if floor <= 0 {
+			floor = p.breaker.StaleAfter
+		}
+		dirty := 0
+		set := p.scratch.collect[:0]
+		for _, c := range children {
+			wasDirty, collect := c.incrementalState(now, floor)
+			if !collect && c.client().CodecVersion() < wire.CodecV2 {
+				// A v1 stage cannot push deltas: keep its per-cycle collect.
+				collect = true
+			}
+			if wasDirty {
+				dirty++
+			}
+			if collect {
+				set = append(set, c)
+			}
+		}
+		p.scratch.collect = set
+		targets = set
+		p.pipe.RecordDirty(dirty)
+		p.pipe.AddSuppressedCollects(uint64(n - len(set)))
+	}
 	// Index-disjoint reply slots keep blocking-mode harvest writes race-free
 	// and the compute phase's summation order deterministic; the broadcast
 	// request is marshaled once into a shared frame.
-	replies := make([]*wire.CollectReply, n)
+	replies := make([]*wire.CollectReply, len(targets))
 	req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000})
-	p.fanOutBroadcast(ctx, &p.pipe.CollectInFlight, children,
+	p.fanOutBroadcast(ctx, &p.pipe.CollectInFlight, targets,
 		req,
 		func(i int, resp wire.Message) {
 			if r, ok := resp.(*wire.CollectReply); ok {
 				replies[i] = r
-				children[i].noteReport(r, time.Now())
+				targets[i].noteReport(r, time.Now())
 			}
 		})
 
@@ -441,16 +512,21 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 		untrack = p.cfg.CPU.Track()
 	}
 	reports := make([]wire.StageReport, 0, n)
-	for _, r := range replies {
-		if r != nil {
-			reports = append(reports, r.Reports...)
+	if incremental {
+		// The aggregates read the whole cache: pushed deltas, the collects
+		// just made, and untouched-but-fresh reports all look alike.
+		now := time.Now()
+		for _, c := range children {
+			reports, _, _ = c.appendCachedReports(reports, now, p.breaker.StaleAfter)
+		}
+	} else {
+		for _, r := range replies {
+			if r != nil {
+				reports = append(reports, r.Reports...)
+			}
 		}
 	}
-	for _, sm := range staleReports(quarantined, p.breaker.StaleAfter, p.faults) {
-		if r, ok := sm.(*wire.CollectReply); ok {
-			reports = append(reports, r.Reports...)
-		}
-	}
+	reports = appendStaleReports(reports, quarantined, p.breaker.StaleAfter, p.faults)
 	ownJobs := metrics.AggregateByJob(reports)
 	if untrack != nil {
 		untrack()
@@ -558,16 +634,29 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	// from blocking mode's concurrent reqFor) instead of allocated per call.
 	enfBuf := make([]wire.Enforce, n)
 	ruleBuf := make([]wire.Rule, n)
+	var suppressed uint64 // reqFor runs sequentially in pipelined mode
 	p.fanOut(ctx, &p.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
 			rule, ok := rules[children[i].info.ID]
 			if !ok {
 				return nil
 			}
-			ruleBuf[i] = rule
-			enfBuf[i] = wire.Enforce{Cycle: cycle, Rules: ruleBuf[i : i+1 : i+1]}
+			batch := ruleBuf[i : i+1 : i+1]
+			batch[0] = rule
+			if incremental {
+				// Incremental mode implies delta enforcement: unchanged
+				// rules are not re-sent.
+				if batch = children[i].filterChanged(batch); len(batch) == 0 {
+					suppressed++
+					return nil
+				}
+			}
+			enfBuf[i] = wire.Enforce{Cycle: cycle, Rules: batch}
 			return &enfBuf[i]
 		}, nil)
+	if incremental {
+		p.pipe.AddSuppressedEnforces(suppressed)
+	}
 	b.Enforce = time.Since(enforceStart)
 	p.cfg.Tracer.RecordPhase(trace.PhaseEnforce, cycle, 0, mode8, enforceStart, b.Enforce)
 

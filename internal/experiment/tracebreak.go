@@ -47,6 +47,13 @@ type TraceBreakRow struct {
 	// the marshal fan-in — 10,000 children per encode means the broadcast
 	// phases marshal once per cycle instead of once per child.
 	SharedSends, SharedEncodes uint64
+	// Incremental marks the event-driven configuration; DirtyChildren,
+	// SuppressedCollects, and SuppressedEnforces are its dirty-set
+	// telemetry (the per-child calls the incremental cycles never made —
+	// which is why its Calls floor does not apply).
+	Incremental                            bool
+	DirtyChildren                          int64
+	SuppressedCollects, SuppressedEnforces uint64
 }
 
 // SharedFanIn is the broadcast marshal fan-in: shared-frame sends per body
@@ -108,23 +115,28 @@ func TraceBreak(ctx context.Context, o Options) (TraceBreakResult, error) {
 	}
 
 	type config struct {
-		topo  cluster.Topology
-		nodes int
-		mode  controller.FanOutMode
+		topo        cluster.Topology
+		nodes       int
+		mode        controller.FanOutMode
+		incremental bool
 	}
 	var configs []config
 	for _, n := range TraceBreakNodes {
 		for _, m := range []controller.FanOutMode{controller.FanOutPipelined, controller.FanOutBlocking} {
-			configs = append(configs, config{cluster.Flat, o.scaled(n), m})
+			configs = append(configs, config{cluster.Flat, o.scaled(n), m, false})
 		}
 	}
 	for _, m := range []controller.FanOutMode{controller.FanOutPipelined, controller.FanOutBlocking} {
-		configs = append(configs, config{cluster.Hierarchical, o.scaled(TraceBreakHierNodes), m})
+		configs = append(configs, config{cluster.Hierarchical, o.scaled(TraceBreakHierNodes), m, false})
 	}
+	// The event-driven mode at the flat maximum: under the stress workload
+	// demand never moves, so its spans show what the dirty-set scan leaves
+	// of the cycle once the suppressed calls disappear.
+	configs = append(configs, config{cluster.Flat, o.scaled(TraceBreakNodes[2]), controller.FanOutPipelined, true})
 
 	var res TraceBreakResult
 	for _, cf := range configs {
-		row, err := o.runTraceBreak(ctx, cf.topo, cf.nodes, cf.mode, debug)
+		row, err := o.runTraceBreak(ctx, cf.topo, cf.nodes, cf.mode, cf.incremental, debug)
 		if err != nil {
 			return res, fmt.Errorf("experiment tracebreak: %s-%d/%v: %w", cf.topo, cf.nodes, cf.mode, err)
 		}
@@ -135,20 +147,21 @@ func TraceBreak(ctx context.Context, o Options) (TraceBreakResult, error) {
 
 // runTraceBreak builds one traced deployment, measures it, and folds its
 // tracers' totals into a decomposition row.
-func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes int, mode controller.FanOutMode, debug *trace.DebugServer) (TraceBreakRow, error) {
+func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes int, mode controller.FanOutMode, incremental bool, debug *trace.DebugServer) (TraceBreakRow, error) {
 	net := *o.Net
 	// The paper's 2,500-connection host limit would refuse a flat 10k fan-in;
 	// lifting it isolates the marshal/dispatch/wait split from connection
 	// starvation, which the connlimit experiment studies on its own.
 	net.MaxConnsPerHost = -1
 	c, err := cluster.Build(cluster.Config{
-		Topology:   topo,
-		Stages:     nodes,
-		Jobs:       o.Jobs,
-		Net:        net,
-		FanOutMode: mode,
-		MaxCodec:   o.MaxCodec,
-		Tracing:    true,
+		Topology:    topo,
+		Stages:      nodes,
+		Jobs:        o.Jobs,
+		Net:         net,
+		FanOutMode:  mode,
+		MaxCodec:    o.MaxCodec,
+		Incremental: incremental,
+		Tracing:     true,
 		// Full-fidelity sampling: the decomposition should be an exact sum
 		// over every call, not a scaled estimate, and the experiment accepts
 		// the tracing cost it is there to expose.
@@ -160,6 +173,9 @@ func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes
 	defer c.Close()
 
 	name := fmt.Sprintf("%s-%d", topo, nodes)
+	if incremental {
+		name += "-incr"
+	}
 	if debug != nil {
 		prefix := fmt.Sprintf("%s-%s/", name, mode)
 		c.Trace.Each(func(tn string, tr *trace.Tracer) { debug.AddTracer(prefix+tn, tr) })
@@ -179,7 +195,7 @@ func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes
 	c.Recorder().Reset()
 	c.Trace.Each(func(_ string, tr *trace.Tracer) { tr.Reset() })
 
-	row := TraceBreakRow{Name: name, Topology: topo, Mode: mode, Nodes: nodes}
+	row := TraceBreakRow{Name: name, Topology: topo, Mode: mode, Nodes: nodes, Incremental: incremental}
 	start := time.Now()
 	for {
 		b, err := c.RunControlCycle(ctx)
@@ -219,11 +235,16 @@ func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes
 		p := c.Global.Stats().Pipeline
 		row.SharedSends += p.SharedSends
 		row.SharedEncodes += p.SharedEncodes
+		row.DirtyChildren = p.DirtyChildren
+		row.SuppressedCollects += p.SuppressedCollects
+		row.SuppressedEnforces += p.SuppressedEnforces
 	}
 	for _, a := range c.Aggregators {
 		p := a.Stats().Pipeline
 		row.SharedSends += p.SharedSends
 		row.SharedEncodes += p.SharedEncodes
+		row.SuppressedCollects += p.SuppressedCollects
+		row.SuppressedEnforces += p.SuppressedEnforces
 	}
 	if tr := c.Trace.Stages; tr != nil {
 		tot := tr.Totals()
@@ -254,6 +275,10 @@ func PrintTraceBreak(o Options, res TraceBreakResult) {
 			r.Name, r.Mode, r.Cycles, ms(r.MeanCycle()),
 			100*r.MarshalFrac(), 100*r.DispatchFrac(), r.WaitFactor(),
 			us(q), us(h), r.SharedFanIn())
+		if r.Incremental {
+			o.printf("%-20s dirty-set: %d dirty last cycle, %d collects and %d enforces suppressed across the run\n",
+				"", r.DirtyChildren, r.SuppressedCollects, r.SuppressedEnforces)
+		}
 	}
 	o.printf("\n")
 }
@@ -275,6 +300,15 @@ func CheckTraceBreak(res TraceBreakResult) error {
 	for _, r := range res.Rows {
 		if r.Cycles == 0 {
 			return fmt.Errorf("tracebreak %s/%v: no cycles", r.Name, r.Mode)
+		}
+		if r.Incremental {
+			// The event-driven configuration suppresses the very calls the
+			// floors below count; its claim is that the suppression telemetry
+			// actually moved.
+			if r.SuppressedCollects == 0 {
+				return fmt.Errorf("tracebreak %s/%v: incremental run suppressed no collects", r.Name, r.Mode)
+			}
+			continue
 		}
 		// Collect and enforce each fan out to every stage (the hierarchy
 		// adds the global→aggregator tier on top).

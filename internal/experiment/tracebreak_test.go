@@ -18,16 +18,29 @@ func TestTraceBreakAtReducedScale(t *testing.T) {
 	if err := CheckTraceBreak(res); err != nil {
 		t.Fatalf("CheckTraceBreak: %v", err)
 	}
-	if got, want := len(res.Rows), 2*len(TraceBreakNodes)+2; got != want {
+	if got, want := len(res.Rows), 2*len(TraceBreakNodes)+3; got != want {
 		t.Fatalf("got %d rows, want %d", got, want)
 	}
+	var sawIncr bool
 	for _, r := range res.Rows {
+		if r.Incremental {
+			// A quiesced incremental run makes almost no calls; its
+			// decomposition floors don't apply, only the suppression does.
+			sawIncr = true
+			if r.SuppressedCollects == 0 {
+				t.Errorf("%s: incremental row suppressed no collects: %+v", r.Name, r)
+			}
+			continue
+		}
 		if r.Marshal <= 0 || r.Dispatch <= 0 || r.Wait <= 0 {
 			t.Errorf("%s/%v: empty decomposition: %+v", r.Name, r.Mode, r)
 		}
 		if r.ServerQueue < 0 || r.ServerHandler <= 0 {
 			t.Errorf("%s/%v: empty stage-side decomposition: %+v", r.Name, r.Mode, r)
 		}
+	}
+	if !sawIncr {
+		t.Error("no incremental row in the tracebreak matrix")
 	}
 
 	var sb strings.Builder

@@ -55,6 +55,10 @@ type Client struct {
 	reuseReplies bool
 	reuseHits    *atomic.Uint64
 
+	// onPush receives unsolicited server-initiated messages; see
+	// DialOptions.OnPush.
+	onPush func(m wire.Message)
+
 	done chan struct{}
 }
 
@@ -231,6 +235,12 @@ type DialOptions struct {
 	// ReuseHits, if non-nil, is incremented once per reply decoded into a
 	// reused message.
 	ReuseHits *atomic.Uint64
+	// OnPush, if non-nil, receives unsolicited server-initiated messages
+	// (kindPush frames) arriving on this connection. It runs on the read
+	// loop, so it must not block and must not retain the message past
+	// returning — the next push of the same shape may reuse its memory.
+	// Nil clients drop push frames on the floor (the pre-push behavior).
+	OnPush func(m wire.Message)
 }
 
 // Dial connects to an RPC server at addr over network and, unless the codec
@@ -248,6 +258,7 @@ func Dial(ctx context.Context, network transport.Network, addr string, opts Dial
 	}
 	c.reuseReplies = opts.ReuseReplies
 	c.reuseHits = opts.ReuseHits
+	c.onPush = opts.OnPush
 	if c.maxCodec >= wire.CodecV2 {
 		c.sendHello()
 	}
@@ -323,8 +334,9 @@ func (c *Client) LateResponses() uint64 { return c.late.Load() }
 // with the server's writer) and the per-type reply-reuse cache.
 func (c *Client) readLoop() {
 	var (
-		buf []byte
-		dec *wire.DecodeOpts // built lazily on the first v2 response
+		buf     []byte
+		dec     *wire.DecodeOpts // built lazily on the first v2 response
+		pushDec *wire.DecodeOpts // built lazily on the first push frame
 	)
 	for {
 		var (
@@ -371,6 +383,35 @@ func (c *Client) readLoop() {
 			// stays on v1, which every server speaks.
 			if ver, ok := parseHello(body); ok && c.maxCodec >= wire.CodecV2 {
 				c.codec.Store(int32(negotiate(ver, c.maxCodec)))
+			}
+			continue
+		case kindPush:
+			// Server-initiated pushes are always stateless v2 bodies — they
+			// never advance the response history, so decoding them between
+			// responses cannot desynchronize it. A decode failure is stream
+			// corruption like any other and kills the connection.
+			if pushDec == nil {
+				// Pushes decode into one cached instance per type: OnPush
+				// must not retain the message, so the next push may reuse it.
+				pushCache := make(map[wire.MsgType]wire.Message)
+				pushDec = &wire.DecodeOpts{Version: wire.CodecV2, Reuse: func(t wire.MsgType) wire.Message {
+					if cached, ok := pushCache[t]; ok {
+						return cached
+					}
+					fresh := wire.New(t)
+					if fresh != nil {
+						pushCache[t] = fresh
+					}
+					return fresh
+				}}
+			}
+			m, err = wire.DecodeWith(body, pushDec)
+			if err != nil {
+				c.fail(fmt.Errorf("rpc: connection lost: %w", err))
+				return
+			}
+			if c.onPush != nil {
+				c.onPush(m)
 			}
 			continue
 		default:

@@ -3,6 +3,7 @@ package rpc
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -332,11 +333,12 @@ func TestReconnectingClientRace(t *testing.T) {
 func TestReconnectPolicyBackoff(t *testing.T) {
 	p := ReconnectPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 35 * time.Millisecond,
 		Multiplier: 2, Jitter: -1}.withDefaults()
+	rng := rand.New(rand.NewSource(1))
 	delay := p.BaseDelay
 	var waits []time.Duration
 	for i := 0; i < 4; i++ {
 		var wait time.Duration
-		wait, delay = p.next(delay)
+		wait, delay = p.next(rng, delay)
 		waits = append(waits, wait)
 	}
 	want := []time.Duration{10, 20, 35, 35}
@@ -349,14 +351,19 @@ func TestReconnectPolicyBackoff(t *testing.T) {
 }
 
 func TestReconnectPolicyJitterBounds(t *testing.T) {
+	// Regression: jitter is drawn from a per-reconnector rand.Rand, not the
+	// global math/rand source. The global source serializes every caller on
+	// one mutex, which during a mass re-home (thousands of children redialing
+	// a new parent at once) turned the jittered retry path into a convoy.
 	p := ReconnectPolicy{}.withDefaults()
+	rng := rand.New(rand.NewSource(2))
 	for i := 0; i < 100; i++ {
-		wait, _ := p.next(100 * time.Millisecond)
+		wait, _ := p.next(rng, 100*time.Millisecond)
 		if wait < 50*time.Millisecond || wait >= 150*time.Millisecond {
 			t.Fatalf("jittered wait %v outside [50ms, 150ms)", wait)
 		}
 	}
-	if _, grown := p.next(p.MaxDelay); grown != p.MaxDelay {
+	if _, grown := p.next(rng, p.MaxDelay); grown != p.MaxDelay {
 		t.Errorf("grown delay %v exceeds MaxDelay %v", grown, p.MaxDelay)
 	}
 }

@@ -86,6 +86,14 @@ const (
 	// single-reader/single-writer pairing keeps in lockstep.
 	kindRequestV2  = 4
 	kindResponseV2 = 5
+	// kindPush is a server-initiated frame: an unsolicited message the
+	// serving side writes on an established connection (id 0, no reply
+	// expected). Its body is always encoded statelessly at wire.CodecV2 —
+	// it must not touch the connection's response history, which stays in
+	// lockstep with solicited responses. Pushes are only written on
+	// connections that negotiated v2; a pre-push client's readLoop drops
+	// the unknown kind on the floor, so interop needs no handshake change.
+	kindPush = 6
 )
 
 // ErrFrameTooLarge reports an oversized frame announcement.

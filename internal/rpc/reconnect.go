@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -56,12 +57,15 @@ func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
 }
 
 // next returns the jittered form of delay and the grown delay for the
-// following attempt.
-func (p ReconnectPolicy) next(delay time.Duration) (wait, grown time.Duration) {
+// following attempt. Jitter is drawn from rng, the calling reconnector's own
+// source: the global math/rand source hides a mutex every caller shares, and
+// with thousands of children redialing after a failover that one lock would
+// serialize the very retry storm the jitter exists to spread out.
+func (p ReconnectPolicy) next(rng *rand.Rand, delay time.Duration) (wait, grown time.Duration) {
 	wait = delay
 	if p.Jitter > 0 {
 		span := float64(delay) * p.Jitter
-		wait = delay + time.Duration((rand.Float64()*2-1)*span)
+		wait = delay + time.Duration((rng.Float64()*2-1)*span)
 		if wait < time.Millisecond {
 			wait = time.Millisecond
 		}
@@ -84,6 +88,9 @@ type ReconnectingClient struct {
 	addr    string
 	opts    DialOptions
 	policy  ReconnectPolicy
+	// rng is this reconnector's private jitter source; only the redial loop
+	// draws from it, and at most one redial loop runs at a time.
+	rng *rand.Rand
 
 	mu         sync.Mutex
 	cur        *Client
@@ -103,11 +110,18 @@ func DialReconnecting(ctx context.Context, network transport.Network, addr strin
 	if err != nil {
 		return nil, err
 	}
+	// Seed the private jitter source from the address so simultaneous
+	// reconnectors start decorrelated even when their clocks agree.
+	seed := time.Now().UnixNano()
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	seed ^= int64(h.Sum64())
 	return &ReconnectingClient{
 		network: network,
 		addr:    addr,
 		opts:    opts,
 		policy:  policy.withDefaults(),
+		rng:     rand.New(rand.NewSource(seed)),
 		cur:     cli,
 		done:    make(chan struct{}),
 	}, nil
@@ -295,7 +309,7 @@ func (r *ReconnectingClient) redialLoop() {
 			return
 		}
 		var wait time.Duration
-		wait, delay = r.policy.next(delay)
+		wait, delay = r.policy.next(r.rng, delay)
 		timer.Reset(wait)
 		select {
 		case <-timer.C:

@@ -34,6 +34,16 @@ func (f HandlerFunc) Serve(peer *Peer, req wire.Message) (wire.Message, error) {
 type Peer struct {
 	conn net.Conn
 
+	// wmu serializes every write to conn: the handler loop's responses and
+	// hello acks, and unsolicited Push frames (which may originate on any
+	// goroutine). The loop encodes outside the lock and holds it only for
+	// the write itself.
+	wmu sync.Mutex
+	// pushVer is the negotiated codec version, published when the hello ack
+	// is written. Push reads it to decide whether the peer understands
+	// server-initiated frames; zero means v1 (no hello acked yet).
+	pushVer atomic.Int32
+
 	mu         sync.Mutex
 	attachment any
 }
@@ -57,6 +67,35 @@ func (p *Peer) Attachment() any {
 
 // Close severs the peer's connection. Used by servers to evict members.
 func (p *Peer) Close() error { return p.conn.Close() }
+
+// ErrPushUnsupported reports that a peer's connection has not negotiated a
+// codec that understands server-initiated push frames.
+var ErrPushUnsupported = errors.New("rpc: peer connection predates push frames")
+
+// CanPush reports whether the peer's connection negotiated codec v2, the
+// first version whose clients dispatch unsolicited push frames. A v1 client
+// would silently drop them, so callers use CanPush to fall back to the
+// polled path instead of pushing into the void.
+func (p *Peer) CanPush() bool { return p.pushVer.Load() >= int32(wire.CodecV2) }
+
+// Push writes an unsolicited server-initiated frame carrying m to the peer.
+// The body is encoded statelessly at wire.CodecV2 — never against the
+// connection's response history, so responses stay in lockstep regardless of
+// interleaving. Returns ErrPushUnsupported when the connection has not
+// negotiated v2 (see CanPush). Safe for concurrent use with the handler
+// loop and other pushers.
+func (p *Peer) Push(m wire.Message) error {
+	if !p.CanPush() {
+		return ErrPushUnsupported
+	}
+	bp := getFrameBuf()
+	*bp = appendFrameWith((*bp)[:0], frameHeader{id: 0, kind: kindPush}, m, wire.CodecV2, nil)
+	p.wmu.Lock()
+	_, err := p.conn.Write(*bp)
+	p.wmu.Unlock()
+	putFrameBuf(bp)
+	return err
+}
 
 // ServerOptions configures a Server.
 type ServerOptions struct {
@@ -134,6 +173,21 @@ func (s *Server) NumPeers() int {
 // cancel frames: dropped before dispatch, or executed with the response
 // suppressed.
 func (s *Server) CanceledRequests() uint64 { return s.canceled.Load() }
+
+// ForEachPeer calls fn for every currently connected peer. The peer set is
+// snapshotted under the server lock, so fn may itself block (e.g. on a Push
+// write) without holding up accepts or disconnects.
+func (s *Server) ForEachPeer(fn func(*Peer)) {
+	s.mu.Lock()
+	peers := make([]*Peer, 0, len(s.peers))
+	for p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	for _, p := range peers {
+		fn(p)
+	}
+}
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -420,11 +474,16 @@ func (s *Server) serveConn(peer *Peer) {
 		if item.hello {
 			ver := negotiate(item.helloVer, serverMax)
 			*wbp = appendHelloFrame((*wbp)[:0], ver)
+			peer.wmu.Lock()
 			_, err := peer.conn.Write(*wbp)
+			peer.wmu.Unlock()
 			if ver >= wire.CodecV2 {
 				txVer = ver
 				txHist = wire.NewFloatHistory()
 			}
+			// Publish after the ack write: a push must never precede the
+			// hello ack in the client's frame stream.
+			peer.pushVer.Store(int32(ver))
 			q.finish()
 			if err != nil {
 				break
@@ -455,7 +514,9 @@ func (s *Server) serveConn(peer *Peer) {
 			} else {
 				*wbp = appendFrame((*wbp)[:0], frameHeader{id: item.id, kind: kindResponse}, resp)
 			}
+			peer.wmu.Lock()
 			_, err = peer.conn.Write(*wbp)
+			peer.wmu.Unlock()
 		}
 		if fl != nil && item.req != nil {
 			fl.put(item.req)

@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/metrics"
@@ -81,11 +82,35 @@ type Config struct {
 	// MaxCodec caps the wire codec version the stage's server negotiates.
 	// Zero selects the newest supported version; 1 pins the legacy v1 codec.
 	MaxCodec int
+	// PushThreshold enables event-driven report pushes: the stage samples
+	// its demand/usage every PushInterval and, when any class moved by more
+	// than this fraction relative to the last pushed value (or appeared from
+	// zero), pushes a wire.ReportDelta to every connected parent that
+	// negotiated codec v2. Zero disables pushing (the paper-faithful
+	// poll-only stage). A pushed report also refreshes on a heartbeat floor
+	// (PushFloor) so parents can tell a silent stage from an unchanged one,
+	// and an epoch change forces a Full baseline resend.
+	PushThreshold float64
+	// PushInterval is the local sampling period for push decisions. Zero
+	// selects DefaultPushInterval. Only meaningful with PushThreshold set.
+	PushInterval time.Duration
+	// PushFloor is the maximum quiet time between pushes: even an unchanged
+	// stage re-pushes (Full=true) this long after its previous push. Zero
+	// selects DefaultPushFloor. Only meaningful with PushThreshold set.
+	PushFloor time.Duration
 }
 
 // DefaultParentTimeout is how long a stage with a parent list waits without
 // control-plane contact before it assumes its parent died and re-homes.
 const DefaultParentTimeout = time.Second
+
+// DefaultPushInterval is the default local sampling period for event-driven
+// report pushes (Config.PushInterval).
+const DefaultPushInterval = 100 * time.Millisecond
+
+// DefaultPushFloor is the default heartbeat floor between pushes
+// (Config.PushFloor): an unchanged stage still re-pushes this often.
+const DefaultPushFloor = time.Second
 
 // Virtual is the paper's lightweight stage: it answers collections with
 // generator-driven metrics and records enforcement rules.
@@ -98,6 +123,10 @@ type Virtual struct {
 
 	rehomeStop chan struct{}
 	rehomeDone chan struct{}
+
+	pushStop chan struct{}
+	pushDone chan struct{}
+	pushes   atomic.Uint64
 
 	mu              sync.Mutex
 	rule            wire.Rule
@@ -138,6 +167,17 @@ func StartVirtual(cfg Config) (*Virtual, error) {
 		v.rehomeDone = make(chan struct{})
 		go v.rehome()
 	}
+	if cfg.PushThreshold > 0 {
+		if v.cfg.PushInterval <= 0 {
+			v.cfg.PushInterval = DefaultPushInterval
+		}
+		if v.cfg.PushFloor <= 0 {
+			v.cfg.PushFloor = DefaultPushFloor
+		}
+		v.pushStop = make(chan struct{})
+		v.pushDone = make(chan struct{})
+		go v.pushLoop()
+	}
 	return v, nil
 }
 
@@ -149,12 +189,18 @@ func (v *Virtual) Info() Info {
 // Close stops the stage.
 func (v *Virtual) Close() error {
 	v.mu.Lock()
-	stopRehome := !v.closed && v.rehomeStop != nil
+	wasClosed := v.closed
 	v.closed = true
 	v.mu.Unlock()
-	if stopRehome {
-		close(v.rehomeStop)
-		<-v.rehomeDone
+	if !wasClosed {
+		if v.rehomeStop != nil {
+			close(v.rehomeStop)
+			<-v.rehomeDone
+		}
+		if v.pushStop != nil {
+			close(v.pushStop)
+			<-v.pushDone
+		}
 	}
 	return v.server.Close()
 }
@@ -179,15 +225,9 @@ func (v *Virtual) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) 
 	return nil, fmt.Errorf("stage %d: unexpected %s", v.cfg.ID, req.Type())
 }
 
-// collect synthesizes the stage's report. Usage reflects the currently
-// enforced limit, so the control loop observes the effect of its own rules
-// — the feedback the PSFA algorithm relies on.
-func (v *Virtual) collect(m *wire.Collect) *wire.CollectReply {
-	demand := v.cfg.Generator.Demand(time.Since(v.start))
-
-	v.mu.Lock()
-	v.collects++
-	v.lastCycle = m.Cycle
+// clampLocked derives admitted usage from demand under the currently
+// enforced rule. Callers hold v.mu.
+func (v *Virtual) clampLocked(demand wire.Rates) wire.Rates {
 	usage := demand
 	if v.haveRule {
 		switch v.rule.Action {
@@ -201,6 +241,19 @@ func (v *Virtual) collect(m *wire.Collect) *wire.CollectReply {
 			usage = wire.Rates{}
 		}
 	}
+	return usage
+}
+
+// collect synthesizes the stage's report. Usage reflects the currently
+// enforced limit, so the control loop observes the effect of its own rules
+// — the feedback the PSFA algorithm relies on.
+func (v *Virtual) collect(m *wire.Collect) *wire.CollectReply {
+	demand := v.cfg.Generator.Demand(time.Since(v.start))
+
+	v.mu.Lock()
+	v.collects++
+	v.lastCycle = m.Cycle
+	usage := v.clampLocked(demand)
 	v.mu.Unlock()
 
 	return &wire.CollectReply{
@@ -237,6 +290,93 @@ func (v *Virtual) enforce(m *wire.Enforce) *wire.EnforceAck {
 func ruleTargets(r *wire.Rule, stageID, jobID uint64) bool {
 	return r.StageID == stageID || (r.StageID == wire.WildcardStage && r.JobID == jobID)
 }
+
+// sample synthesizes the stage's current report without counting a collect —
+// the same demand/usage math collect runs, taken on the stage's own clock
+// for push decisions.
+func (v *Virtual) sample() wire.StageReport {
+	demand := v.cfg.Generator.Demand(time.Since(v.start))
+	v.mu.Lock()
+	usage := v.clampLocked(demand)
+	v.mu.Unlock()
+	return wire.StageReport{StageID: v.cfg.ID, JobID: v.cfg.JobID, Demand: demand, Usage: usage}
+}
+
+// ratesMoved reports whether any class of n moved past the relative
+// threshold thr from o. A class appearing from (or collapsing to) zero
+// always counts as moved.
+func ratesMoved(o, n wire.Rates, thr float64) bool {
+	for c := range n {
+		d := n[c] - o[c]
+		if d < 0 {
+			d = -d
+		}
+		if d == 0 {
+			continue
+		}
+		base := o[c]
+		if base < 0 {
+			base = -base
+		}
+		if base == 0 || d/base > thr {
+			return true
+		}
+	}
+	return false
+}
+
+// pushLoop is the event-driven reporting side of the incremental control
+// mode: it samples the stage's metrics every PushInterval and pushes a
+// ReportDelta to all connected v2 parents when they moved past
+// PushThreshold, when the leadership epoch changed (Full baseline, so a
+// re-homed parent never computes from a pre-fencing report), or when
+// PushFloor elapsed since the last push (Full refresh — the liveness signal
+// that distinguishes a quiet stage from a dead one). Quiesced ticks take no
+// allocations and write nothing.
+func (v *Virtual) pushLoop() {
+	defer close(v.pushDone)
+	tick := time.NewTicker(v.cfg.PushInterval)
+	defer tick.Stop()
+	var (
+		last      wire.StageReport
+		lastAt    time.Time
+		lastEpoch uint64
+		seq       uint64
+		haveBase  bool
+	)
+	for {
+		select {
+		case <-v.pushStop:
+			return
+		case <-tick.C:
+		}
+		r := v.sample()
+		epoch := v.fence.current()
+		full := !haveBase || epoch != lastEpoch || time.Since(lastAt) >= v.cfg.PushFloor
+		if !full && !ratesMoved(last.Demand, r.Demand, v.cfg.PushThreshold) &&
+			!ratesMoved(last.Usage, r.Usage, v.cfg.PushThreshold) {
+			continue
+		}
+		seq++
+		m := &wire.ReportDelta{Seq: seq, Full: full, Epoch: epoch, Report: r}
+		sent := false
+		v.server.ForEachPeer(func(p *rpc.Peer) {
+			if p.Push(m) == nil {
+				sent = true
+			}
+		})
+		if sent {
+			v.pushes.Add(1)
+		}
+		// The baseline advances even with no v2 parent connected, so a
+		// late-attaching parent starts from the next floor refresh rather
+		// than a burst of stale deltas.
+		last, lastAt, lastEpoch, haveBase = r, time.Now(), epoch, true
+	}
+}
+
+// Pushes returns how many ReportDelta pushes reached at least one parent.
+func (v *Virtual) Pushes() uint64 { return v.pushes.Load() }
 
 // LastRule returns the most recently applied rule, if any.
 func (v *Virtual) LastRule() (wire.Rule, bool) {

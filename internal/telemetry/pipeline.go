@@ -59,7 +59,37 @@ type PipelineStats struct {
 	sharedSends   atomic.Uint64
 	sharedEncodes atomic.Uint64
 	replyReuses   atomic.Uint64
+
+	// Incremental-mode accounting: dirtyChildren is the dirty-set size the
+	// last incremental cycle claimed, suppressedCollects counts per-child
+	// collect calls the incremental mode skipped (the report cache was
+	// already current), and suppressedEnforces counts per-child enforce
+	// sends skipped because rule diffing found nothing new.
+	dirtyChildren      atomic.Int64
+	suppressedCollects atomic.Uint64
+	suppressedEnforces atomic.Uint64
 }
+
+// RecordDirty stores the dirty-set size observed by the last incremental
+// cycle.
+func (p *PipelineStats) RecordDirty(n int) { p.dirtyChildren.Store(int64(n)) }
+
+// DirtyChildren returns the last incremental cycle's dirty-set size.
+func (p *PipelineStats) DirtyChildren() int64 { return p.dirtyChildren.Load() }
+
+// AddSuppressedCollects counts n per-child collect calls skipped by the
+// incremental mode.
+func (p *PipelineStats) AddSuppressedCollects(n uint64) { p.suppressedCollects.Add(n) }
+
+// SuppressedCollects returns the cumulative skipped-collect count.
+func (p *PipelineStats) SuppressedCollects() uint64 { return p.suppressedCollects.Load() }
+
+// AddSuppressedEnforces counts n per-child enforce sends skipped because the
+// child's rules did not change.
+func (p *PipelineStats) AddSuppressedEnforces(n uint64) { p.suppressedEnforces.Add(n) }
+
+// SuppressedEnforces returns the cumulative skipped-enforce count.
+func (p *PipelineStats) SuppressedEnforces() uint64 { return p.suppressedEnforces.Load() }
 
 // AddSharedSends counts n broadcast calls issued from shared frames.
 func (p *PipelineStats) AddSharedSends(n uint64) { p.sharedSends.Add(n) }
@@ -115,6 +145,9 @@ func (p *PipelineStats) Snapshot() PipelineSnapshot {
 		SharedSends:         p.SharedSends(),
 		SharedEncodes:       p.SharedEncodes(),
 		ReplyReuses:         p.ReplyReuses(),
+		DirtyChildren:       p.DirtyChildren(),
+		SuppressedCollects:  p.SuppressedCollects(),
+		SuppressedEnforces:  p.SuppressedEnforces(),
 	}
 }
 
@@ -142,6 +175,14 @@ type PipelineSnapshot struct {
 	// ReplyReuses counts messages decoded into recycled instances on the
 	// zero-alloc decode path.
 	ReplyReuses uint64
+	// DirtyChildren is the dirty-set size the last incremental cycle
+	// claimed; SuppressedCollects and SuppressedEnforces count the per-child
+	// calls the incremental mode avoided (collects answered from the report
+	// cache, enforces skipped by rule diffing). All zero outside
+	// incremental mode.
+	DirtyChildren      int64
+	SuppressedCollects uint64
+	SuppressedEnforces uint64
 }
 
 // allocsSampleName is the runtime/metrics counter of cumulative heap

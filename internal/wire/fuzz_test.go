@@ -40,6 +40,8 @@ func FuzzDecode(f *testing.F) {
 			},
 			Weights: []JobWeight{{JobID: 2, Weight: 1}}},
 		&StateSyncAck{ID: 2, Epoch: 2},
+		&ReportDelta{Seq: 3, Full: true, Epoch: 2,
+			Report: StageReport{StageID: 1, JobID: 2, Demand: Rates{3, 4}, Usage: Rates{5, 6}}},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(nil, m))
@@ -102,6 +104,8 @@ func FuzzDecodeV2(f *testing.F) {
 		&StateSync{PrimaryID: 1, Epoch: 2, Cycle: 7, LeaseMicros: 250_000,
 			Members: []MemberState{{Role: RoleStage, ID: 1, JobID: 2, Weight: 1, Addr: "a:1"}},
 			Weights: []JobWeight{{JobID: 2, Weight: 1}}},
+		&ReportDelta{Seq: 9, Epoch: 1,
+			Report: StageReport{StageID: 1, JobID: 2, Demand: Rates{3, 4.5}, Usage: Rates{0, 6}}},
 	}
 	for _, m := range seeds {
 		f.Add(EncodeWith(nil, m, CodecV2, nil))

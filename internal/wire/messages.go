@@ -55,6 +55,13 @@ const (
 	// TStateSyncAck confirms a state sync; its epoch tells the primary
 	// whether the standby has promoted itself in the meantime.
 	TStateSyncAck
+	// TReportDelta is an unsolicited child→parent push carrying one stage's
+	// current metric report. Children emit it when demand/usage moves past a
+	// configured threshold (and at a heartbeat floor, so a silent child is
+	// distinguishable from an unchanged one); parents fold it into their
+	// report cache and mark the child dirty. Codec v2 only: v1 predates
+	// server-initiated frames and never sees this type.
+	TReportDelta
 )
 
 // String returns the mnemonic name of the message type.
@@ -94,6 +101,8 @@ func (t MsgType) String() string {
 		return "StateSync"
 	case TStateSyncAck:
 		return "StateSyncAck"
+	case TReportDelta:
+		return "ReportDelta"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -980,6 +989,54 @@ func (m *StateSyncAck) Unmarshal(d *Decoder) {
 	m.Epoch = d.Uint64()
 }
 
+// ReportDelta is the event-driven counterpart of CollectReply: a child
+// pushes its own report upstream instead of waiting to be polled, so a
+// converged fleet costs the controller nothing per cycle. Seq orders pushes
+// from one child (the parent ignores reordered stale pushes after a
+// reconnect); Full marks baseline resends — the first push on a connection,
+// an epoch change, and heartbeat-floor refreshes — which a parent may use to
+// distinguish "changed" from "still alive".
+type ReportDelta struct {
+	// Seq is the child's monotonically increasing push sequence number.
+	Seq uint64
+	// Full marks a baseline resend rather than a threshold crossing.
+	Full bool
+	// Epoch is the child's current leadership epoch, so a parent can spot
+	// pushes that predate a fencing event.
+	Epoch uint64
+	// Report is the stage's current metric report.
+	Report StageReport
+}
+
+// Type implements Message.
+func (*ReportDelta) Type() MsgType { return TReportDelta }
+
+// Marshal implements Message.
+func (m *ReportDelta) Marshal(e *Encoder) {
+	e.Uint64(m.Seq)
+	var full byte
+	if m.Full {
+		full = 1
+	}
+	e.Byte(full)
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Report.StageID)
+	e.Uint64(m.Report.JobID)
+	e.rates(m.Report.Demand)
+	e.rates(m.Report.Usage)
+}
+
+// Unmarshal implements Message.
+func (m *ReportDelta) Unmarshal(d *Decoder) {
+	m.Seq = d.Uint64()
+	m.Full = d.Byte() != 0
+	m.Epoch = d.Uint64()
+	m.Report.StageID = d.Uint64()
+	m.Report.JobID = d.Uint64()
+	m.Report.Demand = d.rates()
+	m.Report.Usage = d.rates()
+}
+
 // New returns a zero message of the given type, or nil if the type is
 // unknown. It is the decode-side factory used by the RPC layer.
 func New(t MsgType) Message {
@@ -1018,6 +1075,8 @@ func New(t MsgType) Message {
 		return &StateSync{}
 	case TStateSyncAck:
 		return &StateSyncAck{}
+	case TReportDelta:
+		return &ReportDelta{}
 	}
 	return nil
 }
