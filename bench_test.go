@@ -435,6 +435,50 @@ func BenchmarkFlatCycle(b *testing.B) {
 			}
 		}
 	})
+	// The quiesced-incremental regime with the durable write-ahead store
+	// enabled: the steady state mutates nothing, so the WAL sits on the
+	// mutation path without being exercised — the delta against
+	// quiesced-incremental is durability's tax on the control plane's hot
+	// loop (budgeted under 5% ns/op with zero added allocations;
+	// BENCH_cycle.json gates it).
+	b.Run("10k/quiesced-durable", func(b *testing.B) {
+		c, err := cluster.Build(cluster.Config{
+			Topology:         cluster.Flat,
+			Stages:           10000,
+			FanOutMode:       sdscale.FanOutPipelined,
+			DeltaEnforcement: true,
+			Incremental:      true,
+			IncrementalFloor: time.Hour,
+			PushFloor:        time.Hour,
+			Workload:         sdscale.ConstantWorkload{Rates: sdscale.Rates{1000, 100}},
+			MaxCodec:         benchCodec(),
+			DataDir:          b.TempDir(),
+			Net:              simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(c.Close)
+		ctx := context.Background()
+		for i := 0; i < 3; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		time.Sleep(250 * time.Millisecond)
+		for i := 0; i < 2; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFlatCycleTraced is BenchmarkFlatCycle's 1k configurations with

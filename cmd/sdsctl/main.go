@@ -27,6 +27,10 @@
 //
 //	sdsctl top500
 //	    Print the paper's Table I and the control-plane sizing it implies.
+//
+//	sdsctl store inspect <dir>
+//	    Print the snapshot, write-ahead log records, and recovered state of
+//	    a controller data directory (offline; the controller need not run).
 package main
 
 import (
@@ -43,6 +47,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/controller"
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/store"
 	"github.com/dsrhaslab/sdscale/internal/top500"
 	"github.com/dsrhaslab/sdscale/internal/transport"
 	"github.com/dsrhaslab/sdscale/internal/transport/tcpnet"
@@ -68,6 +73,8 @@ func main() {
 		err = runPeer(ctx, os.Args[2:])
 	case "stages":
 		err = runStages(ctx, os.Args[2:])
+	case "store":
+		err = runStore(os.Args[2:])
 	case "top500":
 		fmt.Print(top500.Table())
 	case "-h", "--help", "help":
@@ -83,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sdsctl <global|aggregator|peer|stages|top500> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sdsctl <global|aggregator|peer|stages|store|top500> [flags]
 run "sdsctl <role> -h" for role-specific flags`)
 }
 
@@ -115,6 +122,7 @@ func runGlobal(ctx context.Context, args []string) error {
 	aggregators := fs.String("aggregators", "", "comma-separated aggregator addresses to attach (hierarchical mode)")
 	samplesPath := fs.String("samples", "", "write a REMORA-style resource time series to this CSV file on exit")
 	sampleEvery := fs.Duration("sample-interval", time.Second, "resource sampling interval")
+	dataDir := fs.String("data-dir", "", "durable state directory: mutations are logged to a write-ahead store and recovered on restart")
 	fs.Parse(args)
 
 	cap, err := parseRates(*capacity)
@@ -124,6 +132,17 @@ func runGlobal(ctx context.Context, args []string) error {
 	alg, err := controlalg.New(*algorithm)
 	if err != nil {
 		return err
+	}
+
+	var st *store.Store
+	var recovered bool
+	if *dataDir != "" {
+		st, err = store.Open(store.Options{Dir: *dataDir, Logf: logf})
+		if err != nil {
+			return err
+		}
+		rec := st.Recovered()
+		recovered = rec.State != nil && len(rec.State.Members) > 0
 	}
 
 	var meter transport.Meter
@@ -136,13 +155,29 @@ func runGlobal(ctx context.Context, args []string) error {
 		FanOut:     *fanout,
 		Meter:      &meter,
 		CPU:        &cpu,
+		Store:      st, // the controller owns and closes the store
 		Logf:       logf,
 	})
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return err
 	}
 	defer g.Close()
 	fmt.Printf("global controller listening on %s (algorithm %s, capacity %v)\n", g.Addr(), alg.Name(), cap)
+	if recovered {
+		// A previous incarnation left durable membership behind: replay it
+		// and re-adopt the fleet before running cycles.
+		if err := g.Recover(ctx); err != nil {
+			return fmt.Errorf("recover from %s: %w", *dataDir, err)
+		}
+		ss := g.Stats()
+		if ss.Store != nil {
+			fmt.Printf("recovered %d children from %s (%d records in %v)\n",
+				g.NumChildren(), *dataDir, ss.Store.Replay.Records, ss.Store.Replay.Duration.Round(time.Microsecond))
+		}
+	}
 
 	if *aggregators != "" {
 		for i, addr := range strings.Split(*aggregators, ",") {
@@ -363,6 +398,26 @@ func runStages(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("\nstages served %d collects, %d enforces\n", collects, enforces)
 	return nil
+}
+
+// runStore dispatches the offline store tooling: `sdsctl store inspect
+// <dir>` prints the snapshot, log records, and recovered state of a
+// controller data directory without opening it for writing.
+func runStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("store: usage: sdsctl store inspect <dir>")
+	}
+	switch args[0] {
+	case "inspect":
+		fs := flag.NewFlagSet("store inspect", flag.ExitOnError)
+		fs.Parse(args[1:])
+		if fs.NArg() != 1 {
+			return fmt.Errorf("store inspect: usage: sdsctl store inspect <dir>")
+		}
+		return store.Inspect(fs.Arg(0), os.Stdout)
+	default:
+		return fmt.Errorf("store: unknown subcommand %q (want inspect)", args[0])
+	}
 }
 
 func logf(format string, args ...any) {

@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"github.com/dsrhaslab/sdscale/internal/store"
 	"github.com/dsrhaslab/sdscale/internal/wire"
 )
 
@@ -29,5 +30,32 @@ func TestParseRates(t *testing.T) {
 		if tc.ok && got != tc.want {
 			t.Errorf("parseRates(%q) = %v, want %v", tc.in, got, tc.want)
 		}
+	}
+}
+
+func TestRunStoreInspect(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendRegister(wire.MemberState{ID: 7, JobID: 1, Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runStore([]string{"inspect", dir}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	if err := runStore([]string{"inspect"}); err == nil {
+		t.Error("inspect without a dir should fail")
+	}
+	if err := runStore([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	if err := runStore(nil); err == nil {
+		t.Error("missing subcommand should fail")
 	}
 }

@@ -11,6 +11,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/controller"
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/store"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
@@ -138,8 +140,20 @@ type Config struct {
 	// ("global-standby"): the primary replicates state to it every
 	// SyncInterval, and every stage gets both controllers as its parent
 	// list, so a primary crash leads to lease expiry, standby promotion,
-	// and automatic stage re-homing. Flat topology only.
+	// and automatic stage re-homing. Flat topology only. Shorthand for
+	// Standbys: 1.
 	Standby bool
+	// Standbys deploys this many warm standbys. With one, the lone standby
+	// promotes directly on lease expiry (Standby's behaviour); with two or
+	// more they form a leadership quorum — a candidate promotes only after
+	// a majority of the controllers (primary plus standbys) grants its
+	// epoch. Flat topology only.
+	Standbys int
+	// DataDir, when set, gives each global controller a durable
+	// write-ahead store under DataDir/<host name> (see StoreDir):
+	// membership, enforced rules, job weights, and leadership epochs and
+	// votes survive a controller crash and feed cold-restart recovery.
+	DataDir string
 	// LeaseTimeout and SyncInterval tune failover detection (Standby
 	// only); zeros select the controller defaults.
 	LeaseTimeout time.Duration
@@ -190,6 +204,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Incremental && c.PushThreshold == 0 {
 		c.PushThreshold = DefaultPushThreshold
+	}
+	if c.Standby && c.Standbys <= 0 {
+		c.Standbys = 1
+	}
+	if c.Standbys > 0 {
+		c.Standby = true
 	}
 	if (c.Topology == Hierarchical || c.Topology == Coordinated) && c.Aggregators <= 0 {
 		c.Aggregators = (c.Stages + simnet.DefaultMaxConns - 1) / simnet.DefaultMaxConns
@@ -253,8 +273,12 @@ type Cluster struct {
 	Net *simnet.Net
 	// Global is the top-level controller (nil for Coordinated).
 	Global *controller.Global
-	// Standby is the warm-standby global controller (Config.Standby only).
+	// Standby is the first warm-standby global controller (Config.Standby
+	// only); with a quorum it is Standbys[0].
 	Standby *controller.Global
+	// Standbys lists every warm standby, index-aligned with their hosts
+	// (StandbyHost).
+	Standbys []*controller.Global
 	// Aggregators is the mid tier (Hierarchical only).
 	Aggregators []*controller.Aggregator
 	// Peers is the controller set of the Coordinated topology.
@@ -400,8 +424,17 @@ func (c *Cluster) build() error {
 		c.Trace.Global = c.newTracer()
 		gcfg.Tracer = c.Trace.Global
 	}
+	gst, err := c.openStore("global")
+	if err != nil {
+		return err
+	}
+	gcfg.Store = gst
+	gcfg.ID = 1
 	g, err := controller.NewGlobal(gcfg)
 	if err != nil {
+		if gst != nil {
+			gst.Close()
+		}
 		return err
 	}
 	c.Global = g
@@ -470,15 +503,49 @@ func (c *Cluster) build() error {
 	return nil
 }
 
-// buildFlatStandby wires a flat control plane with a warm standby: standby
-// first (so the primary can replicate to it from its first sync), then the
-// primary at leadership epoch 1, then the stage fleet — which registers
+// quorumPort is the fixed registration port every controller in a standby
+// deployment listens on: with deterministic host names, every quorum member
+// knows its peers' addresses before any of them exists.
+const quorumPort = ":41000"
+
+// StandbyHost returns the simulated-network host name of the i-th (0-based)
+// warm standby.
+func StandbyHost(i int) string {
+	if i == 0 {
+		return "global-standby"
+	}
+	return fmt.Sprintf("global-standby-%d", i+1)
+}
+
+// StoreDir returns the directory the named controller host persists its
+// write-ahead store under when Config.DataDir is set — the path to reopen
+// for cold-restart recovery after the whole control plane dies.
+func StoreDir(dataDir, host string) string { return filepath.Join(dataDir, host) }
+
+// openStore opens the durable store for one controller host, or returns nil
+// when the deployment runs without a DataDir.
+func (c *Cluster) openStore(host string) (*store.Store, error) {
+	if c.cfg.DataDir == "" {
+		return nil, nil
+	}
+	st, err := store.Open(store.Options{Dir: StoreDir(c.cfg.DataDir, host)})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: store for %s: %w", host, err)
+	}
+	return st, nil
+}
+
+// buildFlatStandby wires a flat control plane with warm standbys: standbys
+// first (so the primary can replicate to them from its first sync), then
+// the primary at leadership epoch 1, then the stage fleet — which registers
 // dynamically through its parent address list rather than being attached by
-// the builder, exactly the path re-homing uses after a failover.
+// the builder, exactly the path re-homing uses after a failover. With two
+// or more standbys every controller learns the full quorum membership, so
+// lease expiry leads to a majority election instead of direct promotion.
 func (c *Cluster) buildFlatStandby() error {
 	cfg := c.cfg
 	base := controller.GlobalConfig{
-		ListenAddr:       ":0",
+		ListenAddr:       quorumPort,
 		Capacity:         cfg.Capacity,
 		Algorithm:        cfg.Algorithm,
 		FanOut:           cfg.FanOut,
@@ -497,27 +564,67 @@ func (c *Cluster) buildFlatStandby() error {
 		SyncInterval:     cfg.SyncInterval,
 	}
 
-	c.StandbyRole = Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
-	scfg := base
-	scfg.Network = c.Net.Host("global-standby")
-	scfg.Standby = true
-	scfg.Meter = c.StandbyRole.Meter
-	scfg.CPU = c.StandbyRole.CPU
-	if c.Trace != nil {
-		c.Trace.Standby = c.newTracer()
-		scfg.Tracer = c.Trace.Standby
+	primaryAddr := "global" + quorumPort
+	sbAddrs := make([]string, cfg.Standbys)
+	for i := range sbAddrs {
+		sbAddrs[i] = StandbyHost(i) + quorumPort
 	}
-	sb, err := controller.NewGlobal(scfg)
-	if err != nil {
-		return fmt.Errorf("cluster: standby: %w", err)
+
+	for i := 0; i < cfg.Standbys; i++ {
+		host := StandbyHost(i)
+		role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+		scfg := base
+		scfg.Network = c.Net.Host(host)
+		scfg.ID = uint64(i + 2)
+		scfg.Standby = true
+		if cfg.Standbys > 1 {
+			// Quorum membership: the primary plus the other standbys. A
+			// lone standby keeps the empty list and with it the direct
+			// promote-on-expiry behaviour.
+			peers := []string{primaryAddr}
+			for j, a := range sbAddrs {
+				if j != i {
+					peers = append(peers, a)
+				}
+			}
+			scfg.StandbyAddrs = peers
+		}
+		st, err := c.openStore(host)
+		if err != nil {
+			return err
+		}
+		scfg.Store = st
+		scfg.Meter = role.Meter
+		scfg.CPU = role.CPU
+		if c.Trace != nil && i == 0 {
+			c.Trace.Standby = c.newTracer()
+			scfg.Tracer = c.Trace.Standby
+		}
+		sb, err := controller.NewGlobal(scfg)
+		if err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return fmt.Errorf("cluster: standby %d: %w", i+1, err)
+		}
+		c.Standbys = append(c.Standbys, sb)
+		if i == 0 {
+			c.Standby = sb
+			c.StandbyRole = role
+		}
 	}
-	c.Standby = sb
 
 	c.GlobalRole = Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
 	gcfg := base
 	gcfg.Network = c.Net.Host("global")
+	gcfg.ID = 1
 	gcfg.Epoch = 1
-	gcfg.StandbyAddr = sb.Addr()
+	gcfg.StandbyAddrs = sbAddrs
+	gst, err := c.openStore("global")
+	if err != nil {
+		return err
+	}
+	gcfg.Store = gst
 	gcfg.Meter = c.GlobalRole.Meter
 	gcfg.CPU = c.GlobalRole.CPU
 	if c.Trace != nil {
@@ -526,11 +633,18 @@ func (c *Cluster) buildFlatStandby() error {
 	}
 	g, err := controller.NewGlobal(gcfg)
 	if err != nil {
+		if gst != nil {
+			gst.Close()
+		}
 		return err
 	}
 	c.Global = g
 
-	parents := []string{g.Addr(), sb.Addr()}
+	parents := make([]string, 0, 1+len(c.Standbys))
+	parents = append(parents, g.Addr())
+	for _, sb := range c.Standbys {
+		parents = append(parents, sb.Addr())
+	}
 	for i := 0; i < cfg.Stages; i++ {
 		v, err := stage.StartVirtual(stage.Config{
 			ID:            uint64(i + 1),
@@ -685,8 +799,8 @@ func (c *Cluster) Close() {
 	if c.Global != nil {
 		c.Global.Close()
 	}
-	if c.Standby != nil {
-		c.Standby.Close()
+	for _, sb := range c.Standbys {
+		sb.Close()
 	}
 	for _, a := range c.Aggregators {
 		a.Close()

@@ -470,3 +470,91 @@ func TestStressCyclesAccumulate(t *testing.T) {
 		t.Error("mean cycle latency is zero")
 	}
 }
+
+// TestQuorumStandbys builds a flat cluster with a two-standby quorum and a
+// durable data directory, kills the primary, and checks that exactly one
+// standby wins the election, adopts the full stage fleet, and resumes
+// control while the loser stays passive.
+func TestQuorumStandbys(t *testing.T) {
+	c, err := Build(Config{
+		Topology: Flat, Stages: 8, Jobs: 2, Net: fastNet(),
+		Standbys:     2,
+		DataDir:      t.TempDir(),
+		LeaseTimeout: 150 * time.Millisecond,
+		SyncInterval: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.Standbys) != 2 || c.Standby != c.Standbys[0] {
+		t.Fatalf("standbys = %d, want 2 with Standby aliasing the first", len(c.Standbys))
+	}
+
+	ctx := context.Background()
+	if _, err := c.Global.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+	for _, sb := range c.Standbys {
+		go sb.Run(runCtx, 25*time.Millisecond)
+	}
+
+	// Wait for the primary's state syncs to reach both standbys.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Standbys[0].Epoch() < 1 || c.Standbys[1].Epoch() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("standbys never mirrored the primary: epochs %d, %d",
+				c.Standbys[0].Epoch(), c.Standbys[1].Epoch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	c.Global.Close() // primary dies
+
+	var winner, loser *controller.Global
+	deadline = time.Now().Add(5 * time.Second)
+	for winner == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no standby promoted after primary death")
+		}
+		switch {
+		case c.Standbys[0].Promoted():
+			winner, loser = c.Standbys[0], c.Standbys[1]
+		case c.Standbys[1].Promoted():
+			winner, loser = c.Standbys[1], c.Standbys[0]
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if winner.Epoch() <= 1 {
+		t.Fatalf("winner epoch = %d, want > 1", winner.Epoch())
+	}
+
+	// The winner must adopt the whole fleet and resume ruling it. Its own
+	// Run loop keeps cycling (a second concurrent RunCycle would violate
+	// the reply-reuse contract), so observe the recorder instead.
+	deadline = time.Now().Add(5 * time.Second)
+	for winner.NumChildren() < len(c.Stages) {
+		if time.Now().After(deadline) {
+			t.Fatalf("winner adopted %d/%d stages", winner.NumChildren(), len(c.Stages))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cyclesBefore := winner.Recorder().Cycles()
+	deadline = time.Now().Add(5 * time.Second)
+	for winner.Recorder().Cycles() <= cyclesBefore {
+		if time.Now().After(deadline) {
+			t.Fatal("winner adopted the fleet but is not running cycles")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The loser must not also promote (split brain).
+	time.Sleep(200 * time.Millisecond)
+	if loser.Promoted() {
+		t.Fatal("both standbys promoted: split brain")
+	}
+}

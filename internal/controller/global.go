@@ -13,6 +13,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
 	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/store"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/trace"
 	"github.com/dsrhaslab/sdscale/internal/transport"
@@ -124,10 +125,29 @@ type GlobalConfig struct {
 	// starts at 1 and a promoting standby always bumps past the highest
 	// epoch it mirrored.
 	Epoch uint64
+	// ID identifies this controller in quorum vote traffic and StateSync
+	// PrimaryID fields. Controllers in one quorum should carry distinct
+	// IDs; zero is accepted for single-controller deployments.
+	ID uint64
 	// StandbyAddr, if non-empty, is the warm standby's registration
 	// address: the controller replicates its state there every
 	// SyncInterval, which doubles as the leadership lease renewal.
+	// Shorthand for a one-element StandbyAddrs.
 	StandbyAddr string
+	// StandbyAddrs lists the registration addresses of every other
+	// controller in the leadership quorum. A primary replicates state to
+	// all of them each SyncInterval; a standby whose lease expires asks
+	// all of them for votes and promotes only on a majority of the quorum
+	// (the addressed controllers plus itself). A standby with an empty
+	// list keeps the single-standby behaviour: promote directly on lease
+	// expiry.
+	StandbyAddrs []string
+	// Store, if non-nil, is the controller's durability layer: mutations
+	// (membership, enforced rules, job weights, leadership epochs and
+	// votes) are appended to its write-ahead log before they are acked,
+	// and Recover rebuilds a cold-started controller from it. The
+	// controller takes ownership and closes it on Close.
+	Store *store.Store
 	// Standby makes this controller a passive warm standby: it accepts
 	// StateSync from the primary (mirroring membership, last rules, and
 	// job weights), rejects registrations with CodeNotLeader, and
@@ -161,6 +181,18 @@ func (c GlobalConfig) withDefaults() GlobalConfig {
 	}
 	if c.LeaseTimeout <= 0 {
 		c.LeaseTimeout = DefaultLeaseTimeout
+	}
+	if c.StandbyAddr != "" {
+		found := false
+		for _, a := range c.StandbyAddrs {
+			if a == c.StandbyAddr {
+				found = true
+				break
+			}
+		}
+		if !found {
+			c.StandbyAddrs = append([]string{c.StandbyAddr}, c.StandbyAddrs...)
+		}
 	}
 	return c
 }
@@ -197,10 +229,14 @@ type Global struct {
 	callErrors uint64
 	// Leadership state (all under mu): epoch is the current leadership
 	// term; deposed is set once a stale-epoch rejection proves a newer
-	// leader exists; promoted marks a standby that has taken over.
-	epoch    uint64
-	deposed  bool
-	promoted bool
+	// leader exists; promoted marks a standby that has taken over;
+	// votedEpoch is the highest epoch this controller promised a quorum
+	// vote for (persisted through the store before any grant leaves the
+	// process).
+	epoch      uint64
+	deposed    bool
+	promoted   bool
+	votedEpoch uint64
 	// Standby mirror: the last StateSync received, the lease deadline it
 	// renewed, and when it arrived. gapStart carries the control-gap
 	// measurement from promotion to the first completed cycle.
@@ -209,6 +245,9 @@ type Global struct {
 	lastSyncAt  time.Time
 	gapStart    time.Time
 	fencedSyncs uint64
+	// Log-once latches for repeating operational conditions.
+	defaultedLeaseLogged bool
+	storeErrLogged       bool
 }
 
 // StartGlobal launches a global controller with its registration endpoint
@@ -247,6 +286,24 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 		jobWeights: make(map[uint64]float64),
 		epoch:      cfg.Epoch,
 	}
+	if cfg.Store != nil {
+		// The store's recovered epochs are a floor: this controller must
+		// never lead with — or vote for — an epoch the disk has already
+		// seen. (Recover additionally adopts the recovered state; here we
+		// only refuse to regress.)
+		rec := cfg.Store.Recovered()
+		if rec.Epoch > g.epoch {
+			g.epoch = rec.Epoch
+		}
+		g.votedEpoch = rec.VotedEpoch
+		if !cfg.Standby && g.epoch > rec.Epoch {
+			// A fresh primary with a configured epoch: fence it through
+			// the store before leading with it.
+			if err := cfg.Store.AppendEpoch(g.epoch); err != nil {
+				return nil, fmt.Errorf("controller: persist initial epoch: %w", err)
+			}
+		}
+	}
 	if cfg.Standby {
 		// A standby that never hears from a primary at all still promotes
 		// once the initial lease runs out.
@@ -264,10 +321,67 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 		}
 		g.regSrv = srv
 	}
-	if cfg.StandbyAddr != "" && !cfg.Standby {
+	if len(cfg.StandbyAddrs) > 0 && !cfg.Standby {
 		g.startSync()
 	}
 	return g, nil
+}
+
+// storeFault logs a store append failure (once, then counts silently) —
+// durability degrades, but the control plane keeps running: halting every
+// cycle because the log disk died would turn a durability fault into an
+// availability outage.
+func (g *Global) storeFault(op string, err error) {
+	g.mu.Lock()
+	logged := g.storeErrLogged
+	g.storeErrLogged = true
+	g.mu.Unlock()
+	if !logged {
+		g.logf("controller: store: %s: %v (durability degraded; further store errors suppressed)", op, err)
+	}
+}
+
+// logRules appends one child's just-enforced rule batch to the store.
+func (g *Global) logRules(cycle, childID uint64, rules []wire.Rule) {
+	if g.cfg.Store == nil || len(rules) == 0 {
+		return
+	}
+	if err := g.cfg.Store.AppendRules(cycle, childID, rules); err != nil {
+		g.storeFault("append rules", err)
+	}
+}
+
+// logRegister appends a member registration to the store.
+func (g *Global) logRegister(c *child) {
+	if g.cfg.Store == nil {
+		return
+	}
+	m := wire.MemberState{
+		Role:   c.role,
+		ID:     c.info.ID,
+		JobID:  c.info.JobID,
+		Weight: c.info.Weight,
+		Addr:   c.info.Addr,
+	}
+	if len(c.stages) > 0 {
+		m.Stages = make([]wire.StageEntry, len(c.stages))
+		for k, s := range c.stages {
+			m.Stages[k] = wire.StageEntry{ID: s.ID, JobID: s.JobID, Weight: s.Weight, Addr: s.Addr}
+		}
+	}
+	if err := g.cfg.Store.AppendRegister(m); err != nil {
+		g.storeFault("append register", err)
+	}
+}
+
+// logEvict appends a member eviction to the store.
+func (g *Global) logEvict(id uint64) {
+	if g.cfg.Store == nil {
+		return
+	}
+	if err := g.cfg.Store.AppendEvict(id); err != nil {
+		g.storeFault("append evict", err)
+	}
 }
 
 // Addr returns the registration endpoint address, or "" if none.
@@ -362,14 +476,22 @@ func (g *Global) Mode() wire.Role {
 	return g.mode
 }
 
-// noteJob records a job's weight from a stage registration.
+// noteJob records a job's weight from a stage registration, logging actual
+// changes to the store (re-registrations with an unchanged weight append
+// nothing).
 func (g *Global) noteJob(jobID uint64, weight float64) {
 	if weight <= 0 {
 		weight = 1
 	}
 	g.mu.Lock()
+	old, known := g.jobWeights[jobID]
 	g.jobWeights[jobID] = weight
 	g.mu.Unlock()
+	if g.cfg.Store != nil && (!known || old != weight) {
+		if err := g.cfg.Store.AppendWeight(jobID, weight); err != nil {
+			g.storeFault("append weight", err)
+		}
+	}
 }
 
 // AddStage connects the controller to a data-plane stage (flat design).
@@ -390,6 +512,7 @@ func (g *Global) AddStage(ctx context.Context, info stage.Info) error {
 		cli.Close()
 		return fmt.Errorf("controller: duplicate stage ID %d", info.ID)
 	}
+	g.logRegister(c)
 	g.noteJob(info.JobID, info.Weight)
 	return nil
 }
@@ -419,6 +542,7 @@ func (g *Global) AddAggregator(ctx context.Context, id uint64, addr string, stag
 		cli.Close()
 		return fmt.Errorf("controller: duplicate aggregator ID %d", id)
 	}
+	g.logRegister(c)
 	for _, s := range stages {
 		g.noteJob(s.JobID, s.Weight)
 	}
@@ -457,6 +581,7 @@ func (g *Global) RemoveChild(id uint64) bool {
 		return false
 	}
 	c.client().Close()
+	g.logEvict(id)
 	return true
 }
 
@@ -470,6 +595,8 @@ func (g *Global) serveRegistration(peer *rpc.Peer, req wire.Message) (wire.Messa
 		return g.handleRegister(m)
 	case *wire.StateSync:
 		return g.handleStateSync(m)
+	case *wire.VoteRequest:
+		return g.handleVoteRequest(m)
 	case *wire.Heartbeat:
 		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
 	}
@@ -629,6 +756,7 @@ func (g *Global) prepareCycle(ctx context.Context) (active, quarantined []*child
 		for _, c := range evictable {
 			if g.members.remove(c.info.ID) != nil {
 				c.client().Close()
+				g.logEvict(c.info.ID)
 				g.faults.Evict()
 				g.logf("controller: evicted child %d after %v in quarantine", c.info.ID, g.breaker.EvictAfter)
 			}
@@ -756,12 +884,14 @@ func sweepHealth(ctx context.Context, children []*child, fanOut int, timeout tim
 func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	g.mu.Lock()
 	if g.deposed {
+		epoch := g.epoch
 		g.mu.Unlock()
-		return telemetry.Breakdown{}, ErrDeposed
+		return telemetry.Breakdown{}, fmt.Errorf("%w (was leading at epoch %d)", ErrDeposed, epoch)
 	}
 	if g.cfg.Standby && !g.promoted {
+		epoch := g.epoch
 		g.mu.Unlock()
-		return telemetry.Breakdown{}, ErrStandby
+		return telemetry.Breakdown{}, fmt.Errorf("%w (passive mirror at epoch %d)", ErrStandby, epoch)
 	}
 	probeEpoch := g.epoch
 	probeCycle := g.cycle + 1
@@ -928,6 +1058,13 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 				if batch = children[i].filterChanged(batch); len(batch) == 0 {
 					return nil
 				}
+				g.logRules(cycle, children[i].info.ID, batch)
+			} else if g.cfg.Store != nil {
+				// Without delta enforcement the full batch is sent every
+				// cycle, but only changes are worth a log record: the diff
+				// keeps the WAL O(changed rules), and logging before the
+				// send keeps the store a superset of what the fleet holds.
+				g.logRules(cycle, children[i].info.ID, children[i].filterChanged(batch))
 			}
 			enfBuf[i] = wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
 			return &enfBuf[i]
@@ -1053,6 +1190,7 @@ func (g *Global) runIncrementalFlatCycle(ctx context.Context, cycle, epoch uint6
 				suppressed++
 				return nil
 			}
+			g.logRules(cycle, children[i].info.ID, batch)
 			enfBuf[i] = wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
 			return &enfBuf[i]
 		}, nil)
@@ -1261,9 +1399,17 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 			batch := batches[i]
 			if g.cfg.DeltaEnforcement {
 				batch = children[i].filterChanged(batch)
-			}
-			if len(batch) == 0 {
-				return nil
+				if len(batch) == 0 {
+					return nil
+				}
+				g.logRules(cycle, children[i].info.ID, batch)
+			} else {
+				if len(batch) == 0 {
+					return nil
+				}
+				if g.cfg.Store != nil {
+					g.logRules(cycle, children[i].info.ID, children[i].filterChanged(batch))
+				}
 			}
 			return &wire.Enforce{Cycle: cycle, Rules: batch, Epoch: epoch}
 		}, nil)
@@ -1340,16 +1486,25 @@ func (g *Global) MemoryFootprint() uint64 {
 	return total
 }
 
-// Close stops the state-sync loop, severs all child connections, and stops
-// the registration endpoint.
+// Close stops the state-sync loop, severs all child connections, stops the
+// registration endpoint, and flushes and closes the store (if any).
 func (g *Global) Close() error {
-	if g.syncCancel != nil {
-		g.syncCancel()
-		<-g.syncDone
+	g.mu.Lock()
+	syncCancel, syncDone := g.syncCancel, g.syncDone
+	g.mu.Unlock()
+	if syncCancel != nil {
+		syncCancel()
+		<-syncDone
 	}
 	g.members.closeAll()
+	var err error
 	if g.regSrv != nil {
-		return g.regSrv.Close()
+		err = g.regSrv.Close()
 	}
-	return nil
+	if g.cfg.Store != nil {
+		if serr := g.cfg.Store.Close(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }

@@ -89,6 +89,43 @@ func promStats(w io.Writer, role string, st ControllerStats) error {
 			return err
 		}
 	}
+	if st.Store != nil {
+		s := st.Store
+		storeGauges := []struct {
+			name  string
+			value float64
+		}{
+			{"sdscale_store_log_bytes", float64(s.LogBytes)},
+			{"sdscale_store_log_records", float64(s.LogRecords)},
+			{"sdscale_store_pending_bytes", float64(s.PendingBytes)},
+			{"sdscale_store_snapshot_age_seconds", s.SnapshotAge.Seconds()},
+			{"sdscale_store_fsync_last_seconds", s.FsyncLast.Seconds()},
+			{"sdscale_store_fsync_mean_seconds", s.FsyncMean.Seconds()},
+			{"sdscale_store_fsync_max_seconds", s.FsyncMax.Seconds()},
+			{"sdscale_store_replay_seconds", s.Replay.Duration.Seconds()},
+		}
+		for _, g := range storeGauges {
+			if err := telemetry.PromGauge(w, g.name, g.value, labels...); err != nil {
+				return err
+			}
+		}
+		storeCounters := []struct {
+			name  string
+			value uint64
+		}{
+			{"sdscale_store_appended_records_total", s.AppendedRecords},
+			{"sdscale_store_fsyncs_total", s.Fsyncs},
+			{"sdscale_store_snapshots_total", s.Snapshots},
+			{"sdscale_store_replay_records_total", s.Replay.Records},
+			{"sdscale_store_replay_skipped_total", s.Replay.Skipped},
+			{"sdscale_store_replay_truncated_bytes_total", uint64(s.Replay.TruncatedBytes)},
+		}
+		for _, c := range storeCounters {
+			if err := telemetry.PromCounter(w, c.name, c.value, labels...); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 

@@ -1,6 +1,9 @@
 package controller
 
-import "github.com/dsrhaslab/sdscale/internal/telemetry"
+import (
+	"github.com/dsrhaslab/sdscale/internal/store"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+)
 
 // ControllerStats is a point-in-time snapshot of a controller's operational
 // state: membership, breaker health, leadership, and fan-out pipeline
@@ -50,6 +53,9 @@ type ControllerStats struct {
 	// Pipeline digests the fan-out dispatch telemetry (per-phase in-flight
 	// gauges and per-cycle allocation counts).
 	Pipeline telemetry.PipelineSnapshot
+	// Store digests the durability layer (log size, fsync latency, snapshot
+	// age, replay cost); nil when the controller runs without a store.
+	Store *store.Stats
 }
 
 // Stats snapshots the controller's operational state.
@@ -62,7 +68,7 @@ func (g *Global) Stats() ControllerStats {
 	g.mu.Lock()
 	callErrors := g.callErrors
 	g.mu.Unlock()
-	return ControllerStats{
+	st := ControllerStats{
 		Children:       g.members.size(),
 		Stages:         g.NumStages(),
 		Quarantined:    len(quarantined),
@@ -74,6 +80,11 @@ func (g *Global) Stats() ControllerStats {
 		Faults:         g.faults.Summarize(),
 		Pipeline:       g.pipe.Snapshot(),
 	}
+	if g.cfg.Store != nil {
+		ss := g.cfg.Store.Stats()
+		st.Store = &ss
+	}
+	return st
 }
 
 // Stats snapshots the aggregator's operational state.

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/cluster"
 	"github.com/dsrhaslab/sdscale/internal/controller"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/store"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/transport/simnet"
 	"github.com/dsrhaslab/sdscale/internal/wire"
@@ -78,6 +80,38 @@ type FailoverResult struct {
 	PrimaryDeposed bool
 	// Primary and Standby are the two controllers' fault telemetry.
 	Primary, Standby telemetry.FaultSummary
+
+	// The remaining fields report the durability act: both controllers are
+	// killed, and a cold controller restarts from the promoted standby's
+	// on-disk store on a fresh host — no surviving process, no mirror,
+	// no stage able to find it by address.
+
+	// RestartEpoch is the leadership epoch the cold-restarted controller
+	// leads with; it must supersede NewEpoch without any handoff.
+	RestartEpoch uint64
+	// RestartGap is the wall-clock time from the restart's store open to
+	// its first completed control cycle; RestartCycles is the same gap in
+	// control intervals (rounded up).
+	RestartGap    time.Duration
+	RestartCycles int
+	// RestartMembers is how many children the restarted controller
+	// recovered purely from its store.
+	RestartMembers int
+	// RulesRecovered and RulesLost compare every stage's live rule (frozen
+	// when cycles stopped) against the state replayed from disk: zero rule
+	// loss means every stage accounted for and RulesLost == 0.
+	RulesRecovered, RulesLost int
+	// WeightsRecovered is the number of job weights replayed from disk.
+	WeightsRecovered int
+	// ReplayRecords and ReplayDuration digest the restart's log replay;
+	// ReplayHadSnapshot reports whether a compacted snapshot seeded it.
+	ReplayRecords     uint64
+	ReplayDuration    time.Duration
+	ReplayHadSnapshot bool
+	// RestartStaleProbeRejected reports whether an Enforce stamped with the
+	// killed standby's epoch was rejected after the restart — epoch fencing
+	// must hold across a full control-plane death, not just a failover.
+	RestartStaleProbeRejected bool
 }
 
 // Failover runs the controller-crash scenario: a flat deployment with a
@@ -91,6 +125,14 @@ func Failover(ctx context.Context, o Options) (FailoverResult, error) {
 	o = o.withDefaults()
 	nodes := o.scaled(FailoverNodes)
 
+	// Every controller persists its control-plane mutations under dataDir,
+	// so the final act — kill both, restart from disk — has a log to replay.
+	dataDir, err := os.MkdirTemp("", "sdscale-failover-")
+	if err != nil {
+		return FailoverResult{}, fmt.Errorf("experiment failover: data dir: %w", err)
+	}
+	defer os.RemoveAll(dataDir)
+
 	c, err := cluster.Build(cluster.Config{
 		Topology:      cluster.Flat,
 		Stages:        nodes,
@@ -103,6 +145,7 @@ func Failover(ctx context.Context, o Options) (FailoverResult, error) {
 		LeaseTimeout:  failoverLeaseTimeout,
 		SyncInterval:  failoverSyncInterval,
 		ParentTimeout: failoverParentTimeout,
+		DataDir:       dataDir,
 	})
 	if err != nil {
 		return FailoverResult{}, fmt.Errorf("experiment failover: %w", err)
@@ -212,6 +255,113 @@ func Failover(ctx context.Context, o Options) (FailoverResult, error) {
 	r.FencedSyncs = sb.FencedSyncs()
 	r.Primary = g.Faults().Summarize()
 	r.Standby = sb.Faults().Summarize()
+
+	// --- Durability act: kill both controllers, restart from disk. -------
+
+	// Freeze every stage's live rule while no cycle is running: this is
+	// exactly the state the restarted controller must reproduce from its
+	// log — any divergence is rule loss.
+	liveRules := make(map[uint64]wire.Rule, len(c.Stages))
+	for _, v := range c.Stages {
+		if rule, ok := v.LastRule(); ok {
+			liveRules[v.Info().ID] = rule
+		}
+	}
+
+	// Kill what is left of the control plane: the deposed zombie and the
+	// promoted standby. Closing them flushes and releases their stores —
+	// torn-tail crash semantics are the store package's own test surface;
+	// this act proves the control-plane state survives end to end.
+	g.Close()
+	sb.Close()
+
+	restartStart := time.Now()
+	st, err := store.Open(store.Options{Dir: cluster.StoreDir(dataDir, cluster.StandbyHost(0))})
+	if err != nil {
+		return r, fmt.Errorf("experiment failover: reopen standby store: %w", err)
+	}
+	rec := st.Recovered()
+	r.WeightsRecovered = len(rec.State.Weights)
+
+	// Zero rule loss: every frozen stage rule must be present in the
+	// replayed state, limit for limit.
+	recovered := make(map[uint64][]wire.Rule, len(rec.State.Members))
+	for _, m := range rec.State.Members {
+		recovered[m.ID] = m.Rules
+	}
+	for id, rule := range liveRules {
+		found := false
+		for _, rr := range recovered[id] {
+			if rr.JobID == rule.JobID && rr.Action == rule.Action && rr.Limit == rule.Limit {
+				found = true
+				break
+			}
+		}
+		if found {
+			r.RulesRecovered++
+		} else {
+			r.RulesLost++
+		}
+	}
+
+	// The restarted controller runs on a host no stage has in its parent
+	// list: every child it ends up with was recovered from disk and
+	// re-adopted by dialing, never re-registered.
+	g2, err := controller.NewGlobal(controller.GlobalConfig{
+		Network:       c.Net.Host("global-restart"),
+		ListenAddr:    ":0",
+		ID:            9,
+		Capacity:      c.Config().Capacity,
+		CallTimeout:   failoverCallTimeout,
+		MaxFailures:   failoverMaxFailures,
+		ProbeInterval: failoverProbeInterval,
+		Store:         st,
+	})
+	if err != nil {
+		st.Close()
+		return r, fmt.Errorf("experiment failover: restart controller: %w", err)
+	}
+	defer g2.Close()
+	if err := g2.Recover(ctx); err != nil {
+		return r, fmt.Errorf("experiment failover: recover: %w", err)
+	}
+	sst := g2.Stats().Store
+	r.ReplayRecords = sst.Replay.Records
+	r.ReplayDuration = sst.Replay.Duration
+	r.ReplayHadSnapshot = sst.Replay.HadSnapshot
+
+	restartCtx, stopRestart := context.WithCancel(ctx)
+	defer stopRestart()
+	restartDone := make(chan error, 1)
+	go func() { restartDone <- g2.Run(restartCtx, failoverCyclePeriod) }()
+	if err := waitCycles(ctx, g2.Recorder(), 1, failoverRecoverBudget); err != nil {
+		return r, fmt.Errorf("experiment failover: restarted controller never cycled: %w", err)
+	}
+	r.RestartGap = time.Since(restartStart)
+	r.RestartCycles = int((r.RestartGap + failoverCyclePeriod - 1) / failoverCyclePeriod)
+	r.RestartEpoch = g2.Epoch()
+
+	deadline = time.Now().Add(failoverRecoverBudget)
+	for g2.NumChildren() < nodes && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.RestartMembers = g2.NumChildren()
+
+	// Fencing across the full death: the killed standby's epoch must be
+	// rejected by the fleet once the restarted controller's first cycle has
+	// propagated its bumped epoch.
+	cli, err = rpc.Dial(ctx, c.Net.Host("restart-prober"), v.Info().Addr, rpc.DialOptions{})
+	if err != nil {
+		return r, fmt.Errorf("experiment failover: restart probe dial: %w", err)
+	}
+	_, callErr = cli.Call(ctx, &wire.Enforce{Cycle: 1 << 41, Rules: []wire.Rule{probeRule}, Epoch: r.NewEpoch})
+	cli.Close()
+	if cur, ok := rpc.StaleEpochError(callErr); ok && cur == r.RestartEpoch {
+		r.RestartStaleProbeRejected = true
+	}
+
+	stopRestart()
+	<-restartDone
 	return r, nil
 }
 
@@ -244,7 +394,15 @@ func PrintFailover(o Options, r FailoverResult) {
 		r.FencedAtStages, r.FencedSyncs)
 	o.printf("  stale-enforce probe     rejected=%v rule-unchanged=%v\n", r.StaleProbeRejected, r.StaleProbeIgnored)
 	o.printf("  zombie primary          deposed=%v (step_downs=%d)\n", r.PrimaryDeposed, r.Primary.StepDowns)
-	o.printf("  standby faults          %v\n\n", r.Standby)
+	o.printf("  standby faults          %v\n", r.Standby)
+	o.printf("  -- durability act: both controllers killed, cold restart from disk --\n")
+	o.printf("  restart epoch           %d -> %d\n", r.NewEpoch, r.RestartEpoch)
+	o.printf("  restart gap             %v (%d control intervals; replayed %d records in %v, snapshot=%v)\n",
+		r.RestartGap.Round(time.Millisecond), r.RestartCycles, r.ReplayRecords,
+		r.ReplayDuration.Round(time.Microsecond), r.ReplayHadSnapshot)
+	o.printf("  recovered from disk     %d/%d members, %d job weights\n", r.RestartMembers, r.Nodes, r.WeightsRecovered)
+	o.printf("  rule loss               %d recovered, %d lost\n", r.RulesRecovered, r.RulesLost)
+	o.printf("  stale probe after kill  rejected=%v\n\n", r.RestartStaleProbeRejected)
 }
 
 // CheckFailover asserts the scenario's dependability claims: exactly one
@@ -285,6 +443,25 @@ func CheckFailover(r FailoverResult) error {
 	}
 	if r.Standby.MaxControlGap <= 0 {
 		return fmt.Errorf("failover: promoted standby recorded no control gap")
+	}
+	// Durability act.
+	if r.RestartEpoch <= r.NewEpoch {
+		return fmt.Errorf("failover: restarted epoch %d does not supersede the killed standby's %d", r.RestartEpoch, r.NewEpoch)
+	}
+	if r.RestartMembers != r.Nodes {
+		return fmt.Errorf("failover: cold restart recovered %d/%d members from disk", r.RestartMembers, r.Nodes)
+	}
+	if r.RulesLost != 0 {
+		return fmt.Errorf("failover: %d stage rules lost across the kill-both restart", r.RulesLost)
+	}
+	if r.RulesRecovered != r.Nodes {
+		return fmt.Errorf("failover: only %d/%d stage rules recovered from disk", r.RulesRecovered, r.Nodes)
+	}
+	if r.WeightsRecovered == 0 {
+		return fmt.Errorf("failover: no job weights recovered from disk")
+	}
+	if !r.RestartStaleProbeRejected {
+		return fmt.Errorf("failover: the killed standby's epoch was still accepted after the restart")
 	}
 	return nil
 }

@@ -1,0 +1,21 @@
+package store
+
+// compactNow flushes pending appends and forces a compaction, so tests can
+// exercise the snapshot path deterministically. Callers must ensure no
+// concurrent flusher activity races the flush (a quiesced store, or a
+// store whose appends have all been Synced).
+func (s *Store) compactNow() error {
+	s.flush()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// EncodeRecordForTest frames one rules record, for corpus seeding and
+// crafted-corruption tests.
+func encodeFrameForTest(rec record) []byte {
+	s := &Store{state: newMemState()}
+	s.nextLSN = rec.lsn
+	s.appendLocked(rec)
+	return s.pending
+}

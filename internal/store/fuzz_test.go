@@ -1,0 +1,71 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// FuzzWALDecode fuzzes the WAL record framing and payload parser: whatever
+// readFrame+parseRecord accept must re-encode byte-identically (the codec
+// is canonical), and nothing the fuzzer throws at it may crash or
+// over-allocate.
+func FuzzWALDecode(f *testing.F) {
+	seeds := []record{
+		{lsn: 1, kind: kindRegister, member: wire.MemberState{
+			Role: wire.RoleStage, ID: 7, JobID: 2, Weight: 1.5, Addr: "10.0.0.7:7000",
+		}},
+		{lsn: 2, kind: kindRegister, member: wire.MemberState{
+			Role: wire.RoleAggregator, ID: 100, Addr: "10.0.1.1:7000",
+			Stages: []wire.StageEntry{{ID: 7, JobID: 2, Weight: 1.5, Addr: "10.0.0.7:7000"}},
+		}},
+		{lsn: 3, kind: kindEvict, childID: 7},
+		{lsn: 4, kind: kindRules, cycle: 9, childID: 7, rules: []wire.Rule{
+			{StageID: 7, JobID: 2, Action: wire.ActionSetLimit, Limit: wire.Rates{1000, 50}},
+			{StageID: wire.WildcardStage, JobID: 2, Action: wire.ActionNoLimit},
+		}},
+		{lsn: 5, kind: kindWeight, jobID: 2, weight: 2.25},
+		{lsn: 6, kind: kindEpoch, epoch: 42},
+		{lsn: 7, kind: kindVote, epoch: 43},
+	}
+	for _, rec := range seeds {
+		f.Add(encodeFrameForTest(rec))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, n, err := readFrame(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("readFrame consumed %d of %d bytes", n, len(data))
+		}
+		rec, perr := parseRecord(payload)
+		if perr != nil {
+			return
+		}
+		// Accepted records must re-encode to a parseable record, and the
+		// re-encoding must be canonical (a second round trip is stable).
+		re := encodeRecordBody(nil, rec)
+		rec2, perr := parseRecord(re)
+		if perr != nil {
+			t.Fatalf("re-encoded record unparseable: %v\nbytes: %x", perr, re)
+		}
+		if re2 := encodeRecordBody(nil, rec2); !bytes.Equal(re, re2) {
+			t.Fatalf("encoding not canonical:\n%x\n%x", re, re2)
+		}
+		// Framing round trip: frame it, read it back.
+		rec2.lsn = rec.lsn
+		frame := encodeFrameForTest(rec2)
+		payload2, _, err := readFrame(frame)
+		if err != nil {
+			t.Fatalf("re-framed record rejected: %v", err)
+		}
+		if _, err := parseRecord(payload2); err != nil {
+			t.Fatalf("re-framed record unparseable after framing: %v", err)
+		}
+	})
+}

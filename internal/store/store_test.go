@@ -1,0 +1,503 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		Dir:           t.TempDir(),
+		FsyncInterval: time.Millisecond,
+		NoFsync:       true,
+		Logf:          t.Logf,
+	}
+}
+
+func mustOpen(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func stageMember(id, job uint64) wire.MemberState {
+	return wire.MemberState{
+		Role:   wire.RoleStage,
+		ID:     id,
+		JobID:  job,
+		Weight: float64(job),
+		Addr:   fmt.Sprintf("10.0.0.%d:7000", id),
+	}
+}
+
+func rule(stage, job uint64, limit float64) wire.Rule {
+	return wire.Rule{
+		StageID: stage,
+		JobID:   job,
+		Action:  wire.ActionSetLimit,
+		Limit:   wire.Rates{limit, limit / 10},
+	}
+}
+
+// seedStore appends a representative mutation history and returns the
+// store still open.
+func seedStore(t *testing.T, s *Store) {
+	t.Helper()
+	for id := uint64(1); id <= 3; id++ {
+		if err := s.AppendRegister(stageMember(id, id%2+1)); err != nil {
+			t.Fatalf("AppendRegister: %v", err)
+		}
+	}
+	agg := wire.MemberState{
+		Role: wire.RoleAggregator, ID: 100, Addr: "10.0.1.1:7000",
+		Stages: []wire.StageEntry{{ID: 1, JobID: 2, Weight: 2, Addr: "10.0.0.1:7000"}},
+	}
+	if err := s.AppendRegister(agg); err != nil {
+		t.Fatalf("AppendRegister agg: %v", err)
+	}
+	if err := s.AppendWeight(1, 2.5); err != nil {
+		t.Fatalf("AppendWeight: %v", err)
+	}
+	if err := s.AppendWeight(2, 1.5); err != nil {
+		t.Fatalf("AppendWeight: %v", err)
+	}
+	for id := uint64(1); id <= 3; id++ {
+		if err := s.AppendRules(7, id, []wire.Rule{rule(id, id%2+1, 1000*float64(id))}); err != nil {
+			t.Fatalf("AppendRules: %v", err)
+		}
+	}
+	if err := s.AppendEvict(3); err != nil {
+		t.Fatalf("AppendEvict: %v", err)
+	}
+	if err := s.AppendEpoch(4); err != nil {
+		t.Fatalf("AppendEpoch: %v", err)
+	}
+	if err := s.AppendVote(5); err != nil {
+		t.Fatalf("AppendVote: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+// checkSeeded asserts the state seedStore built.
+func checkSeeded(t *testing.T, rec Recovered) {
+	t.Helper()
+	if rec.Epoch != 4 || rec.VotedEpoch != 5 || rec.Cycle != 7 {
+		t.Fatalf("epoch/voted/cycle = %d/%d/%d, want 4/5/7", rec.Epoch, rec.VotedEpoch, rec.Cycle)
+	}
+	if got := len(rec.State.Members); got != 3 { // stages 1,2 + aggregator 100; 3 evicted
+		t.Fatalf("members = %d, want 3", got)
+	}
+	byID := map[uint64]wire.MemberState{}
+	for _, m := range rec.State.Members {
+		byID[m.ID] = m
+	}
+	if _, ok := byID[3]; ok {
+		t.Fatalf("evicted member 3 still present")
+	}
+	m1 := byID[1]
+	if len(m1.Rules) != 1 || m1.Rules[0].Limit[0] != 1000 {
+		t.Fatalf("member 1 rules = %+v, want one rule limit 1000", m1.Rules)
+	}
+	if byID[100].Role != wire.RoleAggregator || len(byID[100].Stages) != 1 {
+		t.Fatalf("aggregator state = %+v", byID[100])
+	}
+	if len(rec.State.Weights) != 2 || rec.State.Weights[0].Weight != 2.5 {
+		t.Fatalf("weights = %+v", rec.State.Weights)
+	}
+}
+
+func TestRoundtripRestart(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	seedStore(t, s)
+	live := s.Recovered()
+	checkSeeded(t, live)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	rec := s2.Recovered()
+	checkSeeded(t, rec)
+	if !reflect.DeepEqual(live, rec) {
+		t.Fatalf("recovered state differs from live state\nlive: %+v\nrec:  %+v", live, rec)
+	}
+	st := s2.Stats()
+	if st.Replay.Records == 0 || st.Replay.HadSnapshot {
+		t.Fatalf("replay stats = %+v, want records>0 and no snapshot", st.Replay)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	seedStore(t, s)
+	want := s.Recovered()
+	// A record after the known-good prefix, then a crash mid-write.
+	if err := s.AppendWeight(9, 9.9); err != nil {
+		t.Fatalf("AppendWeight: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := filepath.Join(opts.Dir, logFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record: drop its final 3 bytes.
+	if err := os.WriteFile(path, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Replay.TruncatedBytes == 0 {
+		t.Fatalf("replay = %+v, want TruncatedBytes > 0", st.Replay)
+	}
+	rec := s2.Recovered()
+	checkSeeded(t, rec)
+	if !reflect.DeepEqual(want, rec) {
+		t.Fatalf("state after torn-tail truncation differs\nwant: %+v\ngot:  %+v", want, rec)
+	}
+	// The truncation must be durable: a third open sees a clean log.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := mustOpen(t, opts)
+	defer s3.Close()
+	if tr := s3.Stats().Replay.TruncatedBytes; tr != 0 {
+		t.Fatalf("second open still truncates %d bytes", tr)
+	}
+}
+
+func TestCorruptRecordMidLogStopsReplay(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	// Three epoch bumps; we will corrupt the middle one.
+	for e := uint64(1); e <= 3; e++ {
+		if err := s.AppendEpoch(e); err != nil {
+			t.Fatalf("AppendEpoch: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(opts.Dir, logFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records are identical length; flip a payload byte in the second.
+	recLen := len(raw) / 3
+	raw[recLen+frameHeaderLen] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Replay.Records != 1 {
+		t.Fatalf("replayed %d records, want 1 (stop at corruption)", st.Replay.Records)
+	}
+	if st.Replay.TruncatedBytes != int64(2*recLen) {
+		t.Fatalf("truncated %d bytes, want %d", st.Replay.TruncatedBytes, 2*recLen)
+	}
+	if rec := s2.Recovered(); rec.Epoch != 1 {
+		t.Fatalf("epoch = %d, want 1 (only the pre-corruption prefix)", rec.Epoch)
+	}
+}
+
+func TestSnapshotNewerThanLog(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	seedStore(t, s)
+	// Keep the pre-compaction log: these records' LSNs will all be below
+	// the snapshot watermark, exactly what a crash between snapshot rename
+	// and log truncation leaves behind.
+	logPath := filepath.Join(opts.Dir, logFile)
+	oldLog, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldLog) == 0 {
+		t.Fatal("expected a non-empty pre-compaction log")
+	}
+	if err := s.compactNow(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	want := s.Recovered()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restore the stale log next to the newer snapshot.
+	if err := os.WriteFile(logPath, oldLog, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	st := s2.Stats()
+	if !st.Replay.HadSnapshot {
+		t.Fatal("no snapshot loaded")
+	}
+	if st.Replay.Skipped == 0 || st.Replay.Records != 0 {
+		t.Fatalf("replay = %+v, want all records skipped below watermark", st.Replay)
+	}
+	rec := s2.Recovered()
+	checkSeeded(t, rec)
+	if !reflect.DeepEqual(want, rec) {
+		t.Fatalf("state with stale log differs from snapshot state\nwant: %+v\ngot:  %+v", want, rec)
+	}
+}
+
+func TestReplayIdempotence(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	seedStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Open/close repeatedly without mutating: every replay must converge
+	// to the same state and never re-truncate.
+	var prev Recovered
+	for i := 0; i < 3; i++ {
+		si := mustOpen(t, opts)
+		rec := si.Recovered()
+		if i > 0 && !reflect.DeepEqual(prev, rec) {
+			t.Fatalf("replay %d diverged\nprev: %+v\ngot:  %+v", i, prev, rec)
+		}
+		prev = rec
+		if err := si.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSeeded(t, prev)
+
+	// Doubled log: append the same records twice (snapshot-overlap shape,
+	// same LSNs). Replay must converge to the single-replay state.
+	path := filepath.Join(opts.Dir, logFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(raw, raw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if !reflect.DeepEqual(prev, rec) {
+		t.Fatalf("double replay diverged\nwant: %+v\ngot:  %+v", prev, rec)
+	}
+}
+
+func TestCompactionPreservesState(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	seedStore(t, s)
+	want := s.Recovered()
+	if err := s.compactNow(); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	st := s.Stats()
+	if st.Snapshots != 1 || st.LogRecords != 0 || st.LogBytes != 0 {
+		t.Fatalf("post-compaction stats = %+v", st)
+	}
+	if rec := s.Recovered(); !reflect.DeepEqual(want, rec) {
+		t.Fatalf("compaction changed live state")
+	}
+	// Mutations after the compaction land in the fresh log segment.
+	if err := s.AppendWeight(2, 9.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if !hasWeight(rec.State, 2, 9.0) {
+		t.Fatalf("post-compaction weight lost: %+v", rec.State.Weights)
+	}
+	if rec.Epoch != want.Epoch || len(rec.State.Members) != len(want.State.Members) {
+		t.Fatalf("snapshot state lost: %+v", rec)
+	}
+}
+
+func hasWeight(ss *wire.StateSync, job uint64, w float64) bool {
+	for _, jw := range ss.Weights {
+		if jw.JobID == job && jw.Weight == w {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCorruptSnapshotIsHardError(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	seedStore(t, s)
+	if err := s.compactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(opts.Dir, snapshotFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(opts); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot; state would be silently lost")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s := mustOpen(t, testOptions(t))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendWeight(1, 1); err != ErrClosed {
+		t.Fatalf("append after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	seedStore(t, s)
+	if err := s.compactNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEpoch(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := Inspect(opts.Dir, &b); err != nil {
+		t.Fatalf("Inspect: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{"snapshot:", "epoch 4", "voted 5", "log:", "lsn=", "epoch 6", "clean tail"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Inspect output missing %q:\n%s", want, out)
+		}
+	}
+	// Torn tail reported, not fatal.
+	logPath := filepath.Join(opts.Dir, logFile)
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, raw[:len(raw)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := Inspect(opts.Dir, &b); err != nil {
+		t.Fatalf("Inspect torn: %v", err)
+	}
+	if !strings.Contains(b.String(), "TORN") {
+		t.Fatalf("Inspect did not flag the torn tail:\n%s", b.String())
+	}
+}
+
+// TestConcurrentAppendCompactStress hammers the store from many goroutines
+// while compaction thresholds are tuned low enough that the flusher
+// compacts repeatedly mid-traffic. Run under -race this doubles as the
+// locking proof; afterwards a cold reopen must see every acknowledged
+// durable write and a consistent final state.
+func TestConcurrentAppendCompactStress(t *testing.T) {
+	opts := testOptions(t)
+	opts.SnapshotEvery = 64 // compact constantly
+	s := mustOpen(t, opts)
+
+	const (
+		writers = 8
+		perG    = 200
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := uint64(g + 1)
+			for i := 0; i < perG; i++ {
+				switch i % 4 {
+				case 0:
+					if err := s.AppendRegister(stageMember(id, id)); err != nil {
+						t.Errorf("register: %v", err)
+						return
+					}
+				case 1:
+					if err := s.AppendRules(uint64(i), id, []wire.Rule{rule(id, id, float64(i))}); err != nil {
+						t.Errorf("rules: %v", err)
+						return
+					}
+				case 2:
+					if err := s.AppendWeight(id, float64(i)); err != nil {
+						t.Errorf("weight: %v", err)
+						return
+					}
+				case 3:
+					// Durable appends interleave waitDurable with the
+					// flusher's compactions.
+					if err := s.AppendEpoch(uint64(i)); err != nil {
+						t.Errorf("epoch: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Sync(); err != nil {
+		t.Fatalf("final Sync: %v", err)
+	}
+	want := s.Recovered()
+	st := s.Stats()
+	if st.Snapshots == 0 {
+		t.Fatalf("no compactions ran (stats %+v); stress did not exercise the race", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2 := mustOpen(t, opts)
+	defer s2.Close()
+	rec := s2.Recovered()
+	if !reflect.DeepEqual(want, rec) {
+		t.Fatalf("reopened state differs from pre-close state")
+	}
+	if len(rec.State.Members) != writers {
+		t.Fatalf("members = %d, want %d", len(rec.State.Members), writers)
+	}
+	if rec.Epoch != perG-1 {
+		t.Fatalf("epoch = %d, want %d", rec.Epoch, perG-1)
+	}
+}

@@ -22,6 +22,10 @@ type FaultCounters struct {
 	fencedCalls     atomic.Uint64
 	reRegistrations atomic.Uint64
 	staleDrops      atomic.Uint64
+	defaultedLeases atomic.Uint64
+	elections       atomic.Uint64
+	votesGranted    atomic.Uint64
+	votesDenied     atomic.Uint64
 
 	// staleAge records the age of every quarantined-child report a degraded
 	// cycle considered — served or dropped — so operators can see how stale
@@ -81,6 +85,37 @@ func (f *FaultCounters) FencedCall() { f.fencedCalls.Add(1) }
 // ReRegistration records a known child re-registering — an orphaned child
 // re-homing to a new parent, or a reconnect after a network fault.
 func (f *FaultCounters) ReRegistration() { f.reRegistrations.Add(1) }
+
+// DefaultedLease records a StateSync that arrived without a lease duration,
+// forcing the standby to fall back to its locally configured timeout. A
+// nonzero count means primary and standby disagree about the failover
+// window — a misconfiguration worth surfacing, not silently absorbing.
+func (f *FaultCounters) DefaultedLease() { f.defaultedLeases.Add(1) }
+
+// Election records a standby starting a quorum leadership election.
+func (f *FaultCounters) Election() { f.elections.Add(1) }
+
+// Vote records this controller answering a quorum vote request.
+func (f *FaultCounters) Vote(granted bool) {
+	if granted {
+		f.votesGranted.Add(1)
+	} else {
+		f.votesDenied.Add(1)
+	}
+}
+
+// DefaultedLeases returns how many StateSyncs arrived without a lease
+// duration.
+func (f *FaultCounters) DefaultedLeases() uint64 { return f.defaultedLeases.Load() }
+
+// Elections returns how many leadership elections this controller started.
+func (f *FaultCounters) Elections() uint64 { return f.elections.Load() }
+
+// VotesGranted returns how many quorum votes this controller granted.
+func (f *FaultCounters) VotesGranted() uint64 { return f.votesGranted.Load() }
+
+// VotesDenied returns how many quorum votes this controller denied.
+func (f *FaultCounters) VotesDenied() uint64 { return f.votesDenied.Load() }
 
 // RecordControlGap records the control gap of one leadership change: the
 // time between the deposed primary's last state sync and the promoted
@@ -158,6 +193,13 @@ type FaultSummary struct {
 	// ReRegistrations counts duplicate registrations treated as reconnects
 	// or re-homings.
 	ReRegistrations uint64
+	// DefaultedLeases counts StateSyncs that arrived without a lease
+	// duration, forcing the standby onto its locally configured timeout.
+	DefaultedLeases uint64
+	// Elections counts quorum leadership elections this controller
+	// started; VotesGranted and VotesDenied count its answers to other
+	// candidates' vote requests.
+	Elections, VotesGranted, VotesDenied uint64
 	// MaxControlGap is the longest recorded per-failover control gap.
 	MaxControlGap time.Duration
 }
@@ -179,6 +221,10 @@ func (f *FaultCounters) Summarize() FaultSummary {
 		StepDowns:           f.StepDowns(),
 		FencedCalls:         f.FencedCalls(),
 		ReRegistrations:     f.ReRegistrations(),
+		DefaultedLeases:     f.DefaultedLeases(),
+		Elections:           f.Elections(),
+		VotesGranted:        f.VotesGranted(),
+		VotesDenied:         f.VotesDenied(),
 		MaxControlGap:       f.controlGap.Max(),
 	}
 }
@@ -186,10 +232,11 @@ func (f *FaultCounters) Summarize() FaultSummary {
 // String renders the summary as a single human-readable line.
 func (s FaultSummary) String() string {
 	return fmt.Sprintf(
-		"quarantines=%d readmissions=%d degraded_cycles=%d probes=%d probe_failures=%d evictions=%d stale_reports=%d stale_drops=%d mean_stale_age=%v max_stale_age=%v promotions=%d step_downs=%d fenced_calls=%d reregistrations=%d max_control_gap=%v",
+		"quarantines=%d readmissions=%d degraded_cycles=%d probes=%d probe_failures=%d evictions=%d stale_reports=%d stale_drops=%d mean_stale_age=%v max_stale_age=%v promotions=%d step_downs=%d fenced_calls=%d reregistrations=%d defaulted_leases=%d elections=%d votes_granted=%d votes_denied=%d max_control_gap=%v",
 		s.Quarantines, s.Readmissions, s.DegradedCycles, s.Probes, s.ProbeFailures,
 		s.Evictions, s.StaleReportsUsed, s.StaleReportsDropped,
 		s.MeanStaleAge.Round(time.Millisecond), s.MaxStaleAge.Round(time.Millisecond),
 		s.Promotions, s.StepDowns, s.FencedCalls, s.ReRegistrations,
+		s.DefaultedLeases, s.Elections, s.VotesGranted, s.VotesDenied,
 		s.MaxControlGap.Round(time.Millisecond))
 }

@@ -65,6 +65,10 @@ func PromFaults(w io.Writer, prefix string, f *FaultCounters, labels ...string) 
 		{"step_downs_total", s.StepDowns},
 		{"fenced_calls_total", s.FencedCalls},
 		{"reregistrations_total", s.ReRegistrations},
+		{"defaulted_leases_total", s.DefaultedLeases},
+		{"elections_total", s.Elections},
+		{"votes_granted_total", s.VotesGranted},
+		{"votes_denied_total", s.VotesDenied},
 	}
 	for _, c := range counters {
 		if err := PromCounter(w, prefix+"_"+c.name, c.value, labels...); err != nil {

@@ -42,6 +42,8 @@ func FuzzDecode(f *testing.F) {
 		&StateSyncAck{ID: 2, Epoch: 2},
 		&ReportDelta{Seq: 3, Full: true, Epoch: 2,
 			Report: StageReport{StageID: 1, JobID: 2, Demand: Rates{3, 4}, Usage: Rates{5, 6}}},
+		&VoteRequest{CandidateID: 2, Epoch: 4, Cycle: 88},
+		&LeaseGrant{VoterID: 3, Granted: true, Epoch: 4},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(nil, m))
@@ -106,6 +108,8 @@ func FuzzDecodeV2(f *testing.F) {
 			Weights: []JobWeight{{JobID: 2, Weight: 1}}},
 		&ReportDelta{Seq: 9, Epoch: 1,
 			Report: StageReport{StageID: 1, JobID: 2, Demand: Rates{3, 4.5}, Usage: Rates{0, 6}}},
+		&VoteRequest{CandidateID: 2, Epoch: 4, Cycle: 88},
+		&LeaseGrant{VoterID: 1, Granted: false, Epoch: 9},
 	}
 	for _, m := range seeds {
 		f.Add(EncodeWith(nil, m, CodecV2, nil))

@@ -62,6 +62,16 @@ const (
 	// report cache and mark the child dirty. Codec v2 only: v1 predates
 	// server-initiated frames and never sees this type.
 	TReportDelta
+	// TVoteRequest is sent by a standby whose leadership lease expired to
+	// every other controller it knows, proposing itself as primary at a
+	// new (higher) epoch. A controller grants at most one vote per epoch,
+	// persisted durably before the grant leaves the process.
+	TVoteRequest
+	// TLeaseGrant answers a vote request: Granted with the voter's vote,
+	// or a denial carrying the voter's current epoch so the candidate can
+	// catch up (a live primary denies with its own epoch, vetoing the
+	// election).
+	TLeaseGrant
 )
 
 // String returns the mnemonic name of the message type.
@@ -103,6 +113,10 @@ func (t MsgType) String() string {
 		return "StateSyncAck"
 	case TReportDelta:
 		return "ReportDelta"
+	case TVoteRequest:
+		return "VoteRequest"
+	case TLeaseGrant:
+		return "LeaseGrant"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -1037,6 +1051,76 @@ func (m *ReportDelta) Unmarshal(d *Decoder) {
 	m.Report.Usage = d.rates()
 }
 
+// VoteRequest proposes the sender as the next primary controller at Epoch.
+// A standby broadcasts it to every controller it knows when its leadership
+// lease expires; it becomes primary only after a majority of the quorum
+// (itself included — it votes for itself first) grants the proposal. Cycle
+// is the candidate's last mirrored control-cycle number: voters refuse
+// candidates that lag their own mirror, so the winner always holds the
+// freshest replicated state any voter has seen.
+type VoteRequest struct {
+	// CandidateID identifies the proposing standby.
+	CandidateID uint64
+	// Epoch is the proposed leadership epoch, strictly above every epoch
+	// the candidate has seen or voted for.
+	Epoch uint64
+	// Cycle is the candidate's last mirrored control-cycle number.
+	Cycle uint64
+}
+
+// Type implements Message.
+func (*VoteRequest) Type() MsgType { return TVoteRequest }
+
+// Marshal implements Message.
+func (m *VoteRequest) Marshal(e *Encoder) {
+	e.Uint64(m.CandidateID)
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Cycle)
+}
+
+// Unmarshal implements Message.
+func (m *VoteRequest) Unmarshal(d *Decoder) {
+	m.CandidateID = d.Uint64()
+	m.Epoch = d.Uint64()
+	m.Cycle = d.Uint64()
+}
+
+// LeaseGrant answers a VoteRequest. Granted means the voter durably
+// recorded its vote for the request's epoch and will grant no other vote at
+// or below it; Epoch then echoes the granted epoch. On denial Epoch carries
+// the voter's current leadership epoch (or the higher epoch it already
+// voted for), so a losing candidate learns how far it lags before retrying.
+type LeaseGrant struct {
+	// VoterID identifies the answering controller.
+	VoterID uint64
+	// Granted reports whether the vote was granted.
+	Granted bool
+	// Epoch is the granted epoch, or on denial the voter's view of the
+	// highest epoch in play.
+	Epoch uint64
+}
+
+// Type implements Message.
+func (*LeaseGrant) Type() MsgType { return TLeaseGrant }
+
+// Marshal implements Message.
+func (m *LeaseGrant) Marshal(e *Encoder) {
+	e.Uint64(m.VoterID)
+	var g byte
+	if m.Granted {
+		g = 1
+	}
+	e.Byte(g)
+	e.Uint64(m.Epoch)
+}
+
+// Unmarshal implements Message.
+func (m *LeaseGrant) Unmarshal(d *Decoder) {
+	m.VoterID = d.Uint64()
+	m.Granted = d.Byte() != 0
+	m.Epoch = d.Uint64()
+}
+
 // New returns a zero message of the given type, or nil if the type is
 // unknown. It is the decode-side factory used by the RPC layer.
 func New(t MsgType) Message {
@@ -1077,6 +1161,10 @@ func New(t MsgType) Message {
 		return &StateSyncAck{}
 	case TReportDelta:
 		return &ReportDelta{}
+	case TVoteRequest:
+		return &VoteRequest{}
+	case TLeaseGrant:
+		return &LeaseGrant{}
 	}
 	return nil
 }

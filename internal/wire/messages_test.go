@@ -75,6 +75,9 @@ func TestMessageRoundTrips(t *testing.T) {
 		},
 		&StateSync{PrimaryID: 1, Epoch: 3, Cycle: 0, LeaseMicros: 250_000}, // empty mirror
 		&StateSyncAck{ID: 2, Epoch: 3},
+		&VoteRequest{CandidateID: 2, Epoch: 4, Cycle: 88},
+		&LeaseGrant{VoterID: 3, Granted: true, Epoch: 4},
+		&LeaseGrant{VoterID: 1, Granted: false, Epoch: 9}, // denial with higher epoch
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -128,7 +131,7 @@ func TestDecodeHugeSliceRejected(t *testing.T) {
 }
 
 func TestNewCoversAllTypes(t *testing.T) {
-	for ty := TRegister; ty <= TStateSyncAck; ty++ {
+	for ty := TRegister; ty <= TLeaseGrant; ty++ {
 		m := New(ty)
 		if m == nil {
 			t.Errorf("New(%s) = nil", ty)
