@@ -481,6 +481,109 @@ func BenchmarkFlatCycle(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedCycle measures the sharded control plane's whole-fleet
+// cycle through the routing tier: every shard leader runs its cycle
+// concurrently and the routed cycle's cost is the slowest shard, not the
+// sum. The full variant at 10k children is the direct comparison against
+// BenchmarkFlatCycle/10k/pipelined — same fleet, same cold full cycle, four
+// leaders instead of one. The 100k quiesced-incremental variant is the
+// scale target the single controller cannot reach at all (a 100k cold fan
+// -out on one leader breaks the cycle-period budget outright): four shards
+// of 25k children each in the converged event-driven regime, where the
+// routed cycle is four concurrent dirty-set scans. BENCH_cycle.json records
+// and gates both rows.
+// shardedBenchClusters caches BenchmarkShardedCycle's fleets across the
+// trial (b.N=1) and timed runs of one `go test` process: the testing
+// package re-invokes the benchmark function per run, and rebuilding a
+// 100,000-stage fleet each time would cost more than every measurement
+// combined. The clusters are never closed — they live until process exit,
+// which is also why each sub-benchmark re-runs its quiescing protocol on
+// reuse (cheap once converged) instead of assuming pristine state.
+var shardedBenchClusters = map[string]*cluster.Cluster{}
+
+func shardedBenchCluster(b *testing.B, key string, cfg cluster.Config) *cluster.Cluster {
+	b.Helper()
+	if c, ok := shardedBenchClusters[key]; ok {
+		return c
+	}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardedBenchClusters[key] = c
+	return c
+}
+
+func BenchmarkShardedCycle(b *testing.B) {
+	b.Run("10k/4shards/full", func(b *testing.B) {
+		c := shardedBenchCluster(b, "10k-full", cluster.Config{
+			Topology:   cluster.Flat,
+			Stages:     10000,
+			Shards:     4,
+			FanOutMode: sdscale.FanOutPipelined,
+			MaxCodec:   benchCodec(),
+			Net:        simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+		})
+		ctx := context.Background()
+		if _, err := c.RunControlCycle(ctx); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("100k/4shards/quiesced-incremental", func(b *testing.B) {
+		c := shardedBenchCluster(b, "100k-quiesced", cluster.Config{
+			Topology:         cluster.Flat,
+			Stages:           100000,
+			Shards:           4,
+			FanOutMode:       sdscale.FanOutPipelined,
+			DeltaEnforcement: true,
+			Incremental:      true,
+			IncrementalFloor: time.Hour,
+			PushFloor:        time.Hour,
+			// In production the 100k stage-side push samplers run on 100k
+			// separate compute nodes; at the default 100ms interval this
+			// in-process fleet would take one million samples per second on
+			// the benchmark host and the measurement would be sampler
+			// scheduling, not the routed cycle. A long interval models
+			// "stage CPU lives elsewhere" — the controllers' quiesced scan,
+			// the quantity under measure, is unaffected (the workload is
+			// constant, so the samplers would push nothing either way).
+			PushInterval: time.Hour,
+			Workload:     sdscale.ConstantWorkload{Rates: sdscale.Rates{1000, 100}},
+			MaxCodec:     benchCodec(),
+			Net:          simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+		})
+		ctx := context.Background()
+		// Same quiescing protocol as FlatCycle/10k/quiesced-incremental:
+		// converge the rules, wait out the stages' push cadence, drain the
+		// one-time clamp deltas.
+		for i := 0; i < 3; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		time.Sleep(250 * time.Millisecond)
+		for i := 0; i < 2; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFlatCycleTraced is BenchmarkFlatCycle's 1k configurations with
 // span tracing enabled: the delta against the untraced run is the tracing
 // overhead (budgeted under 2%; TestTracingOverheadUnderBudget enforces it).

@@ -1,0 +1,269 @@
+// Command apilint flags uses of deprecated sdscale API inside the
+// repository itself.
+//
+// The façade keeps old per-counter accessors (Global.NumQuarantined,
+// Aggregator.ReHomes, ...) as deprecated delegating wrappers so downstream
+// users migrate on their own schedule — but the repository's own code must
+// not keep exercising them, or the deprecation never completes. gofmt-style
+// name matching cannot tell Global.FencedCalls (deprecated) from
+// VirtualStage.FencedCalls (current API), so apilint resolves real types:
+//
+//  1. Parse every module package and collect functions and methods whose
+//     doc comment carries a "Deprecated:" paragraph (the standard godoc
+//     convention) — the deprecated set is discovered, never hardcoded.
+//  2. Type-check every module package against export data from
+//     `go list -deps -export -json` (stdlib tooling only) and report each
+//     reference that resolves to a member of that set.
+//
+// The declaring package is exempt (the wrappers must reference themselves),
+// as are _test.go files (tests pin the wrappers' delegation on purpose).
+//
+// Usage:
+//
+//	go run ./cmd/apilint [packages]   # default ./...
+//
+// Exit status: 0 clean, 1 deprecated uses found, 2 operational errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apilint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "apilint: %d use(s) of deprecated API\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// listedPackage is the subset of `go list -json` output apilint needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+func run(patterns []string) ([]string, error) {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Module packages are the ones we parse; everything else is imported
+	// from export data.
+	var module []*listedPackage
+	exports := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && !p.Standard {
+			module = append(module, p)
+		}
+	}
+	sort.Slice(module, func(i, j int) bool { return module[i].ImportPath < module[j].ImportPath })
+
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File, len(module))
+	for _, p := range module {
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			parsed[p.ImportPath] = append(parsed[p.ImportPath], f)
+		}
+	}
+
+	deprecated := collectDeprecated(parsed)
+	if len(deprecated) == 0 {
+		return nil, nil
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var findings []string
+	for _, p := range module {
+		files := parsed[p.ImportPath]
+		info := &types.Info{
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Uses:       make(map[*ast.Ident]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		if _, err := conf.Check(p.ImportPath, fset, files, info); err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", p.ImportPath, err)
+		}
+		for sel, selection := range info.Selections {
+			if selection.Kind() != types.MethodVal && selection.Kind() != types.MethodExpr {
+				continue
+			}
+			obj := selection.Obj()
+			key := methodKey(obj)
+			note, ok := deprecated[key]
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() == p.ImportPath {
+				continue
+			}
+			pos := fset.Position(sel.Sel.Pos())
+			findings = append(findings, fmt.Sprintf("%s: %s is deprecated: %s", rel(pos), key, note))
+		}
+		for id, obj := range info.Uses {
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				continue // methods are handled via Selections
+			}
+			note, ok := deprecated[methodKey(fn)]
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() == p.ImportPath {
+				continue
+			}
+			pos := fset.Position(id.Pos())
+			findings = append(findings, fmt.Sprintf("%s: %s is deprecated: %s", rel(pos), methodKey(fn), note))
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// collectDeprecated walks the parsed module packages and returns
+// key → deprecation note for every function or method whose doc comment
+// contains a "Deprecated:" paragraph. Keys match methodKey's format.
+func collectDeprecated(parsed map[string][]*ast.File) map[string]string {
+	out := make(map[string]string)
+	for pkgPath, files := range parsed {
+		for _, f := range files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Doc == nil {
+					continue
+				}
+				note, ok := deprecationNote(fn.Doc.Text())
+				if !ok {
+					continue
+				}
+				key := pkgPath + "." + fn.Name.Name
+				if fn.Recv != nil && len(fn.Recv.List) == 1 {
+					key = pkgPath + "." + recvTypeName(fn.Recv.List[0].Type) + "." + fn.Name.Name
+				}
+				out[key] = note
+			}
+		}
+	}
+	return out
+}
+
+// deprecationNote extracts the text of a doc comment's Deprecated paragraph,
+// per the godoc convention (a paragraph starting with "Deprecated: ").
+func deprecationNote(doc string) (string, bool) {
+	for _, para := range strings.Split(doc, "\n\n") {
+		para = strings.TrimSpace(strings.ReplaceAll(para, "\n", " "))
+		if rest, ok := strings.CutPrefix(para, "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+func recvTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	}
+	return "?"
+}
+
+// methodKey renders a types.Func as pkgpath.Recv.Name (or pkgpath.Name for
+// plain functions), matching collectDeprecated's keys.
+func methodKey(obj types.Object) string {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig := fn.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return fn.Pkg().Path() + "." + named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+func rel(pos token.Position) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			return fmt.Sprintf("%s:%d:%d", r, pos.Line, pos.Column)
+		}
+	}
+	return pos.String()
+}
+
+// goList runs `go list -deps -export -json` over the patterns and decodes
+// the package stream. -export compiles (cached) export data for every
+// package, which is what lets apilint type-check without loading any
+// dependency from source.
+func goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

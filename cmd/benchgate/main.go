@@ -51,6 +51,7 @@ func main() {
 	report, failed := gate(results, baseline, *threshold)
 	fmt.Print(report)
 	if failed {
+		fmt.Print(deltaTable(results, baseline, *threshold, *baselinePath))
 		os.Exit(1)
 	}
 }
@@ -225,6 +226,47 @@ func gate(results map[string]*benchResult, baseline map[string]baselineEntry, th
 			bytesUngated, compared)
 	}
 	return b.String(), failed
+}
+
+// deltaTable renders every compared benchmark as one row per metric —
+// baseline vs current with the percentage change and that metric's verdict —
+// so a failing run shows the whole picture instead of only the first
+// offending line. Printed after the gate report when the gate fails.
+func deltaTable(results map[string]*benchResult, baseline map[string]baselineEntry, threshold float64, baselinePath string) string {
+	names := make([]string, 0, len(results))
+	for name := range results {
+		if _, ok := baseline[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "\nper-metric deltas vs %s (gate limit +%.0f%% on allocs/op and B/op; ns/op advisory):\n", baselinePath, 100*threshold)
+	fmt.Fprintf(&b, "%-36s %-10s %14s %14s %9s  %s\n", "benchmark", "metric", "baseline", "current", "delta", "verdict")
+	row := func(name, metric string, base, cur float64, gated bool) {
+		delta := frac(cur, base)
+		verdict := "ok"
+		switch {
+		case !gated && base == 0:
+			verdict = "not gated (no baseline)"
+		case !gated:
+			verdict = "advisory"
+			if delta > threshold {
+				verdict = "advisory — regressed"
+			}
+		case delta > threshold:
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-36s %-10s %14.0f %14.0f %+8.1f%%  %s\n", name, metric, base, cur, 100*delta, verdict)
+	}
+	for _, name := range names {
+		res, base := results[name], baseline[name]
+		row(name, "allocs/op", float64(base.AllocsOp), float64(res.allocsOp), true)
+		row("", "B/op", float64(base.BytesOp), float64(res.bytesOp), base.BytesOp > 0)
+		row("", "ns/op", float64(base.NsPerOp), res.nsPerOp, false)
+	}
+	return b.String()
 }
 
 func frac(got, base float64) float64 {

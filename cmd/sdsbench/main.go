@@ -14,8 +14,8 @@
 //	sdsbench -exp fig4 -mincycles 20  # tighter statistics
 //
 // Experiments: table1, fig4, table2, fig5, table3, fig6, table4,
-// connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta, all.
-// Figure/table pairs that share a run (fig4+table2, fig5+table3,
+// connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta,
+// shard, all. Figure/table pairs that share a run (fig4+table2, fig5+table3,
 // fig6+table4) are measured once when both are requested. The chaos,
 // failover, pipeline, and tracebreak experiments are not from the paper:
 // chaos fault-injects the flat deployment (partition flaps on 10% of its
@@ -30,7 +30,11 @@
 // /debug/pprof and /debug/trace while it runs; delta checks the
 // event-driven incremental control mode enforces the same rules as the
 // full collect sweep under bursty demand while suppressing the collect
-// fan-out once demand quiesces.
+// fan-out once demand quiesces; shard partitions the fleet across four
+// concurrently active shard leaders behind the routing tier, crashes one
+// leader mid-run, and checks the surviving shards' cycle latency is
+// undisturbed while the dead shard recovers through its own quorum
+// election with every child and rule intact.
 package main
 
 import (
@@ -52,7 +56,7 @@ func main() {
 	// paper reports <6% relative stddev).
 	debug.SetGCPercent(400)
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta, all")
+		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta, shard, all")
 		scale       = flag.Float64("scale", 1.0, "node-count scale factor in (0, 1]")
 		minCycles   = flag.Int("mincycles", 5, "minimum measured control cycles per configuration")
 		minDuration = flag.Duration("minduration", 2*time.Second, "minimum measurement window per configuration")
@@ -124,7 +128,7 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		"all": true, "table1": true, "fig4": true, "table2": true,
 		"fig5": true, "table3": true, "fig6": true, "table4": true,
 		"connlimit": true, "coordflat": true, "chaos": true, "failover": true,
-		"pipeline": true, "tracebreak": true, "delta": true,
+		"pipeline": true, "tracebreak": true, "delta": true, "shard": true,
 	}
 	if !known[exp] {
 		return nil, fmt.Errorf("unknown experiment %q", exp)
@@ -246,6 +250,14 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		}
 		experiment.PrintDelta(opts, r)
 		verdict("delta", experiment.CheckDelta(r))
+	}
+	if want("shard") {
+		r, err := experiment.Shard(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		experiment.PrintShard(opts, r)
+		verdict("shard", experiment.CheckShard(r))
 	}
 	return all, nil
 }

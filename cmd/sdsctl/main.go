@@ -31,6 +31,15 @@
 //	sdsctl store inspect <dir>
 //	    Print the snapshot, write-ahead log records, and recovered state of
 //	    a controller data directory (offline; the controller need not run).
+//
+//	sdsctl topology -stages 10000 -shards 4 -standbys 2 [-validate] [-cycles 5]
+//	    Validate a declarative deployment spec (sdscale.Topology) and dry-run
+//	    it on the in-process simulated network: build the deployment, run a
+//	    few control cycles, and print the shard route table and per-shard
+//	    stats. Use it to check a spec — shard counts, standby quorums,
+//	    aggregator fan-in — before wiring real hosts with the per-role
+//	    commands above, which are the manual-assembly path to the same
+//	    deployment.
 package main
 
 import (
@@ -43,6 +52,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/dsrhaslab/sdscale"
 	"github.com/dsrhaslab/sdscale/internal/controlalg"
 	"github.com/dsrhaslab/sdscale/internal/controller"
 	"github.com/dsrhaslab/sdscale/internal/monitor"
@@ -75,6 +85,8 @@ func main() {
 		err = runStages(ctx, os.Args[2:])
 	case "store":
 		err = runStore(os.Args[2:])
+	case "topology":
+		err = runTopology(ctx, os.Args[2:])
 	case "top500":
 		fmt.Print(top500.Table())
 	case "-h", "--help", "help":
@@ -90,7 +102,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sdsctl <global|aggregator|peer|stages|store|top500> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sdsctl <global|aggregator|peer|stages|store|topology|top500> [flags]
 run "sdsctl <role> -h" for role-specific flags`)
 }
 
@@ -418,6 +430,79 @@ func runStore(args []string) error {
 	default:
 		return fmt.Errorf("store: unknown subcommand %q (want inspect)", args[0])
 	}
+}
+
+// runTopology validates a declarative sdscale.Topology spec and dry-runs it
+// as a simulated deployment: the fastest way to sanity-check a spec before
+// assembling the same deployment role by role over TCP.
+func runTopology(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("topology", flag.ExitOnError)
+	stages := fs.Int("stages", 1000, "fleet size (one virtual stage per simulated compute node)")
+	jobs := fs.Int("jobs", 16, "jobs the stages are spread over")
+	shards := fs.Int("shards", 1, "concurrently active shard leaders the fleet is partitioned across")
+	standbys := fs.Int("standbys", 0, "warm standbys per shard (at most 2; 2 = majority quorum)")
+	fanIn := fs.Int("fanin", 0, "stages per aggregator (hierarchical design; exclusive with -shards > 1)")
+	capacity := fs.String("capacity", "1000000,100000", "PFS capacity as data,meta ops/s")
+	cycles := fs.Int("cycles", 5, "control cycles to run in the dry-run")
+	validateOnly := fs.Bool("validate", false, "validate the spec and exit without building anything")
+	fs.Parse(args)
+
+	cap, err := parseRates(*capacity)
+	if err != nil {
+		return err
+	}
+	spec := sdscale.Topology{
+		Stages:          *stages,
+		Jobs:            *jobs,
+		Shards:          *shards,
+		Standbys:        *standbys,
+		AggregatorFanIn: *fanIn,
+		Capacity:        cap,
+		Net:             sdscale.ExperimentNet(),
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	fmt.Printf("topology spec valid: %d stages, %d jobs, %d shard(s), %d standby(s)/shard",
+		*stages, *jobs, *shards, *standbys)
+	if *fanIn > 0 {
+		fmt.Printf(", aggregator fan-in %d (%d aggregators)", *fanIn, (*stages+*fanIn-1) / *fanIn)
+	}
+	fmt.Println()
+	if *validateOnly {
+		return nil
+	}
+
+	start := time.Now()
+	d, err := sdscale.StartTopology(spec)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	fmt.Printf("built simulated deployment in %v\n", time.Since(start).Round(time.Millisecond))
+
+	for i := 0; i < *cycles; i++ {
+		if _, err := d.RunCycle(ctx); err != nil {
+			return fmt.Errorf("cycle %d: %w", i+1, err)
+		}
+	}
+	fmt.Println()
+	fmt.Print(d.Summary().String())
+
+	st := d.Stats()
+	fmt.Printf("\nshard route table (%d shard(s), max epoch %d):\n", st.Shards, st.MaxEpoch)
+	for i, cs := range st.PerShard {
+		fmt.Printf("  shard %d: epoch %d, %d children, %d quarantined, %d call errors\n",
+			i, cs.Epoch, cs.Children, cs.Quarantined, cs.CallErrors)
+	}
+	if st.Shards > 1 {
+		fmt.Println("\nsample placement (stage -> shard):")
+		for _, id := range []uint64{1, uint64(*stages / 2), uint64(*stages)} {
+			s, _ := d.Route(id)
+			fmt.Printf("  stage %-8d -> shard %d\n", id, s)
+		}
+	}
+	return nil
 }
 
 func logf(format string, args ...any) {

@@ -13,6 +13,11 @@
 // PSFA reassigns the leftover to job 1 — no false allocation. The program
 // prints the allocation timeline so the adaptation is visible.
 //
+// This example uses manual assembly (StartVirtualStage + StartGlobal +
+// AddStage) because its two stages need different workload generators —
+// per-stage knobs a declarative sdscale.Topology does not expose. For
+// uniform fleets, prefer sdscale.StartTopology.
+//
 // Run with:
 //
 //	go run ./examples/burst

@@ -20,6 +20,13 @@
 //     stage reject the old primary's messages, forcing it to step down
 //     instead of split-braining the rule set.
 //
+// This example deliberately assembles every role by hand (StartVirtualStage,
+// StartGlobal, AddStage, an explicitly wired standby) so each act of the
+// failure story is visible. Declaratively, act 5's wiring is
+// sdscale.StartTopology(sdscale.Topology{..., Standbys: 1}) — and
+// Standbys: 2 per shard with Shards > 1 gives every shard its own majority
+// quorum (see sdsbench -exp shard).
+//
 // Run with:
 //
 //	go run ./examples/failover

@@ -1,16 +1,18 @@
-// Hierarchical: the paper's §IV-B experiment in one program.
+// Hierarchical: the paper's §IV-B experiment in one program — plus the
+// sharded design the paper's scaling question leads to.
 //
 // Builds a 10,000-node simulated infrastructure (each "compute node" runs
-// one virtual data-plane stage, as in the paper) behind a configurable
-// number of aggregator controllers, runs the stress workload — control
-// cycles back-to-back — and prints the cycle-latency breakdown and the
-// per-role resource usage that Figures 5 and Table III report.
+// one virtual data-plane stage, as in the paper) from one declarative
+// Topology spec, runs the stress workload — control cycles back-to-back —
+// and prints the cycle-latency breakdown and the per-role resource usage
+// that Figure 5 and Table III report. The same flag surface also selects
+// the flat design and the sharded multi-leader design, because they are
+// all one spec:
 //
-// Run with:
-//
-//	go run ./examples/hierarchical                  # 10,000 nodes, 4 aggregators
-//	go run ./examples/hierarchical -nodes 2500 -aggregators 1
+//	go run ./examples/hierarchical                  # 10,000 nodes, fan-in 2500 (4 aggregators)
+//	go run ./examples/hierarchical -fanin 500       # 20 aggregators
 //	go run ./examples/hierarchical -flat -nodes 2500
+//	go run ./examples/hierarchical -shards 4        # 4 concurrent shard leaders
 package main
 
 import (
@@ -25,53 +27,83 @@ import (
 
 func main() {
 	var (
-		nodes       = flag.Int("nodes", 10000, "simulated compute nodes (one stage each)")
-		aggregators = flag.Int("aggregators", 4, "aggregator controllers (hierarchical)")
-		flat        = flag.Bool("flat", false, "use the flat design instead (requires nodes <= connection limit)")
-		duration    = flag.Duration("duration", 10*time.Second, "stress-workload measurement window")
-		jobs        = flag.Int("jobs", 16, "jobs the stages are spread over")
+		nodes    = flag.Int("nodes", 10000, "simulated compute nodes (one stage each)")
+		fanIn    = flag.Int("fanin", 2500, "stages per aggregator (hierarchical)")
+		flat     = flag.Bool("flat", false, "use the flat design instead (requires nodes <= connection limit)")
+		shards   = flag.Int("shards", 0, "partition the fleet across this many shard leaders (flat, routed)")
+		duration = flag.Duration("duration", 10*time.Second, "stress-workload measurement window")
+		jobs     = flag.Int("jobs", 16, "jobs the stages are spread over")
 	)
 	flag.Parse()
 
-	cfg := sdscale.ClusterConfig{
-		Topology:    sdscale.Hierarchical,
-		Stages:      *nodes,
-		Jobs:        *jobs,
-		Aggregators: *aggregators,
-		Net:         sdscale.ExperimentNet(),
+	spec := sdscale.Topology{
+		Stages:          *nodes,
+		Jobs:            *jobs,
+		AggregatorFanIn: *fanIn,
+		Net:             sdscale.ExperimentNet(),
 	}
-	if *flat {
-		cfg.Topology = sdscale.Flat
-		cfg.Aggregators = 0
+	design := "hierarchical"
+	switch {
+	case *shards > 1:
+		spec.AggregatorFanIn = 0
+		spec.Shards = *shards
+		design = "sharded"
+	case *flat:
+		spec.AggregatorFanIn = 0
+		design = "flat"
 	}
 
-	fmt.Printf("building %s control plane over %d nodes", cfg.Topology, *nodes)
-	if cfg.Topology == sdscale.Hierarchical {
-		fmt.Printf(" (%d aggregators, %d nodes each)", *aggregators, (*nodes+*aggregators-1) / *aggregators)
+	fmt.Printf("building %s control plane over %d nodes", design, *nodes)
+	switch design {
+	case "hierarchical":
+		aggs := (*nodes + *fanIn - 1) / *fanIn
+		fmt.Printf(" (%d aggregators, %d nodes each)", aggs, *fanIn)
+	case "sharded":
+		fmt.Printf(" (%d shard leaders, ~%d nodes each)", *shards, *nodes / *shards)
 	}
 	fmt.Println(" ...")
 
 	start := time.Now()
-	c, err := sdscale.BuildCluster(cfg)
+	d, err := sdscale.StartTopology(spec)
 	if err != nil {
 		log.Fatalf("build: %v", err)
 	}
-	defer c.Close()
+	defer d.Close()
 	fmt.Printf("built in %v; running stress workload for %v\n\n", time.Since(start).Round(time.Millisecond), *duration)
 
-	uc := sdscale.NewUsageCollector(c)
-	uc.Start()
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
-	c.Global.Run(ctx, 0) // stress: cycles back-to-back (paper §III-C)
+	if design == "sharded" {
+		// Stress the routing tier: whole-deployment cycles back-to-back,
+		// every shard leader cycling concurrently. The recorded breakdown
+		// is the slowest shard per cycle — the deployment's wall clock.
+		for ctx.Err() == nil {
+			if _, err := d.RunCycle(ctx); err != nil && ctx.Err() == nil {
+				log.Fatalf("cycle: %v", err)
+			}
+		}
+		fmt.Print(d.Summary().String())
+		st := d.Stats()
+		fmt.Printf("\nper-shard fleet (epoch, children):\n")
+		for i, cs := range st.PerShard {
+			fmt.Printf("  shard %d: epoch %d, %d children, %d quarantined\n",
+				i, cs.Epoch, cs.Children, cs.Quarantined)
+		}
+		fmt.Printf("\n(four shards cut the per-leader fan-out 4x; the routed cycle is the\n")
+		fmt.Printf(" slowest shard, so latency tracks the biggest shard, not the fleet)\n")
+		return
+	}
+
+	uc := sdscale.NewUsageCollector(d.Cluster())
+	uc.Start()
+	d.Cluster().Global.Run(ctx, 0) // stress: cycles back-to-back (paper §III-C)
 	global, agg, elapsed := uc.Stop()
 
-	s := c.Global.Recorder().Summarize()
-	fmt.Print(s.String())
+	fmt.Print(d.Summary().String())
 	fmt.Printf("\nresource usage over %v:\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  global:              CPU %5.2f%%  mem %6.3f GB  tx %6.2f MB/s  rx %6.2f MB/s\n",
 		global.CPUPercent, global.MemGB(), global.TxMBps, global.RxMBps)
-	if cfg.Topology == sdscale.Hierarchical {
+	if design == "hierarchical" {
 		fmt.Printf("  per-aggregator mean: CPU %5.2f%%  mem %6.3f GB  tx %6.2f MB/s  rx %6.2f MB/s\n",
 			agg.CPUPercent, agg.MemGB(), agg.TxMBps, agg.RxMBps)
 	}

@@ -14,6 +14,11 @@
 // opens stall behind it. With the control plane on, PSFA arbitrates the
 // metadata class while leaving both jobs' data classes unconstrained.
 //
+// This example uses manual assembly (StartEnforcingStage + StartGlobal)
+// because it runs enforcing stages against a PFS simulator with per-stage
+// weights — below the uniform virtual fleets sdscale.StartTopology
+// declares.
+//
 // Run with:
 //
 //	go run ./examples/metadata

@@ -12,6 +12,12 @@
 //     every 100 ms and retunes per-stage limits; sustained throughput
 //     converges to the 1:2:4 weighted shares.
 //
+// This example uses manual assembly (StartEnforcingStage + StartGlobal +
+// AddStage): its stages are enforcing stages on a real PFS-simulator I/O
+// path with per-job QoS weights, which the uniform fleets of
+// sdscale.StartTopology do not model. Start with examples/quickstart for
+// the declarative path.
+//
 // Run with:
 //
 //	go run ./examples/priority

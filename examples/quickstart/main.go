@@ -1,11 +1,19 @@
-// Quickstart: the smallest complete sdscale control plane.
+// Quickstart: the smallest complete sdscale control plane, declared as a
+// Topology.
 //
-// Four virtual data-plane stages serving two jobs run on a simulated
-// network. A flat global controller collects their demand, runs the PSFA
-// algorithm against a configured PFS capacity, and enforces per-stage
-// limits. The PFS is oversubscribed 2:1, so PSFA halves every stage's
-// admitted rate; job 2 carries twice the weight of job 1 and receives twice
-// the IOPS.
+// One spec — four virtual data-plane stages over two jobs, one shard, a
+// configured PFS capacity — is handed to StartTopology, which builds the
+// simulated network, the stages, and the controller, and returns the
+// running Deployment. The PFS is oversubscribed 2:1 (4,000 IOPS demanded,
+// 2,000 admitted), so the PSFA algorithm halves every stage's admitted
+// rate; the four limits sum exactly to the capacity.
+//
+// The same deployment scales out declaratively: Shards: 4 partitions the
+// fleet across four concurrently active controllers behind a routing tier,
+// Standbys: 2 gives each shard a warm quorum, AggregatorFanIn picks the
+// paper's hierarchical design instead. For wiring roles one by one — custom
+// per-stage weights, mixed workloads — see the manual-assembly examples
+// (burst, failover, metadata, priority).
 //
 // Run with:
 //
@@ -21,49 +29,26 @@ import (
 )
 
 func main() {
-	net := sdscale.NewSimNet(sdscale.SimNetConfig{})
 	ctx := context.Background()
 
-	// Data plane: four stages, two per job; every stage demands 1,000
-	// data IOPS and 100 metadata ops/s.
-	var stages []*sdscale.VirtualStage
-	for i := 0; i < 4; i++ {
-		st, err := sdscale.StartVirtualStage(sdscale.StageConfig{
-			ID:     uint64(i + 1),
-			JobID:  uint64(i%2 + 1),  // stages 1,3 -> job 1; 2,4 -> job 2
-			Weight: float64(i%2 + 1), // job 1 weight 1, job 2 weight 2
-			Generator: sdscale.ConstantWorkload{
-				Rates: sdscale.Rates{1000, 100},
-			},
-			Network: net.Host(fmt.Sprintf("stage-%d", i+1)),
-		})
-		if err != nil {
-			log.Fatalf("start stage: %v", err)
-		}
-		defer st.Close()
-		stages = append(stages, st)
-	}
-
-	// Control plane: one flat global controller. Total demand is 4,000
-	// data IOPS; capacity is 2,000, so the PSFA algorithm must arbitrate.
-	global, err := sdscale.StartGlobal(sdscale.GlobalConfig{
-		Network:   net.Host("controller"),
-		Algorithm: sdscale.PSFA(),
-		Capacity:  sdscale.Rates{2000, 200},
+	// The whole deployment in one declarative spec: every stage demands
+	// 1,000 data IOPS and 100 metadata ops/s; the controller may admit
+	// half of that.
+	d, err := sdscale.StartTopology(sdscale.Topology{
+		Stages:   4,
+		Jobs:     2,
+		Shards:   1, // the classic single global controller
+		Workload: sdscale.ConstantWorkload{Rates: sdscale.Rates{1000, 100}},
+		Capacity: sdscale.Rates{2000, 200},
 	})
 	if err != nil {
-		log.Fatalf("start controller: %v", err)
+		log.Fatalf("start topology: %v", err)
 	}
-	defer global.Close()
-	for _, st := range stages {
-		if err := global.AddStage(ctx, st.Info()); err != nil {
-			log.Fatalf("attach stage: %v", err)
-		}
-	}
+	defer d.Close()
 
 	// Run a few control cycles and watch the rules converge.
 	for cycle := 1; cycle <= 3; cycle++ {
-		b, err := global.RunCycle(ctx)
+		b, err := d.RunCycle(ctx)
 		if err != nil {
 			log.Fatalf("cycle %d: %v", cycle, err)
 		}
@@ -71,16 +56,22 @@ func main() {
 			cycle, b.Collect, b.Compute, b.Enforce)
 	}
 
-	fmt.Println("\nper-stage enforcement (PSFA, weighted 1:2, capacity 2000 data IOPS):")
-	for _, st := range stages {
+	fmt.Println("\nper-stage enforcement (PSFA, 2:1 oversubscribed, capacity 2000 data IOPS):")
+	for _, st := range d.Cluster().Stages {
 		rule, ok := st.LastRule()
 		if !ok {
 			log.Fatalf("stage %d got no rule", st.Info().ID)
 		}
-		fmt.Printf("  stage %d (job %d): data %6.1f IOPS, meta %5.1f ops/s\n",
-			rule.StageID, rule.JobID,
+		shard, _ := d.Route(rule.StageID)
+		fmt.Printf("  stage %d (job %d, shard %d): data %6.1f IOPS, meta %5.1f ops/s\n",
+			rule.StageID, rule.JobID, shard,
 			rule.Limit[sdscale.ClassData], rule.Limit[sdscale.ClassMeta])
 	}
-	fmt.Println("\njob 2's stages receive 2x job 1's allocation — weights honored;")
+
+	// One unified snapshot for the whole deployment, however many shards.
+	st := d.Stats()
+	fmt.Printf("\ndeployment: %d shard(s), %d children, epoch %d, %d quarantined\n",
+		st.Shards, st.Children, st.MaxEpoch, st.Quarantined)
+	fmt.Println("every limit is half its demand — PSFA arbitrated the 2:1 oversubscription;")
 	fmt.Println("the four limits sum to the configured capacity — work conserving.")
 }

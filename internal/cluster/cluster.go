@@ -18,6 +18,7 @@ import (
 	"github.com/dsrhaslab/sdscale/internal/controlalg"
 	"github.com/dsrhaslab/sdscale/internal/controller"
 	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/shard"
 	"github.com/dsrhaslab/sdscale/internal/stage"
 	"github.com/dsrhaslab/sdscale/internal/store"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
@@ -72,6 +73,21 @@ type Config struct {
 	// Zero selects ceil(Stages/2500), the minimum imposed by the
 	// connection limit (§IV-B).
 	Aggregators int
+	// Shards partitions the fleet across this many concurrently active
+	// global controllers (Flat topology only): each shard is a full
+	// controller group — its own leader, and with Standbys set its own
+	// per-shard quorum and stores — and a shard.Router is installed as the
+	// routing tier (Cluster.Router). Zero or one keeps the single-Global
+	// deployment.
+	Shards int
+	// Placement overrides the consistent-hash child placement when
+	// Shards > 1: it must map every stage ID to a shard in [0, Shards).
+	// Incompatible with Standbys (see validateSharded). Nil selects the
+	// default ring.
+	Placement func(childID uint64) int
+	// VirtualNodes tunes the default placement ring's granularity
+	// (Shards > 1 only); zero selects shard.DefaultVirtualNodes.
+	VirtualNodes int
 	// Workload generates per-stage demand. Nil selects the paper's stress
 	// workload.
 	Workload workload.Generator
@@ -283,6 +299,12 @@ type Cluster struct {
 	Aggregators []*controller.Aggregator
 	// Peers is the controller set of the Coordinated topology.
 	Peers []*controller.Peer
+	// Globals lists every shard leader, index-aligned with their shards
+	// (Config.Shards > 1 only; the single-Global deployments use Global).
+	Globals []*controller.Global
+	// Router is the routing tier over the shard leaders (Config.Shards > 1
+	// only): per-child routing, cross-shard fan-out, handoff, rebalance.
+	Router *shard.Router
 	// Stages is the virtual-stage fleet.
 	Stages []*stage.Virtual
 
@@ -296,6 +318,8 @@ type Cluster struct {
 	// PeerRoles instruments each coordinated peer, index-aligned with
 	// Peers.
 	PeerRoles []Roles
+	// ShardRoles instruments each shard leader, index-aligned with Globals.
+	ShardRoles []Roles
 	// Trace holds the deployment's tracers (Config.Tracing only).
 	Trace *ClusterTrace
 
@@ -310,6 +334,9 @@ func Build(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Stages <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one stage, got %d", cfg.Stages)
+	}
+	if err := validateSharded(cfg); err != nil {
+		return nil, err
 	}
 	c := &Cluster{cfg: cfg, Net: simnet.New(cfg.Net)}
 	if err := c.build(); err != nil {
@@ -365,6 +392,10 @@ func (c *Cluster) build() error {
 	c.recorder = telemetry.NewCycleRecorder()
 	if cfg.Tracing {
 		c.Trace = &ClusterTrace{Stages: c.newTracer()}
+	}
+
+	if cfg.Shards > 1 {
+		return c.buildSharded()
 	}
 
 	if cfg.Standby {
@@ -744,10 +775,18 @@ func (c *Cluster) buildCoordinated(ctx context.Context) error {
 func (c *Cluster) Config() Config { return c.cfg }
 
 // RunControlCycle executes one control round across the whole deployment:
-// the global controller's cycle (Flat/Hierarchical), or one concurrent
-// cycle on every peer (Coordinated). For coordinated clusters the mean of
-// the peers' phase breakdowns is recorded as the round's latency.
+// the global controller's cycle (Flat/Hierarchical), one concurrent cycle
+// on every shard leader (Shards > 1, merged as per-phase maxima since the
+// shards overlap in time), or one concurrent cycle on every peer
+// (Coordinated, recorded as the peers' mean).
 func (c *Cluster) RunControlCycle(ctx context.Context) (telemetry.Breakdown, error) {
+	if c.Router != nil {
+		b, err := c.Router.RunCycle(ctx)
+		if err == nil {
+			c.recorder.Record(b)
+		}
+		return b, err
+	}
 	if c.Global != nil {
 		return c.Global.RunCycle(ctx)
 	}
@@ -798,6 +837,9 @@ func (c *Cluster) Recorder() *telemetry.CycleRecorder {
 func (c *Cluster) Close() {
 	if c.Global != nil {
 		c.Global.Close()
+	}
+	for _, g := range c.Globals {
+		g.Close()
 	}
 	for _, sb := range c.Standbys {
 		sb.Close()

@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+func TestBuildSharded(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 120, Jobs: 4, Shards: 4, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if c.Global != nil {
+		t.Error("sharded cluster should not have a single Global")
+	}
+	if len(c.Globals) != 4 {
+		t.Fatalf("shard leaders = %d, want 4", len(c.Globals))
+	}
+	if c.Router == nil {
+		t.Fatal("sharded cluster has no router")
+	}
+	total := 0
+	for s, g := range c.Globals {
+		n := g.NumChildren()
+		if n == 0 {
+			t.Errorf("shard %d owns no children", s)
+		}
+		total += n
+	}
+	if total != 120 {
+		t.Fatalf("fleet children = %d, want 120", total)
+	}
+	if st := c.Router.Stats(); st.Children != 120 || st.Stages != 120 {
+		t.Errorf("router stats children=%d stages=%d, want 120/120", st.Children, st.Stages)
+	}
+
+	if _, err := c.RunControlCycle(context.Background()); err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+	for i, v := range c.Stages {
+		if _, ok := v.LastRule(); !ok {
+			t.Fatalf("stage %d got no rule", i)
+		}
+	}
+	if c.Recorder().Cycles() != 1 {
+		t.Errorf("recorded cycles = %d, want 1", c.Recorder().Cycles())
+	}
+}
+
+func TestBuildShardedWithStandbys(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 40, Jobs: 4, Shards: 2, Standbys: 1, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if len(c.Globals) != 2 || len(c.Standbys) != 2 {
+		t.Fatalf("leaders = %d standbys = %d, want 2/2", len(c.Globals), len(c.Standbys))
+	}
+	total := 0
+	for _, g := range c.Globals {
+		total += g.NumChildren()
+	}
+	if total != 40 {
+		t.Fatalf("fleet children = %d, want 40", total)
+	}
+	if _, err := c.RunControlCycle(context.Background()); err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+}
+
+func TestShardedCustomPlacement(t *testing.T) {
+	c, err := Build(Config{
+		Topology:  Flat,
+		Stages:    10,
+		Jobs:      2,
+		Shards:    2,
+		Placement: func(id uint64) int { return int(id % 2) },
+		Net:       fastNet(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// IDs 1..10: five odd (shard 1), five even (shard 0).
+	if n := c.Globals[0].NumChildren(); n != 5 {
+		t.Errorf("shard 0 children = %d, want 5", n)
+	}
+	if n := c.Globals[1].NumChildren(); n != 5 {
+		t.Errorf("shard 1 children = %d, want 5", n)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{
+			name: "negative shards",
+			cfg:  Config{Stages: 4, Shards: -1},
+			want: "Shards must be",
+		},
+		{
+			name: "hierarchical",
+			cfg:  Config{Topology: Hierarchical, Stages: 4, Shards: 2},
+			want: "flat topology",
+		},
+		{
+			name: "custom placement with standbys",
+			cfg: Config{
+				Stages:    4,
+				Shards:    2,
+				Standbys:  1,
+				Placement: func(id uint64) int { return 0 },
+			},
+			want: "default consistent-hash placement",
+		},
+		{
+			name: "placement out of range",
+			cfg: Config{
+				Stages:    4,
+				Shards:    2,
+				Placement: func(id uint64) int { return 7 },
+			},
+			want: "placement sent stage",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.cfg.Net = fastNet()
+			c, err := Build(tc.cfg)
+			if err == nil {
+				c.Close()
+				t.Fatal("Build succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestShardedMoveAndRebalance(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 20, Jobs: 4, Shards: 2, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	const child = uint64(1)
+	home := c.Router.Place(child)
+	away := 1 - home
+
+	if err := c.Router.Move(ctx, child, away); err != nil {
+		t.Fatalf("move: %v", err)
+	}
+	if got, g := c.Router.Route(child); got != away || g != c.Globals[away] {
+		t.Fatalf("after move, child routed to shard %d, want %d", got, away)
+	}
+	// The destination fenced the source by raising its epoch.
+	if c.Globals[away].Epoch() <= c.Globals[home].Epoch() {
+		t.Errorf("destination epoch %d not above source epoch %d",
+			c.Globals[away].Epoch(), c.Globals[home].Epoch())
+	}
+
+	// A cycle still reaches every stage, including the moved one.
+	if _, err := c.RunControlCycle(ctx); err != nil {
+		t.Fatalf("cycle: %v", err)
+	}
+
+	moved, err := c.Router.Rebalance(ctx)
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if moved != 1 {
+		t.Errorf("rebalance moved %d children, want 1", moved)
+	}
+	if got, _ := c.Router.Route(child); got != home {
+		t.Fatalf("after rebalance, child on shard %d, want %d", got, home)
+	}
+	if st := c.Router.Stats(); st.Moves != 2 || st.Rebalances != 1 {
+		t.Errorf("stats moves=%d rebalances=%d, want 2/1", st.Moves, st.Rebalances)
+	}
+}
+
+func TestShardedEnforceUniform(t *testing.T) {
+	c, err := Build(Config{Topology: Flat, Stages: 20, Jobs: 4, Shards: 2, Net: fastNet()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 20 stages over 4 jobs: 5 stages serve job 1.
+	applied, err := c.Router.EnforceUniform(context.Background(), 1, wire.ActionSetLimit, wire.Rates{100, 10})
+	if err != nil {
+		t.Fatalf("enforce: %v", err)
+	}
+	if applied != 5 {
+		t.Errorf("applied = %d, want 5", applied)
+	}
+}

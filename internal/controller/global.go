@@ -248,6 +248,12 @@ type Global struct {
 	// Log-once latches for repeating operational conditions.
 	defaultedLeaseLogged bool
 	storeErrLogged       bool
+	// shardTable, when set by the sharding layer, answers ShardQuery
+	// requests on the registration endpoint and guards Register against
+	// adopting another shard's child (see SetShardTable); shardSelf is the
+	// shard this controller serves.
+	shardTable func(childID uint64) *wire.ShardMap
+	shardSelf  int
 }
 
 // StartGlobal launches a global controller with its registration endpoint
@@ -597,6 +603,8 @@ func (g *Global) serveRegistration(peer *rpc.Peer, req wire.Message) (wire.Messa
 		return g.handleStateSync(m)
 	case *wire.VoteRequest:
 		return g.handleVoteRequest(m)
+	case *wire.ShardQuery:
+		return g.handleShardQuery(m)
 	case *wire.Heartbeat:
 		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
 	}
@@ -637,6 +645,15 @@ func (g *Global) handleRegister(m *wire.Register) (wire.Message, error) {
 	}
 	switch m.Role {
 	case wire.RoleStage:
+		// In a sharded deployment the shard table decides who may adopt
+		// this child. Without the guard, a registration retry that lags a
+		// completed handoff would re-add the child here while the
+		// destination shard owns it at a higher epoch — the child would
+		// fence this shard's every call, reading as a deposition.
+		if owner, ok := g.shardOwner(m.ID); !ok {
+			return nil, &wire.ErrorReply{Code: wire.CodeNotLeader,
+				Text: fmt.Sprintf("stage %d belongs to shard %d", m.ID, owner), Epoch: epoch}
+		}
 		info := stage.Info{ID: m.ID, JobID: m.JobID, Weight: m.Weight, Addr: m.Addr}
 		if err := g.AddStage(ctx, info); err != nil {
 			return nil, err

@@ -1,0 +1,66 @@
+package controller
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// TestPushAfterRemoveChildDropped pins the handoff's push semantics: a
+// ReportDelta from a child this controller no longer owns — the push a
+// moved stage had in flight when the source shard forgot it — must be
+// dropped, not folded into the dirty set. The moved child's deltas belong
+// to its destination shard now; resurrecting state for it here would let
+// the fenced source act on a child it cannot legally contact.
+func TestPushAfterRemoveChildDropped(t *testing.T) {
+	n := fastNet()
+	stages := startStages(t, n, 4, 2, wire.Rates{1000, 100})
+	g := buildFlat(t, n, stages, GlobalConfig{
+		Capacity:         wire.Rates{2000, 200},
+		DeltaEnforcement: true,
+		Incremental:      true,
+		IncrementalFloor: time.Hour,
+	})
+	ctx := context.Background()
+
+	// Prime, then absorb the membership change of the handoff's
+	// RemoveChild, then confirm the controller is quiesced again.
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RemoveChild(4) {
+		t.Fatal("RemoveChild(4) found nothing")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := g.RunCycle(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The moved-away child's straggling push: dropped on the floor.
+	suppressed := g.Stats().Pipeline.SuppressedCollects
+	push(g, 4, 2, 9, wire.Rates{9999, 999})
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Stats().Pipeline.DirtyChildren; got != 0 {
+		t.Errorf("DirtyChildren = %d after a removed child's push, want 0", got)
+	}
+	if got := g.Stats().Pipeline.SuppressedCollects - suppressed; got != 3 {
+		t.Errorf("suppressed collects = %d, want 3 (fully quiesced cycle over the remaining children)", got)
+	}
+	if g.NumChildren() != 3 {
+		t.Errorf("NumChildren = %d, want 3 — the push must not re-add the child", g.NumChildren())
+	}
+
+	// Control: a live child's push still re-dirties exactly one entry.
+	push(g, 1, 1, 9, wire.Rates{4000, 400})
+	if _, err := g.RunCycle(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Stats().Pipeline.DirtyChildren; got != 1 {
+		t.Errorf("DirtyChildren = %d after a live child's push, want 1", got)
+	}
+}

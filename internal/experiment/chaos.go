@@ -141,7 +141,7 @@ faultLoop:
 	// at most chaosMaxProbe while the partition holds).
 	r.ReadmitCycles = -1
 	for i := 0; i <= chaosReadmitCycles; i++ {
-		if g.NumQuarantined() == 0 {
+		if g.Stats().Quarantined == 0 {
 			r.ReadmitCycles = i
 			break
 		}

@@ -298,7 +298,7 @@ faultLoop:
 	// child has a probe due each cycle.
 	res.ReadmitCycles = -1
 	for i := 0; i <= deltaReadmitCycles; i++ {
-		if quiet.Global.NumQuarantined() == 0 {
+		if quiet.Global.Stats().Quarantined == 0 {
 			res.ReadmitCycles = i
 			break
 		}

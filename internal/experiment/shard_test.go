@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// The shard-leader-kill scenario at reduced scale: one of four shard
+// leaders crashes mid-run, its own standby quorum elects a replacement that
+// re-homes every child with rules intact, and the surviving shards' cycles
+// never fail or degrade.
+func TestShardReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard scenario waits out leases and quorum elections")
+	}
+	o := testOptions(0.05) // 50 nodes over 4 shards
+	for attempt := 1; attempt <= 2; attempt++ {
+		r, err := Shard(context.Background(), o)
+		if err != nil {
+			t.Fatalf("Shard: %v", err)
+		}
+		cerr := CheckShard(r)
+		if cerr == nil {
+			if len(r.Survivors) != ShardCount-1 {
+				t.Errorf("survivors = %v, want %d shards", r.Survivors, ShardCount-1)
+			}
+			var b strings.Builder
+			o.Out = &b
+			PrintShard(o, r)
+			out := b.String()
+			for _, want := range []string{"shard —", "victim epoch", "re-homed", "worst disturbance", "rule consistency"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("shard renderer output missing %q:\n%s", want, out)
+				}
+			}
+			return
+		}
+		t.Logf("attempt %d: victim=%d children=%d gap=%v rehomed=%d rules=%d/%d errs=%d ratio=%.2f",
+			attempt, r.Victim, r.VictimChildren, r.RecoveryGap, r.ReHomed,
+			r.RulesRecovered, r.RulesLost, r.SurvivorCycleErrors, r.DisturbanceRatio)
+		if attempt == 2 {
+			t.Fatalf("shard check failed twice: %v", cerr)
+		}
+		t.Logf("shard check failed (%v), retrying once", cerr)
+	}
+}

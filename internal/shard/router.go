@@ -1,0 +1,318 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// Group is one shard's controller group: the configured leader at index
+// zero of members, followed by its quorum standbys. The group's effective
+// leader moves when the shard fails over; Leader resolves it dynamically so
+// the router keeps working through a promotion without being told.
+type Group struct {
+	members []*controller.Global
+	// standbyAddrs is the registration-address list children walk when
+	// re-homing, published in the shard table.
+	standbyAddrs []string
+}
+
+// NewGroup builds a shard group from its configured leader and standbys.
+// standbyAddrs may be nil when the shard runs without a quorum.
+func NewGroup(leader *controller.Global, standbys []*controller.Global, standbyAddrs []string) *Group {
+	members := append([]*controller.Global{leader}, standbys...)
+	return &Group{members: members, standbyAddrs: standbyAddrs}
+}
+
+// Leader returns the shard's effective leader: the promoted standby with
+// the highest epoch if the configured leader lost leadership, otherwise the
+// configured leader itself. It never returns nil for a non-empty group —
+// during the window where the leader is dead and no standby has promoted
+// yet, the (doomed) configured leader is returned and callers see its
+// calls fail, exactly as the shard's children do.
+func (s *Group) Leader() *controller.Global {
+	best := s.members[0]
+	ok := !best.Deposed()
+	for _, g := range s.members[1:] {
+		if g.Promoted() && !g.Deposed() && (!ok || g.Epoch() > best.Epoch()) {
+			best = g
+			ok = true
+		}
+	}
+	return best
+}
+
+// Members returns the group's controllers, configured leader first.
+func (s *Group) Members() []*controller.Global { return s.members }
+
+// Config parameterizes a Router.
+type Config struct {
+	// Placement overrides the consistent-hash ring: it must map every
+	// child ID to a shard in [0, shards). Nil selects a Ring over the
+	// group count.
+	Placement func(childID uint64) int
+	// VirtualNodes sets the default ring's granularity; see NewRing.
+	VirtualNodes int
+}
+
+// Router is the thin routing tier over a sharded deployment's groups. It
+// holds no child state of its own: placement is a pure function, ownership
+// questions are answered by the shards, and handoff drives the controllers'
+// existing re-homing + epoch-fencing machinery.
+type Router struct {
+	shards []*Group
+	place  func(childID uint64) int
+
+	// moveMu serializes handoffs: concurrent moves of the same child from
+	// Rebalance and an operator would race adopt/remove interleavings.
+	// Cycle traffic never takes this lock.
+	moveMu     sync.Mutex
+	moves      atomic.Uint64
+	rebalances atomic.Uint64
+}
+
+// NewRouter builds the routing tier over the given shard groups and
+// installs the shard-table provider on every member, so any controller in
+// the deployment answers ShardQuery with current routing metadata.
+func NewRouter(shards []*Group, cfg Config) *Router {
+	r := &Router{shards: shards}
+	r.place = cfg.Placement
+	if r.place == nil {
+		ring := NewRing(len(shards), cfg.VirtualNodes)
+		r.place = ring.Place
+	}
+	table := func(childID uint64) *wire.ShardMap { return r.describe(childID) }
+	for i, s := range shards {
+		for _, g := range s.members {
+			g.SetShardTable(table, i)
+		}
+	}
+	return r
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Group returns shard i's controller group.
+func (r *Router) Group(i int) *Group { return r.shards[i] }
+
+// Place returns the shard that placement assigns childID to — where the
+// child *should* live. See Route for where it actually lives.
+func (r *Router) Place(childID uint64) int { return r.place(childID) }
+
+// Route returns the shard currently owning childID and its effective
+// leader. Placement is checked first; during a rebalance (or after manual
+// moves) a child may be elsewhere, so the other shards are consulted
+// before giving up. An unknown child routes to its placement shard — the
+// shard it would register with.
+func (r *Router) Route(childID uint64) (int, *controller.Global) {
+	want := r.place(childID)
+	if g := r.shards[want].Leader(); g != nil {
+		if _, _, ok := g.ChildSnapshot(childID); ok {
+			return want, g
+		}
+	}
+	for i, s := range r.shards {
+		if i == want {
+			continue
+		}
+		if g := s.Leader(); g != nil {
+			if _, _, ok := g.ChildSnapshot(childID); ok {
+				return i, g
+			}
+		}
+	}
+	return want, r.shards[want].Leader()
+}
+
+// RunCycle runs one control cycle on every shard leader concurrently and
+// merges the result: the deployment's phase latency is the slowest
+// shard's (shards overlap, so maxima — not sums — are the wall-clock
+// truth). Shards that fail contribute a wrapped error; the survivors'
+// cycles still run and merge, because one shard's outage must not stall
+// the rest of the fleet — that is the point of sharding.
+func (r *Router) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
+	bs := make([]telemetry.Breakdown, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *Group) {
+			defer wg.Done()
+			bs[i], errs[i] = s.Leader().RunCycle(ctx)
+		}(i, s)
+	}
+	wg.Wait()
+	var err error
+	for i, e := range errs {
+		if e != nil && err == nil {
+			err = fmt.Errorf("shard %d: %w", i, e)
+		}
+	}
+	return telemetry.MergeMax(bs...), err
+}
+
+// EnforceUniform applies one per-job rule across every shard concurrently,
+// each leader broadcasting it to its children over the marshal-once shared
+// frame path. It returns the total number of stages that applied the rule.
+func (r *Router) EnforceUniform(ctx context.Context, jobID uint64, action wire.RuleAction, limit wire.Rates) (int, error) {
+	applied := make([]int, len(r.shards))
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, s := range r.shards {
+		wg.Add(1)
+		go func(i int, s *Group) {
+			defer wg.Done()
+			applied[i], errs[i] = s.Leader().EnforceUniform(ctx, jobID, action, limit)
+		}(i, s)
+	}
+	wg.Wait()
+	var total int
+	var err error
+	for i := range r.shards {
+		total += applied[i]
+		if errs[i] != nil && err == nil {
+			err = fmt.Errorf("shard %d: %w", i, errs[i])
+		}
+	}
+	return total, err
+}
+
+// Move hands childID off to shard dst: the destination leader raises its
+// epoch above the source's (persisted first, like a promotion), adopts the
+// child with the rules the source last enforced, and only then does the
+// source forget it. The child's next contact with the destination adopts
+// the raised epoch as its fencing floor, so anything the source still has
+// in flight — a straggling Enforce, a queued Collect — is rejected as
+// stale. A push the child emits mid-move lands on whichever side still
+// knows it; after the source's RemoveChild, only the destination does.
+func (r *Router) Move(ctx context.Context, childID uint64, dst int) error {
+	if dst < 0 || dst >= len(r.shards) {
+		return fmt.Errorf("shard: move child %d: no shard %d", childID, dst)
+	}
+	r.moveMu.Lock()
+	defer r.moveMu.Unlock()
+	srcIdx, src := r.Route(childID)
+	if srcIdx == dst {
+		return nil
+	}
+	info, rules, ok := src.ChildSnapshot(childID)
+	if !ok {
+		return fmt.Errorf("shard: move child %d: shard %d does not own it", childID, srcIdx)
+	}
+	dstLeader := r.shards[dst].Leader()
+	dstLeader.RaiseEpoch(src.Epoch() + 1)
+	if err := dstLeader.AdoptStage(ctx, info, rules); err != nil {
+		return fmt.Errorf("shard: move child %d to shard %d: %w", childID, dst, err)
+	}
+	src.RemoveChild(childID)
+	r.moves.Add(1)
+	return nil
+}
+
+// Rebalance walks every shard's membership and moves each child whose
+// placement disagrees with its current owner. It returns the number of
+// children moved. Rebalance runs concurrently with control cycles — a
+// shard's cycle simply sees the membership before or after each move — but
+// concurrent Rebalance calls serialize on the router's move lock.
+func (r *Router) Rebalance(ctx context.Context) (int, error) {
+	moved := 0
+	for i, s := range r.shards {
+		g := s.Leader()
+		if g == nil {
+			continue
+		}
+		for _, id := range g.ChildIDs() {
+			want := r.place(id)
+			if want == i {
+				continue
+			}
+			if err := r.Move(ctx, id, want); err != nil {
+				return moved, err
+			}
+			moved++
+			if ctx.Err() != nil {
+				return moved, ctx.Err()
+			}
+		}
+	}
+	r.rebalances.Add(1)
+	return moved, nil
+}
+
+// Stats is the router's merged view of the deployment.
+type Stats struct {
+	// Shards holds each shard leader's full stats snapshot, indexed by
+	// shard. Fault and pipeline digests live here — they do not merge
+	// meaningfully across shards.
+	Shards []controller.ControllerStats
+	// Children, Stages, Quarantined, CallErrors, Evictions, FencedCalls
+	// and ReHomes are fleet-wide sums over the shards.
+	Children    int
+	Stages      int
+	Quarantined int
+	CallErrors  uint64
+	Evictions   uint64
+	FencedCalls uint64
+	ReHomes     uint64
+	// MaxEpoch is the highest leadership epoch any shard leads with.
+	MaxEpoch uint64
+	// Moves and Rebalances count completed child handoffs and rebalance
+	// sweeps since the router was built.
+	Moves      uint64
+	Rebalances uint64
+}
+
+// Stats snapshots every shard leader and merges the fleet-wide counters.
+func (r *Router) Stats() Stats {
+	st := Stats{Shards: make([]controller.ControllerStats, len(r.shards))}
+	for i, s := range r.shards {
+		cs := s.Leader().Stats()
+		st.Shards[i] = cs
+		st.Children += cs.Children
+		st.Stages += cs.Stages
+		st.Quarantined += cs.Quarantined
+		st.CallErrors += cs.CallErrors
+		st.Evictions += cs.Evictions
+		st.FencedCalls += cs.FencedCalls
+		st.ReHomes += cs.ReHomes
+		if cs.Epoch > st.MaxEpoch {
+			st.MaxEpoch = cs.Epoch
+		}
+	}
+	st.Moves = r.moves.Load()
+	st.Rebalances = r.rebalances.Load()
+	return st
+}
+
+// Describe returns the deployment's shard table — the routing metadata a
+// ShardQuery answer carries.
+func (r *Router) Describe() *wire.ShardMap { return r.describe(0) }
+
+// describe builds a fresh ShardMap (handlers overlay their own epoch on the
+// reply, so the map must not be shared). childID nonzero also resolves the
+// owning shard.
+func (r *Router) describe(childID uint64) *wire.ShardMap {
+	mp := &wire.ShardMap{Entries: make([]wire.ShardEntry, len(r.shards))}
+	for i, s := range r.shards {
+		g := s.Leader()
+		mp.Entries[i] = wire.ShardEntry{
+			Index:    uint64(i),
+			Epoch:    g.Epoch(),
+			Children: uint64(g.NumChildren()),
+			Addr:     g.Addr(),
+			Standbys: s.standbyAddrs,
+		}
+	}
+	if childID != 0 {
+		owner, _ := r.Route(childID)
+		mp.Owner = uint64(owner)
+		mp.OwnerValid = true
+	}
+	return mp
+}

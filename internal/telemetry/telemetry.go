@@ -264,6 +264,21 @@ type Breakdown struct {
 	Total time.Duration
 }
 
+// MergeMax folds concurrent per-shard breakdowns into one deployment-level
+// breakdown: shards run their cycles in parallel, so the deployment's phase
+// latency is the slowest shard's, not the sum. Zero-value inputs (a shard
+// that skipped its cycle) merge as free.
+func MergeMax(bs ...Breakdown) Breakdown {
+	var out Breakdown
+	for _, b := range bs {
+		out.Collect = max(out.Collect, b.Collect)
+		out.Compute = max(out.Compute, b.Compute)
+		out.Enforce = max(out.Enforce, b.Enforce)
+		out.Total = max(out.Total, b.Total)
+	}
+	return out
+}
+
 // CycleRecorder accumulates per-phase statistics across control cycles.
 type CycleRecorder struct {
 	phases [numPhases]Histogram

@@ -44,6 +44,11 @@ func FuzzDecode(f *testing.F) {
 			Report: StageReport{StageID: 1, JobID: 2, Demand: Rates{3, 4}, Usage: Rates{5, 6}}},
 		&VoteRequest{CandidateID: 2, Epoch: 4, Cycle: 88},
 		&LeaseGrant{VoterID: 3, Granted: true, Epoch: 4},
+		&ShardQuery{ChildID: 7},
+		&ShardMap{Epoch: 3, Owner: 1, OwnerValid: true, Entries: []ShardEntry{
+			{Index: 0, Epoch: 2, Children: 4, Addr: "shard-0:1", Standbys: []string{"shard-0-standby-0:2"}},
+			{Index: 1, Epoch: 3, Children: 5, Addr: "shard-1:1"},
+		}},
 	}
 	for _, m := range seeds {
 		f.Add(Encode(nil, m))
@@ -110,6 +115,10 @@ func FuzzDecodeV2(f *testing.F) {
 			Report: StageReport{StageID: 1, JobID: 2, Demand: Rates{3, 4.5}, Usage: Rates{0, 6}}},
 		&VoteRequest{CandidateID: 2, Epoch: 4, Cycle: 88},
 		&LeaseGrant{VoterID: 1, Granted: false, Epoch: 9},
+		&ShardQuery{ChildID: 7},
+		&ShardMap{Epoch: 3, Owner: 1, OwnerValid: true, Entries: []ShardEntry{
+			{Index: 0, Epoch: 2, Children: 4, Addr: "shard-0:1", Standbys: []string{"shard-0-standby-0:2"}},
+		}},
 	}
 	for _, m := range seeds {
 		f.Add(EncodeWith(nil, m, CodecV2, nil))

@@ -72,6 +72,17 @@ const (
 	// catch up (a live primary denies with its own epoch, vetoing the
 	// election).
 	TLeaseGrant
+	// TShardQuery asks any shard leader of a sharded deployment for the
+	// routing metadata a caller needs to direct per-child traffic: the
+	// shard table with each leader's address, standby list, and current
+	// leadership epoch. ChildID optionally names one child, and the reply
+	// then reports which shard owns it.
+	TShardQuery
+	// TShardMap answers a shard query with the deployment's shard table.
+	// Each entry carries the shard leader's leadership epoch — the fencing
+	// floor for that shard's children — so a router can detect a failover
+	// (epoch moved) without collecting from the whole fleet.
+	TShardMap
 )
 
 // String returns the mnemonic name of the message type.
@@ -117,6 +128,10 @@ func (t MsgType) String() string {
 		return "VoteRequest"
 	case TLeaseGrant:
 		return "LeaseGrant"
+	case TShardQuery:
+		return "ShardQuery"
+	case TShardMap:
+		return "ShardMap"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
@@ -1121,6 +1136,104 @@ func (m *LeaseGrant) Unmarshal(d *Decoder) {
 	m.Epoch = d.Uint64()
 }
 
+// ShardQuery asks a shard leader for its deployment's shard table. Any
+// leader can answer: the router hands every shard the same table, and each
+// leader overlays its own live epoch. ChildID zero requests the whole table;
+// a nonzero ChildID additionally asks which shard currently owns that child
+// (placement is deterministic, so any leader computes the same owner).
+type ShardQuery struct {
+	// ChildID optionally names a child whose owning shard the caller wants.
+	ChildID uint64
+}
+
+// Type implements Message.
+func (*ShardQuery) Type() MsgType { return TShardQuery }
+
+// Marshal implements Message.
+func (m *ShardQuery) Marshal(e *Encoder) {
+	e.Uint64(m.ChildID)
+}
+
+// Unmarshal implements Message.
+func (m *ShardQuery) Unmarshal(d *Decoder) {
+	m.ChildID = d.Uint64()
+}
+
+// ShardEntry is one shard's routing metadata inside a ShardMap.
+type ShardEntry struct {
+	// Index is the shard's position in the deployment's shard table.
+	Index uint64
+	// Epoch is the shard leader's leadership epoch — the fencing floor its
+	// children enforce. A bumped epoch in a refreshed map tells the caller
+	// the shard failed over (or adopted moved children) since the last map.
+	Epoch uint64
+	// Children is the number of children the shard currently controls.
+	Children uint64
+	// Addr is the shard leader's registration address.
+	Addr string
+	// Standbys lists the shard's quorum standby registration addresses, in
+	// the order children should walk them when re-homing.
+	Standbys []string
+}
+
+// ShardMap answers a ShardQuery with the deployment's shard table.
+type ShardMap struct {
+	// Epoch is the answering leader's own leadership epoch.
+	Epoch uint64
+	// Owner is the index of the shard owning the queried ChildID; zero and
+	// meaningless when the query did not name a child (OwnerValid false).
+	Owner uint64
+	// OwnerValid reports whether Owner answers a ChildID query.
+	OwnerValid bool
+	// Entries is the shard table, indexed by shard.
+	Entries []ShardEntry
+}
+
+// Type implements Message.
+func (*ShardMap) Type() MsgType { return TShardMap }
+
+// Marshal implements Message.
+func (m *ShardMap) Marshal(e *Encoder) {
+	e.Uint64(m.Epoch)
+	e.Uint64(m.Owner)
+	var v byte
+	if m.OwnerValid {
+		v = 1
+	}
+	e.Byte(v)
+	e.Uint64(uint64(len(m.Entries)))
+	for i := range m.Entries {
+		s := &m.Entries[i]
+		e.Uint64(s.Index)
+		e.Uint64(s.Epoch)
+		e.Uint64(s.Children)
+		e.String(s.Addr)
+		e.Uint64(uint64(len(s.Standbys)))
+		for _, sb := range s.Standbys {
+			e.String(sb)
+		}
+	}
+}
+
+// Unmarshal implements Message.
+func (m *ShardMap) Unmarshal(d *Decoder) {
+	m.Epoch = d.Uint64()
+	m.Owner = d.Uint64()
+	m.OwnerValid = d.Byte() != 0
+	m.Entries = sliceFor(m.Entries, d.Length())
+	for i := range m.Entries {
+		s := &m.Entries[i]
+		s.Index = d.Uint64()
+		s.Epoch = d.Uint64()
+		s.Children = d.Uint64()
+		s.Addr = d.String()
+		s.Standbys = sliceFor(s.Standbys, d.Length())
+		for j := range s.Standbys {
+			s.Standbys[j] = d.String()
+		}
+	}
+}
+
 // New returns a zero message of the given type, or nil if the type is
 // unknown. It is the decode-side factory used by the RPC layer.
 func New(t MsgType) Message {
@@ -1165,6 +1278,10 @@ func New(t MsgType) Message {
 		return &VoteRequest{}
 	case TLeaseGrant:
 		return &LeaseGrant{}
+	case TShardQuery:
+		return &ShardQuery{}
+	case TShardMap:
+		return &ShardMap{}
 	}
 	return nil
 }

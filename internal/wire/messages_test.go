@@ -78,6 +78,13 @@ func TestMessageRoundTrips(t *testing.T) {
 		&VoteRequest{CandidateID: 2, Epoch: 4, Cycle: 88},
 		&LeaseGrant{VoterID: 3, Granted: true, Epoch: 4},
 		&LeaseGrant{VoterID: 1, Granted: false, Epoch: 9}, // denial with higher epoch
+		&ShardQuery{ChildID: 7},
+		&ShardQuery{}, // whole-table query
+		&ShardMap{Epoch: 3, Owner: 1, OwnerValid: true, Entries: []ShardEntry{
+			{Index: 0, Epoch: 2, Children: 4, Addr: "shard-0:1", Standbys: []string{"shard-0-standby-0:2", "shard-0-standby-1:2"}},
+			{Index: 1, Epoch: 3, Children: 5, Addr: "shard-1:1"},
+		}},
+		&ShardMap{Epoch: 1}, // empty table
 	}
 	for _, m := range msgs {
 		got := roundTrip(t, m)
@@ -131,7 +138,7 @@ func TestDecodeHugeSliceRejected(t *testing.T) {
 }
 
 func TestNewCoversAllTypes(t *testing.T) {
-	for ty := TRegister; ty <= TLeaseGrant; ty++ {
+	for ty := TRegister; ty <= TShardMap; ty++ {
 		m := New(ty)
 		if m == nil {
 			t.Errorf("New(%s) = nil", ty)

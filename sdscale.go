@@ -22,21 +22,30 @@
 //
 // # Quick start
 //
-//	net := sdscale.NewSimNet(sdscale.SimNetConfig{})
-//	st, _ := sdscale.StartVirtualStage(sdscale.StageConfig{
-//		ID: 1, JobID: 1, Weight: 1, Network: net.Host("stage-1"),
-//	})
-//	g, _ := sdscale.StartGlobal(sdscale.GlobalConfig{
-//		Network:  net.Host("controller"),
-//		Capacity: sdscale.Rates{10000, 1000},
-//	})
-//	g.AddStage(context.Background(), st.Info())
-//	g.RunCycle(context.Background())
-//	fmt.Println(g.Stats().Children, "children")
+// A deployment is declared as a Topology and started in one call:
 //
-// Every controller kind is launched by a Start* constructor (StartGlobal,
-// StartAggregator, StartPeerController, StartVirtualStage,
-// StartEnforcingStage) and observed through its Stats method.
+//	d, _ := sdscale.StartTopology(sdscale.Topology{
+//		Stages:   1000,
+//		Shards:   4,
+//		Standbys: 1,
+//	})
+//	defer d.Close()
+//	d.RunCycle(context.Background())
+//	fmt.Println(d.Stats().Children, "children across", d.NumShards(), "shards")
+//
+// StartTopology returns a Deployment handle with a uniform surface —
+// Stats, Route, Rebalance, RunCycle — whatever the shape. A one-shard
+// Topology is the classic single-Global control plane.
+//
+// # Manual assembly
+//
+// Every controller kind is also launched individually by a Start*
+// constructor (StartGlobal, StartAggregator, StartPeerController,
+// StartVirtualStage, StartEnforcingStage) and observed through its Stats
+// method. This is the manual-assembly path: it exists for programs that
+// wire roles one by one across real networks or mix roles StartTopology
+// does not cover. New code that just wants a running control plane should
+// declare a Topology instead.
 //
 // See examples/ for complete programs and DESIGN.md for the architecture.
 package sdscale
@@ -141,7 +150,10 @@ var (
 
 // StartGlobal launches a global controller with its registration endpoint
 // listening (ListenAddr defaults to ":0"). It is the primary entry point of
-// the Start* constructor family.
+// the Start* constructor family — the manual-assembly path; a program that
+// just wants a running control plane should declare a Topology and call
+// StartTopology, which wraps this (a one-shard Topology is exactly one
+// Global over the fleet).
 func StartGlobal(cfg GlobalConfig) (*Global, error) { return controller.StartGlobal(cfg) }
 
 // NewGlobal creates a global controller without defaulting a listener: with
@@ -150,13 +162,15 @@ func StartGlobal(cfg GlobalConfig) (*Global, error) { return controller.StartGlo
 // that need that; most programs want StartGlobal.
 func NewGlobal(cfg GlobalConfig) (*Global, error) { return controller.NewGlobal(cfg) }
 
-// StartAggregator launches an aggregator controller.
+// StartAggregator launches an aggregator controller (manual assembly; a
+// Topology with AggregatorFanIn set deploys the whole tier declaratively).
 func StartAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	return controller.StartAggregator(cfg)
 }
 
 // StartPeerController launches one controller of the coordinated flat
-// design.
+// design (manual assembly only — the coordinated design predates the
+// sharded Topology and is kept for the paper's §VI experiments).
 func StartPeerController(cfg PeerControllerConfig) (*PeerController, error) {
 	return controller.StartPeer(cfg)
 }
@@ -336,15 +350,17 @@ type (
 	Cluster = cluster.Cluster
 	// ClusterConfig describes a deployment to build.
 	ClusterConfig = cluster.Config
-	// Topology selects the control-plane design.
-	Topology = cluster.Topology
+	// Design selects the control-plane design of a ClusterConfig. (It was
+	// previously exported as Topology; that name now belongs to the
+	// declarative deployment spec StartTopology consumes.)
+	Design = cluster.Topology
 	// RoleUsage is one controller role's resource consumption.
 	RoleUsage = cluster.RoleUsage
 	// UsageCollector measures per-role resource usage over a window.
 	UsageCollector = cluster.UsageCollector
 )
 
-// Topologies.
+// Designs.
 const (
 	// Flat is the single-controller design (paper Fig. 2).
 	Flat = cluster.Flat
@@ -356,7 +372,9 @@ const (
 )
 
 // BuildCluster assembles a complete deployment over a fresh simulated
-// network.
+// network. It is the fully parameterized harness underneath StartTopology;
+// prefer declaring a Topology unless a knob only ClusterConfig exposes is
+// needed.
 func BuildCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.Build(cfg) }
 
 // NewUsageCollector creates a per-role resource collector for a cluster.
