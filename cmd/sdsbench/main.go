@@ -15,7 +15,7 @@
 //
 // Experiments: table1, fig4, table2, fig5, table3, fig6, table4,
 // connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta,
-// shard, all. Figure/table pairs that share a run (fig4+table2, fig5+table3,
+// shard, elastic, all. Figure/table pairs that share a run (fig4+table2, fig5+table3,
 // fig6+table4) are measured once when both are requested. The chaos,
 // failover, pipeline, and tracebreak experiments are not from the paper:
 // chaos fault-injects the flat deployment (partition flaps on 10% of its
@@ -34,7 +34,11 @@
 // concurrently active shard leaders behind the routing tier, crashes one
 // leader mid-run, and checks the surviving shards' cycle latency is
 // undisturbed while the dead shard recovers through its own quorum
-// election with every child and rule intact.
+// election with every child and rule intact; elastic doubles a
+// hierarchical deployment's fleet mid-run and checks the SLO-driven
+// elasticity loop grows the aggregator tier until cycle p90 recovers
+// under the objective, then shrinks it back once the load subsides, with
+// zero rule loss across every re-homing.
 package main
 
 import (
@@ -56,7 +60,7 @@ func main() {
 	// paper reports <6% relative stddev).
 	debug.SetGCPercent(400)
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta, shard, all")
+		exp         = flag.String("exp", "all", "experiment: table1, fig4, table2, fig5, table3, fig6, table4, connlimit, coordflat, chaos, failover, pipeline, tracebreak, delta, shard, elastic, all")
 		scale       = flag.Float64("scale", 1.0, "node-count scale factor in (0, 1]")
 		minCycles   = flag.Int("mincycles", 5, "minimum measured control cycles per configuration")
 		minDuration = flag.Duration("minduration", 2*time.Second, "minimum measurement window per configuration")
@@ -129,6 +133,7 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		"fig5": true, "table3": true, "fig6": true, "table4": true,
 		"connlimit": true, "coordflat": true, "chaos": true, "failover": true,
 		"pipeline": true, "tracebreak": true, "delta": true, "shard": true,
+		"elastic": true,
 	}
 	if !known[exp] {
 		return nil, fmt.Errorf("unknown experiment %q", exp)
@@ -258,6 +263,14 @@ func run(ctx context.Context, opts experiment.Options, exp string) ([]experiment
 		}
 		experiment.PrintShard(opts, r)
 		verdict("shard", experiment.CheckShard(r))
+	}
+	if want("elastic") {
+		r, err := experiment.Elastic(ctx, opts)
+		if err != nil {
+			return all, err
+		}
+		experiment.PrintElastic(opts, r)
+		verdict("elastic", experiment.CheckElastic(r))
 	}
 	return all, nil
 }

@@ -4,6 +4,15 @@
 //
 // Roles:
 //
+//	sdsctl serve -config sdscale.json
+//	    Run the daemon: load a declarative deployment spec from the
+//	    configuration file, start it, and run control cycles on the
+//	    configured interval until SIGTERM/SIGINT (graceful drain: the
+//	    in-flight cycle finishes, stores flush, the deployment closes).
+//	    The file is watched for edits and re-read on SIGHUP; safe changes
+//	    (interval, job weights, fleet size, shard count, SLO knobs) apply
+//	    live, anything else is rejected and the old configuration stays.
+//
 //	sdsctl global -listen :7000 -capacity 1000000,100000 [-algorithm psfa] [-interval 1s]
 //	    Run the global controller. Stages register at the listen address;
 //	    the controller dials them back and runs control cycles, printing a
@@ -50,6 +59,8 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"github.com/dsrhaslab/sdscale"
@@ -70,11 +81,13 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var err error
 	switch os.Args[1] {
+	case "serve":
+		err = runServe(ctx, os.Args[2:])
 	case "global":
 		err = runGlobal(ctx, os.Args[2:])
 	case "aggregator":
@@ -102,7 +115,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: sdsctl <global|aggregator|peer|stages|store|topology|top500> [flags]
+	fmt.Fprintln(os.Stderr, `usage: sdsctl <serve|global|aggregator|peer|stages|store|topology|top500> [flags]
 run "sdsctl <role> -h" for role-specific flags`)
 }
 
@@ -176,7 +189,8 @@ func runGlobal(ctx context.Context, args []string) error {
 		}
 		return err
 	}
-	defer g.Close()
+	closeG := sync.OnceFunc(func() { g.Close() })
+	defer closeG()
 	fmt.Printf("global controller listening on %s (algorithm %s, capacity %v)\n", g.Addr(), alg.Name(), cap)
 	if recovered {
 		// A previous incarnation left durable membership behind: replay it
@@ -227,6 +241,9 @@ func runGlobal(ctx context.Context, args []string) error {
 	}()
 
 	err = g.Run(ctx, *interval)
+	// Drain before reporting: closing the controller is what flushes the
+	// store's group-commit window, so a signal cannot lose the WAL tail.
+	closeG()
 	printFinalReport(g, &pm, &meter)
 	if sampler != nil {
 		samples := sampler.Stop()
@@ -275,9 +292,11 @@ func runAggregator(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer a.Close()
+	closeA := sync.OnceFunc(func() { a.Close() })
+	defer closeA()
 	fmt.Printf("aggregator %d listening on %s\n", a.ID(), a.Addr())
 	<-ctx.Done()
+	closeA() // drain before reporting, same as serve
 	tx, rx := meter.Snapshot()
 	fmt.Printf("\naggregator served %d stages; tx %.2f MB rx %.2f MB\n",
 		a.NumStages(), float64(tx)/1e6, float64(rx)/1e6)
@@ -317,7 +336,8 @@ func runPeer(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	defer p.Close()
+	closeP := sync.OnceFunc(func() { p.Close() })
+	defer closeP()
 	fmt.Printf("peer %d listening on %s\n", p.ID(), p.Addr())
 
 	if *peersList != "" {
@@ -342,6 +362,7 @@ func runPeer(ctx context.Context, args []string) error {
 	}
 
 	err = p.Run(ctx, *interval)
+	closeP() // drain before reporting, same as serve
 	s := p.Recorder().Summarize()
 	fmt.Println("\n--- final report ---")
 	fmt.Print(s.String())

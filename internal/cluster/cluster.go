@@ -326,6 +326,12 @@ type Cluster struct {
 	// recorder accumulates round latency for Coordinated clusters (flat
 	// and hierarchical clusters use the global controller's recorder).
 	recorder *telemetry.CycleRecorder
+
+	// aggSeq and stageSeq are the next aggregator ordinal and stage index
+	// the elastic surface (see elastic.go) mints: monotonic, so a grown
+	// component never reuses the host or ID of a shrunken one.
+	aggSeq   int
+	stageSeq uint64
 }
 
 // Build assembles and connects a deployment. On error, everything already
@@ -343,6 +349,8 @@ func Build(cfg Config) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
+	c.aggSeq = len(c.Aggregators)
+	c.stageSeq = uint64(cfg.Stages)
 	return c, nil
 }
 

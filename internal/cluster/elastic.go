@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/monitor"
+	"github.com/dsrhaslab/sdscale/internal/shard"
+	"github.com/dsrhaslab/sdscale/internal/stage"
+	"github.com/dsrhaslab/sdscale/internal/transport"
+)
+
+// This file is the live-reshaping surface of a built deployment: growing
+// and shrinking the aggregator tier (the SLO elasticity loop's actuator),
+// resizing the stage fleet and the shard set (config hot reload), and
+// re-tuning QoS weights. None of these run concurrently with
+// RunControlCycle — the sdsctl daemon serializes them at cycle boundaries,
+// and tests follow the same discipline. The underlying child state they
+// touch is still lock-guarded (see controller/elastic.go and the router's
+// atomic state), so a misuse shows up as a momentary inconsistency rather
+// than a torn read.
+
+// NumAggregators returns the aggregator-tier size (Hierarchical only).
+func (c *Cluster) NumAggregators() int { return len(c.Aggregators) }
+
+// aggregatorConfig assembles the configuration for the aggregator at
+// ordinal seq, mirroring the builder so grown aggregators are
+// indistinguishable from built ones.
+func (c *Cluster) aggregatorConfig(seq int, role Roles) controller.AggregatorConfig {
+	cfg := c.cfg
+	return controller.AggregatorConfig{
+		ID:               uint64(1_000_000 + seq),
+		Network:          c.Net.Host(fmt.Sprintf("agg-%d", seq+1)),
+		FanOut:           cfg.FanOut,
+		FanOutMode:       cfg.FanOutMode,
+		CallTimeout:      cfg.CallTimeout,
+		MaxCodec:         cfg.MaxCodec,
+		ForwardRaw:       cfg.ForwardRaw,
+		LocalControl:     cfg.Delegated,
+		Incremental:      cfg.Incremental,
+		IncrementalFloor: cfg.IncrementalFloor,
+		MaxFailures:      cfg.MaxFailures,
+		ProbeInterval:    cfg.ProbeInterval,
+		MaxProbeInterval: cfg.MaxProbeInterval,
+		StaleAfter:       cfg.StaleAfter,
+		EvictAfter:       cfg.EvictAfter,
+		Meter:            role.Meter,
+		CPU:              role.CPU,
+	}
+}
+
+// GrowAggregators adds one aggregator to the tier and re-homes stages onto
+// it until the tier is balanced: stages move from the most loaded
+// aggregators (destination adopts, source releases, the global controller's
+// stage list for both is re-declared), so the per-aggregator fan-in — the
+// quantity that drives collect latency — drops by roughly 1/(n+1). The new
+// aggregator adopts the global controller's leadership epoch on its first
+// cycle, exactly like a re-homed child.
+func (c *Cluster) GrowAggregators(ctx context.Context) error {
+	if c.Global == nil || len(c.Aggregators) == 0 {
+		return fmt.Errorf("cluster: no aggregator tier to grow")
+	}
+	seq := c.aggSeq
+	role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+	acfg := c.aggregatorConfig(seq, role)
+	if c.Trace != nil {
+		tr := c.newTracer()
+		c.Trace.Mid = append(c.Trace.Mid, tr)
+		acfg.Tracer = tr
+	}
+	agg, err := controller.StartAggregator(acfg)
+	if err != nil {
+		return fmt.Errorf("cluster: grow aggregator %d: %w", seq, err)
+	}
+	c.aggSeq++
+
+	// Re-home stages from the most loaded aggregators until the new one
+	// carries its balanced share.
+	total := 0
+	for _, a := range c.Aggregators {
+		total += a.NumStages()
+	}
+	per := (total + len(c.Aggregators)) / (len(c.Aggregators) + 1) // ceil over the new tier size
+	touched := make(map[int]bool)
+	for agg.NumStages() < per {
+		src, srcIdx := c.mostLoadedAggregator()
+		if src == nil || src.NumStages() <= per {
+			break // nothing left to take without unbalancing a donor
+		}
+		infos := src.Stages()
+		info := infos[len(infos)-1]
+		if err := agg.AddStage(ctx, info); err != nil {
+			return fmt.Errorf("cluster: re-home stage %d: %w", info.ID, err)
+		}
+		src.RemoveStage(info.ID)
+		touched[srcIdx] = true
+	}
+	for idx := range touched {
+		a := c.Aggregators[idx]
+		c.Global.SetAggregatorStages(a.ID(), a.Stages())
+	}
+	if err := c.Global.AddAggregator(ctx, agg.ID(), agg.Addr(), agg.Stages()); err != nil {
+		return fmt.Errorf("cluster: attach grown aggregator: %w", err)
+	}
+	c.Aggregators = append(c.Aggregators, agg)
+	c.AggregatorRoles = append(c.AggregatorRoles, role)
+	return nil
+}
+
+// ShrinkAggregators removes the most recently added aggregator, re-homing
+// its stages round-robin across the survivors before evicting and closing
+// it. The tier never shrinks below one.
+func (c *Cluster) ShrinkAggregators(ctx context.Context) error {
+	if c.Global == nil || len(c.Aggregators) == 0 {
+		return fmt.Errorf("cluster: no aggregator tier to shrink")
+	}
+	if len(c.Aggregators) == 1 {
+		return fmt.Errorf("cluster: cannot shrink below one aggregator")
+	}
+	last := len(c.Aggregators) - 1
+	victim := c.Aggregators[last]
+	survivors := c.Aggregators[:last]
+
+	for i, info := range victim.Stages() {
+		dst := survivors[i%len(survivors)]
+		if err := dst.AddStage(ctx, info); err != nil {
+			return fmt.Errorf("cluster: re-home stage %d: %w", info.ID, err)
+		}
+		victim.RemoveStage(info.ID)
+	}
+	for _, a := range survivors {
+		c.Global.SetAggregatorStages(a.ID(), a.Stages())
+	}
+	c.Global.RemoveChild(victim.ID())
+	victim.Close()
+	c.Aggregators = survivors
+	c.AggregatorRoles = c.AggregatorRoles[:last]
+	if c.Trace != nil && len(c.Trace.Mid) > last {
+		c.Trace.Mid = c.Trace.Mid[:last]
+	}
+	return nil
+}
+
+// mostLoadedAggregator returns the aggregator managing the most stages.
+func (c *Cluster) mostLoadedAggregator() (*controller.Aggregator, int) {
+	var best *controller.Aggregator
+	bestIdx := -1
+	for i, a := range c.Aggregators {
+		if best == nil || a.NumStages() > best.NumStages() {
+			best, bestIdx = a, i
+		}
+	}
+	return best, bestIdx
+}
+
+// leastLoadedAggregator returns the aggregator managing the fewest stages.
+func (c *Cluster) leastLoadedAggregator() *controller.Aggregator {
+	var best *controller.Aggregator
+	for _, a := range c.Aggregators {
+		if best == nil || a.NumStages() < best.NumStages() {
+			best = a
+		}
+	}
+	return best
+}
+
+// SetStages grows or shrinks the stage fleet to target: grown stages start
+// on fresh hosts with fresh IDs and attach to the right owner (the global
+// controller, the least-loaded aggregator, or the placement shard);
+// shrunken stages release from their owner and close, newest first.
+// Requires a standbys-free deployment — with warm standbys the fleet
+// registers dynamically and the builder's parent lists would go stale.
+func (c *Cluster) SetStages(ctx context.Context, target int) error {
+	cfg := c.cfg
+	switch {
+	case target < 1:
+		return fmt.Errorf("cluster: cannot shrink the fleet below one stage")
+	case cfg.Standbys > 0:
+		return fmt.Errorf("cluster: fleet resize requires standbys = 0")
+	case len(c.Peers) > 0:
+		return fmt.Errorf("cluster: fleet resize is not supported for the coordinated topology")
+	case c.Router != nil && target < c.Router.NumShards():
+		return fmt.Errorf("cluster: cannot shrink the fleet below the %d live shard(s)", c.Router.NumShards())
+	}
+
+	for len(c.Stages) < target {
+		i := c.stageSeq
+		c.stageSeq++
+		v, err := stage.StartVirtual(stage.Config{
+			ID:            i + 1,
+			JobID:         i%uint64(cfg.Jobs) + 1,
+			Weight:        1,
+			Generator:     cfg.Workload,
+			Network:       c.Net.Host(fmt.Sprintf("stage-%d", i+1)),
+			Tracer:        c.stageTracer(),
+			MaxCodec:      cfg.MaxCodec,
+			PushThreshold: cfg.PushThreshold,
+			PushInterval:  cfg.PushInterval,
+			PushFloor:     cfg.PushFloor,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: grow stage %d: %w", i+1, err)
+		}
+		switch {
+		case c.Router != nil:
+			s := c.Router.Place(v.Info().ID)
+			if err := c.Router.Group(s).Leader().AddStage(ctx, v.Info()); err != nil {
+				v.Close()
+				return fmt.Errorf("cluster: shard %d attach: %w", s, err)
+			}
+		case len(c.Aggregators) > 0:
+			agg := c.leastLoadedAggregator()
+			if err := agg.AddStage(ctx, v.Info()); err != nil {
+				v.Close()
+				return fmt.Errorf("cluster: aggregator attach: %w", err)
+			}
+			c.Global.SetAggregatorStages(agg.ID(), agg.Stages())
+		default:
+			if err := c.Global.AddStage(ctx, v.Info()); err != nil {
+				v.Close()
+				return fmt.Errorf("cluster: flat attach: %w", err)
+			}
+		}
+		c.Stages = append(c.Stages, v)
+	}
+
+	for len(c.Stages) > target {
+		last := len(c.Stages) - 1
+		v := c.Stages[last]
+		id := v.Info().ID
+		switch {
+		case c.Router != nil:
+			_, leader := c.Router.Route(id)
+			leader.RemoveChild(id)
+		case len(c.Aggregators) > 0:
+			for _, a := range c.Aggregators {
+				if a.RemoveStage(id) {
+					c.Global.SetAggregatorStages(a.ID(), a.Stages())
+					break
+				}
+			}
+		default:
+			c.Global.RemoveChild(id)
+		}
+		v.Close()
+		c.Stages = c.Stages[:last]
+	}
+	return nil
+}
+
+// shardLeaderConfig assembles the configuration for shard s's leader,
+// mirroring buildSharded (standbys-free resizes only, so no quorum
+// wiring). Capacity is set by the caller after the rebalance settles.
+func (c *Cluster) shardLeaderConfig(s int, role Roles) controller.GlobalConfig {
+	cfg := c.cfg
+	return controller.GlobalConfig{
+		ListenAddr:       quorumPort,
+		Network:          c.Net.Host(ShardHost(s)),
+		ID:               1,
+		Epoch:            1,
+		Algorithm:        cfg.Algorithm,
+		FanOut:           cfg.FanOut,
+		FanOutMode:       cfg.FanOutMode,
+		CallTimeout:      cfg.CallTimeout,
+		MaxCodec:         cfg.MaxCodec,
+		DeltaEnforcement: cfg.DeltaEnforcement,
+		Incremental:      cfg.Incremental,
+		IncrementalFloor: cfg.IncrementalFloor,
+		MaxFailures:      cfg.MaxFailures,
+		ProbeInterval:    cfg.ProbeInterval,
+		MaxProbeInterval: cfg.MaxProbeInterval,
+		StaleAfter:       cfg.StaleAfter,
+		EvictAfter:       cfg.EvictAfter,
+		Meter:            role.Meter,
+		CPU:              role.CPU,
+	}
+}
+
+// ResizeShards changes the shard-leader count to target and rebalances the
+// fleet onto the new consistent-hash ring. Growing starts fresh leaders
+// and drains their ring share onto them; shrinking installs the smaller
+// ring first (so nothing routes to the doomed shards), drains each doomed
+// shard's children to their new owners, then evicts and closes it. Per-
+// shard capacity is re-split proportionally to the settled populations.
+// Requires a standbys-free sharded deployment on the default placement.
+func (c *Cluster) ResizeShards(ctx context.Context, target int) error {
+	cfg := c.cfg
+	switch {
+	case c.Router == nil:
+		return fmt.Errorf("cluster: not a sharded deployment")
+	case cfg.Standbys > 0:
+		return fmt.Errorf("cluster: shard resize requires standbys = 0")
+	case cfg.Placement != nil:
+		return fmt.Errorf("cluster: shard resize requires the default consistent-hash placement")
+	case target < 1:
+		return fmt.Errorf("cluster: need at least one shard, got %d", target)
+	case target > len(c.Stages):
+		return fmt.Errorf("cluster: %d stages cannot populate %d shards", len(c.Stages), target)
+	}
+	cur := c.Router.NumShards()
+	if target == cur {
+		return nil
+	}
+
+	groups := make([]*shard.Group, cur)
+	for i := range groups {
+		groups[i] = c.Router.Group(i)
+	}
+
+	if target > cur {
+		for s := cur; s < target; s++ {
+			role := Roles{Meter: &transport.Meter{}, CPU: &monitor.CPUMeter{}}
+			gcfg := c.shardLeaderConfig(s, role)
+			st, err := c.openStore(ShardHost(s))
+			if err != nil {
+				return err
+			}
+			gcfg.Store = st
+			g, err := controller.NewGlobal(gcfg)
+			if err != nil {
+				if st != nil {
+					st.Close()
+				}
+				return fmt.Errorf("cluster: grow shard %d: %w", s, err)
+			}
+			c.Globals = append(c.Globals, g)
+			c.ShardRoles = append(c.ShardRoles, role)
+			groups = append(groups, shard.NewGroup(g, nil, nil))
+		}
+		c.Router.SetGroups(groups, shard.Config{VirtualNodes: cfg.VirtualNodes})
+		if _, err := c.Router.Rebalance(ctx); err != nil {
+			return fmt.Errorf("cluster: rebalance onto %d shards: %w", target, err)
+		}
+	} else {
+		victims := groups[target:]
+		c.Router.SetGroups(groups[:target], shard.Config{VirtualNodes: cfg.VirtualNodes})
+		for i, v := range victims {
+			if _, err := c.Router.Drain(ctx, v); err != nil {
+				return fmt.Errorf("cluster: drain shard %d: %w", target+i, err)
+			}
+			v.Leader().Close()
+		}
+		c.Globals = c.Globals[:target]
+		c.ShardRoles = c.ShardRoles[:target]
+	}
+
+	// Re-split the administrator capacity over the settled populations.
+	total := len(c.Stages)
+	for i := 0; i < c.Router.NumShards(); i++ {
+		g := c.Router.Group(i).Leader()
+		g.SetCapacity(cfg.Capacity.Scale(float64(g.NumChildren()) / float64(total)))
+	}
+	return nil
+}
+
+// SetJobWeight re-tunes one job's QoS weight across the deployment's
+// controllers; the next control cycle allocates with it.
+func (c *Cluster) SetJobWeight(jobID uint64, weight float64) {
+	if c.Global != nil {
+		c.Global.SetJobWeight(jobID, weight)
+	}
+	for _, g := range c.Globals {
+		g.SetJobWeight(jobID, weight)
+	}
+}

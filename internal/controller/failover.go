@@ -592,9 +592,9 @@ func (g *Global) buildStateSync() *wire.StateSync {
 			Addr:   c.info.Addr,
 			Rules:  c.snapshotRules(),
 		}
-		if len(c.stages) > 0 {
-			m.Stages = make([]wire.StageEntry, len(c.stages))
-			for k, s := range c.stages {
+		if stages := c.stageList(); len(stages) > 0 {
+			m.Stages = make([]wire.StageEntry, len(stages))
+			for k, s := range stages {
 				m.Stages[k] = wire.StageEntry{ID: s.ID, JobID: s.JobID, Weight: s.Weight, Addr: s.Addr}
 			}
 		}

@@ -227,6 +227,10 @@ type Global struct {
 	lastJobs   []JobStatus
 	mode       wire.Role // RoleStage or RoleAggregator once first child added
 	callErrors uint64
+	// capacity is the live copy of cfg.Capacity; SetCapacity retunes it on
+	// a running controller (shard resizes re-split the global budget), so
+	// compute phases read it under mu rather than from cfg.
+	capacity wire.Rates
 	// Leadership state (all under mu): epoch is the current leadership
 	// term; deposed is set once a stale-epoch rejection proves a newer
 	// leader exists; promoted marks a standby that has taken over;
@@ -291,6 +295,7 @@ func NewGlobal(cfg GlobalConfig) (*Global, error) {
 		pipe:       &telemetry.PipelineStats{},
 		jobWeights: make(map[uint64]float64),
 		epoch:      cfg.Epoch,
+		capacity:   cfg.Capacity,
 	}
 	if cfg.Store != nil {
 		// The store's recovered epochs are a floor: this controller must
@@ -369,9 +374,9 @@ func (g *Global) logRegister(c *child) {
 		Weight: c.info.Weight,
 		Addr:   c.info.Addr,
 	}
-	if len(c.stages) > 0 {
-		m.Stages = make([]wire.StageEntry, len(c.stages))
-		for k, s := range c.stages {
+	if stages := c.stageList(); len(stages) > 0 {
+		m.Stages = make([]wire.StageEntry, len(stages))
+		for k, s := range stages {
 			m.Stages[k] = wire.StageEntry{ID: s.ID, JobID: s.JobID, Weight: s.Weight, Addr: s.Addr}
 		}
 	}
@@ -412,7 +417,7 @@ func (g *Global) NumStages() int {
 		if c.role == wire.RoleStage {
 			n++
 		} else {
-			n += len(c.stages)
+			n += c.numStages()
 		}
 	}
 	return n
@@ -1234,8 +1239,9 @@ func (g *Global) computeFlatRules(reports []wire.StageReport) map[uint64]wire.Ru
 			Stages: j.Stages,
 		}
 	}
+	capacity := g.capacity
 	g.mu.Unlock()
-	allocs := g.cfg.Algorithm.Allocate(inputs, g.cfg.Capacity)
+	allocs := g.cfg.Algorithm.Allocate(inputs, capacity)
 	g.recordJobStatuses(inputs, allocs)
 
 	allocByJob := make(map[uint64]wire.Rates, len(allocs))
@@ -1344,8 +1350,9 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 			Stages: j.Stages,
 		}
 	}
+	capacity := g.capacity
 	g.mu.Unlock()
-	allocs := g.cfg.Algorithm.Allocate(inputs, g.cfg.Capacity)
+	allocs := g.cfg.Algorithm.Allocate(inputs, capacity)
 	g.recordJobStatuses(inputs, allocs)
 
 	perStage := make(map[uint64]wire.Rates, len(allocs))
@@ -1362,9 +1369,10 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 		if !responded[i] {
 			continue // skip unresponsive aggregators this cycle
 		}
+		stages := c.stageList()
 		if g.cfg.Delegated {
 			counts := make(map[uint64]int)
-			for _, s := range c.stages {
+			for _, s := range stages {
 				counts[s.JobID]++
 			}
 			budget := make([]wire.JobBudget, 0, len(counts))
@@ -1381,8 +1389,8 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 			budgets[i] = budget
 			continue
 		}
-		batch := make([]wire.Rule, 0, len(c.stages))
-		for _, s := range c.stages {
+		batch := make([]wire.Rule, 0, len(stages))
+		for _, s := range stages {
 			limit, ok := perStage[s.JobID]
 			if !ok {
 				continue
@@ -1495,7 +1503,7 @@ func (g *Global) MemoryFootprint() uint64 {
 	var total uint64
 	for _, c := range g.members.snapshot() {
 		total += perChild + uint64(len(c.info.Addr))
-		total += uint64(len(c.stages)+1) * perStage
+		total += uint64(c.numStages()+1) * perStage
 	}
 	g.mu.Lock()
 	total += uint64(len(g.jobWeights)) * perJob

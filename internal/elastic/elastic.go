@@ -1,0 +1,364 @@
+// Package elastic closes the loop between the control plane's latency
+// telemetry and its own shape: a small SLO controller that watches
+// per-cycle latency (the sensor the Prometheus endpoint already exposes),
+// decides against a p90 objective with hysteresis, and actuates by growing
+// or shrinking the aggregator tier through the deployment's re-homing
+// machinery.
+//
+// The loop is deliberately synchronous: the daemon feeds Observe one
+// measurement per control cycle from the cycle goroutine itself, and any
+// scaling action runs inline before the next cycle starts. That serializes
+// sensor, decision, and actuator with the cycles they reshape — no scaling
+// action ever races an in-flight collect or enforce.
+package elastic
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Actuator is the scaling surface the controller drives — in production the
+// deployment's aggregator tier.
+type Actuator interface {
+	// Size returns the current tier size.
+	Size() int
+	// Grow adds one unit of capacity (one aggregator).
+	Grow(ctx context.Context) error
+	// Shrink removes one unit of capacity.
+	Shrink(ctx context.Context) error
+}
+
+// Defaults for the zero-valued Config fields.
+const (
+	DefaultWindow        = 10
+	DefaultBreachWindows = 3
+	DefaultClearWindows  = 3
+	DefaultHeadroomRatio = 0.5
+)
+
+// Config parameterizes the SLO controller.
+type Config struct {
+	// SLO is the per-cycle p90 latency objective. Required.
+	SLO time.Duration
+	// Window is the number of cycles per decision window; p90 is computed
+	// over each full window. Zero selects DefaultWindow.
+	Window int
+	// BreachWindows is how many consecutive windows must breach the SLO
+	// before the tier grows. Zero selects DefaultBreachWindows.
+	BreachWindows int
+	// ClearWindows is how many consecutive windows must show headroom
+	// before the tier shrinks. Zero selects DefaultClearWindows.
+	ClearWindows int
+	// HeadroomRatio sets the shrink threshold at HeadroomRatio×SLO: the
+	// hysteresis band between it and the SLO is where the controller holds
+	// still, so a deployment sized just under the objective does not
+	// oscillate. Zero selects DefaultHeadroomRatio.
+	HeadroomRatio float64
+	// Cooldown is the minimum time between scaling actions, bounding how
+	// fast consecutive decisions can reshape the tier. Zero disables.
+	Cooldown time.Duration
+	// Min and Max bound the tier size. Min zero selects 1; Max zero means
+	// unbounded.
+	Min, Max int
+	// Logf, if non-nil, receives one line per decision window and action.
+	Logf func(format string, args ...any)
+	// Now overrides the clock (tests). Nil selects time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.SLO <= 0 {
+		return c, fmt.Errorf("elastic: SLO must be positive, got %v", c.SLO)
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.BreachWindows <= 0 {
+		c.BreachWindows = DefaultBreachWindows
+	}
+	if c.ClearWindows <= 0 {
+		c.ClearWindows = DefaultClearWindows
+	}
+	if c.HeadroomRatio <= 0 || c.HeadroomRatio >= 1 {
+		if c.HeadroomRatio != 0 {
+			return c, fmt.Errorf("elastic: HeadroomRatio must be in (0, 1), got %g", c.HeadroomRatio)
+		}
+		c.HeadroomRatio = DefaultHeadroomRatio
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max > 0 && c.Max < c.Min {
+		return c, fmt.Errorf("elastic: Max %d below Min %d", c.Max, c.Min)
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c, nil
+}
+
+// Decision is the outcome of one Observe call.
+type Decision int
+
+// The decisions Observe can return. Held decisions wanted to act but were
+// stopped by a bound or the cooldown — surfaced so operators can see a
+// saturated tier.
+const (
+	// None: mid-window, or the window landed in the hysteresis band.
+	None Decision = iota
+	// Grew: the tier grew by one.
+	Grew
+	// Shrank: the tier shrank by one.
+	Shrank
+	// HeldMax: a grow was due but the tier is at Max (or cooling down).
+	HeldMax
+	// HeldMin: a shrink was due but the tier is at Min (or cooling down).
+	HeldMin
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case None:
+		return "none"
+	case Grew:
+		return "grew"
+	case Shrank:
+		return "shrank"
+	case HeldMax:
+		return "held-max"
+	case HeldMin:
+		return "held-min"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// Stats is a snapshot of the controller's counters.
+type Stats struct {
+	// Windows is the number of completed decision windows.
+	Windows uint64
+	// Breaches and Clears count windows past the breach / headroom
+	// thresholds.
+	Breaches, Clears uint64
+	// Grows and Shrinks count completed scaling actions.
+	Grows, Shrinks uint64
+	// Held counts decisions suppressed by a bound or the cooldown.
+	Held uint64
+	// ActuatorErrors counts failed scaling actions.
+	ActuatorErrors uint64
+	// LastP90 is the most recent completed window's p90.
+	LastP90 time.Duration
+	// BreachStreak and ClearStreak are the current consecutive-window
+	// streaks.
+	BreachStreak, ClearStreak int
+	// Size is the actuator's current tier size.
+	Size int
+	// SLO echoes the configured objective.
+	SLO time.Duration
+}
+
+// Controller is the SLO elasticity controller. It is safe for concurrent
+// use, but the intended shape is single-threaded: one Observe per control
+// cycle from the cycle loop.
+type Controller struct {
+	act Actuator
+
+	mu           sync.Mutex
+	cfg          Config
+	window       []time.Duration
+	breachStreak int
+	clearStreak  int
+	lastAction   time.Time
+	lastP90      time.Duration
+
+	windows, breaches, clears uint64
+	grows, shrinks, held      uint64
+	actErrors                 uint64
+}
+
+// New builds a controller over the actuator.
+func New(cfg Config, act Actuator) (*Controller, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if act == nil {
+		return nil, fmt.Errorf("elastic: nil actuator")
+	}
+	return &Controller{act: act, cfg: cfg, window: make([]time.Duration, 0, cfg.Window)}, nil
+}
+
+// SetConfig swaps the controller's knobs live (hot reload of the SLO
+// block). The in-progress window and the streaks are kept: a breach streak
+// accumulated under the old objective still counts, it is just judged
+// against the new one from the next window on.
+func (c *Controller) SetConfig(cfg Config) error {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	// The clock and the log sink are wiring, not knobs; a reload keeps them.
+	cfg.Now = c.cfg.Now
+	cfg.Logf = c.cfg.Logf
+	c.cfg = cfg
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	c.mu.Lock()
+	f := c.cfg.Logf
+	c.mu.Unlock()
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// p90 computes the 90th percentile of the (non-empty) window.
+func p90(window []time.Duration) time.Duration {
+	s := make([]time.Duration, len(window))
+	copy(s, window)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	// Nearest-rank: the smallest value with at least 90% of the window at
+	// or below it.
+	idx := (len(s)*9 + 9) / 10
+	if idx > len(s) {
+		idx = len(s)
+	}
+	return s[idx-1]
+}
+
+// Observe feeds one control cycle's total latency. When it completes a
+// decision window it evaluates the streaks and, if a grow or shrink is due
+// and allowed, runs the actuator inline and returns the action taken.
+func (c *Controller) Observe(ctx context.Context, cycleTotal time.Duration) (Decision, error) {
+	c.mu.Lock()
+	c.window = append(c.window, cycleTotal)
+	if len(c.window) < c.cfg.Window {
+		c.mu.Unlock()
+		return None, nil
+	}
+	q := p90(c.window)
+	c.window = c.window[:0]
+	c.windows++
+	c.lastP90 = q
+	cfg := c.cfg
+
+	headroom := time.Duration(float64(cfg.SLO) * cfg.HeadroomRatio)
+	switch {
+	case q > cfg.SLO:
+		c.breaches++
+		c.breachStreak++
+		c.clearStreak = 0
+	case q < headroom:
+		c.clears++
+		c.clearStreak++
+		c.breachStreak = 0
+	default:
+		// Hysteresis band: healthy but not wastefully so. Both streaks
+		// reset — an action needs K *consecutive* windows of evidence.
+		c.breachStreak = 0
+		c.clearStreak = 0
+	}
+	breachDue := c.breachStreak >= cfg.BreachWindows
+	clearDue := c.clearStreak >= cfg.ClearWindows
+	bStreak, cStreak := c.breachStreak, c.clearStreak
+	cooling := cfg.Cooldown > 0 && !c.lastAction.IsZero() && cfg.Now().Sub(c.lastAction) < cfg.Cooldown
+	size := c.act.Size()
+	c.mu.Unlock()
+
+	c.logf("elastic: window p90=%v slo=%v size=%d breach-streak=%d clear-streak=%d",
+		q.Round(time.Microsecond), cfg.SLO, size, bStreak, cStreak)
+
+	switch {
+	case breachDue:
+		if cooling || (cfg.Max > 0 && size >= cfg.Max) {
+			c.note(&c.held)
+			return HeldMax, nil
+		}
+		if err := c.act.Grow(ctx); err != nil {
+			c.note(&c.actErrors)
+			return None, fmt.Errorf("elastic: grow: %w", err)
+		}
+		c.acted(&c.grows)
+		c.logf("elastic: grew aggregator tier to %d (p90 %v over SLO %v for %d windows)",
+			c.act.Size(), q.Round(time.Microsecond), cfg.SLO, cfg.BreachWindows)
+		return Grew, nil
+	case clearDue:
+		if cooling || size <= cfg.Min {
+			c.note(&c.held)
+			return HeldMin, nil
+		}
+		if err := c.act.Shrink(ctx); err != nil {
+			c.note(&c.actErrors)
+			return None, fmt.Errorf("elastic: shrink: %w", err)
+		}
+		c.acted(&c.shrinks)
+		c.logf("elastic: shrank aggregator tier to %d (p90 %v under %v headroom for %d windows)",
+			c.act.Size(), q.Round(time.Microsecond), headroom, cfg.ClearWindows)
+		return Shrank, nil
+	}
+	return None, nil
+}
+
+func (c *Controller) note(counter *uint64) {
+	c.mu.Lock()
+	*counter++
+	c.mu.Unlock()
+}
+
+// acted records a completed action and resets the evidence: streaks start
+// over so the next action needs a full run of windows measured against the
+// new tier size, and the cooldown clock restarts.
+func (c *Controller) acted(counter *uint64) {
+	c.mu.Lock()
+	*counter++
+	c.breachStreak = 0
+	c.clearStreak = 0
+	c.lastAction = c.cfg.Now()
+	c.mu.Unlock()
+}
+
+// Stats snapshots the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Windows:        c.windows,
+		Breaches:       c.breaches,
+		Clears:         c.clears,
+		Grows:          c.grows,
+		Shrinks:        c.shrinks,
+		Held:           c.held,
+		ActuatorErrors: c.actErrors,
+		LastP90:        c.lastP90,
+		BreachStreak:   c.breachStreak,
+		ClearStreak:    c.clearStreak,
+		Size:           c.act.Size(),
+		SLO:            c.cfg.SLO,
+	}
+}
+
+// WritePrometheus renders the controller's state in Prometheus text
+// exposition format; it implements the debug endpoint's MetricsSource.
+func (c *Controller) WritePrometheus(w io.Writer) error {
+	s := c.Stats()
+	_, err := fmt.Fprintf(w,
+		"# TYPE sdscale_elastic_size gauge\nsdscale_elastic_size %d\n"+
+			"# TYPE sdscale_elastic_slo_seconds gauge\nsdscale_elastic_slo_seconds %g\n"+
+			"# TYPE sdscale_elastic_last_p90_seconds gauge\nsdscale_elastic_last_p90_seconds %g\n"+
+			"# TYPE sdscale_elastic_windows_total counter\nsdscale_elastic_windows_total %d\n"+
+			"# TYPE sdscale_elastic_breaches_total counter\nsdscale_elastic_breaches_total %d\n"+
+			"# TYPE sdscale_elastic_grows_total counter\nsdscale_elastic_grows_total %d\n"+
+			"# TYPE sdscale_elastic_shrinks_total counter\nsdscale_elastic_shrinks_total %d\n"+
+			"# TYPE sdscale_elastic_held_total counter\nsdscale_elastic_held_total %d\n"+
+			"# TYPE sdscale_elastic_actuator_errors_total counter\nsdscale_elastic_actuator_errors_total %d\n",
+		s.Size, s.SLO.Seconds(), s.LastP90.Seconds(),
+		s.Windows, s.Breaches, s.Grows, s.Shrinks, s.Held, s.ActuatorErrors)
+	return err
+}

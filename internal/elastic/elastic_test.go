@@ -1,0 +1,266 @@
+package elastic
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeTier is a test actuator: an integer with failure injection.
+type fakeTier struct {
+	mu   sync.Mutex
+	size int
+	fail error
+}
+
+func (f *fakeTier) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.size
+}
+
+func (f *fakeTier) Grow(context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return f.fail
+	}
+	f.size++
+	return nil
+}
+
+func (f *fakeTier) Shrink(context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return f.fail
+	}
+	f.size--
+	return nil
+}
+
+// feed pushes n cycles of latency d and returns the last non-None decision.
+func feed(t *testing.T, c *Controller, n int, d time.Duration) Decision {
+	t.Helper()
+	last := None
+	for i := 0; i < n; i++ {
+		dec, err := c.Observe(context.Background(), d)
+		if err != nil {
+			t.Fatalf("Observe: %v", err)
+		}
+		if dec != None {
+			last = dec
+		}
+	}
+	return last
+}
+
+func newTest(t *testing.T, cfg Config, tier *fakeTier) *Controller {
+	t.Helper()
+	c, err := New(cfg, tier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	tier := &fakeTier{size: 1}
+	if _, err := New(Config{}, tier); err == nil {
+		t.Fatal("accepted zero SLO")
+	}
+	if _, err := New(Config{SLO: time.Second, HeadroomRatio: 1.5}, tier); err == nil {
+		t.Fatal("accepted headroom ratio over 1")
+	}
+	if _, err := New(Config{SLO: time.Second, Min: 4, Max: 2}, tier); err == nil {
+		t.Fatal("accepted Max < Min")
+	}
+	if _, err := New(Config{SLO: time.Second}, nil); err == nil {
+		t.Fatal("accepted nil actuator")
+	}
+}
+
+func TestGrowAfterKBreachedWindows(t *testing.T) {
+	tier := &fakeTier{size: 1}
+	c := newTest(t, Config{SLO: 10 * time.Millisecond, Window: 4, BreachWindows: 3}, tier)
+
+	// Two breached windows: no action yet.
+	if dec := feed(t, c, 8, 20*time.Millisecond); dec != None {
+		t.Fatalf("acted after 2 windows: %v", dec)
+	}
+	// Third consecutive breach: grow.
+	if dec := feed(t, c, 4, 20*time.Millisecond); dec != Grew {
+		t.Fatalf("third breached window: %v", dec)
+	}
+	if tier.Size() != 2 {
+		t.Fatalf("tier size = %d", tier.Size())
+	}
+	s := c.Stats()
+	if s.Grows != 1 || s.Breaches != 3 || s.BreachStreak != 0 {
+		t.Fatalf("stats after grow: %+v", s)
+	}
+}
+
+func TestHealthyWindowResetsBreachStreak(t *testing.T) {
+	tier := &fakeTier{size: 1}
+	c := newTest(t, Config{SLO: 10 * time.Millisecond, Window: 4, BreachWindows: 3}, tier)
+
+	feed(t, c, 8, 20*time.Millisecond) // 2 breached windows
+	feed(t, c, 4, 7*time.Millisecond)  // in the hysteresis band: streak resets
+	if dec := feed(t, c, 8, 20*time.Millisecond); dec != None {
+		t.Fatalf("grew without 3 consecutive breaches: %v", dec)
+	}
+	if tier.Size() != 1 {
+		t.Fatalf("tier size = %d", tier.Size())
+	}
+}
+
+func TestShrinkOnSustainedHeadroomWithHysteresis(t *testing.T) {
+	tier := &fakeTier{size: 3}
+	c := newTest(t, Config{
+		SLO: 10 * time.Millisecond, Window: 4,
+		ClearWindows: 3, HeadroomRatio: 0.5, Min: 1,
+	}, tier)
+
+	// In-band latency (7ms: over the 5ms headroom line, under the 10ms SLO)
+	// never shrinks, no matter how long it lasts.
+	if dec := feed(t, c, 40, 7*time.Millisecond); dec != None {
+		t.Fatalf("hysteresis band acted: %v", dec)
+	}
+	// Sustained headroom (2ms < 5ms) for 3 windows: shrink once.
+	if dec := feed(t, c, 12, 2*time.Millisecond); dec != Shrank {
+		t.Fatal("no shrink after 3 clear windows")
+	}
+	if tier.Size() != 2 {
+		t.Fatalf("tier size = %d", tier.Size())
+	}
+}
+
+func TestBoundsHold(t *testing.T) {
+	tier := &fakeTier{size: 2}
+	c := newTest(t, Config{
+		SLO: 10 * time.Millisecond, Window: 2,
+		BreachWindows: 1, ClearWindows: 1, Min: 2, Max: 2,
+	}, tier)
+
+	if dec := feed(t, c, 2, 20*time.Millisecond); dec != HeldMax {
+		t.Fatalf("grow at Max: %v", dec)
+	}
+	if dec := feed(t, c, 2, time.Millisecond); dec != HeldMin {
+		t.Fatalf("shrink at Min: %v", dec)
+	}
+	if tier.Size() != 2 {
+		t.Fatalf("tier moved: %d", tier.Size())
+	}
+	if s := c.Stats(); s.Held != 2 {
+		t.Fatalf("Held = %d", s.Held)
+	}
+}
+
+func TestCooldownSuppressesBackToBackActions(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	tier := &fakeTier{size: 1}
+	c := newTest(t, Config{
+		SLO: 10 * time.Millisecond, Window: 2, BreachWindows: 1,
+		Cooldown: time.Minute, Now: clock,
+	}, tier)
+
+	if dec := feed(t, c, 2, 20*time.Millisecond); dec != Grew {
+		t.Fatalf("first grow: %v", dec)
+	}
+	// Still breaching, but inside the cooldown: held.
+	if dec := feed(t, c, 2, 20*time.Millisecond); dec != HeldMax {
+		t.Fatalf("inside cooldown: %v", dec)
+	}
+	now = now.Add(2 * time.Minute)
+	if dec := feed(t, c, 2, 20*time.Millisecond); dec != Grew {
+		t.Fatalf("after cooldown: %v", dec)
+	}
+	if tier.Size() != 3 {
+		t.Fatalf("tier size = %d", tier.Size())
+	}
+}
+
+func TestActuatorErrorSurfacesAndCounts(t *testing.T) {
+	boom := errors.New("boom")
+	tier := &fakeTier{size: 1, fail: boom}
+	c := newTest(t, Config{SLO: 10 * time.Millisecond, Window: 2, BreachWindows: 1}, tier)
+
+	var lastErr error
+	for i := 0; i < 2; i++ {
+		_, lastErr = c.Observe(context.Background(), 20*time.Millisecond)
+	}
+	if !errors.Is(lastErr, boom) {
+		t.Fatalf("err = %v", lastErr)
+	}
+	if s := c.Stats(); s.ActuatorErrors != 1 || s.Grows != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSetConfigRetunesLive(t *testing.T) {
+	tier := &fakeTier{size: 1}
+	c := newTest(t, Config{SLO: 100 * time.Millisecond, Window: 2, BreachWindows: 1}, tier)
+
+	// 20ms is healthy under a 100ms SLO…
+	if dec := feed(t, c, 2, 20*time.Millisecond); dec != None {
+		t.Fatalf("acted under loose SLO: %v", dec)
+	}
+	// …and a breach after the SLO tightens to 10ms.
+	if err := c.SetConfig(Config{SLO: 10 * time.Millisecond, Window: 2, BreachWindows: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if dec := feed(t, c, 2, 20*time.Millisecond); dec != Grew {
+		t.Fatalf("no grow under tightened SLO: %v", dec)
+	}
+	if err := c.SetConfig(Config{}); err == nil {
+		t.Fatal("SetConfig accepted zero SLO")
+	}
+}
+
+func TestP90NearestRank(t *testing.T) {
+	win := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	if got := p90(win); got != 9 {
+		t.Fatalf("p90 of 1..9,100 = %v, want 9", got)
+	}
+	if got := p90([]time.Duration{5}); got != 5 {
+		t.Fatalf("p90 of single = %v", got)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	for d, want := range map[Decision]string{
+		None: "none", Grew: "grew", Shrank: "shrank",
+		HeldMax: "held-max", HeldMin: "held-min", Decision(99): "Decision(99)",
+	} {
+		if d.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	tier := &fakeTier{size: 2}
+	c := newTest(t, Config{SLO: 10 * time.Millisecond, Window: 2, BreachWindows: 1}, tier)
+	feed(t, c, 2, 20*time.Millisecond)
+
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sdscale_elastic_size 3",
+		"sdscale_elastic_slo_seconds 0.01",
+		"sdscale_elastic_grows_total 1",
+		"sdscale_elastic_windows_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// The SLO-elasticity scenario at reduced scale: doubling the fleet breaches
+// the adaptive p90 objective, the loop grows the aggregator tier until
+// latency recovers, and sustained headroom after the fleet subsides shrinks
+// the tier back to its floor with zero rule loss.
+func TestElasticReducedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elastic scenario drives ~40 measured control cycles")
+	}
+	o := testOptions(0.1) // 40-node floor, 2 -> 3 -> 2 aggregators
+	for attempt := 1; attempt <= 2; attempt++ {
+		r, err := Elastic(context.Background(), o)
+		if err != nil && raceEnabled {
+			// The detector's slowdown distorts the latency shapes the
+			// decision loop keys on; the run itself (cycles, re-homing,
+			// actuators) is what the detector needs to see.
+			t.Skipf("elastic under -race: %v", err)
+		}
+		if err == nil {
+			if cerr := CheckElastic(r); cerr != nil {
+				if raceEnabled {
+					t.Skipf("elastic shape under -race: %v", cerr)
+				}
+				t.Logf("attempt %d: %v", attempt, cerr)
+				continue
+			}
+			var b strings.Builder
+			o.Out = &b
+			PrintElastic(o, r)
+			out := b.String()
+			for _, want := range []string{"elastic —", "slo", "tier", "window p90", "rule consistency"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("elastic renderer output missing %q:\n%s", want, out)
+				}
+			}
+			return
+		}
+		t.Logf("attempt %d: %v", attempt, err)
+	}
+	t.Fatal("elastic scenario failed both attempts")
+}

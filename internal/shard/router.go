@@ -60,17 +60,27 @@ type Config struct {
 	VirtualNodes int
 }
 
+// routerState is the router's routing view — the group set and the
+// placement function over it. It is immutable once published: SetGroups
+// swaps in a whole new state, so cycle traffic loads one consistent
+// (groups, placement) pair with a single atomic read and never sees a
+// half-resized deployment.
+type routerState struct {
+	shards []*Group
+	place  func(childID uint64) int
+}
+
 // Router is the thin routing tier over a sharded deployment's groups. It
 // holds no child state of its own: placement is a pure function, ownership
 // questions are answered by the shards, and handoff drives the controllers'
 // existing re-homing + epoch-fencing machinery.
 type Router struct {
-	shards []*Group
-	place  func(childID uint64) int
+	state atomic.Pointer[routerState]
 
-	// moveMu serializes handoffs: concurrent moves of the same child from
-	// Rebalance and an operator would race adopt/remove interleavings.
-	// Cycle traffic never takes this lock.
+	// moveMu serializes handoffs and group-set swaps: concurrent moves of
+	// the same child from Rebalance and an operator would race
+	// adopt/remove interleavings, and a resize must not interleave with a
+	// half-done move. Cycle traffic never takes this lock.
 	moveMu     sync.Mutex
 	moves      atomic.Uint64
 	rebalances atomic.Uint64
@@ -80,11 +90,18 @@ type Router struct {
 // installs the shard-table provider on every member, so any controller in
 // the deployment answers ShardQuery with current routing metadata.
 func NewRouter(shards []*Group, cfg Config) *Router {
-	r := &Router{shards: shards}
-	r.place = cfg.Placement
-	if r.place == nil {
+	r := &Router{}
+	r.install(shards, cfg)
+	return r
+}
+
+// install publishes a new routing state and re-points every member's shard
+// table at this router with its (possibly new) shard index.
+func (r *Router) install(shards []*Group, cfg Config) {
+	st := &routerState{shards: shards, place: cfg.Placement}
+	if st.place == nil {
 		ring := NewRing(len(shards), cfg.VirtualNodes)
-		r.place = ring.Place
+		st.place = ring.Place
 	}
 	table := func(childID uint64) *wire.ShardMap { return r.describe(childID) }
 	for i, s := range shards {
@@ -92,18 +109,30 @@ func NewRouter(shards []*Group, cfg Config) *Router {
 			g.SetShardTable(table, i)
 		}
 	}
-	return r
+	r.state.Store(st)
+}
+
+// SetGroups replaces the shard set live (an elastic resize). The new state
+// — group list and placement — becomes visible to routing and cycles
+// atomically; children still sitting on shards that moved in the ring are
+// the caller's to drain with Rebalance. Groups present in the old set and
+// not the new one are likewise the caller's to close, after Rebalance has
+// emptied them.
+func (r *Router) SetGroups(shards []*Group, cfg Config) {
+	r.moveMu.Lock()
+	defer r.moveMu.Unlock()
+	r.install(shards, cfg)
 }
 
 // NumShards returns the shard count.
-func (r *Router) NumShards() int { return len(r.shards) }
+func (r *Router) NumShards() int { return len(r.state.Load().shards) }
 
 // Group returns shard i's controller group.
-func (r *Router) Group(i int) *Group { return r.shards[i] }
+func (r *Router) Group(i int) *Group { return r.state.Load().shards[i] }
 
 // Place returns the shard that placement assigns childID to — where the
 // child *should* live. See Route for where it actually lives.
-func (r *Router) Place(childID uint64) int { return r.place(childID) }
+func (r *Router) Place(childID uint64) int { return r.state.Load().place(childID) }
 
 // Route returns the shard currently owning childID and its effective
 // leader. Placement is checked first; during a rebalance (or after manual
@@ -111,13 +140,17 @@ func (r *Router) Place(childID uint64) int { return r.place(childID) }
 // before giving up. An unknown child routes to its placement shard — the
 // shard it would register with.
 func (r *Router) Route(childID uint64) (int, *controller.Global) {
-	want := r.place(childID)
-	if g := r.shards[want].Leader(); g != nil {
+	return r.state.Load().route(childID)
+}
+
+func (st *routerState) route(childID uint64) (int, *controller.Global) {
+	want := st.place(childID)
+	if g := st.shards[want].Leader(); g != nil {
 		if _, _, ok := g.ChildSnapshot(childID); ok {
 			return want, g
 		}
 	}
-	for i, s := range r.shards {
+	for i, s := range st.shards {
 		if i == want {
 			continue
 		}
@@ -127,7 +160,7 @@ func (r *Router) Route(childID uint64) (int, *controller.Global) {
 			}
 		}
 	}
-	return want, r.shards[want].Leader()
+	return want, st.shards[want].Leader()
 }
 
 // RunCycle runs one control cycle on every shard leader concurrently and
@@ -137,10 +170,11 @@ func (r *Router) Route(childID uint64) (int, *controller.Global) {
 // cycles still run and merge, because one shard's outage must not stall
 // the rest of the fleet — that is the point of sharding.
 func (r *Router) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
-	bs := make([]telemetry.Breakdown, len(r.shards))
-	errs := make([]error, len(r.shards))
+	shards := r.state.Load().shards
+	bs := make([]telemetry.Breakdown, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
+	for i, s := range shards {
 		wg.Add(1)
 		go func(i int, s *Group) {
 			defer wg.Done()
@@ -161,10 +195,11 @@ func (r *Router) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 // each leader broadcasting it to its children over the marshal-once shared
 // frame path. It returns the total number of stages that applied the rule.
 func (r *Router) EnforceUniform(ctx context.Context, jobID uint64, action wire.RuleAction, limit wire.Rates) (int, error) {
-	applied := make([]int, len(r.shards))
-	errs := make([]error, len(r.shards))
+	shards := r.state.Load().shards
+	applied := make([]int, len(shards))
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, s := range r.shards {
+	for i, s := range shards {
 		wg.Add(1)
 		go func(i int, s *Group) {
 			defer wg.Done()
@@ -174,7 +209,7 @@ func (r *Router) EnforceUniform(ctx context.Context, jobID uint64, action wire.R
 	wg.Wait()
 	var total int
 	var err error
-	for i := range r.shards {
+	for i := range shards {
 		total += applied[i]
 		if errs[i] != nil && err == nil {
 			err = fmt.Errorf("shard %d: %w", i, errs[i])
@@ -192,12 +227,18 @@ func (r *Router) EnforceUniform(ctx context.Context, jobID uint64, action wire.R
 // stale. A push the child emits mid-move lands on whichever side still
 // knows it; after the source's RemoveChild, only the destination does.
 func (r *Router) Move(ctx context.Context, childID uint64, dst int) error {
-	if dst < 0 || dst >= len(r.shards) {
-		return fmt.Errorf("shard: move child %d: no shard %d", childID, dst)
-	}
 	r.moveMu.Lock()
 	defer r.moveMu.Unlock()
-	srcIdx, src := r.Route(childID)
+	return r.moveLocked(ctx, r.state.Load(), childID, dst)
+}
+
+// moveLocked is Move's body; the caller holds moveMu and pins the state
+// the move routes against.
+func (r *Router) moveLocked(ctx context.Context, st *routerState, childID uint64, dst int) error {
+	if dst < 0 || dst >= len(st.shards) {
+		return fmt.Errorf("shard: move child %d: no shard %d", childID, dst)
+	}
+	srcIdx, src := st.route(childID)
 	if srcIdx == dst {
 		return nil
 	}
@@ -205,7 +246,7 @@ func (r *Router) Move(ctx context.Context, childID uint64, dst int) error {
 	if !ok {
 		return fmt.Errorf("shard: move child %d: shard %d does not own it", childID, srcIdx)
 	}
-	dstLeader := r.shards[dst].Leader()
+	dstLeader := st.shards[dst].Leader()
 	dstLeader.RaiseEpoch(src.Epoch() + 1)
 	if err := dstLeader.AdoptStage(ctx, info, rules); err != nil {
 		return fmt.Errorf("shard: move child %d to shard %d: %w", childID, dst, err)
@@ -219,20 +260,24 @@ func (r *Router) Move(ctx context.Context, childID uint64, dst int) error {
 // placement disagrees with its current owner. It returns the number of
 // children moved. Rebalance runs concurrently with control cycles — a
 // shard's cycle simply sees the membership before or after each move — but
-// concurrent Rebalance calls serialize on the router's move lock.
+// concurrent Rebalance calls (and resizes) serialize on the router's move
+// lock.
 func (r *Router) Rebalance(ctx context.Context) (int, error) {
+	r.moveMu.Lock()
+	defer r.moveMu.Unlock()
+	st := r.state.Load()
 	moved := 0
-	for i, s := range r.shards {
+	for i, s := range st.shards {
 		g := s.Leader()
 		if g == nil {
 			continue
 		}
 		for _, id := range g.ChildIDs() {
-			want := r.place(id)
+			want := st.place(id)
 			if want == i {
 				continue
 			}
-			if err := r.Move(ctx, id, want); err != nil {
+			if err := r.moveLocked(ctx, st, id, want); err != nil {
 				return moved, err
 			}
 			moved++
@@ -242,6 +287,39 @@ func (r *Router) Rebalance(ctx context.Context) (int, error) {
 		}
 	}
 	r.rebalances.Add(1)
+	return moved, nil
+}
+
+// Drain moves every child off shard src to wherever placement puts it —
+// the emptying half of a shrink, run after SetGroups installed a ring that
+// no longer maps anything to src. It returns the number of children moved.
+func (r *Router) Drain(ctx context.Context, src *Group) (int, error) {
+	r.moveMu.Lock()
+	defer r.moveMu.Unlock()
+	st := r.state.Load()
+	g := src.Leader()
+	if g == nil {
+		return 0, nil
+	}
+	moved := 0
+	for _, id := range g.ChildIDs() {
+		dst := st.place(id)
+		info, rules, ok := g.ChildSnapshot(id)
+		if !ok {
+			continue // re-homed away concurrently
+		}
+		dstLeader := st.shards[dst].Leader()
+		dstLeader.RaiseEpoch(g.Epoch() + 1)
+		if err := dstLeader.AdoptStage(ctx, info, rules); err != nil {
+			return moved, fmt.Errorf("shard: drain child %d to shard %d: %w", id, dst, err)
+		}
+		g.RemoveChild(id)
+		r.moves.Add(1)
+		moved++
+		if ctx.Err() != nil {
+			return moved, ctx.Err()
+		}
+	}
 	return moved, nil
 }
 
@@ -270,8 +348,9 @@ type Stats struct {
 
 // Stats snapshots every shard leader and merges the fleet-wide counters.
 func (r *Router) Stats() Stats {
-	st := Stats{Shards: make([]controller.ControllerStats, len(r.shards))}
-	for i, s := range r.shards {
+	shards := r.state.Load().shards
+	st := Stats{Shards: make([]controller.ControllerStats, len(shards))}
+	for i, s := range shards {
 		cs := s.Leader().Stats()
 		st.Shards[i] = cs
 		st.Children += cs.Children
@@ -298,8 +377,9 @@ func (r *Router) Describe() *wire.ShardMap { return r.describe(0) }
 // reply, so the map must not be shared). childID nonzero also resolves the
 // owning shard.
 func (r *Router) describe(childID uint64) *wire.ShardMap {
-	mp := &wire.ShardMap{Entries: make([]wire.ShardEntry, len(r.shards))}
-	for i, s := range r.shards {
+	st := r.state.Load()
+	mp := &wire.ShardMap{Entries: make([]wire.ShardEntry, len(st.shards))}
+	for i, s := range st.shards {
 		g := s.Leader()
 		mp.Entries[i] = wire.ShardEntry{
 			Index:    uint64(i),
@@ -310,7 +390,7 @@ func (r *Router) describe(childID uint64) *wire.ShardMap {
 		}
 	}
 	if childID != 0 {
-		owner, _ := r.Route(childID)
+		owner, _ := st.route(childID)
 		mp.Owner = uint64(owner)
 		mp.OwnerValid = true
 	}

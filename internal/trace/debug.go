@@ -53,6 +53,7 @@ type DebugOptions struct {
 type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
+	mux *http.ServeMux
 
 	mu      sync.Mutex
 	sources []namedSource
@@ -106,6 +107,7 @@ func StartDebug(opts DebugOptions) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/trace", d.serveTrace)
+	d.mux = mux
 
 	d.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() {
@@ -126,6 +128,11 @@ func (d *DebugServer) Close() error {
 	unregisterDebug(d)
 	return d.srv.Close()
 }
+
+// Handle registers an extra handler on the endpoint's mux (the daemon adds
+// /healthz this way). http.ServeMux registration is safe while the server is
+// serving; registering a pattern twice panics, exactly as with a bare mux.
+func (d *DebugServer) Handle(pattern string, h http.Handler) { d.mux.Handle(pattern, h) }
 
 // AddMetrics registers a Prometheus source under /metrics. Registering a
 // name again replaces the previous source — sources usually emit fixed

@@ -3,6 +3,7 @@ package sdscale
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"github.com/dsrhaslab/sdscale/internal/cluster"
 	"github.com/dsrhaslab/sdscale/internal/shard"
@@ -169,6 +170,12 @@ func StartTopology(t Topology) (*Deployment, error) {
 type Deployment struct {
 	c    *cluster.Cluster
 	spec Topology
+
+	// opMu serializes the mutating operations (ApplyConfig, Resize,
+	// SetStages, Grow/ShrinkAggregators, SetJobWeight) against each other.
+	// None of them may run concurrently with RunCycle — the daemon's serve
+	// loop applies them only at cycle boundaries.
+	opMu sync.Mutex
 }
 
 // DeploymentStats is the unified operational snapshot of a deployment: the
