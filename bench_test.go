@@ -320,7 +320,7 @@ func BenchmarkFlatCycle(b *testing.B) {
 	for _, nodes := range []int{1000, 5000, 10000} {
 		for _, mode := range []sdscale.FanOutMode{sdscale.FanOutPipelined, sdscale.FanOutBlocking} {
 			b.Run(fmt.Sprintf("%dk/%s", nodes/1000, mode), func(b *testing.B) {
-				c, err := cluster.Build(cluster.Config{
+				c := cachedBenchCluster(b, fmt.Sprintf("flat-%d-%s", nodes, mode), cluster.Config{
 					Topology:   cluster.Flat,
 					Stages:     nodes,
 					FanOutMode: mode,
@@ -330,10 +330,6 @@ func BenchmarkFlatCycle(b *testing.B) {
 					// controller at 5k/10k exceeds the default 2,500).
 					Net: simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
 				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.Cleanup(c.Close)
 				ctx := context.Background()
 				if _, err := c.RunControlCycle(ctx); err != nil {
 					b.Fatal(err)
@@ -353,7 +349,7 @@ func BenchmarkFlatCycle(b *testing.B) {
 	// cycle is collects only — the best case for the v2 codec's delta-coded
 	// floats and the reply-reuse decode path.
 	b.Run("10k/steady", func(b *testing.B) {
-		c, err := cluster.Build(cluster.Config{
+		c := cachedBenchCluster(b, "flat-10k-steady", cluster.Config{
 			Topology:         cluster.Flat,
 			Stages:           10000,
 			FanOutMode:       sdscale.FanOutPipelined,
@@ -362,10 +358,6 @@ func BenchmarkFlatCycle(b *testing.B) {
 			MaxCodec:         benchCodec(),
 			Net:              simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Cleanup(c.Close)
 		ctx := context.Background()
 		// A few warmup cycles reach quiescence (rules settle, then stop
 		// flowing) before the measured window.
@@ -393,7 +385,7 @@ func BenchmarkFlatCycle(b *testing.B) {
 	// floors are moot — v1 children are force-collected every cycle, so the
 	// variant degrades to the full paper-faithful cycle by design).
 	b.Run("10k/quiesced-incremental", func(b *testing.B) {
-		c, err := cluster.Build(cluster.Config{
+		c := cachedBenchCluster(b, "flat-10k-quiesced", cluster.Config{
 			Topology:         cluster.Flat,
 			Stages:           10000,
 			FanOutMode:       sdscale.FanOutPipelined,
@@ -405,10 +397,6 @@ func BenchmarkFlatCycle(b *testing.B) {
 			MaxCodec:         benchCodec(),
 			Net:              simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Cleanup(c.Close)
 		ctx := context.Background()
 		// Warmup: the first incremental cycle full-collects every
 		// never-reported stage; the following ones converge the rules. The
@@ -435,14 +423,17 @@ func BenchmarkFlatCycle(b *testing.B) {
 			}
 		}
 	})
-	// The quiesced-incremental regime with the durable write-ahead store
-	// enabled: the steady state mutates nothing, so the WAL sits on the
-	// mutation path without being exercised — the delta against
-	// quiesced-incremental is durability's tax on the control plane's hot
-	// loop (budgeted under 5% ns/op with zero added allocations;
-	// BENCH_cycle.json gates it).
-	b.Run("10k/quiesced-durable", func(b *testing.B) {
-		c, err := cluster.Build(cluster.Config{
+	// The bursty regime between the full cycle and the quiesced floor: each
+	// measured cycle, 10% of the fleet pushes a perturbed ReportDelta (the
+	// scale alternates so the rules genuinely change), and the incremental
+	// controller reacts — K-sized ingest, full-fleet compute from the arena,
+	// K-sized delta enforce. This is the "effort proportional to
+	// disturbance" row: bytes/op must track the 1,000-child dirty set, not
+	// the 10,000-child fleet (under the v1 codec cap pushes are unsupported
+	// and every child is force-collected, so the variant degrades to the
+	// full paper-faithful cycle by design).
+	b.Run("10k/bursty-10pct", func(b *testing.B) {
+		c := cachedBenchCluster(b, "flat-10k-bursty", cluster.Config{
 			Topology:         cluster.Flat,
 			Stages:           10000,
 			FanOutMode:       sdscale.FanOutPipelined,
@@ -452,13 +443,52 @@ func BenchmarkFlatCycle(b *testing.B) {
 			PushFloor:        time.Hour,
 			Workload:         sdscale.ConstantWorkload{Rates: sdscale.Rates{1000, 100}},
 			MaxCodec:         benchCodec(),
-			DataDir:          b.TempDir(),
 			Net:              simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
 		})
-		if err != nil {
-			b.Fatal(err)
+		ctx := context.Background()
+		for i := 0; i < 3; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
 		}
-		b.Cleanup(c.Close)
+		time.Sleep(250 * time.Millisecond)
+		for i := 0; i < 2; i++ {
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scale := 1.1 + 0.2*float64(i%2)
+			for j := 0; j < len(c.Stages); j += 10 {
+				c.Stages[j].PushDelta(scale)
+			}
+			if _, err := c.RunControlCycle(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The quiesced-incremental regime with the durable write-ahead store
+	// enabled: the steady state mutates nothing, so the WAL sits on the
+	// mutation path without being exercised — the delta against
+	// quiesced-incremental is durability's tax on the control plane's hot
+	// loop (budgeted under 5% ns/op with zero added allocations;
+	// BENCH_cycle.json gates it).
+	b.Run("10k/quiesced-durable", func(b *testing.B) {
+		c := cachedBenchCluster(b, "flat-10k-quiesced-durable", cluster.Config{
+			Topology:         cluster.Flat,
+			Stages:           10000,
+			FanOutMode:       sdscale.FanOutPipelined,
+			DeltaEnforcement: true,
+			Incremental:      true,
+			IncrementalFloor: time.Hour,
+			PushFloor:        time.Hour,
+			Workload:         sdscale.ConstantWorkload{Rates: sdscale.Rates{1000, 100}},
+			MaxCodec:         benchCodec(),
+			DataDir:          benchDataDir(b),
+			Net:              simnet.Config{PropDelay: -1, MaxConnsPerHost: -1},
+		})
 		ctx := context.Background()
 		for i := 0; i < 3; i++ {
 			if _, err := c.RunControlCycle(ctx); err != nil {
@@ -481,6 +511,46 @@ func BenchmarkFlatCycle(b *testing.B) {
 	})
 }
 
+// benchClusters caches BenchmarkFlatCycle's and BenchmarkShardedCycle's
+// fleets across the trial (b.N=1) and timed runs of one `go test` process —
+// including `-count` repetitions: the testing package re-invokes the
+// benchmark function per run, and rebuilding a 10,000- or 100,000-stage
+// fleet each time would cost more than every measurement combined. The
+// clusters are never closed — they live until process exit, which is also
+// why each sub-benchmark re-runs its warmup/quiescing protocol on reuse
+// (cheap once converged) instead of assuming pristine state.
+var benchClusters = map[string]*cluster.Cluster{}
+
+func cachedBenchCluster(b *testing.B, key string, cfg cluster.Config) *cluster.Cluster {
+	b.Helper()
+	if c, ok := benchClusters[key]; ok {
+		return c
+	}
+	c, err := cluster.Build(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchClusters[key] = c
+	return c
+}
+
+// benchWALDir is the process-lifetime data directory for the cached durable
+// fleet. b.TempDir would be removed after the first run, pulling the WAL out
+// from under the cached cluster on `-count` repetitions.
+var benchWALDir string
+
+func benchDataDir(b *testing.B) string {
+	b.Helper()
+	if benchWALDir == "" {
+		d, err := os.MkdirTemp("", "sdscale-bench-wal-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchWALDir = d
+	}
+	return benchWALDir
+}
+
 // BenchmarkShardedCycle measures the sharded control plane's whole-fleet
 // cycle through the routing tier: every shard leader runs its cycle
 // concurrently and the routed cycle's cost is the slowest shard, not the
@@ -492,31 +562,9 @@ func BenchmarkFlatCycle(b *testing.B) {
 // of 25k children each in the converged event-driven regime, where the
 // routed cycle is four concurrent dirty-set scans. BENCH_cycle.json records
 // and gates both rows.
-// shardedBenchClusters caches BenchmarkShardedCycle's fleets across the
-// trial (b.N=1) and timed runs of one `go test` process: the testing
-// package re-invokes the benchmark function per run, and rebuilding a
-// 100,000-stage fleet each time would cost more than every measurement
-// combined. The clusters are never closed — they live until process exit,
-// which is also why each sub-benchmark re-runs its quiescing protocol on
-// reuse (cheap once converged) instead of assuming pristine state.
-var shardedBenchClusters = map[string]*cluster.Cluster{}
-
-func shardedBenchCluster(b *testing.B, key string, cfg cluster.Config) *cluster.Cluster {
-	b.Helper()
-	if c, ok := shardedBenchClusters[key]; ok {
-		return c
-	}
-	c, err := cluster.Build(cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	shardedBenchClusters[key] = c
-	return c
-}
-
 func BenchmarkShardedCycle(b *testing.B) {
 	b.Run("10k/4shards/full", func(b *testing.B) {
-		c := shardedBenchCluster(b, "10k-full", cluster.Config{
+		c := cachedBenchCluster(b, "sharded-10k-full", cluster.Config{
 			Topology:   cluster.Flat,
 			Stages:     10000,
 			Shards:     4,
@@ -537,7 +585,7 @@ func BenchmarkShardedCycle(b *testing.B) {
 		}
 	})
 	b.Run("100k/4shards/quiesced-incremental", func(b *testing.B) {
-		c := shardedBenchCluster(b, "100k-quiesced", cluster.Config{
+		c := cachedBenchCluster(b, "sharded-100k-quiesced", cluster.Config{
 			Topology:         cluster.Flat,
 			Stages:           100000,
 			Shards:           4,

@@ -3,11 +3,13 @@ package controller
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/cyclemem"
 	"github.com/dsrhaslab/sdscale/internal/metrics"
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
@@ -140,6 +142,15 @@ type Aggregator struct {
 	// checkEpoch before they reach the scatter — matching the cycle-serial
 	// contract of cycleScratch.
 	scratch cycleScratch
+	// arena and cyc back the per-handler transient buffers under the same
+	// serialization contract as scratch. collect begins a generation; the
+	// enforce (or delegate) that follows it in the parent's cycle draws
+	// disjoint regions from the same generation.
+	arena cyclemem.Arena
+	cyc   cycleMem
+
+	// statsScr backs Stats() snapshots (guarded by its own mutex).
+	statsScr statsScratch
 
 	// Re-homing loop lifecycle (Parents configured).
 	rehomeStop chan struct{}
@@ -456,6 +467,8 @@ func (a *Aggregator) fanOut(ctx context.Context, gauge *telemetry.Gauge, childre
 		par:     a.cfg.FanOut,
 		timeout: a.cfg.CallTimeout,
 		gauge:   gauge,
+		arena:   &a.arena,
+		calls:   &a.cyc.calls,
 	}, children, reqFor, func(i int, resp wire.Message, err error) {
 		a.accountCall(ctx, children[i], err)
 		if err == nil && onReply != nil {
@@ -474,6 +487,8 @@ func (a *Aggregator) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge
 		par:     a.cfg.FanOut,
 		timeout: a.cfg.CallTimeout,
 		gauge:   gauge,
+		arena:   &a.arena,
+		calls:   &a.cyc.calls,
 	}, children, f, nil, func(i int, resp wire.Message, err error) {
 		a.accountCall(ctx, children[i], err)
 		if err == nil && onReply != nil {
@@ -531,6 +546,11 @@ func (a *Aggregator) prepareScatter(ctx context.Context) (active, quarantined []
 func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	ctx := context.Background()
 	a.cfg.Tracer.SetContext(m.Cycle, a.Epoch(), uint8(a.cfg.FanOutMode), trace.PhaseProbe)
+	// One arena generation per parent-driven cycle: the enforce/delegate that
+	// follows this collect appends to the same generation. The previous
+	// cycle's reply was fully encoded before this handler ran, so its
+	// slab-backed reports are dead here.
+	a.arena.Begin()
 	children, quarantined := a.prepareScatter(ctx)
 	if len(quarantined) > 0 {
 		a.faults.DegradedCycle()
@@ -566,7 +586,7 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 		a.pipe.RecordDirty(dirty)
 		a.pipe.AddSuppressedCollects(uint64(n - len(set)))
 	}
-	replies := make([]*wire.CollectReply, len(targets))
+	replies := a.cyc.replies.Take(&a.arena, len(targets))
 	a.cfg.Tracer.SetContext(m.Cycle, a.Epoch(), uint8(a.cfg.FanOutMode), trace.PhaseCollect)
 	// The inbound request is re-broadcast verbatim to every stage, so it is
 	// marshaled once into a shared frame. All fan-out completes before this
@@ -585,7 +605,7 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	if a.cfg.CPU != nil {
 		untrack = a.cfg.CPU.Track()
 	}
-	reports := make([]wire.StageReport, 0, n)
+	reports := a.cyc.reports.Take(&a.arena, n)[:0]
 	if incremental {
 		// The upstream reply reads the whole cache: pushed deltas, the
 		// collects just made, and untouched-but-fresh reports all look alike.
@@ -602,8 +622,11 @@ func (a *Aggregator) collect(m *wire.Collect) (wire.Message, error) {
 	}
 	reports = appendStaleReports(reports, quarantined, a.breaker.StaleAfter, a.faults)
 	if a.cfg.LocalControl {
+		// delegate reads lastReports after this handler returns, beyond the
+		// slab's generation — it needs a stable snapshot, not the arena slice
+		// (and not a recycled buffer a later collect would scribble over).
 		a.mu.Lock()
-		a.lastReports = reports
+		a.lastReports = append([]wire.StageReport(nil), reports...)
 		a.mu.Unlock()
 	}
 	if a.cfg.ForwardRaw {
@@ -628,9 +651,20 @@ func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
 	if a.cfg.CPU != nil {
 		untrack = a.cfg.CPU.Track()
 	}
-	byStage := make(map[uint64][]wire.Rule, len(m.Rules))
-	for _, r := range m.Rules {
-		byStage[r.StageID] = append(byStage[r.StageID], r)
+	// Group rules by stage without a per-call map: copy the batch into an
+	// arena slab (the inbound request is recycled after the reply, so the
+	// rules must not alias it anyway) and stable-sort by stage, leaving each
+	// stage's rules a contiguous run in arrival order.
+	rules := a.cyc.ruleBuf.Take(&a.arena, len(m.Rules))
+	copy(rules, m.Rules)
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].StageID < rules[j].StageID })
+	batchFor := func(stageID uint64) []wire.Rule {
+		lo := sort.Search(len(rules), func(i int) bool { return rules[i].StageID >= stageID })
+		hi := lo
+		for hi < len(rules) && rules[hi].StageID == stageID {
+			hi++
+		}
+		return rules[lo:hi:hi]
 	}
 	if untrack != nil {
 		untrack()
@@ -642,21 +676,25 @@ func (a *Aggregator) enforce(m *wire.Enforce) (*wire.EnforceAck, error) {
 	incremental := a.incrementalActive()
 	var suppressed uint64 // reqFor runs sequentially in pipelined mode
 	a.cfg.Tracer.SetContext(m.Cycle, epoch, uint8(a.cfg.FanOutMode), trace.PhaseEnforce)
+	// Request structs come from the arena too (index-disjoint, so safe from
+	// blocking mode's concurrent reqFor) instead of allocated per call.
+	enfBuf := a.cyc.enfBuf.Take(&a.arena, len(children))
 	a.fanOut(ctx, &a.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
-			rules := byStage[children[i].info.ID]
-			if len(rules) == 0 {
+			batch := batchFor(children[i].info.ID)
+			if len(batch) == 0 {
 				return nil
 			}
 			if incremental {
 				// Incremental mode implies delta enforcement toward the
 				// stages: unchanged rules are not re-sent.
-				if rules = children[i].filterChanged(rules); len(rules) == 0 {
+				if batch = children[i].filterChanged(batch); len(batch) == 0 {
 					suppressed++
 					return nil
 				}
 			}
-			return &wire.Enforce{Cycle: m.Cycle, Rules: rules, Epoch: epoch}
+			enfBuf[i] = wire.Enforce{Cycle: m.Cycle, Rules: batch, Epoch: epoch}
+			return &enfBuf[i]
 		},
 		func(i int, resp wire.Message) {
 			if ack, ok := resp.(*wire.EnforceAck); ok {

@@ -1,0 +1,166 @@
+package controller
+
+import (
+	"sort"
+
+	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/cyclemem"
+	"github.com/dsrhaslab/sdscale/internal/metrics"
+	"github.com/dsrhaslab/sdscale/internal/rpc"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// cycleMem holds a controller role's per-cycle slabs, all tied to its arena:
+// one generation per RunCycle, so a steady-state cycle draws every buffer
+// from retained capacity and allocates nothing.
+type cycleMem struct {
+	replies    cyclemem.Slab[*wire.CollectReply]
+	aggReplies cyclemem.Slab[wire.Message] // hierarchical collect slots
+	responded  cyclemem.Slab[bool]
+	reports    cyclemem.Slab[wire.StageReport]
+	inputs     cyclemem.Slab[controlalg.JobInput]
+	allocOf    cyclemem.Slab[wire.Rates]
+	ruleBuf    cyclemem.Slab[wire.Rule]
+	enfBuf     cyclemem.Slab[wire.Enforce]
+	calls      cyclemem.Slab[*rpc.Call]
+	table      cyclemem.RuleTable
+}
+
+// parallelComputeMin is the smallest per-worker report range worth a
+// goroutine: below 2× this the rule emission runs inline. The kernel's
+// per-report cost is tens of nanoseconds, so sharding only pays at
+// thousands of reports.
+const parallelComputeMin = 2048
+
+// computeFlatRules runs the control algorithm over raw stage reports and
+// splits each job's allocation across its stages proportionally to their
+// observed demand. The result lives in the cycle arena's rule table, valid
+// until the next cycle begins.
+//
+// The split is computed per report rather than per job: AggregateByJob has
+// already summed each job's demand in report order — the same sequence of
+// float additions controlalg.SplitProportional would perform — so the
+// per-stage limit alloc[c]·d[c]/total[c] (even split when the class total
+// is zero) reproduces the serial splitter bit for bit. With no cross-report
+// accumulation left, the emission loop shards freely over disjoint report
+// ranges: any worker count yields byte-identical rules, which is what makes
+// the parallel path safe for the paper reproduction. parallel=false (the
+// blocking fan-out mode) pins the single-threaded emission the paper's
+// prototype implies; the aggregation and PSFA allocation stages are serial
+// in either mode.
+func (g *Global) computeFlatRules(reports []wire.StageReport, parallel bool) *cyclemem.RuleTable {
+	jobs := metrics.AggregateByJob(reports)
+	inputs := g.cyc.inputs.Take(&g.arena, len(jobs))
+	g.mu.Lock()
+	for i, j := range jobs {
+		inputs[i] = controlalg.JobInput{
+			JobID:  j.JobID,
+			Weight: g.jobWeights[j.JobID],
+			Demand: j.Demand,
+			Stages: j.Stages,
+		}
+	}
+	capacity := g.capacity
+	g.mu.Unlock()
+	allocs := g.cfg.Algorithm.Allocate(inputs, capacity)
+	g.recordJobStatuses(inputs, allocs)
+
+	// Index allocations by the jobs' sorted order so the kernel can reach a
+	// report's allocation with one binary search, no map.
+	allocOf := g.cyc.allocOf.Take(&g.arena, len(jobs))
+	for _, a := range allocs {
+		if j := jobSlot(jobs, a.JobID); j >= 0 {
+			allocOf[j] = a.Limit
+		}
+	}
+
+	return emitRules(&g.cyc, &g.arena, g.pipe, reports, jobs, allocOf, parallel)
+}
+
+// computePeerRules is the coordinated-peer kernel. Each job's global
+// allocation is split uniformly across its global stage population; this
+// peer's share is that per-stage slice scaled by its own stage count, and
+// the share splits across the peer's stages proportionally to demand —
+// exactly the SplitUniform → Scale → SplitProportional chain the serial
+// implementation performed, folded into the shared per-report kernel.
+// ownJobs must be metrics.AggregateByJob(reports): its per-job demand sums
+// are then the identical float-add sequences SplitProportional would
+// compute, so serial and sharded emission are byte-identical here too.
+func (p *Peer) computePeerRules(reports []wire.StageReport, ownJobs, merged []wire.JobReport,
+	allocs []controlalg.JobAllocation, parallel bool) *cyclemem.RuleTable {
+	shareOf := p.cyc.allocOf.Take(&p.arena, len(ownJobs))
+	for i, a := range allocs {
+		if j := jobSlot(ownJobs, a.JobID); j >= 0 {
+			shareOf[j] = controlalg.SplitUniform(a.Limit, int(merged[i].Stages)).
+				Scale(float64(ownJobs[j].Stages))
+		}
+	}
+	return emitRules(&p.cyc, &p.arena, p.pipe, reports, ownJobs, shareOf, parallel)
+}
+
+// emitRules fills the role's arena-backed rule table: report i's rule splits
+// its job's budget proportionally to the report's share of the job's total
+// demand (even split across the job's stages for a zero-demand class). jobs
+// must be sorted by JobID with per-job totals summed in report order, and
+// budget[j] is job j's spendable allocation. Writes are index-disjoint, so
+// parallel mode shards the loop over disjoint report ranges.
+func emitRules(cyc *cycleMem, arena *cyclemem.Arena, pipe *telemetry.PipelineStats,
+	reports []wire.StageReport, jobs []wire.JobReport, budget []wire.Rates,
+	parallel bool) *cyclemem.RuleTable {
+	table := &cyc.table
+	table.Reset(arena)
+	slot := table.Slot(len(reports))
+	emit := func(start, end int) {
+		for i := start; i < end; i++ {
+			r := &reports[i]
+			j := jobSlot(jobs, r.JobID)
+			alloc, total, stages := budget[j], jobs[j].Demand, jobs[j].Stages
+			var limit wire.Rates
+			for c := 0; c < int(wire.NumClasses); c++ {
+				if total[c] > 0 {
+					limit[c] = alloc[c] * r.Demand[c] / total[c]
+				} else {
+					limit[c] = alloc[c] / float64(stages)
+				}
+			}
+			slot[i] = wire.Rule{
+				StageID: r.StageID,
+				JobID:   r.JobID,
+				Action:  wire.ActionSetLimit,
+				Limit:   limit,
+			}
+		}
+	}
+	workers := 0
+	if len(reports) > 0 {
+		if parallel {
+			workers = cyclemem.ParallelFor(len(reports), parallelComputeMin, emit)
+		} else {
+			emit(0, len(reports))
+			workers = 1
+		}
+	}
+	table.Seal()
+	pipe.RecordComputeWorkers(workers)
+	return table
+}
+
+// arenaSnapshot converts the arena's counters into the telemetry mirror.
+func arenaSnapshot(s cyclemem.Stats) telemetry.ArenaSnapshot {
+	return telemetry.ArenaSnapshot{
+		Generation: s.Generation,
+		Takes:      s.Takes,
+		Reuses:     s.Reuses,
+		Grows:      s.Grows,
+	}
+}
+
+// jobSlot finds jobID's index in the JobID-sorted aggregate slice, or -1.
+func jobSlot(jobs []wire.JobReport, jobID uint64) int {
+	i := sort.Search(len(jobs), func(i int) bool { return jobs[i].JobID >= jobID })
+	if i < len(jobs) && jobs[i].JobID == jobID {
+		return i
+	}
+	return -1
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"github.com/dsrhaslab/sdscale/internal/cyclemem"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/wire"
@@ -46,6 +47,20 @@ type fanOutOpts struct {
 	timeout time.Duration
 	// gauge, if non-nil, tracks in-flight calls for this phase.
 	gauge *telemetry.Gauge
+	// arena and calls, when both set, draw the pipelined harvest's call-
+	// handle slots from the controller's cycle arena instead of allocating
+	// per phase. The slots are dead once the harvest loop finishes, which
+	// is before the cycle ends — exactly the arena's lifetime contract.
+	arena *cyclemem.Arena
+	calls *cyclemem.Slab[*rpc.Call]
+}
+
+// takeCalls returns n nil call slots, arena-backed when configured.
+func (o *fanOutOpts) takeCalls(n int) []*rpc.Call {
+	if o.arena != nil && o.calls != nil {
+		return o.calls.Take(o.arena, n)
+	}
+	return make([]*rpc.Call, n)
 }
 
 // fanOutCalls issues one request per child and hands every outcome to
@@ -85,7 +100,7 @@ func fanOutCalls(ctx context.Context, o fanOutOpts, children []*child,
 	// phase in place of a context per call.
 	pctx, cancel := context.WithTimeout(ctx, o.timeout)
 	defer cancel()
-	calls := make([]*rpc.Call, n)
+	calls := o.takeCalls(n)
 	for i := range children {
 		if ctx.Err() != nil {
 			break // cancelled mid-fan-out: stop issuing
@@ -146,7 +161,7 @@ func fanOutShared(ctx context.Context, o fanOutOpts, children []*child,
 
 	pctx, cancel := context.WithTimeout(ctx, o.timeout)
 	defer cancel()
-	calls := make([]*rpc.Call, n)
+	calls := o.takeCalls(n)
 	for i := range children {
 		if ctx.Err() != nil {
 			break // cancelled mid-fan-out: stop issuing

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/cyclemem"
 	"github.com/dsrhaslab/sdscale/internal/metrics"
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
@@ -220,6 +221,17 @@ type Global struct {
 	scratch     cycleScratch
 	incrReady   bool
 	incrMembers uint64
+
+	// arena is the per-cycle allocator: RunCycle begins a generation, and
+	// every cycle-lifetime buffer — reply slots, harvested reports, rule
+	// batches, enforce messages, call handles, the rule table — is drawn
+	// from these slabs, which reset (retaining capacity) instead of
+	// freeing. Cycle-serial, like scratch.
+	arena cyclemem.Arena
+	cyc   cycleMem
+
+	// statsScr backs Stats() snapshots (guarded by its own mutex).
+	statsScr statsScratch
 
 	mu         sync.Mutex
 	cycle      uint64
@@ -723,6 +735,8 @@ func (g *Global) fanOut(ctx context.Context, gauge *telemetry.Gauge, children []
 		par:     g.cfg.FanOut,
 		timeout: g.cfg.CallTimeout,
 		gauge:   gauge,
+		arena:   &g.arena,
+		calls:   &g.cyc.calls,
 	}, children, reqFor, func(i int, resp wire.Message, err error) {
 		g.accountCall(ctx, children[i], err)
 		if err == nil && onReply != nil {
@@ -743,6 +757,8 @@ func (g *Global) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge, ch
 		par:     g.cfg.FanOut,
 		timeout: g.cfg.CallTimeout,
 		gauge:   gauge,
+		arena:   &g.arena,
+		calls:   &g.cyc.calls,
 	}, children, f, nil, func(i int, resp wire.Message, err error) {
 		g.accountCall(ctx, children[i], err)
 		if err == nil && onReply != nil {
@@ -938,6 +954,9 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 
 	start := time.Now()
 	allocsBefore := telemetry.AllocsNow()
+	// New arena generation: every slab draw below reuses last cycle's
+	// capacity, and last cycle's rule table is invalidated.
+	g.arena.Begin()
 	var b telemetry.Breakdown
 	var err error
 	if mode == wire.RoleAggregator {
@@ -948,6 +967,7 @@ func (g *Global) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 		b, err = g.runFlatCycle(ctx, cycle, epoch, active, quarantined)
 	}
 	g.pipe.RecordCycleAllocs(telemetry.AllocsNow() - allocsBefore)
+	g.pipe.RecordArena(arenaSnapshot(g.arena.Stats()))
 	if err != nil {
 		g.cfg.Tracer.RecordCycle(cycle, epoch, uint8(g.cfg.FanOutMode), start, time.Since(start), true)
 		return b, err
@@ -1027,7 +1047,7 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 	// per-connection reuse caches when reply reuse is on, which is safe
 	// exactly until the connection's next CollectReply — next cycle, after
 	// compute has consumed them.
-	replies := make([]*wire.CollectReply, n)
+	replies := g.cyc.replies.Take(&g.arena, n)
 	req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch})
 	g.fanOutBroadcast(ctx, &g.pipe.CollectInFlight, children, req,
 		func(i int, resp wire.Message) {
@@ -1049,14 +1069,14 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 	if g.cfg.CPU != nil {
 		untrack = g.cfg.CPU.Track()
 	}
-	reports := make([]wire.StageReport, 0, n)
+	reports := g.cyc.reports.Take(&g.arena, n)[:0]
 	for _, r := range replies {
 		if r != nil {
 			reports = append(reports, r.Reports...)
 		}
 	}
 	reports = appendStaleReports(reports, quarantined, g.breaker.StaleAfter, g.faults)
-	rules := g.computeFlatRules(reports)
+	rules := g.computeFlatRules(reports, g.cfg.FanOutMode == FanOutPipelined)
 	if untrack != nil {
 		untrack()
 	}
@@ -1066,11 +1086,11 @@ func (g *Global) runFlatCycle(ctx context.Context, cycle, epoch uint64, children
 	// Phase 3: enforce, one rule per responsive stage.
 	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseEnforce)
 	enforceStart := time.Now()
-	ruleBuf := make([]wire.Rule, n)   // index-disjoint one-rule batches, one allocation
-	enfBuf := make([]wire.Enforce, n) // index-disjoint request messages, one allocation
+	ruleBuf := g.cyc.ruleBuf.Take(&g.arena, n) // index-disjoint one-rule batches
+	enfBuf := g.cyc.enfBuf.Take(&g.arena, n)   // index-disjoint request messages
 	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
-			rule, ok := rules[children[i].info.ID]
+			rule, ok := rules.Lookup(children[i].info.ID)
 			if !ok {
 				return nil // stage did not report this cycle
 			}
@@ -1180,12 +1200,14 @@ func (g *Global) runIncrementalFlatCycle(ctx context.Context, cycle, epoch uint6
 		untrack = g.cfg.CPU.Track()
 	}
 	now := time.Now()
-	reports := make([]wire.StageReport, 0, n)
+	reports := g.cyc.reports.Take(&g.arena, n)[:0]
 	for _, c := range children {
 		reports, _, _ = c.appendCachedReports(reports, now, g.breaker.StaleAfter)
 	}
 	reports = appendStaleReports(reports, quarantined, g.breaker.StaleAfter, g.faults)
-	rules := g.computeFlatRules(reports)
+	// Incremental mode implies the pipelined fan-out, so the parallel
+	// kernel is always eligible here.
+	rules := g.computeFlatRules(reports, true)
 	if untrack != nil {
 		untrack()
 	}
@@ -1197,12 +1219,12 @@ func (g *Global) runIncrementalFlatCycle(ctx context.Context, cycle, epoch uint6
 	// mostly-unchanged rules, and re-sending those would undo the savings.
 	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseEnforce)
 	enforceStart := time.Now()
-	ruleBuf := make([]wire.Rule, n)
-	enfBuf := make([]wire.Enforce, n)
+	ruleBuf := g.cyc.ruleBuf.Take(&g.arena, n)
+	enfBuf := g.cyc.enfBuf.Take(&g.arena, n)
 	var suppressed uint64 // reqFor runs sequentially in pipelined mode
 	g.fanOut(ctx, &g.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
-			rule, ok := rules[children[i].info.ID]
+			rule, ok := rules.Lookup(children[i].info.ID)
 			if !ok {
 				return nil // no report in the cache this cycle
 			}
@@ -1224,62 +1246,6 @@ func (g *Global) runIncrementalFlatCycle(ctx context.Context, cycle, epoch uint6
 	return b, ctx.Err()
 }
 
-// computeFlatRules runs the control algorithm over raw stage reports and
-// splits each job's allocation across its stages proportionally to their
-// observed demand.
-func (g *Global) computeFlatRules(reports []wire.StageReport) map[uint64]wire.Rule {
-	jobs := metrics.AggregateByJob(reports)
-	inputs := make([]controlalg.JobInput, len(jobs))
-	g.mu.Lock()
-	for i, j := range jobs {
-		inputs[i] = controlalg.JobInput{
-			JobID:  j.JobID,
-			Weight: g.jobWeights[j.JobID],
-			Demand: j.Demand,
-			Stages: j.Stages,
-		}
-	}
-	capacity := g.capacity
-	g.mu.Unlock()
-	allocs := g.cfg.Algorithm.Allocate(inputs, capacity)
-	g.recordJobStatuses(inputs, allocs)
-
-	allocByJob := make(map[uint64]wire.Rates, len(allocs))
-	for _, a := range allocs {
-		allocByJob[a.JobID] = a.Limit
-	}
-
-	// Group the job's stages (stable order) to split allocations.
-	stagesByJob := make(map[uint64][]int)
-	for i := range reports {
-		stagesByJob[reports[i].JobID] = append(stagesByJob[reports[i].JobID], i)
-	}
-	jobIDs := make([]uint64, 0, len(stagesByJob))
-	for id := range stagesByJob {
-		jobIDs = append(jobIDs, id)
-	}
-	sort.Slice(jobIDs, func(a, b int) bool { return jobIDs[a] < jobIDs[b] })
-
-	rules := make(map[uint64]wire.Rule, len(reports))
-	for _, jobID := range jobIDs {
-		idxs := stagesByJob[jobID]
-		demands := make([]wire.Rates, len(idxs))
-		for k, i := range idxs {
-			demands[k] = reports[i].Demand
-		}
-		split := controlalg.SplitProportional(allocByJob[jobID], demands)
-		for k, i := range idxs {
-			rules[reports[i].StageID] = wire.Rule{
-				StageID: reports[i].StageID,
-				JobID:   jobID,
-				Action:  wire.ActionSetLimit,
-				Limit:   split[k],
-			}
-		}
-	}
-	return rules
-}
-
 // runHierarchicalCycle: collect pre-aggregated reports from active
 // aggregators, compute, push per-stage rule batches back through them.
 // Quarantined aggregators contribute their last-known aggregates (degraded
@@ -1292,7 +1258,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 	// Phase 1: collect.
 	g.cfg.Tracer.SetContext(cycle, epoch, mode8, trace.PhaseCollect)
 	collectStart := time.Now()
-	replies := make([]wire.Message, n)
+	replies := g.cyc.aggReplies.Take(&g.arena, n)
 	req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000, Epoch: epoch})
 	g.fanOutBroadcast(ctx, &g.pipe.CollectInFlight, children, req,
 		func(i int, resp wire.Message) {
@@ -1320,7 +1286,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 		untrack = g.cfg.CPU.Track()
 	}
 	groups := make([][]wire.JobReport, 0, n)
-	responded := make([]bool, n)
+	responded := g.cyc.responded.Take(&g.arena, n)
 	for i, r := range replies {
 		switch r := r.(type) {
 		case *wire.CollectAggReply:
@@ -1340,7 +1306,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 		}
 	}
 	merged := metrics.MergeJobReports(groups...)
-	inputs := make([]controlalg.JobInput, len(merged))
+	inputs := g.cyc.inputs.Take(&g.arena, len(merged))
 	g.mu.Lock()
 	for i, j := range merged {
 		inputs[i] = controlalg.JobInput{
@@ -1389,7 +1355,7 @@ func (g *Global) runHierarchicalCycle(ctx context.Context, cycle, epoch uint64, 
 			budgets[i] = budget
 			continue
 		}
-		batch := make([]wire.Rule, 0, len(stages))
+		batch := g.cyc.ruleBuf.Take(&g.arena, len(stages))[:0]
 		for _, s := range stages {
 			limit, ok := perStage[s.JobID]
 			if !ok {

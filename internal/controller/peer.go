@@ -3,11 +3,11 @@ package controller
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
 	"github.com/dsrhaslab/sdscale/internal/controlalg"
+	"github.com/dsrhaslab/sdscale/internal/cyclemem"
 	"github.com/dsrhaslab/sdscale/internal/metrics"
 	"github.com/dsrhaslab/sdscale/internal/monitor"
 	"github.com/dsrhaslab/sdscale/internal/rpc"
@@ -142,6 +142,13 @@ type Peer struct {
 	// scratch backs the per-cycle membership split and collect set; it is
 	// owned by the goroutine running RunCycle (cycles are serial).
 	scratch cycleScratch
+	// arena and cyc back the cycle's transient buffers; like scratch they
+	// are owned by the serial RunCycle goroutine.
+	arena cyclemem.Arena
+	cyc   cycleMem
+
+	// statsScr backs Stats() snapshots (guarded by its own mutex).
+	statsScr statsScratch
 
 	mu         sync.Mutex
 	peers      map[uint64]*child // fellow controllers
@@ -364,6 +371,8 @@ func (p *Peer) fanOut(ctx context.Context, gauge *telemetry.Gauge, children []*c
 		par:     p.cfg.FanOut,
 		timeout: p.cfg.CallTimeout,
 		gauge:   gauge,
+		arena:   &p.arena,
+		calls:   &p.cyc.calls,
 	}, children, reqFor, func(i int, resp wire.Message, err error) {
 		p.accountCall(ctx, children[i], err)
 		if err == nil && onReply != nil {
@@ -382,6 +391,8 @@ func (p *Peer) fanOutBroadcast(ctx context.Context, gauge *telemetry.Gauge, chil
 		par:     p.cfg.FanOut,
 		timeout: p.cfg.CallTimeout,
 		gauge:   gauge,
+		arena:   &p.arena,
+		calls:   &p.cyc.calls,
 	}, children, f, nil, func(i int, resp wire.Message, err error) {
 		p.accountCall(ctx, children[i], err)
 		if err == nil && onReply != nil {
@@ -455,6 +466,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 
 	start := time.Now()
 	allocsBefore := telemetry.AllocsNow()
+	p.arena.Begin()
 	var b telemetry.Breakdown
 
 	// Phase 1: collect own active stages, aggregate, and exchange with
@@ -496,7 +508,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	// Index-disjoint reply slots keep blocking-mode harvest writes race-free
 	// and the compute phase's summation order deterministic; the broadcast
 	// request is marshaled once into a shared frame.
-	replies := make([]*wire.CollectReply, len(targets))
+	replies := p.cyc.replies.Take(&p.arena, len(targets))
 	req := rpc.NewSharedFrame(&wire.Collect{Cycle: cycle, WindowMicros: 1_000_000})
 	p.fanOutBroadcast(ctx, &p.pipe.CollectInFlight, targets,
 		req,
@@ -511,7 +523,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	if p.cfg.CPU != nil {
 		untrack = p.cfg.CPU.Track()
 	}
-	reports := make([]wire.StageReport, 0, n)
+	reports := p.cyc.reports.Take(&p.arena, n)[:0]
 	if incremental {
 		// The aggregates read the whole cache: pushed deltas, the collects
 		// just made, and untouched-but-fresh reports all look alike.
@@ -577,7 +589,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 		groups = append(groups, v.jobs)
 	}
 	merged := metrics.MergeJobReports(groups...)
-	inputs := make([]controlalg.JobInput, len(merged))
+	inputs := p.cyc.inputs.Take(&p.arena, len(merged))
 	for i, j := range merged {
 		w := p.jobWeights[j.JobID]
 		inputs[i] = controlalg.JobInput{JobID: j.JobID, Weight: w, Demand: j.Demand, Stages: j.Stages}
@@ -587,40 +599,8 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 
 	// Each job's global allocation is split uniformly across its global
 	// stage population; this peer enforces the slice covering its own
-	// stages, weighted by their observed demand.
-	perStageAlloc := make(map[uint64]wire.Rates, len(allocs))
-	for i, a := range allocs {
-		perStageAlloc[a.JobID] = controlalg.SplitUniform(a.Limit, int(merged[i].Stages))
-	}
-	ownStagesByJob := make(map[uint64][]int)
-	for i := range reports {
-		ownStagesByJob[reports[i].JobID] = append(ownStagesByJob[reports[i].JobID], i)
-	}
-	jobIDs := make([]uint64, 0, len(ownStagesByJob))
-	for id := range ownStagesByJob {
-		jobIDs = append(jobIDs, id)
-	}
-	sort.Slice(jobIDs, func(a, b int) bool { return jobIDs[a] < jobIDs[b] })
-
-	rules := make(map[uint64]wire.Rule, len(reports))
-	for _, jobID := range jobIDs {
-		idxs := ownStagesByJob[jobID]
-		perStage := perStageAlloc[jobID]
-		share := perStage.Scale(float64(len(idxs)))
-		demands := make([]wire.Rates, len(idxs))
-		for k, i := range idxs {
-			demands[k] = reports[i].Demand
-		}
-		split := controlalg.SplitProportional(share, demands)
-		for k, i := range idxs {
-			rules[reports[i].StageID] = wire.Rule{
-				StageID: reports[i].StageID,
-				JobID:   jobID,
-				Action:  wire.ActionSetLimit,
-				Limit:   split[k],
-			}
-		}
-	}
+	// stages, weighted by their observed demand (see computePeerRules).
+	rules := p.computePeerRules(reports, ownJobs, merged, allocs, p.cfg.FanOutMode == FanOutPipelined)
 	if untrack != nil {
 		untrack()
 	}
@@ -632,12 +612,12 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	enforceStart := time.Now()
 	// Request buffers are preallocated per child (index-disjoint, so safe
 	// from blocking mode's concurrent reqFor) instead of allocated per call.
-	enfBuf := make([]wire.Enforce, n)
-	ruleBuf := make([]wire.Rule, n)
+	enfBuf := p.cyc.enfBuf.Take(&p.arena, n)
+	ruleBuf := p.cyc.ruleBuf.Take(&p.arena, n)
 	var suppressed uint64 // reqFor runs sequentially in pipelined mode
 	p.fanOut(ctx, &p.pipe.EnforceInFlight, children,
 		func(i int) wire.Message {
-			rule, ok := rules[children[i].info.ID]
+			rule, ok := rules.Lookup(children[i].info.ID)
 			if !ok {
 				return nil
 			}
@@ -663,6 +643,7 @@ func (p *Peer) RunCycle(ctx context.Context) (telemetry.Breakdown, error) {
 	b.Total = time.Since(start)
 	p.cfg.Tracer.RecordCycle(cycle, 0, mode8, start, b.Total, ctx.Err() != nil)
 	p.pipe.RecordCycleAllocs(telemetry.AllocsNow() - allocsBefore)
+	p.pipe.RecordArena(arenaSnapshot(p.arena.Stats()))
 	p.recorder.Record(b)
 	return b, ctx.Err()
 }

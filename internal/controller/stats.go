@@ -1,9 +1,38 @@
 package controller
 
 import (
+	"sync"
+
 	"github.com/dsrhaslab/sdscale/internal/store"
 	"github.com/dsrhaslab/sdscale/internal/telemetry"
 )
+
+// statsScratch holds the members buffer a controller's Stats() reuses across
+// calls, so monitoring pollers stop copying the full membership slice (80 KB
+// at the paper's 10k scale) on every snapshot. Its mutex serializes
+// concurrent Stats callers; the cycle goroutine never touches it.
+type statsScratch struct {
+	mu  sync.Mutex
+	buf []*child
+}
+
+// quarantined refreshes the buffer from m and returns the quarantined
+// members' IDs — nil when none, the steady-state case, which together with
+// the reused buffer makes a healthy snapshot allocation-free here. The
+// returned slice is freshly allocated when non-empty, so it is the caller's
+// to keep.
+func (s *statsScratch) quarantined(m *memberSet) []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = m.snapshotInto(s.buf)
+	var ids []uint64
+	for _, c := range s.buf {
+		if c.isQuarantined() {
+			ids = append(ids, c.info.ID)
+		}
+	}
+	return ids
+}
 
 // ControllerStats is a point-in-time snapshot of a controller's operational
 // state: membership, breaker health, leadership, and fan-out pipeline
@@ -60,18 +89,14 @@ type ControllerStats struct {
 
 // Stats snapshots the controller's operational state.
 func (g *Global) Stats() ControllerStats {
-	_, quarantined := splitQuarantined(g.members.snapshot())
-	ids := make([]uint64, len(quarantined))
-	for i, c := range quarantined {
-		ids[i] = c.info.ID
-	}
+	ids := g.statsScr.quarantined(g.members)
 	g.mu.Lock()
 	callErrors := g.callErrors
 	g.mu.Unlock()
 	st := ControllerStats{
 		Children:       g.members.size(),
 		Stages:         g.NumStages(),
-		Quarantined:    len(quarantined),
+		Quarantined:    len(ids),
 		QuarantinedIDs: ids,
 		CallErrors:     callErrors,
 		Evictions:      g.faults.Evictions(),
@@ -89,11 +114,7 @@ func (g *Global) Stats() ControllerStats {
 
 // Stats snapshots the aggregator's operational state.
 func (a *Aggregator) Stats() ControllerStats {
-	_, quarantined := splitQuarantined(a.members.snapshot())
-	ids := make([]uint64, len(quarantined))
-	for i, c := range quarantined {
-		ids[i] = c.info.ID
-	}
+	ids := a.statsScr.quarantined(a.members)
 	a.mu.Lock()
 	epoch := a.epoch
 	fenced := a.fencedCalls
@@ -102,7 +123,7 @@ func (a *Aggregator) Stats() ControllerStats {
 	return ControllerStats{
 		Children:       a.members.size(),
 		Stages:         a.members.size(),
-		Quarantined:    len(quarantined),
+		Quarantined:    len(ids),
 		QuarantinedIDs: ids,
 		CallErrors:     a.callErrors.Load(),
 		Evictions:      a.faults.Evictions(),
@@ -116,11 +137,7 @@ func (a *Aggregator) Stats() ControllerStats {
 
 // Stats snapshots the peer's operational state.
 func (p *Peer) Stats() ControllerStats {
-	_, quarantined := splitQuarantined(p.members.snapshot())
-	ids := make([]uint64, len(quarantined))
-	for i, c := range quarantined {
-		ids[i] = c.info.ID
-	}
+	ids := p.statsScr.quarantined(p.members)
 	p.mu.Lock()
 	callErrors := p.callErrors
 	peers := len(p.peers)
@@ -129,7 +146,7 @@ func (p *Peer) Stats() ControllerStats {
 		Children:       p.members.size(),
 		Stages:         p.members.size(),
 		Peers:          peers,
-		Quarantined:    len(quarantined),
+		Quarantined:    len(ids),
 		QuarantinedIDs: ids,
 		CallErrors:     callErrors,
 		Evictions:      p.faults.Evictions(),

@@ -1,0 +1,219 @@
+// Package cyclemem provides generation-counted per-cycle memory reuse for
+// the controllers' collect→compute→enforce hot path.
+//
+// A control cycle allocates the same family of buffers every iteration:
+// reply slots, harvested reports, per-child rule batches, request messages,
+// call handles. All of them are dead the moment the cycle ends, which makes
+// them ideal arena tenants: instead of freeing, the arena advances a
+// generation counter and every slab drawn from it resets to zero length on
+// its first use in the new generation — the backing arrays survive, so a
+// steady-state cycle allocates nothing.
+//
+// The generation counter doubles as an invalidation epoch: a RuleTable
+// sealed in generation g answers lookups only while the arena is still in
+// generation g. A stale read (a late goroutine touching last cycle's rules)
+// misses instead of silently returning garbage from a reused array.
+package cyclemem
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsrhaslab/sdscale/internal/wire"
+)
+
+// Arena is the per-controller cycle allocator: one generation per control
+// cycle, shared by every Slab and RuleTable the controller owns. Begin is
+// called by the cycle loop; the counters may be read concurrently (Stats
+// snapshots feed telemetry).
+type Arena struct {
+	gen    atomic.Uint64
+	takes  atomic.Uint64
+	reuses atomic.Uint64
+	grows  atomic.Uint64
+}
+
+// Begin starts a new generation, logically freeing everything drawn during
+// the previous one. Slices returned by Take before this call must no longer
+// be read or written.
+func (a *Arena) Begin() uint64 { return a.gen.Add(1) }
+
+// Gen returns the current generation.
+func (a *Arena) Gen() uint64 { return a.gen.Load() }
+
+// Stats is a point-in-time digest of the arena's reuse behaviour.
+type Stats struct {
+	// Generation counts cycles begun.
+	Generation uint64
+	// Takes counts slab draws; Reuses the draws served entirely from
+	// retained capacity; Grows the draws that had to allocate. After
+	// warm-up Reuses should track Takes and Grows should stay flat.
+	Takes, Reuses, Grows uint64
+}
+
+// Stats snapshots the arena counters.
+func (a *Arena) Stats() Stats {
+	return Stats{
+		Generation: a.gen.Load(),
+		Takes:      a.takes.Load(),
+		Reuses:     a.reuses.Load(),
+		Grows:      a.grows.Load(),
+	}
+}
+
+// Slab is a growable buffer of T tied to an arena's generation. The first
+// Take of a generation resets the slab to empty (retaining capacity);
+// subsequent Takes in the same generation extend it, so one slab can serve
+// several index-disjoint draws per cycle. Returned slices are valid only
+// until the arena's next Begin. Not safe for concurrent Takes.
+type Slab[T any] struct {
+	buf []T
+	gen uint64
+}
+
+// Take returns a zeroed slice of length n drawn from the slab. Zeroing
+// matters: the retained array may hold pointers from the previous
+// generation, which must not leak through as stale data (they are
+// overwritten or read-as-zero, and the clear also unpins them for the GC).
+func (s *Slab[T]) Take(a *Arena, n int) []T {
+	if g := a.Gen(); s.gen != g {
+		s.gen = g
+		s.buf = s.buf[:0]
+	}
+	a.takes.Add(1)
+	start := len(s.buf)
+	need := start + n
+	if need <= cap(s.buf) {
+		s.buf = s.buf[:need]
+		clear(s.buf[start:need])
+		a.reuses.Add(1)
+	} else {
+		grown := make([]T, need, max(need, 2*cap(s.buf)))
+		copy(grown, s.buf[:start])
+		s.buf = grown
+		a.grows.Add(1)
+	}
+	return s.buf[start:need:need]
+}
+
+// Cap returns the slab's retained capacity (for tests and telemetry).
+func (s *Slab[T]) Cap() int { return cap(s.buf) }
+
+// RuleTable is the per-cycle rule index: a flat, eventually StageID-sorted
+// slice of rules replacing the map[stageID]Rule the compute phase used to
+// build fresh every cycle. The lifecycle is Reset → (Slot | Append)* →
+// Seal → Lookup*, all within one arena generation; a Lookup after the
+// arena moved on reports a miss, so stale readers cannot observe a reused
+// backing array mid-rewrite.
+type RuleTable struct {
+	a      *Arena
+	gen    uint64
+	rules  []wire.Rule
+	sealed bool
+}
+
+// Reset binds the table to the arena's current generation and clears it,
+// retaining capacity.
+func (t *RuleTable) Reset(a *Arena) {
+	t.a = a
+	t.gen = a.Gen()
+	t.rules = t.rules[:0]
+	t.sealed = false
+}
+
+// Slot extends the table by n zeroed entries and returns them for
+// index-aligned writes — the parallel compute kernel's workers each fill a
+// disjoint range of one Slot. Must not be called after Seal.
+func (t *RuleTable) Slot(n int) []wire.Rule {
+	start := len(t.rules)
+	need := start + n
+	if need <= cap(t.rules) {
+		t.rules = t.rules[:need]
+		clear(t.rules[start:need])
+	} else {
+		grown := make([]wire.Rule, need, max(need, 2*cap(t.rules)))
+		copy(grown, t.rules[:start])
+		t.rules = grown
+	}
+	return t.rules[start:need:need]
+}
+
+// Append adds one rule (serial building path).
+func (t *RuleTable) Append(r wire.Rule) { t.rules = append(t.rules, r) }
+
+// Seal sorts the table by (StageID, JobID), stably, making it ready for
+// Lookup. Stability means entries with equal keys keep insertion order, so
+// Lookup's last-match-wins reproduces exactly the overwrite semantics of
+// the map it replaced.
+func (t *RuleTable) Seal() {
+	sort.SliceStable(t.rules, func(a, b int) bool {
+		if t.rules[a].StageID != t.rules[b].StageID {
+			return t.rules[a].StageID < t.rules[b].StageID
+		}
+		return t.rules[a].JobID < t.rules[b].JobID
+	})
+	t.sealed = true
+}
+
+// Lookup returns the rule addressed to stageID. It misses when the table
+// was never sealed this generation or the arena has moved on (generation
+// invalidation: the backing array may already be rewritten).
+func (t *RuleTable) Lookup(stageID uint64) (wire.Rule, bool) {
+	if !t.sealed || t.a == nil || t.gen != t.a.Gen() {
+		return wire.Rule{}, false
+	}
+	// Find the first entry past stageID; the match, if any, is just before
+	// it — the last inserted entry for the stage, matching map overwrite.
+	i := sort.Search(len(t.rules), func(i int) bool { return t.rules[i].StageID > stageID })
+	if i > 0 && t.rules[i-1].StageID == stageID {
+		return t.rules[i-1], true
+	}
+	return wire.Rule{}, false
+}
+
+// Len returns the number of rules in the table.
+func (t *RuleTable) Len() int { return len(t.rules) }
+
+// Rules returns the table's backing slice (valid until the arena's next
+// Begin). After Seal it is sorted by StageID.
+func (t *RuleTable) Rules() []wire.Rule { return t.rules }
+
+// ParallelFor runs fn over [0,n) split into contiguous disjoint ranges
+// across up to GOMAXPROCS workers and returns how many workers ran.
+// minPerWorker bounds the split so tiny inputs stay serial — below
+// 2×minPerWorker, or on a single-CPU process, fn runs inline on the caller.
+// fn must confine itself to index-disjoint writes; under that contract the
+// result is byte-for-byte identical to the serial run regardless of worker
+// count, which is what lets the compute kernel shard PSFA rule emission
+// without perturbing the reproduction.
+func ParallelFor(n, minPerWorker int, fn func(start, end int)) int {
+	if n <= 0 {
+		return 0
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if minPerWorker > 0 {
+		if w := n / minPerWorker; w < workers {
+			workers = w
+		}
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return 1
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	used := 0
+	for start := 0; start < n; start += chunk {
+		end := min(start+chunk, n)
+		used++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(start, end)
+		}()
+	}
+	wg.Wait()
+	return used
+}

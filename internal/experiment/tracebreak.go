@@ -9,6 +9,7 @@ import (
 
 	"github.com/dsrhaslab/sdscale/internal/cluster"
 	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
 	"github.com/dsrhaslab/sdscale/internal/trace"
 )
 
@@ -54,6 +55,22 @@ type TraceBreakRow struct {
 	Incremental                            bool
 	DirtyChildren                          int64
 	SuppressedCollects, SuppressedEnforces uint64
+	// ComputeWorkers is the worker count the controller's last compute
+	// phase sharded rule emission across (1 = the serial kernel; 0 when the
+	// configuration never ran the flat kernel). Arena mirrors the global
+	// controller's cycle-arena counters: reuses tracking takes after warmup
+	// is the allocation-free steady state the arena exists for.
+	ComputeWorkers int64
+	Arena          telemetry.ArenaSnapshot
+}
+
+// ArenaReuseFrac is the fraction of slab draws served from retained
+// capacity. Zero when the configuration recorded no arena activity.
+func (r TraceBreakRow) ArenaReuseFrac() float64 {
+	if r.Arena.Takes == 0 {
+		return 0
+	}
+	return float64(r.Arena.Reuses) / float64(r.Arena.Takes)
 }
 
 // SharedFanIn is the broadcast marshal fan-in: shared-frame sends per body
@@ -238,6 +255,8 @@ func (o Options) runTraceBreak(ctx context.Context, topo cluster.Topology, nodes
 		row.DirtyChildren = p.DirtyChildren
 		row.SuppressedCollects += p.SuppressedCollects
 		row.SuppressedEnforces += p.SuppressedEnforces
+		row.ComputeWorkers = p.ComputeWorkers
+		row.Arena = p.Arena
 	}
 	for _, a := range c.Aggregators {
 		p := a.Stats().Pipeline
@@ -278,6 +297,10 @@ func PrintTraceBreak(o Options, res TraceBreakResult) {
 		if r.Incremental {
 			o.printf("%-20s dirty-set: %d dirty last cycle, %d collects and %d enforces suppressed across the run\n",
 				"", r.DirtyChildren, r.SuppressedCollects, r.SuppressedEnforces)
+		}
+		if r.Arena.Generation > 0 {
+			o.printf("%-20s cycle-arena: gen %d, %d takes (%.0f%% reused, %d grows); compute workers %d\n",
+				"", r.Arena.Generation, r.Arena.Takes, 100*r.ArenaReuseFrac(), r.Arena.Grows, r.ComputeWorkers)
 		}
 	}
 	o.printf("\n")
@@ -333,6 +356,17 @@ func CheckTraceBreak(res TraceBreakResult) error {
 		}
 		if f := r.SharedFanIn(); f < 2 {
 			return fmt.Errorf("tracebreak %s/%v: shared-frame fan-in %.1f — broadcasts are not sharing encodes", r.Name, r.Mode, f)
+		}
+		// The cycle arena must be live and, after warmup, recycling: a zero
+		// reuse count means every cycle re-grew its slabs from scratch.
+		if r.Arena.Generation == 0 || r.Arena.Takes == 0 {
+			return fmt.Errorf("tracebreak %s/%v: no cycle-arena activity recorded", r.Name, r.Mode)
+		}
+		if r.Arena.Reuses == 0 {
+			return fmt.Errorf("tracebreak %s/%v: cycle arena never reused a slab across %d generations", r.Name, r.Mode, r.Arena.Generation)
+		}
+		if r.Topology == cluster.Flat && r.ComputeWorkers < 1 {
+			return fmt.Errorf("tracebreak %s/%v: flat compute kernel recorded %d workers", r.Name, r.Mode, r.ComputeWorkers)
 		}
 		if waitx[r.Name] == nil {
 			waitx[r.Name] = map[controller.FanOutMode]float64{}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsrhaslab/sdscale/internal/cluster"
 	"github.com/dsrhaslab/sdscale/internal/controller"
+	"github.com/dsrhaslab/sdscale/internal/telemetry"
 )
 
 func TestTraceBreakAtReducedScale(t *testing.T) {
@@ -62,15 +63,20 @@ func TestCheckTraceBreakRejectsDegenerate(t *testing.T) {
 		Name: "flat-10", Topology: cluster.Flat, Mode: controller.FanOutPipelined,
 		Nodes: 10, Cycles: 5, Wall: 100, Calls: 100, Marshal: 10, Dispatch: 10,
 		Wait: 500, ServerCalls: 100, SharedSends: 50, SharedEncodes: 5,
+		ComputeWorkers: 1,
+		Arena:          telemetry.ArenaSnapshot{Generation: 5, Takes: 50, Reuses: 45, Grows: 2},
 	}
 	cases := map[string]func(*TraceBreakRow){
-		"no cycles":         func(r *TraceBreakRow) { r.Cycles = 0 },
-		"missing calls":     func(r *TraceBreakRow) { r.Calls = 10 },
-		"errors":            func(r *TraceBreakRow) { r.Errors = 1 },
-		"negative wait":     func(r *TraceBreakRow) { r.Wait = -1 },
-		"missing srv calls": func(r *TraceBreakRow) { r.ServerCalls = 10 },
-		"no broadcasts":     func(r *TraceBreakRow) { r.SharedSends, r.SharedEncodes = 0, 0 },
-		"re-encoding":       func(r *TraceBreakRow) { r.SharedEncodes = r.SharedSends },
+		"no cycles":          func(r *TraceBreakRow) { r.Cycles = 0 },
+		"missing calls":      func(r *TraceBreakRow) { r.Calls = 10 },
+		"errors":             func(r *TraceBreakRow) { r.Errors = 1 },
+		"negative wait":      func(r *TraceBreakRow) { r.Wait = -1 },
+		"missing srv calls":  func(r *TraceBreakRow) { r.ServerCalls = 10 },
+		"no broadcasts":      func(r *TraceBreakRow) { r.SharedSends, r.SharedEncodes = 0, 0 },
+		"re-encoding":        func(r *TraceBreakRow) { r.SharedEncodes = r.SharedSends },
+		"no arena activity":  func(r *TraceBreakRow) { r.Arena = telemetry.ArenaSnapshot{} },
+		"no arena reuse":     func(r *TraceBreakRow) { r.Arena.Reuses = 0 },
+		"no compute workers": func(r *TraceBreakRow) { r.ComputeWorkers = 0 },
 	}
 	for name, mutate := range cases {
 		r := good

@@ -181,11 +181,16 @@ func appendCancelFrame(buf []byte, id uint64) []byte {
 // until the next readFrame on the same buffer; callers decode it according
 // to the frame kind before reading on. Cancel frames carry no body.
 func readFrame(r io.Reader, buf []byte) (frameHeader, []byte, []byte, error) {
-	var lenb [4]byte
-	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+	// The length prefix is read into the reusable buffer rather than a
+	// local array: passing a stack array's slice through the io.Reader
+	// interface makes it escape, which costs one heap allocation per frame.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, 512)
+	}
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
 		return frameHeader{}, nil, buf, err
 	}
-	n := binary.BigEndian.Uint32(lenb[:])
+	n := binary.BigEndian.Uint32(buf[:4])
 	if n > MaxFrameSize {
 		return frameHeader{}, nil, buf, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}

@@ -128,6 +128,13 @@ type ServerOptions struct {
 	// ReuseHits, if non-nil, is incremented once per request decoded into a
 	// recycled message.
 	ReuseHits *atomic.Uint64
+	// RecycleReply, if non-nil, receives every handler response once the
+	// server is finished with it: the response bytes are already encoded
+	// and written (or suppressed by a cancel), so the receiver owns the
+	// message exclusively and may reuse it for a later response. Called
+	// from the connection's handler loop. Handlers that return shared or
+	// retained messages must not set this.
+	RecycleReply func(wire.Message)
 }
 
 // Server accepts RPC connections and dispatches requests to a Handler.
@@ -288,9 +295,15 @@ func (fl *reqFreelist) put(m wire.Message) {
 // arrival order, so per-connection ordering is preserved while cancels for
 // still-queued requests are observed before dispatch.
 type reqQueue struct {
-	mu     sync.Mutex
-	cond   sync.Cond
+	mu   sync.Mutex
+	cond sync.Cond
+	// items is consumed by advancing head rather than re-slicing: once the
+	// queue drains, head and length reset together, so steady-state pushes
+	// append into the same backing array instead of reallocating per
+	// request (the re-slice would strand the array's free space behind the
+	// slice pointer).
 	items  []queuedReq
+	head   int
 	closed bool
 
 	// The request currently being dispatched, so a cancel arriving
@@ -320,8 +333,8 @@ func (q *reqQueue) push(item queuedReq) {
 func (q *reqQueue) cancel(id uint64) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for i, item := range q.items {
-		if item.id == id {
+	for i := q.head; i < len(q.items); i++ {
+		if q.items[i].id == id {
 			q.items = append(q.items[:i], q.items[i+1:]...)
 			return true
 		}
@@ -338,14 +351,18 @@ func (q *reqQueue) cancel(id uint64) bool {
 func (q *reqQueue) pop() (item queuedReq, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.head == len(q.items) && !q.closed {
 		q.cond.Wait()
 	}
 	if q.closed {
 		return queuedReq{}, false
 	}
-	item = q.items[0]
-	q.items = q.items[1:]
+	item = q.items[q.head]
+	q.items[q.head] = queuedReq{} // drop the request reference
+	q.head++
+	if q.head == len(q.items) {
+		q.items, q.head = q.items[:0], 0
+	}
 	q.current, q.currentActive, q.currentCanceled = item.id, true, false
 	return item, true
 }
@@ -365,7 +382,7 @@ func (q *reqQueue) finish() (suppress bool) {
 func (q *reqQueue) close() {
 	q.mu.Lock()
 	q.closed = true
-	q.items = nil
+	q.items, q.head = nil, 0
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
@@ -520,6 +537,9 @@ func (s *Server) serveConn(peer *Peer) {
 		}
 		if fl != nil && item.req != nil {
 			fl.put(item.req)
+		}
+		if s.opts.RecycleReply != nil && resp != nil {
+			s.opts.RecycleReply(resp)
 		}
 		if untrack != nil {
 			untrack()

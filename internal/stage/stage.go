@@ -128,6 +128,14 @@ type Virtual struct {
 	pushDone chan struct{}
 	pushes   atomic.Uint64
 
+	// replies recycles this stage's response messages: the RPC server hands
+	// each response back once its bytes are on the wire
+	// (rpc.ServerOptions.RecycleReply), and the next request of that type
+	// reuses the instance instead of allocating. One slot per type matches
+	// the single-parent steady state; overlapping parents (failover) fall
+	// back to allocating.
+	replies replyCache
+
 	mu              sync.Mutex
 	rule            wire.Rule
 	haveRule        bool
@@ -156,6 +164,7 @@ func StartVirtual(cfg Config) (*Virtual, error) {
 		Tracer:        cfg.Tracer,
 		MaxCodec:      cfg.MaxCodec,
 		ReuseRequests: true,
+		RecycleReply:  v.replies.recycle,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("stage %d: %w", cfg.ID, err)
@@ -220,7 +229,9 @@ func (v *Virtual) serve(peer *rpc.Peer, req wire.Message) (wire.Message, error) 
 		return v.enforce(m), nil
 	case *wire.Heartbeat:
 		v.fence.touch()
-		return &wire.HeartbeatAck{EchoUnixMicros: m.SentUnixMicros}, nil
+		ack := v.replies.takeHeartbeat()
+		ack.EchoUnixMicros = m.SentUnixMicros
+		return ack, nil
 	}
 	return nil, fmt.Errorf("stage %d: unexpected %s", v.cfg.ID, req.Type())
 }
@@ -256,15 +267,15 @@ func (v *Virtual) collect(m *wire.Collect) *wire.CollectReply {
 	usage := v.clampLocked(demand)
 	v.mu.Unlock()
 
-	return &wire.CollectReply{
-		Cycle: m.Cycle,
-		Reports: []wire.StageReport{{
-			StageID: v.cfg.ID,
-			JobID:   v.cfg.JobID,
-			Demand:  demand,
-			Usage:   usage,
-		}},
-	}
+	rep := v.replies.takeCollect()
+	rep.Cycle = m.Cycle
+	rep.Reports = append(rep.Reports[:0], wire.StageReport{
+		StageID: v.cfg.ID,
+		JobID:   v.cfg.JobID,
+		Demand:  demand,
+		Usage:   usage,
+	})
+	return rep
 }
 
 // enforce applies the rules addressed to this stage, directly or through a
@@ -282,13 +293,75 @@ func (v *Virtual) enforce(m *wire.Enforce) *wire.EnforceAck {
 		}
 	}
 	v.mu.Unlock()
-	return &wire.EnforceAck{Cycle: m.Cycle, Applied: applied}
+	ack := v.replies.takeEnforce()
+	ack.Cycle, ack.Applied = m.Cycle, applied
+	return ack
 }
 
 // ruleTargets reports whether a rule addresses the given stage: either
 // directly by stage ID or as a job-wide wildcard.
 func ruleTargets(r *wire.Rule, stageID, jobID uint64) bool {
 	return r.StageID == stageID || (r.StageID == wire.WildcardStage && r.JobID == jobID)
+}
+
+// replyCache holds one recycled response instance per message type. take*
+// returns the cached instance (or a fresh one when the slot is empty — e.g.
+// two parents collecting concurrently during a failover overlap); recycle
+// refills the slot once the server has written the response bytes, so an
+// instance is never cached while still referenced.
+type replyCache struct {
+	mu        sync.Mutex
+	collect   *wire.CollectReply
+	enforce   *wire.EnforceAck
+	heartbeat *wire.HeartbeatAck
+}
+
+func (c *replyCache) takeCollect() *wire.CollectReply {
+	c.mu.Lock()
+	rep := c.collect
+	c.collect = nil
+	c.mu.Unlock()
+	if rep == nil {
+		rep = &wire.CollectReply{Reports: make([]wire.StageReport, 0, 1)}
+	}
+	return rep
+}
+
+func (c *replyCache) takeEnforce() *wire.EnforceAck {
+	c.mu.Lock()
+	ack := c.enforce
+	c.enforce = nil
+	c.mu.Unlock()
+	if ack == nil {
+		ack = &wire.EnforceAck{}
+	}
+	return ack
+}
+
+func (c *replyCache) takeHeartbeat() *wire.HeartbeatAck {
+	c.mu.Lock()
+	ack := c.heartbeat
+	c.heartbeat = nil
+	c.mu.Unlock()
+	if ack == nil {
+		ack = &wire.HeartbeatAck{}
+	}
+	return ack
+}
+
+// recycle accepts a response the server has finished writing. Unrecognized
+// types (fence errors, push acks) are simply dropped.
+func (c *replyCache) recycle(m wire.Message) {
+	c.mu.Lock()
+	switch m := m.(type) {
+	case *wire.CollectReply:
+		c.collect = m
+	case *wire.EnforceAck:
+		c.enforce = m
+	case *wire.HeartbeatAck:
+		c.heartbeat = m
+	}
+	c.mu.Unlock()
 }
 
 // sample synthesizes the stage's current report without counting a collect —
@@ -373,6 +446,30 @@ func (v *Virtual) pushLoop() {
 		// than a burst of stale deltas.
 		last, lastAt, lastEpoch, haveBase = r, time.Now(), epoch, true
 	}
+}
+
+// PushDelta samples the stage, scales demand and usage by f, and pushes the
+// result as a Full ReportDelta to every connected parent immediately,
+// bypassing the push loop's ticker. Full deltas are accepted regardless of
+// the loop's sequence counter (the same rule that covers stage restarts), so
+// this composes with a running push loop. Benchmarks use it to dirty a
+// chosen fraction of the fleet deterministically per cycle; on a v1-capped
+// connection pushes are unsupported and it reports false.
+func (v *Virtual) PushDelta(f float64) bool {
+	r := v.sample()
+	r.Demand = r.Demand.Scale(f)
+	r.Usage = r.Usage.Scale(f)
+	m := &wire.ReportDelta{Full: true, Epoch: v.fence.current(), Report: r}
+	sent := false
+	v.server.ForEachPeer(func(p *rpc.Peer) {
+		if p.Push(m) == nil {
+			sent = true
+		}
+	})
+	if sent {
+		v.pushes.Add(1)
+	}
+	return sent
 }
 
 // Pushes returns how many ReportDelta pushes reached at least one parent.

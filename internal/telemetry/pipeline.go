@@ -68,6 +68,46 @@ type PipelineStats struct {
 	dirtyChildren      atomic.Int64
 	suppressedCollects atomic.Uint64
 	suppressedEnforces atomic.Uint64
+
+	// Compute-kernel and cycle-arena accounting: computeWorkers is the
+	// worker count the last compute phase sharded across (1 = serial, 0 =
+	// no compute ran), and the arena* counters mirror the controller's
+	// cyclemem arena — generations begun, slab draws, draws served from
+	// retained capacity, and draws that had to grow.
+	computeWorkers                                atomic.Int64
+	arenaGen, arenaTakes, arenaReuses, arenaGrows atomic.Uint64
+}
+
+// ArenaSnapshot mirrors a cycle arena's reuse counters (see
+// internal/cyclemem). Reuses tracking Takes after warm-up is the signature
+// of an allocation-free steady state; a growing Grows means the fleet or
+// report volume outgrew the retained slabs.
+type ArenaSnapshot struct {
+	Generation, Takes, Reuses, Grows uint64
+}
+
+// RecordComputeWorkers stores how many workers the last compute phase used.
+func (p *PipelineStats) RecordComputeWorkers(n int) { p.computeWorkers.Store(int64(n)) }
+
+// ComputeWorkers returns the last compute phase's worker count.
+func (p *PipelineStats) ComputeWorkers() int64 { return p.computeWorkers.Load() }
+
+// RecordArena stores the controller's cycle-arena counters.
+func (p *PipelineStats) RecordArena(a ArenaSnapshot) {
+	p.arenaGen.Store(a.Generation)
+	p.arenaTakes.Store(a.Takes)
+	p.arenaReuses.Store(a.Reuses)
+	p.arenaGrows.Store(a.Grows)
+}
+
+// Arena returns the last recorded cycle-arena counters.
+func (p *PipelineStats) Arena() ArenaSnapshot {
+	return ArenaSnapshot{
+		Generation: p.arenaGen.Load(),
+		Takes:      p.arenaTakes.Load(),
+		Reuses:     p.arenaReuses.Load(),
+		Grows:      p.arenaGrows.Load(),
+	}
 }
 
 // RecordDirty stores the dirty-set size observed by the last incremental
@@ -148,6 +188,8 @@ func (p *PipelineStats) Snapshot() PipelineSnapshot {
 		DirtyChildren:       p.DirtyChildren(),
 		SuppressedCollects:  p.SuppressedCollects(),
 		SuppressedEnforces:  p.SuppressedEnforces(),
+		ComputeWorkers:      p.ComputeWorkers(),
+		Arena:               p.Arena(),
 	}
 }
 
@@ -183,6 +225,11 @@ type PipelineSnapshot struct {
 	DirtyChildren      int64
 	SuppressedCollects uint64
 	SuppressedEnforces uint64
+	// ComputeWorkers is the worker count the last compute phase sharded
+	// its rule emission across (1 = serial path); Arena mirrors the
+	// controller's cycle-arena reuse counters.
+	ComputeWorkers int64
+	Arena          ArenaSnapshot
 }
 
 // allocsSampleName is the runtime/metrics counter of cumulative heap

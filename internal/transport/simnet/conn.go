@@ -23,10 +23,10 @@ type stream struct {
 	rxHost *Host // the reading host (meter and processor charged)
 
 	mu          sync.Mutex
-	queue       []*payload // delivered, readable payloads
-	pending     *payload   // partially consumed head payload
-	pendingOff  int        // bytes of pending already handed to the reader
-	inflight    int        // scheduled but not yet delivered payloads
+	queue       payloadQueue // delivered, readable payloads
+	pending     *payload     // partially consumed head payload
+	pendingOff  int          // bytes of pending already handed to the reader
+	inflight    int          // scheduled but not yet delivered payloads
 	wclosed     bool
 	lastSendEnd time.Time
 
@@ -43,6 +43,32 @@ type stream struct {
 // payload once the reader has fully consumed it. Buffers above
 // maxPooledPayload are dropped rather than pinned in the pool.
 type payload struct{ b []byte }
+
+// payloadQueue is a FIFO of delivered payloads that recycles its backing
+// array. Popping by re-slicing (`q = q[1:]`) strands the array's free space
+// behind the slice pointer, so every subsequent push reallocates — at
+// control-plane scale that is one allocation per delivered frame. Instead
+// pop advances a head index, and the moment the queue drains (the steady
+// state between cycles) both head and length reset, so pushes reuse the
+// same backing array indefinitely.
+type payloadQueue struct {
+	buf  []*payload
+	head int
+}
+
+func (q *payloadQueue) push(pl *payload) { q.buf = append(q.buf, pl) }
+
+func (q *payloadQueue) pop() *payload {
+	pl := q.buf[q.head]
+	q.buf[q.head] = nil // drop the reference; the payload is pooled separately
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf, q.head = q.buf[:0], 0
+	}
+	return pl
+}
+
+func (q *payloadQueue) len() int { return len(q.buf) - q.head }
 
 const maxPooledPayload = 1 << 16
 
@@ -123,7 +149,7 @@ func (s *stream) arrival(n int, now time.Time) time.Time {
 // deliver moves a payload into the readable queue (scheduler callback).
 func (s *stream) deliver(pl *payload, scheduled bool) {
 	s.mu.Lock()
-	s.queue = append(s.queue, pl)
+	s.queue.push(pl)
 	if scheduled {
 		s.inflight--
 	}
@@ -155,7 +181,7 @@ func (s *stream) write(p []byte, deadline, cancel <-chan struct{}) (int, error) 
 	}
 	due := s.arrival(len(p), now)
 	if !due.After(now) {
-		s.queue = append(s.queue, data)
+		s.queue.push(data)
 		s.mu.Unlock()
 		s.wake()
 	} else {
@@ -173,9 +199,8 @@ func (s *stream) write(p []byte, deadline, cancel <-chan struct{}) (int, error) 
 func (s *stream) read(p []byte, deadline, cancel <-chan struct{}) (int, error) {
 	for {
 		s.mu.Lock()
-		for s.pending == nil && len(s.queue) > 0 {
-			pl := s.queue[0]
-			s.queue = s.queue[1:]
+		for s.pending == nil && s.queue.len() > 0 {
+			pl := s.queue.pop()
 			if len(pl.b) == 0 {
 				releasePayload(pl) // zero-length write: nothing to read
 				continue
@@ -192,7 +217,7 @@ func (s *stream) read(p []byte, deadline, cancel <-chan struct{}) (int, error) {
 			s.mu.Unlock()
 			return n, nil
 		}
-		drained := s.wclosed && s.inflight == 0 && len(s.queue) == 0
+		drained := s.wclosed && s.inflight == 0 && s.queue.len() == 0
 		s.mu.Unlock()
 		if drained {
 			return 0, io.EOF
@@ -203,7 +228,7 @@ func (s *stream) read(p []byte, deadline, cancel <-chan struct{}) (int, error) {
 		case <-s.wdone:
 			// Re-check: in-flight payloads may still be delivering.
 			s.mu.Lock()
-			drained := s.inflight == 0 && len(s.queue) == 0 && s.pending == nil
+			drained := s.inflight == 0 && s.queue.len() == 0 && s.pending == nil
 			s.mu.Unlock()
 			if drained {
 				return 0, io.EOF
